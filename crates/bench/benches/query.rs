@@ -1,0 +1,54 @@
+//! Bench E7 — path-query latency per storage strategy and path depth.
+//!
+//! §4.1: dot notation "without executing join operations" vs. the join
+//! chains of the generic mappings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlord_bench::{setup, university_doc, Instance, Strategy};
+
+fn loaded(strategy: Strategy, students: usize) -> Instance {
+    let mut instance = setup(strategy);
+    let (_, doc) = university_doc(students);
+    instance.load(&doc);
+    instance
+}
+
+fn bench_paper_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_query");
+    group.sample_size(10);
+    let students = 25;
+    for strategy in Strategy::ALL {
+        let mut instance = loaded(strategy, students);
+        let sql = instance.paper_query();
+        group.bench_function(BenchmarkId::new(strategy.name(), students), |b| {
+            b.iter(|| instance.run_query(&sql))
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_depth");
+    group.sample_size(10);
+    let students = 25;
+    let paths: Vec<(&str, Vec<&str>)> = vec![
+        ("d1", vec!["StudyCourse"]),
+        ("d2", vec!["Student", "LName"]),
+        ("d3", vec!["Student", "Course", "Name"]),
+        ("d4", vec!["Student", "Course", "Professor", "PName"]),
+    ];
+    for strategy in [Strategy::Or9, Strategy::Edge, Strategy::Inline] {
+        let mut instance = loaded(strategy, students);
+        for (label, steps) in &paths {
+            let sql = instance.path_query(steps, None);
+            group.bench_function(
+                BenchmarkId::new(strategy.name(), label),
+                |b| b.iter(|| instance.run_query(&sql)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_query, bench_depth_sweep);
+criterion_main!(benches);

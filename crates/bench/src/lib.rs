@@ -1,0 +1,425 @@
+//! # xmlord-bench — shared experiment harness
+//!
+//! Substrate **S7**: the code both the Criterion benches and the
+//! `experiments` binary run. Each function sets up one storage strategy for
+//! the scaled university workload and measures the quantities the paper
+//! argues about qualitatively: INSERT-statement counts, table/row
+//! fragmentation, join work and wall time.
+//!
+//! The strategy inventory:
+//!
+//! | id | strategy | paper role |
+//! |----|----------|------------|
+//! | `or9` | object-relational mapping, Oracle 9 mode | the contribution (nested collections, §4.2) |
+//! | `or8` | object-relational mapping, Oracle 8 mode | the REF workaround (§4.2) |
+//! | `rel` | key-based relational shredding | §6.3's "known mapping algorithms \[2\]" |
+//! | `edge` | edge table | Florescu/Kossmann \[5\] |
+//! | `attr` | attribute tables | Florescu/Kossmann \[5\] |
+//! | `inline` | hybrid inlining | Shanmugasundaram et al. \[9\] |
+
+use std::time::Instant;
+
+use xml2ordb::ddlgen::{create_script, types_script};
+use xml2ordb::loader::load_script;
+use xml2ordb::model::{MappedSchema, MappingOptions};
+use xml2ordb::pathquery::{translate, PathQuery};
+use xml2ordb::schemagen::{generate_schema, IdrefTargets};
+use xml2ordb::views;
+use xmlord_dtd::ast::Dtd;
+use xmlord_dtd::parse_dtd;
+use xmlord_ordb::{Database, DbMode};
+use xmlord_shred::Baseline;
+use xmlord_workload::university::{university_dtd, university_xml, UniversityConfig};
+use xmlord_xml::Document;
+
+/// All storage strategies of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    Or9,
+    Or8,
+    Relational,
+    Edge,
+    AttributeTables,
+    Inline,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Or9,
+        Strategy::Or8,
+        Strategy::Relational,
+        Strategy::Edge,
+        Strategy::AttributeTables,
+        Strategy::Inline,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Or9 => "or9",
+            Strategy::Or8 => "or8",
+            Strategy::Relational => "rel",
+            Strategy::Edge => "edge",
+            Strategy::AttributeTables => "attr",
+            Strategy::Inline => "inline",
+        }
+    }
+
+    pub fn describe(self) -> &'static str {
+        match self {
+            Strategy::Or9 => "object-relational (Oracle 9, nested collections)",
+            Strategy::Or8 => "object-relational (Oracle 8, REF workaround)",
+            Strategy::Relational => "key-based relational shredding [2]",
+            Strategy::Edge => "edge table [5]",
+            Strategy::AttributeTables => "attribute tables [5]",
+            Strategy::Inline => "hybrid inlining [9]",
+        }
+    }
+}
+
+/// One strategy instantiated for the university DTD, ready to load
+/// documents and run queries.
+pub struct Instance {
+    pub strategy: Strategy,
+    pub db: Database,
+    pub dtd: Dtd,
+    or_schema: Option<MappedSchema>,
+    rel_schema: Option<views::RelationalSchema>,
+    inline_schema: Option<xmlord_shred::inline::InlineSchema>,
+}
+
+/// Parse the university DTD once.
+pub fn parse_university_dtd() -> Dtd {
+    parse_dtd(university_dtd()).expect("the Appendix A DTD parses")
+}
+
+/// Generate a university document of the given size.
+pub fn university_doc(students: usize) -> (String, Document) {
+    let config = UniversityConfig { students, ..Default::default() };
+    let xml = university_xml(&config);
+    let doc = xmlord_xml::parse(&xml).expect("generated documents are well-formed");
+    (xml, doc)
+}
+
+/// Create the schema for one strategy (DDL executed, nothing loaded).
+pub fn setup(strategy: Strategy) -> Instance {
+    let dtd = parse_university_dtd();
+    let root = "University";
+    match strategy {
+        Strategy::Or9 | Strategy::Or8 => {
+            let mode = if strategy == Strategy::Or9 { DbMode::Oracle9 } else { DbMode::Oracle8 };
+            // The paper's example uses VARRAY(100); benchmark sweeps go to
+            // 1000 students, so the harness raises the capacity (E6 sweep
+            // sizes would otherwise hit the very VarrayLimitExceeded error
+            // the engine enforces — itself a §7 finding).
+            let schema = generate_schema(
+                &dtd,
+                root,
+                mode,
+                MappingOptions { varray_max: 10_000, ..Default::default() },
+                &IdrefTargets::new(),
+            )
+            .expect("university schema generates");
+            let mut db = Database::new(mode);
+            db.execute_script(&create_script(&schema)).expect("generated DDL executes");
+            Instance {
+                strategy,
+                db,
+                dtd,
+                or_schema: Some(schema),
+                rel_schema: None,
+                inline_schema: None,
+            }
+        }
+        Strategy::Relational => {
+            // Types are needed only for the §6.3 object view, but creating
+            // them keeps the instance view-capable.
+            let schema = generate_schema(
+                &dtd,
+                root,
+                DbMode::Oracle9,
+                MappingOptions { with_doc_id: false, ..Default::default() },
+                &IdrefTargets::new(),
+            )
+            .expect("university schema generates");
+            let rel = views::relational_schema(&schema);
+            let mut db = Database::new(DbMode::Oracle9);
+            db.execute_script(&types_script(&schema)).expect("types execute");
+            db.execute_script(&views::relational_ddl(&rel, 4000)).expect("relational DDL");
+            Instance {
+                strategy,
+                db,
+                dtd,
+                or_schema: Some(schema),
+                rel_schema: Some(rel),
+                inline_schema: None,
+            }
+        }
+        Strategy::Edge | Strategy::AttributeTables => {
+            let baseline = if strategy == Strategy::Edge {
+                Baseline::Edge
+            } else {
+                Baseline::AttributeTables
+            };
+            let mut db = Database::new(DbMode::Oracle9);
+            db.execute_script(&baseline.ddl(&dtd, root).unwrap()).expect("baseline DDL");
+            Instance { strategy, db, dtd, or_schema: None, rel_schema: None, inline_schema: None }
+        }
+        Strategy::Inline => {
+            let schema = xmlord_shred::inline::InlineSchema::build(&dtd, root);
+            let mut db = Database::new(DbMode::Oracle9);
+            db.execute_script(&schema.ddl()).expect("inline DDL");
+            Instance {
+                strategy,
+                db,
+                dtd,
+                or_schema: None,
+                rel_schema: None,
+                inline_schema: Some(schema),
+            }
+        }
+    }
+}
+
+/// Measurements from loading one document.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadMeasurement {
+    pub statements: usize,
+    pub rows: usize,
+    pub tables: usize,
+    pub micros: u128,
+}
+
+impl Instance {
+    /// Generate the INSERT statements for `doc` (not executed).
+    pub fn load_statements(&self, doc: &Document) -> Vec<String> {
+        match self.strategy {
+            Strategy::Or9 | Strategy::Or8 => load_script(
+                self.or_schema.as_ref().unwrap(),
+                &self.dtd,
+                doc,
+                "doc1",
+            )
+            .expect("load script generates"),
+            Strategy::Relational => views::relational_load_script(
+                self.or_schema.as_ref().unwrap(),
+                self.rel_schema.as_ref().unwrap(),
+                doc,
+            )
+            .expect("relational load generates"),
+            Strategy::Edge => xmlord_shred::edge::load(doc),
+            Strategy::AttributeTables => xmlord_shred::attrtab::load(doc),
+            Strategy::Inline => self.inline_schema.as_ref().unwrap().load(doc).unwrap(),
+        }
+    }
+
+    /// Generate + execute the load; returns the measurement.
+    pub fn load(&mut self, doc: &Document) -> LoadMeasurement {
+        let start = Instant::now();
+        let statements = self.load_statements(doc);
+        for stmt in &statements {
+            self.db
+                .execute(stmt)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{stmt}", self.strategy.name()));
+        }
+        LoadMeasurement {
+            statements: statements.len(),
+            rows: self.db.storage().total_rows(),
+            tables: self.db.catalog().table_count(),
+            micros: start.elapsed().as_micros(),
+        }
+    }
+
+    /// The paper's §4.1 query ("family names of students subscribed to a
+    /// course of Professor Jaeger") translated for this strategy.
+    pub fn paper_query(&self) -> String {
+        self.path_query(
+            &["Student", "LName"],
+            Some((&["Student", "Course", "Professor", "PName"], "Jaeger")),
+        )
+    }
+
+    /// Translate a path query for this strategy.
+    pub fn path_query(&self, steps: &[&str], predicate: Option<(&[&str], &str)>) -> String {
+        match self.strategy {
+            Strategy::Or9 | Strategy::Or8 => {
+                let mut q = PathQuery {
+                    steps: steps.iter().map(|s| s.to_string()).collect(),
+                    predicate: None,
+                };
+                if let Some((path, value)) = predicate {
+                    q = q.with_predicate(&path.join("/"), value);
+                }
+                translate(self.or_schema.as_ref().unwrap(), &q).expect("query translates").sql
+            }
+            Strategy::Relational => {
+                // Query through the §6.3 object view would need it created;
+                // query the base tables directly like [2]-style systems do.
+                relational_path_query(self.rel_schema.as_ref().unwrap(), steps, predicate)
+            }
+            Strategy::Edge => xmlord_shred::edge::path_query("University", steps, predicate),
+            Strategy::AttributeTables => {
+                xmlord_shred::attrtab::path_query("University", steps, predicate)
+            }
+            Strategy::Inline => self
+                .inline_schema
+                .as_ref()
+                .unwrap()
+                .path_query(steps, predicate)
+                .expect("query translates"),
+        }
+    }
+
+    /// Run a query, returning (row count, join pairs, wall micros).
+    pub fn run_query(&mut self, sql: &str) -> (usize, u64, u128) {
+        let before = self.db.stats();
+        let start = Instant::now();
+        let result = self.db.query(sql).unwrap_or_else(|e| panic!("{e}\n{sql}"));
+        let micros = start.elapsed().as_micros();
+        let delta = self.db.stats().since(&before);
+        (result.rows.len(), delta.join_pairs, micros)
+    }
+}
+
+/// Path query against the key-based relational schema (joins along the
+/// parent keys). Result and predicate paths share their common prefix.
+fn relational_path_query(
+    rel: &views::RelationalSchema,
+    steps: &[&str],
+    predicate: Option<(&[&str], &str)>,
+) -> String {
+    let mut b = RelBuilder { rel, from: Vec::new(), wheres: Vec::new(), next: 0 };
+    let root_alias = b.join(&rel.root, None);
+    let root_cursor = (root_alias, rel.root.clone());
+    let expr = match predicate {
+        None => b.descend(root_cursor.clone(), steps),
+        Some((path, value)) => {
+            let shared = steps
+                .iter()
+                .zip(path.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+                .min(steps.len().saturating_sub(1))
+                .min(path.len().saturating_sub(1));
+            let mut cursor = root_cursor;
+            for step in &steps[..shared] {
+                cursor = b.advance(cursor, step);
+            }
+            let expr = b.descend(cursor.clone(), &steps[shared..]);
+            let pred_expr = b.descend(cursor, &path[shared..]);
+            b.wheres.push(format!("{pred_expr} = '{}'", value.replace('\'', "''")));
+            expr
+        }
+    };
+    let mut sql = format!("SELECT DISTINCT {expr} FROM {}", b.from.join(", "));
+    if !b.wheres.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&b.wheres.join(" AND "));
+    }
+    sql
+}
+
+struct RelBuilder<'a> {
+    rel: &'a views::RelationalSchema,
+    from: Vec<String>,
+    wheres: Vec<String>,
+    next: usize,
+}
+
+impl<'a> RelBuilder<'a> {
+    fn join(&mut self, element: &str, parent: Option<&(String, String)>) -> String {
+        let table = self.rel.table_for(element).expect("relational table exists");
+        let alias = format!("r{}", self.next);
+        self.next += 1;
+        self.from.push(format!("{} {alias}", table.name));
+        if let Some((parent_alias, parent_element)) = parent {
+            let parent_table = self.rel.table_for(parent_element).expect("parent table");
+            self.wheres
+                .push(format!("{alias}.IDParent = {parent_alias}.{}", parent_table.id_column));
+        }
+        alias
+    }
+
+    /// Advance one element step; (alias, element) is the current cursor.
+    fn advance(&mut self, cursor: (String, String), step: &str) -> (String, String) {
+        if self.rel.table_for(step).is_some() {
+            let alias = self.join(step, Some(&cursor));
+            (alias, step.to_string())
+        } else {
+            cursor // inlined below the current row; columns carry the name
+        }
+    }
+
+    fn descend(&mut self, cursor: (String, String), steps: &[&str]) -> String {
+        let mut cursor = cursor;
+        for step in steps {
+            if let Some(attr) = step.strip_prefix('@') {
+                return format!("{}.attr{attr}", cursor.0);
+            }
+            if self.rel.table_for(step).is_some() {
+                cursor = self.advance(cursor, step);
+            } else if let Some(list) = self.rel.leaf_list_for(step) {
+                let list = list.clone();
+                let a = format!("r{}", self.next);
+                self.next += 1;
+                self.from.push(format!("{} {a}", list.name));
+                let parent_table = self.rel.table_for(&cursor.1).unwrap();
+                self.wheres
+                    .push(format!("{a}.IDParent = {}.{}", cursor.0, parent_table.id_column));
+                return format!("{a}.{}", list.columns[0].0);
+            } else {
+                // Inlined simple child: a column on the current table.
+                return format!("{}.attr{step}", cursor.0);
+            }
+        }
+        cursor.0
+    }
+}
+
+/// One (strategy × document size) measurement row for the E6/E8 tables.
+pub fn measure_load(strategy: Strategy, students: usize) -> LoadMeasurement {
+    let mut instance = setup(strategy);
+    let (_, doc) = university_doc(students);
+    instance.load(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_loads_and_answers_the_paper_query() {
+        let (_, doc) = university_doc(4);
+        for strategy in Strategy::ALL {
+            let mut instance = setup(strategy);
+            let m = instance.load(&doc);
+            assert!(m.statements >= 1, "{}", strategy.name());
+            let sql = instance.paper_query();
+            let (rows, _, _) = instance.run_query(&sql);
+            // Some generated universities may have no Jaeger course for a
+            // student — but with 4 students × 2 courses the name pool makes
+            // at least zero rows valid; just assert the query executes.
+            let _ = rows;
+        }
+    }
+
+    #[test]
+    fn or9_single_insert_vs_baselines() {
+        let (_, doc) = university_doc(3);
+        let or9 = setup(Strategy::Or9).load_statements(&doc).len();
+        assert_eq!(or9, 1);
+        for strategy in [Strategy::Edge, Strategy::AttributeTables, Strategy::Inline, Strategy::Relational] {
+            let n = setup(strategy).load_statements(&doc).len();
+            assert!(n > 5, "{}: {n}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn or9_query_reports_zero_relational_joins_for_single_valued_paths() {
+        let mut instance = setup(Strategy::Or9);
+        let (_, doc) = university_doc(2);
+        instance.load(&doc);
+        let sql = instance.path_query(&["StudyCourse"], None);
+        let (_, join_pairs, _) = instance.run_query(&sql);
+        assert_eq!(join_pairs, 0);
+    }
+}

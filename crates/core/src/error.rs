@@ -1,0 +1,73 @@
+//! Errors of the mapping pipeline.
+
+use std::fmt;
+
+use xmlord_dtd::ValidationError;
+use xmlord_ordb::DbError;
+use xmlord_xml::XmlError;
+
+/// Any failure in the XML→ORDB pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// XML parsing failed (well-formedness).
+    Xml(XmlError),
+    /// DTD parsing failed.
+    Dtd(XmlError),
+    /// The document is not valid against its DTD.
+    Invalid(Vec<ValidationError>),
+    /// The chosen root element has no `<!ELEMENT>` declaration.
+    RootNotDeclared(String),
+    /// An element is used as a child but never declared.
+    UndeclaredElement(String),
+    /// The database rejected generated SQL — a bug in generation or a
+    /// genuine capacity limit (VARRAY max, VARCHAR length, Oracle 8 rules).
+    Db(DbError),
+    /// Document shape not representable by the chosen options.
+    Unsupported(String),
+    /// Requested document does not exist in the database.
+    NoSuchDocument(String),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Xml(e) => write!(f, "XML parse error: {e}"),
+            MappingError::Dtd(e) => write!(f, "DTD parse error: {e}"),
+            MappingError::Invalid(errors) => {
+                write!(f, "document is invalid against its DTD ({} errors):", errors.len())?;
+                for e in errors.iter().take(5) {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            MappingError::RootNotDeclared(name) => {
+                write!(f, "root element <{name}> is not declared in the DTD")
+            }
+            MappingError::UndeclaredElement(name) => {
+                write!(f, "element <{name}> is used as a child but never declared")
+            }
+            MappingError::Db(e) => write!(f, "database error: {e}"),
+            MappingError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            MappingError::NoSuchDocument(id) => write!(f, "no document with id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl From<DbError> for MappingError {
+    fn from(e: DbError) -> Self {
+        MappingError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(MappingError::RootNotDeclared("X".into()).to_string().contains("<X>"));
+        assert!(MappingError::NoSuchDocument("D1".into()).to_string().contains("D1"));
+    }
+}

@@ -1,0 +1,688 @@
+//! Document loading: XML document → SQL INSERT script.
+//!
+//! §4.1/§4.2: in Oracle 9 mode a whole document becomes **one** INSERT
+//! statement whose nested constructor calls mirror the document tree
+//! ("Using an object-relational approach requires a single INSERT query for
+//! one document"). Table-rooted elements — the Oracle 8 workaround, §6.2
+//! recursion targets, §4.4 ID targets — get their own INSERTs wired together
+//! through the synthetic ID attributes the paper introduces "for the sole
+//! purpose of simplifying the generation of INSERT operations".
+
+use xmlord_dtd::ast::{AttType, Dtd};
+use xmlord_xml::{Document, NodeId, NodeKind};
+
+use crate::error::MappingError;
+use crate::model::{ElementMapping, FieldKind, FieldSource, MappedSchema};
+
+/// Generate the INSERT statements that store `doc` under `doc_id`.
+///
+/// Statements are ordered so that every REF subquery finds its target row:
+/// ref-held children (recursion, ID targets) are inserted before their
+/// parents; Oracle 8 inverted children after them.
+pub fn load_script(
+    schema: &MappedSchema,
+    dtd: &Dtd,
+    doc: &Document,
+    doc_id: &str,
+) -> Result<Vec<String>, MappingError> {
+    let root_node = doc
+        .root_element()
+        .ok_or_else(|| MappingError::Unsupported("document has no root element".into()))?;
+    let root_name = doc.name(root_node).as_raw();
+    if root_name != schema.root_element {
+        return Err(MappingError::Unsupported(format!(
+            "document root <{root_name}> does not match the mapped root <{}>",
+            schema.root_element
+        )));
+    }
+    let mut loader = Loader {
+        schema,
+        dtd,
+        doc,
+        doc_id,
+        statements: Vec::new(),
+        pending_updates: Vec::new(),
+        next_id: 0,
+    };
+    loader.emit_rooted(root_node, None)?;
+    // IDREF wiring runs after every row exists, so forward references
+    // (an IDREF pointing at an ID that appears later in the document)
+    // resolve correctly.
+    let mut statements = loader.statements;
+    statements.extend(loader.pending_updates);
+    Ok(statements)
+}
+
+/// Identity of the row being built, for deferred IDREF updates.
+#[derive(Clone)]
+struct RowCtx {
+    table: String,
+    id_column: String,
+    id: String,
+}
+
+struct Loader<'a> {
+    schema: &'a MappedSchema,
+    dtd: &'a Dtd,
+    doc: &'a Document,
+    doc_id: &'a str,
+    statements: Vec<String>,
+    /// Post-INSERT `UPDATE … SET <idref col> = (SELECT REF(…))` statements.
+    pending_updates: Vec<String>,
+    next_id: u64,
+}
+
+impl<'a> Loader<'a> {
+    fn mapping_of(&self, element: &str) -> Result<&'a ElementMapping, MappingError> {
+        self.schema
+            .mapping(element)
+            .ok_or_else(|| MappingError::UndeclaredElement(element.to_string()))
+    }
+
+    fn fresh_id(&mut self, node: NodeId) -> String {
+        // The root row carries the document id itself; nested rows get
+        // sequential ids below it.
+        if Some(node) == self.doc.root_element() {
+            return self.doc_id.to_string();
+        }
+        self.next_id += 1;
+        format!("{}#{}", self.doc_id, self.next_id)
+    }
+
+    /// Emit the INSERT for a table-rooted element instance. Returns the
+    /// synthetic id of the inserted row (empty when the mapping has none).
+    fn emit_rooted(
+        &mut self,
+        node: NodeId,
+        parent: Option<(&str, &str)>,
+    ) -> Result<String, MappingError> {
+        let element = self.doc.name(node).as_raw();
+        let mapping = self.mapping_of(&element)?;
+        let table = mapping
+            .table
+            .clone()
+            .ok_or_else(|| MappingError::Unsupported(format!("<{element}> is not table-rooted")))?;
+        let type_name = mapping.object_type.clone().expect("table-rooted ⇒ typed");
+        let my_id = if mapping.synthetic_id.is_some() { self.fresh_id(node) } else { String::new() };
+        let row_ctx = mapping.synthetic_id.as_ref().map(|id_column| RowCtx {
+            table: table.clone(),
+            id_column: id_column.clone(),
+            id: my_id.clone(),
+        });
+
+        let mut args = Vec::with_capacity(mapping.fields.len());
+        for field in mapping.fields.clone() {
+            let arg = match &field.source {
+                FieldSource::SyntheticId => sql_str(&my_id),
+                FieldSource::ParentRef(parent_element) => match parent {
+                    Some((p_element, p_id)) if p_element == parent_element => {
+                        self.ref_subquery_by_id(parent_element, p_id)?
+                    }
+                    _ => "NULL".to_string(),
+                },
+                _ => self.field_expr(node, &element, &field, row_ctx.as_ref())?,
+            };
+            args.push(arg);
+        }
+        let stmt = format!("INSERT INTO {table} VALUES ({type_name}({}))", args.join(", "));
+        self.statements.push(stmt);
+
+        // Oracle 8 inverted children: their rows point back at us and are
+        // inserted after us.
+        let mapping = self.mapping_of(&element)?.clone();
+        for child_node in self.doc.child_elements(node) {
+            let child_name = self.doc.name(child_node).as_raw();
+            let child_mapping = self.mapping_of(&child_name)?;
+            let inverted = child_mapping
+                .fields
+                .iter()
+                .any(|f| matches!(&f.source, FieldSource::ParentRef(p) if *p == element));
+            // Only children we do NOT hold a field for are inverted.
+            if inverted && mapping.field_for_child(&child_name).is_none() {
+                self.emit_rooted(child_node, Some((&element, &my_id)))?;
+            }
+        }
+        Ok(my_id)
+    }
+
+    /// Build the SQL expression for one field of `node`. `row` identifies
+    /// the enclosing table row (when the element is table-rooted), which
+    /// lets IDREF wiring defer to post-INSERT UPDATE statements so forward
+    /// references resolve.
+    fn field_expr(
+        &mut self,
+        node: NodeId,
+        element: &str,
+        field: &crate::model::FieldMapping,
+        row: Option<&RowCtx>,
+    ) -> Result<String, MappingError> {
+        match &field.source {
+            FieldSource::Text => Ok(sql_str(&direct_text(self.doc, node))),
+            FieldSource::XmlAttribute(attr) => match self.doc.attribute(node, attr) {
+                Some(value) => match (&field.kind, row) {
+                    (FieldKind::Ref(_), Some(row)) => {
+                        let subquery = self.idref_subquery(element, attr, value)?;
+                        self.pending_updates.push(format!(
+                            "UPDATE {} SET {} = {subquery} WHERE {} = {}",
+                            row.table,
+                            field.db_name,
+                            row.id_column,
+                            sql_str(&row.id),
+                        ));
+                        Ok("NULL".to_string())
+                    }
+                    (FieldKind::Ref(_), None) => self.idref_subquery(element, attr, value),
+                    _ => Ok(sql_str(value)),
+                },
+                None => Ok("NULL".to_string()),
+            },
+            FieldSource::AttrList => {
+                let mapping = self.mapping_of(element)?.clone();
+                let attr_list = mapping.attr_list.as_ref().expect("AttrList field ⇒ mapping");
+                let any_present = attr_list
+                    .fields
+                    .iter()
+                    .any(|f| self.doc.attribute(node, &f.xml_attribute).is_some());
+                if !any_present {
+                    return Ok("NULL".to_string());
+                }
+                let mut args = Vec::new();
+                for f in &attr_list.fields {
+                    let arg = match self.doc.attribute(node, &f.xml_attribute) {
+                        Some(value) if f.idref_target.is_some() => match row {
+                            Some(row) => {
+                                let subquery =
+                                    self.idref_subquery(element, &f.xml_attribute, value)?;
+                                self.pending_updates.push(format!(
+                                    "UPDATE {} SET {}.{} = {subquery} WHERE {} = {}",
+                                    row.table,
+                                    field.db_name,
+                                    f.db_name,
+                                    row.id_column,
+                                    sql_str(&row.id),
+                                ));
+                                "NULL".to_string()
+                            }
+                            None => self.idref_subquery(element, &f.xml_attribute, value)?,
+                        },
+                        Some(value) => sql_str(value),
+                        None => "NULL".to_string(),
+                    };
+                    args.push(arg);
+                }
+                Ok(format!("{}({})", attr_list.type_name, args.join(", ")))
+            }
+            FieldSource::ChildElement(child_name) => {
+                let children = self.doc.child_elements_named(node, child_name);
+                self.child_field_expr(&children, field)
+            }
+            FieldSource::SyntheticId | FieldSource::ParentRef(_) => {
+                unreachable!("handled by emit_rooted")
+            }
+        }
+    }
+
+    fn child_field_expr(
+        &mut self,
+        children: &[NodeId],
+        field: &crate::model::FieldMapping,
+    ) -> Result<String, MappingError> {
+        match &field.kind {
+            FieldKind::Scalar(_) => match children.first() {
+                Some(child) => Ok(sql_str(&direct_text(self.doc, *child))),
+                None => Ok("NULL".to_string()),
+            },
+            FieldKind::Object(_) => match children.first() {
+                Some(child) => self.embedded_expr(*child),
+                None => Ok("NULL".to_string()),
+            },
+            FieldKind::ScalarCollection(collection) => {
+                let args: Vec<String> = children
+                    .iter()
+                    .map(|c| sql_str(&direct_text(self.doc, *c)))
+                    .collect();
+                Ok(format!("{collection}({})", args.join(", ")))
+            }
+            FieldKind::ObjectCollection { collection, .. } => {
+                let mut args = Vec::with_capacity(children.len());
+                for child in children {
+                    args.push(self.embedded_expr(*child)?);
+                }
+                Ok(format!("{collection}({})", args.join(", ")))
+            }
+            FieldKind::Ref(_) => match children.first() {
+                Some(child) => {
+                    let child_id = self.emit_rooted(*child, None)?;
+                    let child_element = self.doc.name(*child).as_raw();
+                    self.ref_subquery_by_id(&child_element, &child_id)
+                }
+                None => Ok("NULL".to_string()),
+            },
+            FieldKind::RefCollection { collection, .. } => {
+                let mut args = Vec::with_capacity(children.len());
+                for child in children {
+                    let child_id = self.emit_rooted(*child, None)?;
+                    let child_element = self.doc.name(*child).as_raw();
+                    args.push(self.ref_subquery_by_id(&child_element, &child_id)?);
+                }
+                Ok(format!("{collection}({})", args.join(", ")))
+            }
+        }
+    }
+
+    /// Constructor expression for an embedded (non-table-rooted) element.
+    fn embedded_expr(&mut self, node: NodeId) -> Result<String, MappingError> {
+        let element = self.doc.name(node).as_raw();
+        let mapping = self.mapping_of(&element)?.clone();
+        let type_name = mapping.object_type.clone().ok_or_else(|| {
+            MappingError::Unsupported(format!("<{element}> has no object type to construct"))
+        })?;
+        let mut args = Vec::with_capacity(mapping.fields.len());
+        for field in &mapping.fields {
+            args.push(self.field_expr(node, &element, field, None)?);
+        }
+        Ok(format!("{type_name}({})", args.join(", ")))
+    }
+
+    /// `(SELECT REF(x) FROM Tab x WHERE x.ID… = 'id')` for synthetic ids.
+    fn ref_subquery_by_id(&self, element: &str, id: &str) -> Result<String, MappingError> {
+        let mapping = self.mapping_of(element)?;
+        let table = mapping.table.as_ref().ok_or_else(|| {
+            MappingError::Unsupported(format!("<{element}> has no object table for REFs"))
+        })?;
+        let id_col = mapping.synthetic_id.as_ref().ok_or_else(|| {
+            MappingError::Unsupported(format!("<{element}> has no synthetic id"))
+        })?;
+        Ok(format!(
+            "(SELECT REF(x) FROM {table} x WHERE x.{id_col} = {})",
+            sql_str(id)
+        ))
+    }
+
+    /// `(SELECT REF(x) FROM TabTarget x WHERE x.<id attr> = 'value')` for
+    /// IDREF attributes (§4.4).
+    fn idref_subquery(
+        &self,
+        element: &str,
+        attribute: &str,
+        value: &str,
+    ) -> Result<String, MappingError> {
+        // Find the target element of this IDREF from the mapping.
+        let mapping = self.mapping_of(element)?;
+        let target = mapping
+            .attr_list
+            .as_ref()
+            .and_then(|al| {
+                al.fields
+                    .iter()
+                    .find(|f| f.xml_attribute == attribute)
+                    .and_then(|f| f.idref_target.clone())
+            })
+            .or_else(|| {
+                mapping.field_for_attribute(attribute).and_then(|f| match &f.kind {
+                    FieldKind::Ref(_) => {
+                        // Single inlined attribute: the target is recorded in
+                        // the schema via the REF type; resolve by scanning.
+                        self.schema
+                            .elements
+                            .values()
+                            .find(|m| m.object_type.as_deref() == ref_target_name(&f.kind))
+                            .map(|m| m.element.clone())
+                    }
+                    _ => None,
+                })
+            })
+            .ok_or_else(|| {
+                MappingError::Unsupported(format!(
+                    "attribute {element}/@{attribute} is not an IDREF mapping"
+                ))
+            })?;
+        // The ID attribute of the target element (from the DTD).
+        let id_attr = self
+            .dtd
+            .attributes_of(&target)
+            .iter()
+            .find(|a| a.att_type == AttType::Id)
+            .map(|a| a.name.clone())
+            .ok_or_else(|| {
+                MappingError::Unsupported(format!("<{target}> has no ID attribute"))
+            })?;
+        let target_mapping = self.mapping_of(&target)?;
+        let table = target_mapping.table.as_ref().ok_or_else(|| {
+            MappingError::Unsupported(format!("IDREF target <{target}> has no object table"))
+        })?;
+        // Path to the stored ID value: inlined or inside the attrList object.
+        let path = if let Some(f) = target_mapping.field_for_attribute(&id_attr) {
+            f.db_name.clone()
+        } else if let Some(al) = &target_mapping.attr_list {
+            let list_field = target_mapping
+                .fields
+                .iter()
+                .find(|f| f.source == FieldSource::AttrList)
+                .expect("attrList mapping ⇒ field");
+            let inner = al
+                .fields
+                .iter()
+                .find(|f| f.xml_attribute == id_attr)
+                .expect("id attribute mapped");
+            format!("{}.{}", list_field.db_name, inner.db_name)
+        } else {
+            return Err(MappingError::Unsupported(format!(
+                "cannot locate the stored ID attribute of <{target}>"
+            )));
+        };
+        Ok(format!(
+            "(SELECT REF(x) FROM {table} x WHERE x.{path} = {})",
+            sql_str(value)
+        ))
+    }
+}
+
+fn ref_target_name(kind: &FieldKind) -> Option<&str> {
+    match kind {
+        FieldKind::Ref(t) => Some(t.as_str()),
+        _ => None,
+    }
+}
+
+/// Concatenated *direct* text of an element (not descending into child
+/// elements — needed for mixed content).
+pub fn direct_text(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    for child in doc.children(node) {
+        match doc.kind(*child) {
+            NodeKind::Text(t) | NodeKind::CData(t) => out.push_str(t),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// SQL string literal with quote doubling.
+fn sql_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddlgen::create_script;
+    use crate::model::MappingOptions;
+    use crate::schemagen::{generate_schema, IdrefTargets};
+    use xmlord_dtd::parse_dtd;
+    use xmlord_ordb::{Database, DbMode, Value};
+
+    const UNIVERSITY_DTD: &str = r#"
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ELEMENT LName (#PCDATA)> <!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)> <!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)> <!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)> <!ELEMENT CreditPts (#PCDATA)>
+"#;
+
+    const UNIVERSITY_XML: &str = r#"<University>
+  <StudyCourse>Computer Science</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName><FName>Matthias</FName>
+    <Course>
+      <Name>Database Systems II</Name>
+      <Professor>
+        <PName>Kudrass</PName>
+        <Subject>Database Systems</Subject><Subject>Operat. Systems</Subject>
+        <Dept>Computer Science</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+    <Course>
+      <Name>CAD Intro</Name>
+      <Professor>
+        <PName>Jaeger</PName>
+        <Subject>CAD</Subject><Subject>CAE</Subject>
+        <Dept>Computer Science</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+  <Student StudNr="00011">
+    <LName>Meier</LName><FName>Ralf</FName>
+  </Student>
+</University>"#;
+
+    fn setup(mode: DbMode) -> (Database, Vec<String>) {
+        let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+        let doc = xmlord_xml::parse(UNIVERSITY_XML).unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "University",
+            mode,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let mut db = Database::new(mode);
+        db.execute_script(&create_script(&schema)).unwrap();
+        let statements = load_script(&schema, &dtd, &doc, "doc1").unwrap();
+        for stmt in &statements {
+            db.execute(stmt).unwrap_or_else(|e| panic!("{e}\nSTMT: {stmt}"));
+        }
+        (db, statements)
+    }
+
+    #[test]
+    fn oracle9_load_is_a_single_insert() {
+        let (mut db, statements) = setup(DbMode::Oracle9);
+        // The paper's headline claim (§4.1): one INSERT for the document.
+        assert_eq!(statements.len(), 1, "{statements:#?}");
+        assert!(statements[0].starts_with("INSERT INTO TabUniversity VALUES (Type_University("));
+        assert_eq!(db.row_count("TabUniversity"), 1);
+        // §4.1's query, un-nested over the collections.
+        let rows = db
+            .query(
+                "SELECT s.attrLName FROM TabUniversity u, TABLE(u.attrStudent) s, \
+                 TABLE(s.attrCourse) c, TABLE(c.attrProfessor) p \
+                 WHERE p.attrPName = 'Jaeger'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Conrad")]]);
+    }
+
+    #[test]
+    fn oracle8_load_fans_out_into_many_inserts() {
+        let (mut db, statements) = setup(DbMode::Oracle8);
+        // 1 university + 2 students + 2 courses + 2 professors.
+        assert_eq!(statements.len(), 7, "{statements:#?}");
+        assert_eq!(db.row_count("TabUniversity"), 1);
+        assert_eq!(db.row_count("TabStudent"), 2);
+        assert_eq!(db.row_count("TabCourse"), 2);
+        assert_eq!(db.row_count("TabProfessor"), 2);
+        // Children point back at their parents (§4.2 workaround): navigate
+        // from a course back to its student.
+        let rows = db
+            .query(
+                "SELECT c.attrRefStudent.attrLName FROM TabCourse c WHERE c.attrName = 'CAD Intro'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Conrad")]]);
+        // Scalar collections still work inline in Oracle 8.
+        let rows = db
+            .query(
+                "SELECT s.COLUMN_VALUE FROM TabProfessor p, TABLE(p.attrSubject) s \
+                 WHERE p.attrPName = 'Kudrass'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows.len(), 2);
+    }
+
+    #[test]
+    fn doc_id_lands_in_the_root_row() {
+        let (mut db, _) = setup(DbMode::Oracle9);
+        let id = db
+            .query_scalar("SELECT u.IDUniversity FROM TabUniversity u")
+            .unwrap();
+        assert_eq!(id, Value::str("doc1"));
+    }
+
+    #[test]
+    fn empty_collections_use_empty_constructors_like_the_paper() {
+        let (_, statements) = setup(DbMode::Oracle9);
+        // Student Meier has no courses: the paper's example writes
+        // `TypeVA_Course()`.
+        assert!(statements[0].contains("TypeVA_Course()"), "{}", statements[0]);
+    }
+
+    #[test]
+    fn optional_absent_elements_become_null() {
+        let dtd_text = "<!ELEMENT r (a?,b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>";
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse("<r><b>x</b></r>").unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "r",
+            DbMode::Oracle9,
+            MappingOptions { with_doc_id: false, ..Default::default() },
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let stmts = load_script(&schema, &dtd, &doc, "d").unwrap();
+        assert_eq!(stmts.len(), 1);
+        assert!(stmts[0].contains("(NULL, 'x')"), "{}", stmts[0]);
+    }
+
+    #[test]
+    fn quotes_in_text_are_escaped() {
+        let dtd_text = "<!ELEMENT r (#PCDATA)>";
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse("<r>O'Hara's</r>").unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "r",
+            DbMode::Oracle9,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let stmts = load_script(&schema, &dtd, &doc, "d").unwrap();
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(&crate::ddlgen::create_script(&schema)).unwrap();
+        db.execute(&stmts[0]).unwrap();
+        let v = db.query_scalar("SELECT r.attrr FROM Tabr r").unwrap();
+        assert_eq!(v, Value::str("O'Hara's"));
+    }
+
+    #[test]
+    fn recursive_document_loads_with_refs() {
+        let dtd_text = r#"
+            <!ELEMENT Professor (PName,Dept)>
+            <!ELEMENT Dept (DName,Professor*)>
+            <!ELEMENT PName (#PCDATA)> <!ELEMENT DName (#PCDATA)>"#;
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse(
+            "<Professor><PName>Kudrass</PName><Dept><DName>CS</DName>\
+             <Professor><PName>Jaeger</PName><Dept><DName>CAD Lab</DName></Dept></Professor>\
+             </Dept></Professor>",
+        )
+        .unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "Professor",
+            DbMode::Oracle9,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(&create_script(&schema)).unwrap();
+        let stmts = load_script(&schema, &dtd, &doc, "d1").unwrap();
+        // Inner professor inserted before the outer one that references it.
+        assert_eq!(stmts.len(), 2);
+        for stmt in &stmts {
+            db.execute(stmt).unwrap_or_else(|e| panic!("{e}\nSTMT: {stmt}"));
+        }
+        assert_eq!(db.row_count("TabProfessor"), 2);
+        // Navigate: outer professor → dept → member professors (REFs).
+        let rows = db
+            .query(
+                "SELECT r.COLUMN_VALUE.attrPName FROM TabProfessor p, TABLE(p.attrDept.attrProfessor) r \
+                 WHERE p.attrPName = 'Kudrass'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Jaeger")]]);
+    }
+
+    #[test]
+    fn idref_attributes_load_as_refs() {
+        let dtd_text = r#"
+            <!ELEMENT db (person*)>
+            <!ELEMENT person (#PCDATA)>
+            <!ATTLIST person id ID #REQUIRED boss IDREF #IMPLIED>"#;
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse(
+            r#"<db><person id="p1">Kudrass</person><person id="p2" boss="p1">Conrad</person></db>"#,
+        )
+        .unwrap();
+        let mut targets = IdrefTargets::new();
+        targets.insert(("person".into(), "boss".into()), "person".into());
+        let schema = generate_schema(
+            &dtd,
+            "db",
+            DbMode::Oracle9,
+            MappingOptions { map_idrefs: true, ..Default::default() },
+            &targets,
+        )
+        .unwrap();
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(&create_script(&schema)).unwrap();
+        let stmts = load_script(&schema, &dtd, &doc, "d1").unwrap();
+        for stmt in &stmts {
+            db.execute(stmt).unwrap_or_else(|e| panic!("{e}\nSTMT: {stmt}"));
+        }
+        // Navigate the boss REF.
+        let rows = db
+            .query(
+                "SELECT p.attrListperson.attrboss.attrperson FROM Tabperson p \
+                 WHERE p.attrListperson.attrid = 'p2'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Kudrass")]]);
+    }
+
+    #[test]
+    fn mixed_content_stores_direct_text_only() {
+        let dtd_text = "<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>";
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse("<p>before <em>important</em> after</p>").unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "p",
+            DbMode::Oracle9,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let stmts = load_script(&schema, &dtd, &doc, "d").unwrap();
+        // Own text excludes the <em> content…
+        assert!(stmts[0].contains("'before  after'"), "{}", stmts[0]);
+        // …which lands in the em collection instead.
+        assert!(stmts[0].contains("'important'"), "{}", stmts[0]);
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+        let doc = xmlord_xml::parse("<Student StudNr='1'><LName>x</LName><FName>y</FName></Student>")
+            .unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "University",
+            DbMode::Oracle9,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        assert!(load_script(&schema, &dtd, &doc, "d").is_err());
+    }
+}

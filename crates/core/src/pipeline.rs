@@ -1,0 +1,553 @@
+//! The high-level façade: the paper's `XML2Oracle` utility as an API.
+//!
+//! Fig. 1's flow, end to end: parse the DTD (DTD parser), parse and
+//! validate the document (XML parser + validity check), generate the
+//! object-relational schema (Fig. 2 algorithm), execute the generated SQL
+//! script, load documents (single nested INSERT on Oracle 9), maintain the
+//! §5 meta-tables, and retrieve documents back out — with §6.1 entity
+//! re-substitution.
+
+use std::collections::BTreeMap;
+
+use xmlord_dtd::ast::Dtd;
+use xmlord_dtd::{parse_dtd, validate};
+use xmlord_ordb::{Database, DbMode, ExecStats};
+use xmlord_xml::serializer::{serialize, SerializeOptions};
+use xmlord_xml::{Document, QName};
+
+use crate::ddlgen::create_script;
+use crate::error::MappingError;
+use crate::loader::load_script;
+use crate::metadata::{metadata_ddl, metadata_insert, read_metadata, DocMetadata};
+use crate::model::{MappedSchema, MappingOptions};
+use crate::retriever::retrieve_document;
+use crate::schemagen::{generate_schema, IdrefTargets};
+
+/// One registered document type (DTD + generated schema).
+#[derive(Debug, Clone)]
+pub struct RegisteredSchema {
+    pub name: String,
+    pub dtd: Dtd,
+    pub root: String,
+    pub schema: MappedSchema,
+    pub create_script: String,
+}
+
+/// The XML document management system.
+#[derive(Debug)]
+pub struct Xml2OrDb {
+    db: Database,
+    options: MappingOptions,
+    /// Assign `S1`, `S2`, … schema ids automatically per registered DTD.
+    auto_schema_ids: bool,
+    schemas: BTreeMap<String, RegisteredSchema>,
+    /// doc id → schema name.
+    documents: BTreeMap<String, String>,
+    /// Per-schema document counters (DocIDs are `<schema>-<n>`).
+    doc_counters: BTreeMap<String, u64>,
+    schema_counter: u64,
+    meta_ready: bool,
+}
+
+impl Xml2OrDb {
+    /// A system with default options on the given engine mode.
+    pub fn new(mode: DbMode) -> Xml2OrDb {
+        Xml2OrDb::with_options(mode, MappingOptions::default())
+    }
+
+    pub fn with_options(mode: DbMode, options: MappingOptions) -> Xml2OrDb {
+        Xml2OrDb {
+            db: Database::new(mode),
+            options,
+            auto_schema_ids: false,
+            schemas: BTreeMap::new(),
+            documents: BTreeMap::new(),
+            doc_counters: BTreeMap::new(),
+            schema_counter: 0,
+            meta_ready: false,
+        }
+    }
+
+    /// Enable §5 SchemaIDs (`S1`, `S2`, …) so DTDs with identical element
+    /// names can coexist in one database.
+    pub fn with_auto_schema_ids(mut self) -> Xml2OrDb {
+        self.auto_schema_ids = true;
+        self
+    }
+
+    pub fn mode(&self) -> DbMode {
+        self.db.mode()
+    }
+
+    /// Direct access to the underlying database (for ad-hoc SQL).
+    pub fn database(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    pub fn stats(&self) -> ExecStats {
+        self.db.stats()
+    }
+
+    pub fn schema(&self, name: &str) -> Option<&RegisteredSchema> {
+        self.schemas.get(name)
+    }
+
+    /// Parse a DTD, run the Fig. 2 mapping for `root`, and execute the
+    /// generated DDL. Returns the registered schema.
+    pub fn register_dtd(
+        &mut self,
+        name: &str,
+        dtd_text: &str,
+        root: &str,
+    ) -> Result<&RegisteredSchema, MappingError> {
+        self.register_dtd_with_idrefs(name, dtd_text, root, &IdrefTargets::new())
+    }
+
+    /// Like [`Self::register_dtd`], but derives §4.4 IDREF targets from a
+    /// sample document first (the paper: "This kind of information cannot be
+    /// captured from the DTD, rather from the XML document").
+    pub fn register_dtd_with_sample(
+        &mut self,
+        name: &str,
+        dtd_text: &str,
+        root: &str,
+        sample_xml: &str,
+    ) -> Result<&RegisteredSchema, MappingError> {
+        let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
+        let doc = xmlord_xml::parse_with_catalog(sample_xml, dtd.entity_catalog())
+            .map_err(MappingError::Xml)?;
+        let report = validate(&doc, &dtd);
+        if !report.is_valid() {
+            return Err(MappingError::Invalid(report.errors));
+        }
+        let mut targets = IdrefTargets::new();
+        for (node, attr, id) in &report.idrefs {
+            if let Some(target_node) = report.ids.get(id) {
+                targets.insert(
+                    (doc.name(*node).as_raw(), attr.clone()),
+                    doc.name(*target_node).as_raw(),
+                );
+            }
+        }
+        self.register_dtd_with_idrefs(name, dtd_text, root, &targets)
+    }
+
+    /// Register an **XML Schema** instead of a DTD — the paper's §7
+    /// future-work item. The XSD subset is analyzed into the same structural
+    /// model, and its simple types become real column types: `xs:integer` →
+    /// `NUMBER`, `xs:date` → `DATE`, `maxLength` restrictions → bounded
+    /// `VARCHAR(n)` — lifting the §7 drawback "simple elements and
+    /// attributes can only be assigned the VARCHAR datatype".
+    pub fn register_xsd(
+        &mut self,
+        name: &str,
+        xsd_text: &str,
+        root: &str,
+    ) -> Result<&RegisteredSchema, MappingError> {
+        if self.schemas.contains_key(name) {
+            return Err(MappingError::Unsupported(format!(
+                "schema '{name}' is already registered"
+            )));
+        }
+        let xsd = xmlord_dtd::xsd::parse_xsd(xsd_text)
+            .map_err(|e| MappingError::Unsupported(format!("XSD analysis failed: {e}")))?;
+        if xsd.dtd.element(root).is_none() {
+            return Err(MappingError::RootNotDeclared(root.to_string()));
+        }
+        let mut options = self.options.clone();
+        self.schema_counter += 1;
+        if self.auto_schema_ids && options.schema_id.is_none() {
+            options.schema_id = Some(format!("S{}", self.schema_counter));
+        }
+        // Convert the XSD scalar hints into mapping type hints.
+        let to_scalar = |h: &xmlord_dtd::xsd::ScalarHint| match h {
+            xmlord_dtd::xsd::ScalarHint::Varchar(n) => crate::model::ScalarType::Varchar(*n),
+            xmlord_dtd::xsd::ScalarHint::Clob => crate::model::ScalarType::Clob,
+            xmlord_dtd::xsd::ScalarHint::Number => crate::model::ScalarType::Number,
+            xmlord_dtd::xsd::ScalarHint::Date => crate::model::ScalarType::Date,
+        };
+        for (element, hint) in &xsd.element_hints {
+            options.type_hints.elements.insert(element.clone(), to_scalar(hint));
+        }
+        for (key, hint) in &xsd.attribute_hints {
+            options.type_hints.attributes.insert(key.clone(), to_scalar(hint));
+        }
+        let schema =
+            generate_schema(&xsd.dtd, root, self.db.mode(), options, &IdrefTargets::new())?;
+        let script = create_script(&schema);
+        self.ensure_meta_schema()?;
+        self.db.execute_script(&script)?;
+        let registered = RegisteredSchema {
+            name: name.to_string(),
+            dtd: xsd.dtd,
+            root: root.to_string(),
+            schema,
+            create_script: script,
+        };
+        self.schemas.insert(name.to_string(), registered);
+        Ok(&self.schemas[name])
+    }
+
+    pub fn register_dtd_with_idrefs(
+        &mut self,
+        name: &str,
+        dtd_text: &str,
+        root: &str,
+        idref_targets: &IdrefTargets,
+    ) -> Result<&RegisteredSchema, MappingError> {
+        if self.schemas.contains_key(name) {
+            return Err(MappingError::Unsupported(format!(
+                "schema '{name}' is already registered"
+            )));
+        }
+        let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
+        self.schema_counter += 1;
+        let mut options = self.options.clone();
+        if self.auto_schema_ids && options.schema_id.is_none() {
+            options.schema_id = Some(format!("S{}", self.schema_counter));
+        }
+        if !idref_targets.is_empty() {
+            options.map_idrefs = true;
+        }
+        let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
+        let script = create_script(&schema);
+        self.ensure_meta_schema()?;
+        self.db.execute_script(&script)?;
+        let registered = RegisteredSchema {
+            name: name.to_string(),
+            dtd,
+            root: root.to_string(),
+            schema,
+            create_script: script,
+        };
+        self.schemas.insert(name.to_string(), registered);
+        Ok(&self.schemas[name])
+    }
+
+    fn ensure_meta_schema(&mut self) -> Result<(), MappingError> {
+        if !self.meta_ready {
+            self.db.execute_script(metadata_ddl())?;
+            self.meta_ready = true;
+        }
+        Ok(())
+    }
+
+    /// Store a document under the named schema: well-formedness check,
+    /// validity check, attribute-default injection, INSERT generation and
+    /// execution, meta-table maintenance. Returns the assigned DocID.
+    pub fn store_document(
+        &mut self,
+        schema_name: &str,
+        xml_text: &str,
+    ) -> Result<String, MappingError> {
+        self.store_document_named(schema_name, xml_text, "", "")
+    }
+
+    /// [`Self::store_document`] with explicit DocName/URL meta-data.
+    pub fn store_document_named(
+        &mut self,
+        schema_name: &str,
+        xml_text: &str,
+        doc_name: &str,
+        url: &str,
+    ) -> Result<String, MappingError> {
+        let registered = self
+            .schemas
+            .get(schema_name)
+            .ok_or_else(|| {
+                MappingError::Unsupported(format!("schema '{schema_name}' is not registered"))
+            })?
+            .clone();
+        let mut doc = xmlord_xml::parse_with_catalog(xml_text, registered.dtd.entity_catalog())
+            .map_err(MappingError::Xml)?;
+        let report = validate(&doc, &registered.dtd);
+        if !report.is_valid() {
+            return Err(MappingError::Invalid(report.errors));
+        }
+        apply_attribute_defaults(&mut doc, &registered.dtd);
+
+        let counter = self.doc_counters.entry(schema_name.to_string()).or_insert(0);
+        *counter += 1;
+        let doc_id = format!("{schema_name}-{counter}");
+        let statements = load_script(&registered.schema, &registered.dtd, &doc, &doc_id)?;
+        for stmt in &statements {
+            self.db.execute(stmt)?;
+        }
+        let meta = metadata_insert(
+            &registered.schema,
+            &registered.dtd,
+            &doc,
+            &doc_id,
+            doc_name,
+            url,
+            "2002-03-25", // the workshop's date — deterministic by design
+        );
+        self.db.execute(&meta)?;
+        self.documents.insert(doc_id.clone(), schema_name.to_string());
+        Ok(doc_id)
+    }
+
+    /// Reconstruct a stored document as a DOM.
+    pub fn retrieve_dom(&mut self, doc_id: &str) -> Result<(Document, DocMetadata), MappingError> {
+        let schema_name = self
+            .documents
+            .get(doc_id)
+            .cloned()
+            .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
+        let registered = self.schemas.get(&schema_name).expect("registered").clone();
+        let meta = read_metadata(&mut self.db, doc_id)?;
+        let doc = retrieve_document(&self.db, &registered.schema, &meta)?;
+        Ok((doc, meta))
+    }
+
+    /// Reconstruct a stored document as XML text, re-substituting the
+    /// original entity references from the meta-data (§6.1).
+    pub fn retrieve_document(&mut self, doc_id: &str) -> Result<String, MappingError> {
+        let (doc, meta) = self.retrieve_dom(doc_id)?;
+        let opts = SerializeOptions {
+            include_declaration: true,
+            include_doctype: false,
+            indent: None,
+            entity_catalog: Some(meta.entity_catalog()),
+        };
+        Ok(serialize(&doc, &opts))
+    }
+
+    /// Run a path query (§4.1 dot notation) against a registered schema.
+    pub fn query_path(
+        &mut self,
+        schema_name: &str,
+        query: &crate::pathquery::PathQuery,
+    ) -> Result<xmlord_ordb::QueryResult, MappingError> {
+        let registered = self.schemas.get(schema_name).ok_or_else(|| {
+            MappingError::Unsupported(format!("schema '{schema_name}' is not registered"))
+        })?;
+        let translated = crate::pathquery::translate(&registered.schema, query)?;
+        Ok(self.db.query(&translated.sql)?)
+    }
+
+    /// Compare a stored document against its reconstruction (experiment E9).
+    pub fn fidelity(&mut self, doc_id: &str, original_xml: &str) -> Result<crate::roundtrip::FidelityReport, MappingError> {
+        let schema_name = self
+            .documents
+            .get(doc_id)
+            .cloned()
+            .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
+        let registered = self.schemas.get(&schema_name).expect("registered").clone();
+        let original =
+            xmlord_xml::parse_with_catalog(original_xml, registered.dtd.entity_catalog())
+                .map_err(MappingError::Xml)?;
+        let (restored, _) = self.retrieve_dom(doc_id)?;
+        Ok(crate::roundtrip::compare(&original, &restored))
+    }
+}
+
+/// Inject DTD attribute defaults (`#FIXED "v"`, `attr CDATA "v"`) into a
+/// document, as a validating parser would.
+pub fn apply_attribute_defaults(doc: &mut Document, dtd: &Dtd) {
+    let Some(root) = doc.root_element() else { return };
+    let nodes = doc.descendants(root);
+    for node in nodes {
+        let Some(el) = doc.element(node) else { continue };
+        let name = el.name.as_raw();
+        let defaults: Vec<(String, String)> = dtd
+            .attributes_of(&name)
+            .iter()
+            .filter_map(|def| {
+                def.default
+                    .default_value()
+                    .map(|v| (def.name.clone(), v.to_string()))
+            })
+            .collect();
+        for (attr, value) in defaults {
+            if doc.attribute(node, &attr).is_none() {
+                doc.set_attribute(node, QName::local(&attr), &value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlord_ordb::Value;
+
+    const UNIVERSITY_DTD: &str = r#"
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)> <!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)> <!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)> <!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)> <!ELEMENT CreditPts (#PCDATA)>
+"#;
+
+    const UNIVERSITY_XML: &str = "<University><StudyCourse>&cs;</StudyCourse>\
+<Student StudNr=\"23374\"><LName>Conrad</LName><FName>Matthias</FName>\
+<Course><Name>DBS II</Name><Professor><PName>Kudrass</PName>\
+<Subject>DBS</Subject><Subject>OS</Subject><Dept>&cs;</Dept></Professor>\
+<CreditPts>4</CreditPts></Course></Student></University>";
+
+    #[test]
+    fn full_pipeline_store_and_retrieve_with_entities() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let restored = sys.retrieve_document(&doc_id).unwrap();
+        // §6.1: the entity reference comes back.
+        assert!(restored.contains("<StudyCourse>&cs;</StudyCourse>"), "{restored}");
+        assert!(restored.contains("<Dept>&cs;</Dept>"), "{restored}");
+        assert!(restored.contains("StudNr=\"23374\""));
+    }
+
+    #[test]
+    fn fidelity_report_shows_data_preserved() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let report = sys.fidelity(&doc_id, UNIVERSITY_XML).unwrap();
+        assert!(report.is_exact(), "{:?}", report.losses);
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        // Missing required StudNr.
+        let err = sys
+            .store_document(
+                "uni",
+                "<University><StudyCourse>x</StudyCourse><Student><LName>a</LName><FName>b</FName></Student></University>",
+            )
+            .unwrap_err();
+        assert!(matches!(err, MappingError::Invalid(_)));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        assert!(matches!(
+            sys.store_document("uni", "<University><broken"),
+            Err(MappingError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_documents_under_one_schema() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let a = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let b = sys
+            .store_document(
+                "uni",
+                "<University><StudyCourse>Math</StudyCourse></University>",
+            )
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(sys.retrieve_document(&b).unwrap().contains("Math"));
+        assert!(sys.retrieve_document(&a).unwrap().contains("&cs;"));
+    }
+
+    #[test]
+    fn auto_schema_ids_let_identical_element_names_coexist() {
+        // §5: "SchemaIDs are necessary to deal with identical element names
+        // from different DTDs."
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9).with_auto_schema_ids();
+        sys.register_dtd("a", "<!ELEMENT Item (#PCDATA)>", "Item").unwrap();
+        sys.register_dtd("b", "<!ELEMENT Item (Name)><!ELEMENT Name (#PCDATA)>", "Item")
+            .unwrap();
+        let d1 = sys.store_document("a", "<Item>plain</Item>").unwrap();
+        let d2 = sys.store_document("b", "<Item><Name>structured</Name></Item>").unwrap();
+        assert!(sys.retrieve_document(&d1).unwrap().contains("plain"));
+        assert!(sys.retrieve_document(&d2).unwrap().contains("<Name>structured</Name>"));
+    }
+
+    #[test]
+    fn without_schema_ids_identical_names_collide() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("a", "<!ELEMENT Item (#PCDATA)>", "Item").unwrap();
+        let err = sys
+            .register_dtd("b", "<!ELEMENT Item (Name)><!ELEMENT Name (#PCDATA)>", "Item")
+            .unwrap_err();
+        assert!(matches!(err, MappingError::Db(_)));
+    }
+
+    #[test]
+    fn path_queries_run_through_the_facade() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let q = crate::pathquery::PathQuery::parse("Student/LName")
+            .with_predicate("Student/Course/Professor/PName", "Kudrass");
+        let rows = sys.query_path("uni", &q).unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Conrad")]]);
+    }
+
+    #[test]
+    fn attribute_defaults_are_applied() {
+        let dtd_text = r#"<!ELEMENT e EMPTY>
+            <!ATTLIST e kind CDATA "standard" fixed CDATA #FIXED "42">"#;
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let mut doc = xmlord_xml::parse("<e/>").unwrap();
+        apply_attribute_defaults(&mut doc, &dtd);
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(root, "kind"), Some("standard"));
+        assert_eq!(doc.attribute(root, "fixed"), Some("42"));
+        // Existing values are not overwritten.
+        let mut doc2 = xmlord_xml::parse("<e kind=\"special\"/>").unwrap();
+        apply_attribute_defaults(&mut doc2, &dtd);
+        assert_eq!(doc2.attribute(doc2.root_element().unwrap(), "kind"), Some("special"));
+    }
+
+    #[test]
+    fn idref_sample_registration_end_to_end() {
+        let dtd_text = r#"
+            <!ELEMENT db (person*)>
+            <!ELEMENT person (#PCDATA)>
+            <!ATTLIST person id ID #REQUIRED boss IDREF #IMPLIED>"#;
+        let xml = r#"<db><person id="p1">Kudrass</person><person id="p2" boss="p1">Conrad</person></db>"#;
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd_with_sample("org", dtd_text, "db", xml).unwrap();
+        let doc_id = sys.store_document("org", xml).unwrap();
+        let restored = sys.retrieve_document(&doc_id).unwrap();
+        assert!(restored.contains("boss=\"p1\""), "{restored}");
+    }
+
+    #[test]
+    fn stats_expose_the_headline_numbers() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let before = sys.stats();
+        sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let delta = sys.stats().since(&before);
+        // One document INSERT plus one metadata INSERT.
+        assert_eq!(delta.inserts, 2);
+    }
+
+    #[test]
+    fn unknown_doc_and_schema_errors() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        assert!(matches!(
+            sys.store_document("nope", "<a/>"),
+            Err(MappingError::Unsupported(_))
+        ));
+        assert!(matches!(
+            sys.retrieve_document("ghost"),
+            Err(MappingError::NoSuchDocument(_))
+        ));
+    }
+
+    #[test]
+    fn oracle8_pipeline_round_trips_too() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle8);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        let restored = sys.retrieve_document(&doc_id).unwrap();
+        assert!(restored.contains("<LName>Conrad</LName>"));
+        assert!(restored.contains("&cs;"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # xmlord-dtd — DTD parser, DTD DOM tree, validator and element graph
+//!
+//! Substrate **S2** of the reproduction of *Kudrass & Conrad (EDBT 2002)*.
+//! It plays the role the Wutka DTD parser \[10\] plays in the paper's
+//! `XML2Oracle` (Fig. 1): a non-validating parser that "analyzes the DTD
+//! only and transforms it into a DTD Document Object Model".
+//!
+//! The crate provides, in paper order:
+//!
+//! * [`ast`] — the declaration-level model: `<!ELEMENT>` content models with
+//!   the `?`/`*`/`+` iteration and optionality operators of §4.2/§4.3,
+//!   `<!ATTLIST>` with the attribute types of §4.4 (`CDATA`, `ID`, `IDREF`,
+//!   `NMTOKEN`, …) and default declarations (`#REQUIRED`, `#IMPLIED`, fixed
+//!   and literal defaults), `<!ENTITY>` (general and parameter), and
+//!   `<!NOTATION>`.
+//! * [`parser`] — the DTD text parser, with internal parameter-entity
+//!   expansion.
+//! * [`tree`] — the "DTD DOM tree" the mapping algorithm of Fig. 2 consumes:
+//!   a tree of element nodes annotated with occurrence ("set-valued") and
+//!   optionality, with the element's attribute list attached to each node.
+//! * [`graph`] — the element dependency graph of §6.2: detects elements with
+//!   multiple parents (Fig. 3) and recursive element relationships, which
+//!   the tree representation cannot express and which the mapping layer must
+//!   break with `REF` attributes.
+//! * [`matcher`] — content-model matching engine (Glushkov-style NFA).
+//! * [`validator`] — validates a parsed document against the DTD: content
+//!   models, attribute constraints, ID uniqueness and IDREF resolution —
+//!   the "validity check" box of Fig. 1.
+//! * [`xsd`] — the paper's §7 future-work item: an XML Schema subset
+//!   analyzed into the same structural model, plus scalar type hints.
+
+pub mod ast;
+pub mod graph;
+pub mod matcher;
+pub mod parser;
+pub mod tree;
+pub mod validator;
+pub mod xsd;
+
+pub use ast::{
+    AttDef, AttType, AttlistDecl, ContentParticle, ContentSpec, DefaultDecl, Dtd, ElementDecl,
+    EntityDecl, Occurrence,
+};
+pub use graph::ElementGraph;
+pub use parser::parse_dtd;
+pub use tree::{DtdTree, DtdTreeNode, NodeCardinality};
+pub use validator::{validate, ValidationError, ValidationErrorKind};

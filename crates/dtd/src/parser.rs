@@ -1,0 +1,731 @@
+//! DTD text parser (the non-validating "DTD parser" box of Fig. 1).
+//!
+//! Accepts the markup-declaration syntax of XML 1.0 §3: element type
+//! declarations, attribute-list declarations, entity declarations and
+//! notation declarations, plus comments, processing instructions and — for
+//! internal parameter entities — `%name;` references, which are expanded
+//! textually before declaration parsing (sufficient for internal subsets
+//! and standalone DTD files; external parameter entities are out of scope,
+//! as they were for the paper's prototype).
+
+use std::collections::BTreeMap;
+
+use xmlord_xml::cursor::Cursor;
+use xmlord_xml::error::{XmlError, XmlErrorKind};
+use xmlord_xml::name::{is_name_char, is_name_start_char};
+
+use crate::ast::{
+    AttDef, AttType, AttlistDecl, ContentParticle, ContentSpec, DefaultDecl, Dtd, ElementDecl,
+    EntityDecl, Occurrence,
+};
+
+/// Parse DTD text (a standalone `.dtd` file or a DOCTYPE internal subset).
+pub fn parse_dtd(input: &str) -> Result<Dtd, XmlError> {
+    // Pass 1: collect parameter entities (they may be referenced by later
+    // declarations) and expand them textually.
+    let expanded = expand_parameter_entities(input)?;
+    let mut parser = DtdParser { cur: Cursor::new(&expanded), dtd: Dtd::default() };
+    parser.run()?;
+    Ok(parser.dtd)
+}
+
+/// Textually expand `%name;` references using internal parameter entities
+/// declared earlier in the same input. Declarations are processed in order,
+/// so a parameter entity can use previously declared ones.
+fn expand_parameter_entities(input: &str) -> Result<String, XmlError> {
+    let mut params: BTreeMap<String, String> = BTreeMap::new();
+    let mut out = String::with_capacity(input.len());
+    let mut cur = Cursor::new(input);
+    while let Some(ch) = cur.peek() {
+        // Collect parameter entity declarations as we meet them.
+        if cur.starts_with("<!ENTITY") {
+            let decl_start = cur.position().offset;
+            cur.eat("<!ENTITY");
+            cur.skip_ws();
+            if cur.eat("%") {
+                cur.skip_ws();
+                let name = cur.take_while(is_name_char).to_string();
+                cur.skip_ws();
+                match cur.peek() {
+                    Some(q @ ('"' | '\'')) => {
+                        cur.bump();
+                        let raw = cur.take_until(&q.to_string())?.to_string();
+                        cur.eat(&q.to_string());
+                        cur.skip_ws();
+                        cur.expect(">", "'>' closing parameter entity")?;
+                        // Expand nested parameter references in the replacement.
+                        let replacement = substitute_params(&raw, &params, cur.position())?;
+                        params.entry(name.clone()).or_insert(replacement.clone());
+                        // Keep the declaration in the output so the model
+                        // records it too.
+                        out.push_str(&format!("<!ENTITY % {name} \"{}\">", replacement.replace('"', "&#34;")));
+                        continue;
+                    }
+                    _ => {
+                        // External parameter entity: skip whole declaration.
+                        let _ = cur.take_until(">")?;
+                        cur.eat(">");
+                        continue;
+                    }
+                }
+            }
+            // Not a parameter entity — copy the original declaration text
+            // verbatim (with parameter substitution applied inside).
+            let _ = cur.take_until(">")?;
+            cur.eat(">");
+            let decl_text = &input[decl_start..cur.position().offset];
+            out.push_str(&substitute_params(decl_text, &params, cur.position())?);
+            continue;
+        }
+        if ch == '%' {
+            cur.bump();
+            let name = cur.take_while(is_name_char).to_string();
+            if cur.eat(";") {
+                match params.get(&name) {
+                    Some(repl) => out.push_str(repl),
+                    None => {
+                        return Err(cur.error(XmlErrorKind::UnknownEntity(format!("%{name};"))))
+                    }
+                }
+                continue;
+            }
+            out.push('%');
+            out.push_str(&name);
+            continue;
+        }
+        if cur.starts_with("<!--") {
+            let start = cur.position().offset;
+            cur.eat("<!--");
+            let _ = cur.take_until("-->")?;
+            cur.eat("-->");
+            out.push_str(&input[start..cur.position().offset]);
+            continue;
+        }
+        if ch == '<' {
+            // Some other declaration: substitute parameters inside it.
+            let start = cur.position().offset;
+            let _ = cur.take_until(">")?;
+            cur.eat(">");
+            let decl_text = &input[start..cur.position().offset];
+            out.push_str(&substitute_params(decl_text, &params, cur.position())?);
+            continue;
+        }
+        out.push(ch);
+        cur.bump();
+    }
+    Ok(out)
+}
+
+fn substitute_params(
+    text: &str,
+    params: &BTreeMap<String, String>,
+    at: xmlord_xml::Position,
+) -> Result<String, XmlError> {
+    if !text.contains('%') {
+        return Ok(text.to_string());
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut cur = Cursor::new(text);
+    while let Some(ch) = cur.peek() {
+        if ch == '%' {
+            cur.bump();
+            let name = cur.take_while(is_name_char).to_string();
+            if !name.is_empty() && cur.eat(";") {
+                match params.get(&name) {
+                    Some(repl) => out.push_str(repl),
+                    None => {
+                        return Err(XmlError::new(
+                            XmlErrorKind::UnknownEntity(format!("%{name};")),
+                            at,
+                        ))
+                    }
+                }
+                continue;
+            }
+            out.push('%');
+            out.push_str(&name);
+            continue;
+        }
+        out.push(ch);
+        cur.bump();
+    }
+    Ok(out)
+}
+
+struct DtdParser<'a> {
+    cur: Cursor<'a>,
+    dtd: Dtd,
+}
+
+impl<'a> DtdParser<'a> {
+    fn run(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.cur.skip_ws();
+            if self.cur.is_eof() {
+                return Ok(());
+            }
+            if self.cur.starts_with("<!--") {
+                self.cur.eat("<!--");
+                let _ = self.cur.take_until("-->")?;
+                self.cur.eat("-->");
+            } else if self.cur.starts_with("<?") {
+                self.cur.eat("<?");
+                let _ = self.cur.take_until("?>")?;
+                self.cur.eat("?>");
+            } else if self.cur.starts_with("<!ELEMENT") {
+                self.parse_element_decl()?;
+            } else if self.cur.starts_with("<!ATTLIST") {
+                self.parse_attlist_decl()?;
+            } else if self.cur.starts_with("<!ENTITY") {
+                self.parse_entity_decl()?;
+            } else if self.cur.starts_with("<!NOTATION") {
+                // Recorded nowhere: notations play no role in the mapping.
+                self.cur.eat("<!NOTATION");
+                let _ = self.cur.take_until(">")?;
+                self.cur.eat(">");
+            } else {
+                return Err(self.cur.error(XmlErrorKind::Unexpected(format!(
+                    "markup declaration at '{}'",
+                    self.cur.rest().chars().take(12).collect::<String>()
+                ))));
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let ok = self.cur.peek().map(|c| is_name_start_char(c) || c == ':').unwrap_or(false);
+        if !ok {
+            return Err(self.cur.error(XmlErrorKind::InvalidName(
+                self.cur.peek().map(String::from).unwrap_or_default(),
+            )));
+        }
+        Ok(self.cur.take_while(|c| is_name_char(c) || c == ':').to_string())
+    }
+
+    fn require_ws(&mut self) -> Result<(), XmlError> {
+        if !self.cur.skip_ws() {
+            return Err(self
+                .cur
+                .error(XmlErrorKind::IllegalConstruct("whitespace required".into())));
+        }
+        Ok(())
+    }
+
+    fn parse_element_decl(&mut self) -> Result<(), XmlError> {
+        self.cur.eat("<!ELEMENT");
+        self.require_ws()?;
+        let name = self.parse_name()?;
+        self.require_ws()?;
+        let content = self.parse_content_spec()?;
+        self.cur.skip_ws();
+        self.cur.expect(">", "'>' closing ELEMENT declaration")?;
+        // First declaration wins (XML 1.0 has at-most-one, but we are a
+        // non-validating parser like the paper's: be forgiving).
+        if !self.dtd.elements.contains_key(&name) {
+            self.dtd.element_order.push(name.clone());
+            self.dtd.elements.insert(name.clone(), ElementDecl { name, content });
+        }
+        Ok(())
+    }
+
+    fn parse_content_spec(&mut self) -> Result<ContentSpec, XmlError> {
+        if self.cur.eat("EMPTY") {
+            return Ok(ContentSpec::Empty);
+        }
+        if self.cur.eat("ANY") {
+            return Ok(ContentSpec::Any);
+        }
+        if !self.cur.starts_with("(") {
+            return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                "content spec must be EMPTY, ANY or a group".into(),
+            )));
+        }
+        // Look ahead for mixed content.
+        let mut probe = self.cur.clone();
+        probe.eat("(");
+        probe.skip_ws();
+        if probe.starts_with("#PCDATA") {
+            self.cur.eat("(");
+            self.cur.skip_ws();
+            self.cur.eat("#PCDATA");
+            let mut names = Vec::new();
+            loop {
+                self.cur.skip_ws();
+                if self.cur.eat(")") {
+                    break;
+                }
+                self.cur.expect("|", "'|' in mixed content")?;
+                self.cur.skip_ws();
+                names.push(self.parse_name()?);
+            }
+            let starred = self.cur.eat("*");
+            if !names.is_empty() && !starred {
+                return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                    "mixed content with elements must end with ')*'".into(),
+                )));
+            }
+            return Ok(if names.is_empty() { ContentSpec::PcData } else { ContentSpec::Mixed(names) });
+        }
+        let particle = self.parse_group()?;
+        Ok(ContentSpec::Children(particle))
+    }
+
+    /// Parse `( cp (sep cp)* )occ` where sep is consistently `,` or `|`.
+    fn parse_group(&mut self) -> Result<ContentParticle, XmlError> {
+        self.cur.expect("(", "'(' opening a group")?;
+        let mut children = Vec::new();
+        let mut separator: Option<char> = None;
+        loop {
+            self.cur.skip_ws();
+            children.push(self.parse_cp()?);
+            self.cur.skip_ws();
+            match self.cur.peek() {
+                Some(')') => {
+                    self.cur.bump();
+                    break;
+                }
+                Some(sep @ (',' | '|')) => {
+                    match separator {
+                        None => separator = Some(sep),
+                        Some(prev) if prev != sep => {
+                            return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                                "cannot mix ',' and '|' in one group".into(),
+                            )))
+                        }
+                        _ => {}
+                    }
+                    self.cur.bump();
+                }
+                _ => {
+                    return Err(self
+                        .cur
+                        .error(XmlErrorKind::IllegalConstruct("expected ',', '|' or ')'".into())))
+                }
+            }
+        }
+        let occ = self.parse_occurrence();
+        Ok(match separator {
+            Some('|') => ContentParticle::Choice(children, occ),
+            _ if children.len() == 1 => {
+                // A single-child group — keep the group occurrence by
+                // wrapping only when it adds information.
+                let only = children.pop().unwrap();
+                if occ == Occurrence::One {
+                    only
+                } else {
+                    ContentParticle::Seq(vec![only], occ)
+                }
+            }
+            _ => ContentParticle::Seq(children, occ),
+        })
+    }
+
+    fn parse_cp(&mut self) -> Result<ContentParticle, XmlError> {
+        if self.cur.starts_with("(") {
+            self.parse_group()
+        } else {
+            let name = self.parse_name()?;
+            let occ = self.parse_occurrence();
+            Ok(ContentParticle::Name(name, occ))
+        }
+    }
+
+    fn parse_occurrence(&mut self) -> Occurrence {
+        if self.cur.eat("?") {
+            Occurrence::Optional
+        } else if self.cur.eat("*") {
+            Occurrence::ZeroOrMore
+        } else if self.cur.eat("+") {
+            Occurrence::OneOrMore
+        } else {
+            Occurrence::One
+        }
+    }
+
+    fn parse_attlist_decl(&mut self) -> Result<(), XmlError> {
+        self.cur.eat("<!ATTLIST");
+        self.require_ws()?;
+        let element = self.parse_name()?;
+        let mut defs = Vec::new();
+        loop {
+            let had_ws = self.cur.skip_ws();
+            if self.cur.eat(">") {
+                break;
+            }
+            if !had_ws {
+                return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                    "whitespace required between attribute definitions".into(),
+                )));
+            }
+            let name = self.parse_name()?;
+            self.require_ws()?;
+            let att_type = self.parse_att_type()?;
+            self.require_ws()?;
+            let default = self.parse_default_decl()?;
+            defs.push(AttDef { name, att_type, default });
+        }
+        let entry = self
+            .dtd
+            .attlists
+            .entry(element.clone())
+            .or_insert_with(|| AttlistDecl { element, attributes: Vec::new() });
+        for def in defs {
+            // First definition of an attribute name wins (XML 1.0 §3.3).
+            if !entry.attributes.iter().any(|a| a.name == def.name) {
+                entry.attributes.push(def);
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_att_type(&mut self) -> Result<AttType, XmlError> {
+        // Order matters: IDREFS before IDREF before ID, etc.
+        if self.cur.eat("CDATA") {
+            Ok(AttType::Cdata)
+        } else if self.cur.eat("IDREFS") {
+            Ok(AttType::Idrefs)
+        } else if self.cur.eat("IDREF") {
+            Ok(AttType::Idref)
+        } else if self.cur.eat("ID") {
+            Ok(AttType::Id)
+        } else if self.cur.eat("ENTITIES") {
+            Ok(AttType::Entities)
+        } else if self.cur.eat("ENTITY") {
+            Ok(AttType::Entity)
+        } else if self.cur.eat("NMTOKENS") {
+            Ok(AttType::Nmtokens)
+        } else if self.cur.eat("NMTOKEN") {
+            Ok(AttType::Nmtoken)
+        } else if self.cur.eat("NOTATION") {
+            self.require_ws()?;
+            let names = self.parse_enumeration()?;
+            Ok(AttType::Notation(names))
+        } else if self.cur.starts_with("(") {
+            let names = self.parse_enumeration()?;
+            Ok(AttType::Enumerated(names))
+        } else {
+            Err(self
+                .cur
+                .error(XmlErrorKind::IllegalConstruct("unknown attribute type".into())))
+        }
+    }
+
+    fn parse_enumeration(&mut self) -> Result<Vec<String>, XmlError> {
+        self.cur.expect("(", "'(' opening enumeration")?;
+        let mut names = Vec::new();
+        loop {
+            self.cur.skip_ws();
+            // Nmtokens allow a leading digit, unlike names.
+            let token = self.cur.take_while(|c| is_name_char(c) || c == ':');
+            if token.is_empty() {
+                return Err(self
+                    .cur
+                    .error(XmlErrorKind::IllegalConstruct("empty enumeration token".into())));
+            }
+            names.push(token.to_string());
+            self.cur.skip_ws();
+            if self.cur.eat(")") {
+                return Ok(names);
+            }
+            self.cur.expect("|", "'|' in enumeration")?;
+        }
+    }
+
+    fn parse_default_decl(&mut self) -> Result<DefaultDecl, XmlError> {
+        if self.cur.eat("#REQUIRED") {
+            Ok(DefaultDecl::Required)
+        } else if self.cur.eat("#IMPLIED") {
+            Ok(DefaultDecl::Implied)
+        } else if self.cur.eat("#FIXED") {
+            self.require_ws()?;
+            let value = self.parse_quoted()?;
+            Ok(DefaultDecl::Fixed(value))
+        } else {
+            let value = self.parse_quoted()?;
+            Ok(DefaultDecl::Default(value))
+        }
+    }
+
+    fn parse_quoted(&mut self) -> Result<String, XmlError> {
+        match self.cur.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.cur.bump();
+                let value = self.cur.take_until(&q.to_string())?.to_string();
+                self.cur.eat(&q.to_string());
+                Ok(value)
+            }
+            _ => Err(self
+                .cur
+                .error(XmlErrorKind::IllegalConstruct("expected quoted value".into()))),
+        }
+    }
+
+    fn parse_entity_decl(&mut self) -> Result<(), XmlError> {
+        self.cur.eat("<!ENTITY");
+        self.require_ws()?;
+        if self.cur.eat("%") {
+            self.require_ws()?;
+            let name = self.parse_name()?;
+            self.cur.skip_ws();
+            let replacement = self.parse_quoted()?;
+            self.cur.skip_ws();
+            self.cur.expect(">", "'>' closing entity declaration")?;
+            self.dtd.entities.push(EntityDecl::InternalParameter {
+                name,
+                // &#34; was injected by the pre-pass to protect quotes.
+                replacement: replacement.replace("&#34;", "\""),
+            });
+            return Ok(());
+        }
+        let name = self.parse_name()?;
+        self.require_ws()?;
+        if self.cur.eat("SYSTEM") {
+            self.require_ws()?;
+            let system = self.parse_quoted()?;
+            self.skip_ndata_and_close()?;
+            self.dtd.entities.push(EntityDecl::ExternalGeneral { name, system, public: None });
+            return Ok(());
+        }
+        if self.cur.eat("PUBLIC") {
+            self.require_ws()?;
+            let public = self.parse_quoted()?;
+            self.require_ws()?;
+            let system = self.parse_quoted()?;
+            self.skip_ndata_and_close()?;
+            self.dtd.entities.push(EntityDecl::ExternalGeneral {
+                name,
+                system,
+                public: Some(public),
+            });
+            return Ok(());
+        }
+        let replacement = self.parse_quoted()?;
+        self.cur.skip_ws();
+        self.cur.expect(">", "'>' closing entity declaration")?;
+        self.dtd.entities.push(EntityDecl::InternalGeneral { name, replacement });
+        Ok(())
+    }
+
+    fn skip_ndata_and_close(&mut self) -> Result<(), XmlError> {
+        self.cur.skip_ws();
+        if self.cur.eat("NDATA") {
+            self.require_ws()?;
+            let _ = self.parse_name()?;
+            self.cur.skip_ws();
+        }
+        self.cur.expect(">", "'>' closing entity declaration")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Appendix A DTD, verbatim structure.
+    pub const UNIVERSITY_DTD: &str = r#"
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+"#;
+
+    #[test]
+    fn parses_the_appendix_a_dtd() {
+        let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+        assert_eq!(dtd.elements.len(), 11);
+        let uni = dtd.element("University").unwrap();
+        assert_eq!(uni.content.to_string(), "(StudyCourse,Student*)");
+        let prof = dtd.element("Professor").unwrap();
+        assert_eq!(prof.content.to_string(), "(PName,Subject+,Dept)");
+        let student_attrs = dtd.attributes_of("Student");
+        assert_eq!(student_attrs.len(), 1);
+        assert_eq!(student_attrs[0].name, "StudNr");
+        assert_eq!(student_attrs[0].att_type, AttType::Cdata);
+        assert!(student_attrs[0].default.is_required());
+        assert_eq!(dtd.entity_catalog().lookup("cs"), Some("Computer Science"));
+        assert_eq!(dtd.undeclared_children(), vec!["CreditPts".to_string()]);
+    }
+
+    #[test]
+    fn parses_occurrence_operators() {
+        let dtd = parse_dtd("<!ELEMENT a (b?,c*,d+,e)>").unwrap();
+        let content = &dtd.element("a").unwrap().content;
+        match content {
+            ContentSpec::Children(ContentParticle::Seq(cs, _)) => {
+                let occs: Vec<Occurrence> = cs.iter().map(|c| c.occurrence()).collect();
+                assert_eq!(
+                    occs,
+                    vec![
+                        Occurrence::Optional,
+                        Occurrence::ZeroOrMore,
+                        Occurrence::OneOrMore,
+                        Occurrence::One
+                    ]
+                );
+            }
+            other => panic!("unexpected content: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_choice_groups_and_nesting() {
+        let dtd = parse_dtd("<!ELEMENT a ((b|c)+,d)>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content.to_string(), "((b|c)+,d)");
+    }
+
+    #[test]
+    fn single_child_group_with_operator_is_preserved() {
+        let dtd = parse_dtd("<!ELEMENT a (b)*>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content.to_string(), "(b)*");
+    }
+
+    #[test]
+    fn rejects_mixed_separators() {
+        assert!(parse_dtd("<!ELEMENT a (b,c|d)>").is_err());
+    }
+
+    #[test]
+    fn parses_empty_and_any() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content, ContentSpec::Empty);
+        assert_eq!(dtd.element("b").unwrap().content, ContentSpec::Any);
+    }
+
+    #[test]
+    fn parses_pcdata_and_mixed() {
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA|i|bold)*>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content, ContentSpec::PcData);
+        assert_eq!(
+            dtd.element("b").unwrap().content,
+            ContentSpec::Mixed(vec!["i".into(), "bold".into()])
+        );
+    }
+
+    #[test]
+    fn mixed_with_elements_requires_star() {
+        assert!(parse_dtd("<!ELEMENT b (#PCDATA|i)>").is_err());
+    }
+
+    #[test]
+    fn parses_all_attribute_types() {
+        let dtd = parse_dtd(
+            r#"<!ATTLIST e
+                a CDATA #IMPLIED
+                b ID #REQUIRED
+                c IDREF #IMPLIED
+                d IDREFS #IMPLIED
+                f NMTOKEN #IMPLIED
+                g NMTOKENS #IMPLIED
+                h ENTITY #IMPLIED
+                i ENTITIES #IMPLIED
+                j (x|y|z) "x"
+                k NOTATION (n1|n2) #IMPLIED
+                l CDATA #FIXED "42">"#,
+        )
+        .unwrap();
+        let attrs = dtd.attributes_of("e");
+        assert_eq!(attrs.len(), 11);
+        assert_eq!(attrs[1].att_type, AttType::Id);
+        assert_eq!(attrs[3].att_type, AttType::Idrefs);
+        assert_eq!(
+            attrs[8].att_type,
+            AttType::Enumerated(vec!["x".into(), "y".into(), "z".into()])
+        );
+        assert_eq!(attrs[8].default, DefaultDecl::Default("x".into()));
+        assert_eq!(attrs[10].default, DefaultDecl::Fixed("42".into()));
+    }
+
+    #[test]
+    fn merges_multiple_attlists_first_wins() {
+        let dtd = parse_dtd(
+            r#"<!ATTLIST e a CDATA #IMPLIED>
+               <!ATTLIST e a CDATA #REQUIRED b CDATA #IMPLIED>"#,
+        )
+        .unwrap();
+        let attrs = dtd.attributes_of("e");
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].default, DefaultDecl::Implied); // first wins
+    }
+
+    #[test]
+    fn parses_entity_declarations() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY cs "Computer Science">
+               <!ENTITY logo SYSTEM "logo.gif" NDATA gif>
+               <!ENTITY pub PUBLIC "-//X//EN" "x.ent">"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.entities.len(), 3);
+        assert!(matches!(&dtd.entities[0], EntityDecl::InternalGeneral { name, .. } if name == "cs"));
+        assert!(matches!(&dtd.entities[1], EntityDecl::ExternalGeneral { system, .. } if system == "logo.gif"));
+        assert!(matches!(&dtd.entities[2], EntityDecl::ExternalGeneral { public: Some(p), .. } if p == "-//X//EN"));
+    }
+
+    #[test]
+    fn expands_parameter_entities() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY % common "LName,FName">
+               <!ELEMENT Person (%common;,Age?)>
+               <!ELEMENT LName (#PCDATA)>
+               <!ELEMENT FName (#PCDATA)>
+               <!ELEMENT Age (#PCDATA)>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.element("Person").unwrap().content.to_string(), "(LName,FName,Age?)");
+    }
+
+    #[test]
+    fn parameter_entities_can_nest() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY % name "LName">
+               <!ENTITY % all "%name;,FName">
+               <!ELEMENT P (%all;)>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.element("P").unwrap().content.to_string(), "(LName,FName)");
+    }
+
+    #[test]
+    fn unknown_parameter_entity_is_error() {
+        assert!(parse_dtd("<!ELEMENT a (%nope;)>").is_err());
+    }
+
+    #[test]
+    fn comments_and_pis_are_skipped() {
+        let dtd = parse_dtd(
+            "<!-- header --><?keep data?><!ELEMENT a EMPTY><!-- trailer -->",
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 1);
+    }
+
+    #[test]
+    fn recursive_dtd_of_section_6_2_parses() {
+        // Section 6.2: Professor contains Dept, Dept contains Professor*.
+        let dtd = parse_dtd(
+            r#"<!ELEMENT Professor (PName,Dept)>
+               <!ELEMENT Dept (DName,Professor*)>
+               <!ELEMENT PName (#PCDATA)>
+               <!ELEMENT DName (#PCDATA)>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.element("Dept").unwrap().content.child_names(), vec!["DName", "Professor"]);
+    }
+
+    #[test]
+    fn element_order_preserves_first_declarations() {
+        let dtd = parse_dtd("<!ELEMENT b EMPTY><!ELEMENT a EMPTY><!ELEMENT b ANY>").unwrap();
+        assert_eq!(dtd.element_order, vec!["b".to_string(), "a".to_string()]);
+        assert_eq!(dtd.element("b").unwrap().content, ContentSpec::Empty); // first wins
+    }
+}

@@ -1,0 +1,553 @@
+//! Document validation against a DTD — the "Well-Formedness / Validity
+//! Check" box of the paper's Fig. 1.
+//!
+//! Checks, per XML 1.0:
+//! * the root element matches the DOCTYPE name (when one is given),
+//! * every element is declared,
+//! * element content matches its content model (via [`crate::matcher`]),
+//! * character data only appears where the model allows it,
+//! * attributes are declared, required attributes are present, enumerated
+//!   and NMTOKEN values are lexically valid, `#FIXED` values match,
+//! * ID attributes are unique document-wide and IDREF/IDREFS targets exist.
+//!
+//! The mapping layer requires a *valid* document before loading (§3), and
+//! the IDREF resolution performed here is also what lets §4.4 determine
+//! "which ID attribute is referenced by an IDREF value — this kind of
+//! information cannot be captured from the DTD, rather from the XML
+//! document".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use xmlord_xml::{Document, NodeId, NodeKind};
+
+use crate::ast::{AttType, DefaultDecl, Dtd};
+use crate::matcher::{ContentMatcher, ContentModel};
+
+/// What went wrong, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Path of element names from the root, e.g. `University/Student`.
+    pub path: String,
+    pub kind: ValidationErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    RootMismatch { declared: String, actual: String },
+    UndeclaredElement(String),
+    ContentModelViolation { element: String, model: String, found: Vec<String> },
+    TextNotAllowed { element: String },
+    UndeclaredAttribute { element: String, attribute: String },
+    RequiredAttributeMissing { element: String, attribute: String },
+    FixedAttributeMismatch { element: String, attribute: String, expected: String, found: String },
+    InvalidAttributeValue { element: String, attribute: String, value: String, expected: String },
+    DuplicateId(String),
+    UnresolvedIdref(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: ", self.path)?;
+        match &self.kind {
+            ValidationErrorKind::RootMismatch { declared, actual } => {
+                write!(f, "root element is <{actual}> but DOCTYPE declares {declared}")
+            }
+            ValidationErrorKind::UndeclaredElement(name) => {
+                write!(f, "element <{name}> is not declared")
+            }
+            ValidationErrorKind::ContentModelViolation { element, model, found } => write!(
+                f,
+                "children of <{element}> do not match {model}: found ({})",
+                found.join(",")
+            ),
+            ValidationErrorKind::TextNotAllowed { element } => {
+                write!(f, "character data not allowed in <{element}>")
+            }
+            ValidationErrorKind::UndeclaredAttribute { element, attribute } => {
+                write!(f, "attribute '{attribute}' is not declared on <{element}>")
+            }
+            ValidationErrorKind::RequiredAttributeMissing { element, attribute } => {
+                write!(f, "required attribute '{attribute}' missing on <{element}>")
+            }
+            ValidationErrorKind::FixedAttributeMismatch { element, attribute, expected, found } => {
+                write!(
+                    f,
+                    "#FIXED attribute '{attribute}' on <{element}> must be '{expected}', found '{found}'"
+                )
+            }
+            ValidationErrorKind::InvalidAttributeValue { element, attribute, value, expected } => {
+                write!(
+                    f,
+                    "attribute '{attribute}' on <{element}> has value '{value}', expected {expected}"
+                )
+            }
+            ValidationErrorKind::DuplicateId(id) => write!(f, "duplicate ID value '{id}'"),
+            ValidationErrorKind::UnresolvedIdref(id) => {
+                write!(f, "IDREF '{id}' does not match any ID in the document")
+            }
+        }
+    }
+}
+
+/// Result of a validation run: all errors, plus the ID → element index that
+/// §4.4's IDREF→REF mapping consumes.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    pub errors: Vec<ValidationError>,
+    /// ID attribute value → element node carrying it.
+    pub ids: BTreeMap<String, NodeId>,
+    /// (referencing element, attribute name, target id) for each IDREF use.
+    pub idrefs: Vec<(NodeId, String, String)>,
+}
+
+impl ValidationReport {
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate `doc` against `dtd`. Returns the full report; use
+/// [`ValidationReport::is_valid`] for a pass/fail answer.
+pub fn validate(doc: &Document, dtd: &Dtd) -> ValidationReport {
+    let mut ctx = Validator {
+        doc,
+        dtd,
+        report: ValidationReport::default(),
+        models: BTreeMap::new(),
+    };
+    if let Some(root) = doc.root_element() {
+        if let Some(doctype) = &doc.doctype {
+            let actual = doc.name(root).as_raw();
+            if doctype.name != actual {
+                ctx.report.errors.push(ValidationError {
+                    path: actual.clone(),
+                    kind: ValidationErrorKind::RootMismatch {
+                        declared: doctype.name.clone(),
+                        actual,
+                    },
+                });
+            }
+        }
+        ctx.validate_element(root, String::new());
+    }
+    // Resolve IDREFs after the whole document is indexed.
+    let ids: BTreeSet<&str> = ctx.report.ids.keys().map(String::as_str).collect();
+    let mut unresolved = Vec::new();
+    for (_, _, target) in &ctx.report.idrefs {
+        if !ids.contains(target.as_str()) {
+            unresolved.push(target.clone());
+        }
+    }
+    for target in unresolved {
+        ctx.report.errors.push(ValidationError {
+            path: String::new(),
+            kind: ValidationErrorKind::UnresolvedIdref(target),
+        });
+    }
+    ctx.report
+}
+
+struct Validator<'a> {
+    doc: &'a Document,
+    dtd: &'a Dtd,
+    report: ValidationReport,
+    /// Cache of compiled content models per element name.
+    models: BTreeMap<String, ContentModel>,
+}
+
+impl<'a> Validator<'a> {
+    fn validate_element(&mut self, id: NodeId, parent_path: String) {
+        let name = self.doc.name(id).as_raw();
+        let path =
+            if parent_path.is_empty() { name.clone() } else { format!("{parent_path}/{name}") };
+
+        let declared = self.dtd.element(&name).is_some();
+        if !declared {
+            self.report.errors.push(ValidationError {
+                path: path.clone(),
+                kind: ValidationErrorKind::UndeclaredElement(name.clone()),
+            });
+        } else {
+            self.check_content(id, &name, &path);
+        }
+        self.check_attributes(id, &name, &path);
+
+        for child in self.doc.child_elements(id) {
+            self.validate_element(child, path.clone());
+        }
+    }
+
+    fn check_content(&mut self, id: NodeId, name: &str, path: &str) {
+        if !self.models.contains_key(name) {
+            let spec = &self.dtd.element(name).unwrap().content;
+            self.models.insert(name.to_string(), ContentMatcher::compile(spec));
+        }
+        let model = &self.models[name];
+
+        let child_names: Vec<String> = self
+            .doc
+            .child_elements(id)
+            .iter()
+            .map(|c| self.doc.name(*c).as_raw())
+            .collect();
+        let child_refs: Vec<&str> = child_names.iter().map(String::as_str).collect();
+        if !model.matches_children(&child_refs) {
+            let spec = &self.dtd.element(name).unwrap().content;
+            self.report.errors.push(ValidationError {
+                path: path.to_string(),
+                kind: ValidationErrorKind::ContentModelViolation {
+                    element: name.to_string(),
+                    model: spec.to_string(),
+                    found: child_names.clone(),
+                },
+            });
+        }
+        if !model.allows_text() {
+            let has_text = self.doc.children(id).iter().any(|c| match self.doc.kind(*c) {
+                NodeKind::Text(t) => !t.trim().is_empty(),
+                NodeKind::CData(_) => true,
+                _ => false,
+            });
+            if has_text {
+                self.report.errors.push(ValidationError {
+                    path: path.to_string(),
+                    kind: ValidationErrorKind::TextNotAllowed { element: name.to_string() },
+                });
+            }
+        }
+    }
+
+    fn check_attributes(&mut self, id: NodeId, name: &str, path: &str) {
+        let defs = self.dtd.attributes_of(name);
+        // Declared attributes: presence, defaults, value constraints.
+        for def in defs {
+            let value = self.doc.attribute(id, &def.name);
+            match (&def.default, value) {
+                (DefaultDecl::Required, None) => {
+                    self.report.errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::RequiredAttributeMissing {
+                            element: name.to_string(),
+                            attribute: def.name.clone(),
+                        },
+                    });
+                }
+                (DefaultDecl::Fixed(expected), Some(found)) if found != expected => {
+                    self.report.errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::FixedAttributeMismatch {
+                            element: name.to_string(),
+                            attribute: def.name.clone(),
+                            expected: expected.clone(),
+                            found: found.to_string(),
+                        },
+                    });
+                }
+                _ => {}
+            }
+            let effective: Option<String> = value
+                .map(str::to_string)
+                .or_else(|| def.default.default_value().map(str::to_string));
+            let Some(val) = effective else { continue };
+            self.check_attribute_value(id, name, path, &def.name, &def.att_type, &val);
+        }
+        // Undeclared attributes (namespace declarations are exempt — they
+        // are infrastructure, stored by the §5 meta-table instead).
+        for attr in self.doc.attributes(id) {
+            let raw = attr.name.as_raw();
+            if raw == "xmlns" || raw.starts_with("xmlns:") {
+                continue;
+            }
+            if !defs.iter().any(|d| d.name == raw) {
+                self.report.errors.push(ValidationError {
+                    path: path.to_string(),
+                    kind: ValidationErrorKind::UndeclaredAttribute {
+                        element: name.to_string(),
+                        attribute: raw,
+                    },
+                });
+            }
+        }
+    }
+
+    fn check_attribute_value(
+        &mut self,
+        id: NodeId,
+        element: &str,
+        path: &str,
+        attribute: &str,
+        att_type: &AttType,
+        value: &str,
+    ) {
+        use xmlord_xml::name::{is_valid_ncname, is_valid_nmtoken};
+        let invalid = |expected: &str, this: &mut Self| {
+            this.report.errors.push(ValidationError {
+                path: path.to_string(),
+                kind: ValidationErrorKind::InvalidAttributeValue {
+                    element: element.to_string(),
+                    attribute: attribute.to_string(),
+                    value: value.to_string(),
+                    expected: expected.to_string(),
+                },
+            });
+        };
+        match att_type {
+            AttType::Cdata => {}
+            AttType::Id => {
+                if !is_valid_ncname(value) {
+                    invalid("an XML name", self);
+                } else if self.report.ids.contains_key(value) {
+                    self.report.errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::DuplicateId(value.to_string()),
+                    });
+                } else {
+                    self.report.ids.insert(value.to_string(), id);
+                }
+            }
+            AttType::Idref => {
+                if !is_valid_ncname(value) {
+                    invalid("an XML name", self);
+                } else {
+                    self.report.idrefs.push((id, attribute.to_string(), value.to_string()));
+                }
+            }
+            AttType::Idrefs => {
+                for token in value.split_whitespace() {
+                    if !is_valid_ncname(token) {
+                        invalid("XML names", self);
+                    } else {
+                        self.report.idrefs.push((id, attribute.to_string(), token.to_string()));
+                    }
+                }
+            }
+            AttType::Nmtoken => {
+                if !is_valid_nmtoken(value) {
+                    invalid("an NMTOKEN", self);
+                }
+            }
+            AttType::Nmtokens => {
+                if value.split_whitespace().next().is_none()
+                    || !value.split_whitespace().all(is_valid_nmtoken)
+                {
+                    invalid("NMTOKENs", self);
+                }
+            }
+            AttType::Entity | AttType::Entities => {
+                // Entity attributes reference unparsed entities; accepted
+                // lexically (non-validating stance, like the paper's parser).
+                if !is_valid_nmtoken(value) {
+                    invalid("an entity name", self);
+                }
+            }
+            AttType::Notation(allowed) | AttType::Enumerated(allowed) => {
+                if !allowed.iter().any(|a| a == value) {
+                    invalid(&format!("one of ({})", allowed.join("|")), self);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+    use xmlord_xml::parse;
+
+    const UNIVERSITY: &str = r#"
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ELEMENT LName (#PCDATA)> <!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)> <!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)> <!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+"#;
+
+    fn check(dtd_text: &str, xml: &str) -> ValidationReport {
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = parse(xml).unwrap();
+        validate(&doc, &dtd)
+    }
+
+    #[test]
+    fn valid_university_document_passes() {
+        let report = check(
+            UNIVERSITY,
+            r#"<University><StudyCourse>CS</StudyCourse>
+               <Student StudNr="1"><LName>Conrad</LName><FName>M</FName>
+                 <Course><Name>DB</Name>
+                   <Professor><PName>Kudrass</PName><Subject>DBS</Subject><Dept>CS</Dept></Professor>
+                   <CreditPts>4</CreditPts>
+                 </Course>
+               </Student></University>"#,
+        );
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn missing_required_attribute_fails() {
+        let report = check(
+            UNIVERSITY,
+            "<University><StudyCourse>CS</StudyCourse><Student><LName>a</LName><FName>b</FName></Student></University>",
+        );
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::RequiredAttributeMissing { .. })));
+    }
+
+    #[test]
+    fn wrong_child_order_fails_content_model() {
+        let report = check(
+            UNIVERSITY,
+            r#"<University><StudyCourse>CS</StudyCourse>
+               <Student StudNr="1"><FName>M</FName><LName>Conrad</LName></Student></University>"#,
+        );
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::ContentModelViolation { .. })));
+    }
+
+    #[test]
+    fn missing_plus_element_fails() {
+        // Professor requires Subject+.
+        let report = check(
+            UNIVERSITY,
+            r#"<University><StudyCourse>CS</StudyCourse>
+               <Student StudNr="1"><LName>a</LName><FName>b</FName>
+                 <Course><Name>DB</Name>
+                   <Professor><PName>K</PName><Dept>CS</Dept></Professor>
+                 </Course></Student></University>"#,
+        );
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn undeclared_element_fails() {
+        let report = check(UNIVERSITY, "<University><Bogus/></University>");
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UndeclaredElement(ref n) if n == "Bogus")));
+    }
+
+    #[test]
+    fn text_in_element_content_fails() {
+        let report = check(
+            UNIVERSITY,
+            r#"<University>stray text<StudyCourse>CS</StudyCourse></University>"#,
+        );
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::TextNotAllowed { .. })));
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_fine() {
+        let report = check(
+            UNIVERSITY,
+            "<University>\n  <StudyCourse>CS</StudyCourse>\n</University>",
+        );
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn root_mismatch_reported() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+        let doc = parse("<!DOCTYPE a><b/>").unwrap();
+        let report = validate(&doc, &dtd);
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::RootMismatch { .. })));
+    }
+
+    #[test]
+    fn undeclared_attribute_reported_but_xmlns_exempt() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY>").unwrap();
+        let doc = parse(r#"<a xmlns:x="urn:y" rogue="1"/>"#).unwrap();
+        let report = validate(&doc, &dtd);
+        assert_eq!(report.errors.len(), 1);
+        assert!(matches!(
+            report.errors[0].kind,
+            ValidationErrorKind::UndeclaredAttribute { ref attribute, .. } if attribute == "rogue"
+        ));
+    }
+
+    #[test]
+    fn id_uniqueness_and_idref_resolution() {
+        let dtd_text = r#"
+            <!ELEMENT db (person*)>
+            <!ELEMENT person (#PCDATA)>
+            <!ATTLIST person id ID #REQUIRED boss IDREF #IMPLIED>"#;
+        let ok = check(
+            dtd_text,
+            r#"<db><person id="p1">A</person><person id="p2" boss="p1">B</person></db>"#,
+        );
+        assert!(ok.is_valid(), "{:?}", ok.errors);
+        assert_eq!(ok.ids.len(), 2);
+        assert_eq!(ok.idrefs.len(), 1);
+
+        let dup = check(dtd_text, r#"<db><person id="p1">A</person><person id="p1">B</person></db>"#);
+        assert!(dup.errors.iter().any(|e| matches!(e.kind, ValidationErrorKind::DuplicateId(_))));
+
+        let dangling = check(dtd_text, r#"<db><person id="p1" boss="ghost">A</person></db>"#);
+        assert!(dangling
+            .errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UnresolvedIdref(ref t) if t == "ghost")));
+    }
+
+    #[test]
+    fn idrefs_resolve_each_token() {
+        let dtd_text = r#"
+            <!ELEMENT db (p*)>
+            <!ELEMENT p EMPTY>
+            <!ATTLIST p id ID #IMPLIED friends IDREFS #IMPLIED>"#;
+        let report = check(
+            dtd_text,
+            r#"<db><p id="a"/><p id="b"/><p friends="a b"/></db>"#,
+        );
+        assert!(report.is_valid(), "{:?}", report.errors);
+        assert_eq!(report.idrefs.len(), 2);
+    }
+
+    #[test]
+    fn enumerated_attribute_values_checked() {
+        let dtd_text = r#"<!ELEMENT e EMPTY><!ATTLIST e kind (x|y) "x">"#;
+        assert!(check(dtd_text, r#"<e kind="y"/>"#).is_valid());
+        assert!(!check(dtd_text, r#"<e kind="z"/>"#).is_valid());
+    }
+
+    #[test]
+    fn fixed_attribute_mismatch_detected() {
+        let dtd_text = r#"<!ELEMENT e EMPTY><!ATTLIST e v CDATA #FIXED "1">"#;
+        assert!(check(dtd_text, r#"<e v="1"/>"#).is_valid());
+        assert!(!check(dtd_text, r#"<e v="2"/>"#).is_valid());
+        // Absent fixed attribute is fine — the default applies.
+        assert!(check(dtd_text, "<e/>").is_valid());
+    }
+
+    #[test]
+    fn nmtoken_lexical_check() {
+        let dtd_text = r#"<!ELEMENT e EMPTY><!ATTLIST e n NMTOKEN #IMPLIED>"#;
+        assert!(check(dtd_text, r#"<e n="a-1"/>"#).is_valid());
+        assert!(!check(dtd_text, r#"<e n="has space"/>"#).is_valid());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let report = check(UNIVERSITY, "<University><Bogus/></University>");
+        let all: String = report.errors.iter().map(|e| e.to_string()).collect();
+        assert!(all.contains("Bogus"), "{all}");
+        assert!(all.contains("University"), "{all}");
+    }
+}

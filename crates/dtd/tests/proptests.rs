@@ -1,0 +1,188 @@
+//! Property tests for the DTD substrate.
+//!
+//! The central one checks the Glushkov content-model matcher against a naive
+//! backtracking regex interpreter on random content models and random child
+//! sequences — the two must always agree.
+
+use proptest::prelude::*;
+use xmlord_dtd::ast::{ContentParticle, Occurrence};
+use xmlord_dtd::matcher::ContentMatcher;
+use xmlord_dtd::parse_dtd;
+
+/// A naive, obviously-correct backtracking matcher: returns the set of
+/// input positions reachable after matching `cp` starting at `from`.
+fn oracle_match(cp: &ContentParticle, input: &[&str], from: usize) -> Vec<usize> {
+    let base = |cp: &ContentParticle, from: usize| -> Vec<usize> {
+        match cp {
+            ContentParticle::Name(name, _) => {
+                if from < input.len() && input[from] == name {
+                    vec![from + 1]
+                } else {
+                    vec![]
+                }
+            }
+            ContentParticle::Seq(children, _) => {
+                let mut positions = vec![from];
+                for child in children {
+                    let mut next = Vec::new();
+                    for &p in &positions {
+                        for q in oracle_match(child, input, p) {
+                            if !next.contains(&q) {
+                                next.push(q);
+                            }
+                        }
+                    }
+                    positions = next;
+                    if positions.is_empty() {
+                        break;
+                    }
+                }
+                positions
+            }
+            ContentParticle::Choice(children, _) => {
+                let mut out = Vec::new();
+                for child in children {
+                    for q in oracle_match(child, input, from) {
+                        if !out.contains(&q) {
+                            out.push(q);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    };
+    // Apply the occurrence operator around the base match.
+    let one = |from: usize| base(cp, from);
+    match cp.occurrence() {
+        Occurrence::One => one(from),
+        Occurrence::Optional => {
+            let mut out = one(from);
+            if !out.contains(&from) {
+                out.push(from);
+            }
+            out
+        }
+        Occurrence::ZeroOrMore | Occurrence::OneOrMore => {
+            // Fixpoint iteration of `one`.
+            let mut reached = vec![from];
+            let mut frontier = vec![from];
+            let mut results: Vec<usize> = if cp.occurrence() == Occurrence::ZeroOrMore {
+                vec![from]
+            } else {
+                vec![]
+            };
+            while let Some(p) = frontier.pop() {
+                for q in one(p) {
+                    if !results.contains(&q) {
+                        results.push(q);
+                    }
+                    if q > p && !reached.contains(&q) {
+                        reached.push(q);
+                        frontier.push(q);
+                    }
+                }
+            }
+            results
+        }
+    }
+}
+
+fn oracle_accepts(cp: &ContentParticle, input: &[&str]) -> bool {
+    oracle_match(cp, input, 0).contains(&input.len())
+}
+
+/// Strip operators so the oracle's occurrence wrapper is the only one
+/// applied at the top level of each recursive call. (The oracle applies
+/// cp.occurrence() itself, so nothing to strip — identity.)
+fn arb_particle() -> impl Strategy<Value = ContentParticle> {
+    let occ = prop_oneof![
+        Just(Occurrence::One),
+        Just(Occurrence::Optional),
+        Just(Occurrence::ZeroOrMore),
+        Just(Occurrence::OneOrMore),
+    ];
+    let name = prop_oneof![Just("a"), Just("b"), Just("c")];
+    let leaf = (name, occ.clone())
+        .prop_map(|(n, o)| ContentParticle::Name(n.to_string(), o));
+    leaf.prop_recursive(3, 16, 3, move |inner| {
+        let occ2 = prop_oneof![
+            Just(Occurrence::One),
+            Just(Occurrence::Optional),
+            Just(Occurrence::ZeroOrMore),
+            Just(Occurrence::OneOrMore),
+        ];
+        prop_oneof![
+            (proptest::collection::vec(inner.clone(), 1..3), occ2.clone())
+                .prop_map(|(cs, o)| ContentParticle::Seq(cs, o)),
+            (proptest::collection::vec(inner, 1..3), occ2)
+                .prop_map(|(cs, o)| ContentParticle::Choice(cs, o)),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 0..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn glushkov_matches_oracle(cp in arb_particle(), input in arb_input()) {
+        let matcher = ContentMatcher::from_particle(&cp);
+        let refs: Vec<&str> = input.clone();
+        prop_assert_eq!(
+            matcher.matches(&refs),
+            oracle_accepts(&cp, &refs),
+            "model: {} input: {:?}", cp, input
+        );
+    }
+
+    #[test]
+    fn parsed_model_display_reparses_identically(cp in arb_particle()) {
+        // Display of a particle is valid DTD syntax that parses back to an
+        // equivalent matcher.
+        let text = format!("<!ELEMENT root {}>", wrap_group(&cp));
+        let dtd = parse_dtd(&text).unwrap();
+        let reparsed = &dtd.element("root").unwrap().content;
+        let m1 = ContentMatcher::from_particle(&cp);
+        let m2 = match reparsed {
+            xmlord_dtd::ContentSpec::Children(cp2) => ContentMatcher::from_particle(cp2),
+            other => panic!("unexpected spec {other:?}"),
+        };
+        // Compare on a fixed battery of inputs.
+        for input in battery() {
+            prop_assert_eq!(
+                m1.matches(&input),
+                m2.matches(&input),
+                "model: {} input: {:?}", text, input
+            );
+        }
+    }
+}
+
+/// Content specs must be parenthesized groups at the top level.
+fn wrap_group(cp: &ContentParticle) -> String {
+    match cp {
+        ContentParticle::Name(..) => format!("({cp})"),
+        _ => cp.to_string(),
+    }
+}
+
+fn battery() -> Vec<Vec<&'static str>> {
+    vec![
+        vec![],
+        vec!["a"],
+        vec!["b"],
+        vec!["c"],
+        vec!["a", "a"],
+        vec!["a", "b"],
+        vec!["b", "a"],
+        vec!["a", "b", "c"],
+        vec!["c", "b", "a"],
+        vec!["a", "a", "b", "b"],
+        vec!["a", "b", "a", "b"],
+        vec!["a", "b", "c", "a", "b", "c"],
+    ]
+}

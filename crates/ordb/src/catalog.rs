@@ -1,0 +1,612 @@
+//! The schema catalog: user-defined types, tables, views, constraints and
+//! the dependency bookkeeping behind `DROP TYPE … FORCE` (§6.2).
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::{Expr, SelectStmt};
+use crate::types::SqlType;
+
+/// A user-defined type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeDef {
+    /// `CREATE TYPE name AS OBJECT (attr type, ...)` (§2.1). `incomplete`
+    /// marks a forward declaration (`CREATE TYPE name;`) used for the
+    /// recursive structures of §6.2.
+    Object { name: Ident, attrs: Vec<(Ident, SqlType)>, incomplete: bool },
+    /// `CREATE TYPE name AS VARRAY(max) OF elem` (§2.2).
+    Varray { name: Ident, elem: SqlType, max: u32 },
+    /// `CREATE TYPE name AS TABLE OF elem` (§2.2).
+    NestedTable { name: Ident, elem: SqlType },
+}
+
+impl TypeDef {
+    pub fn name(&self) -> &Ident {
+        match self {
+            TypeDef::Object { name, .. }
+            | TypeDef::Varray { name, .. }
+            | TypeDef::NestedTable { name, .. } => name,
+        }
+    }
+
+    /// Attribute list of an object type (empty for collections).
+    pub fn object_attrs(&self) -> &[(Ident, SqlType)] {
+        match self {
+            TypeDef::Object { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    /// Element type of a collection type.
+    pub fn element_type(&self) -> Option<&SqlType> {
+        match self {
+            TypeDef::Varray { elem, .. } | TypeDef::NestedTable { elem, .. } => Some(elem),
+            _ => None,
+        }
+    }
+
+    pub fn is_collection(&self) -> bool {
+        matches!(self, TypeDef::Varray { .. } | TypeDef::NestedTable { .. })
+    }
+
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, TypeDef::Object { incomplete: true, .. })
+    }
+
+    /// Names of user-defined types this definition depends on.
+    pub fn dependencies(&self) -> Vec<&Ident> {
+        match self {
+            TypeDef::Object { attrs, .. } => {
+                attrs.iter().filter_map(|(_, t)| t.named_type()).collect()
+            }
+            TypeDef::Varray { elem, .. } | TypeDef::NestedTable { elem, .. } => {
+                elem.named_type().into_iter().collect()
+            }
+        }
+    }
+}
+
+/// A table-level constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `col PRIMARY KEY` (implies NOT NULL + unique).
+    PrimaryKey(Vec<Ident>),
+    /// `col NOT NULL` — §4.3: "constraints … can only be defined in the
+    /// object table - not in the definition of the object type".
+    NotNull(Ident),
+    /// Table-level `CHECK (expr)` — §4.3's workaround for inner attributes.
+    Check(Expr),
+    /// `UNIQUE (cols)`.
+    Unique(Vec<Ident>),
+}
+
+/// Column of a relational table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: Ident,
+    pub sql_type: SqlType,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableDef {
+    /// `CREATE TABLE name OF type (...)` — an *object table* (§2.1): rows
+    /// are objects of `of_type` and carry OIDs that REFs can target.
+    Object { name: Ident, of_type: Ident, constraints: Vec<Constraint> },
+    /// Plain relational table (also used with object-typed columns).
+    Relational {
+        name: Ident,
+        columns: Vec<ColumnDef>,
+        constraints: Vec<Constraint>,
+        /// `NESTED TABLE col STORE AS name` clauses (§2.2) — bookkeeping
+        /// only; storage is inline in this engine.
+        nested_table_stores: Vec<(Ident, Ident)>,
+    },
+}
+
+impl TableDef {
+    pub fn name(&self) -> &Ident {
+        match self {
+            TableDef::Object { name, .. } | TableDef::Relational { name, .. } => name,
+        }
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        match self {
+            TableDef::Object { constraints, .. } | TableDef::Relational { constraints, .. } => {
+                constraints
+            }
+        }
+    }
+
+    pub fn is_object_table(&self) -> bool {
+        matches!(self, TableDef::Object { .. })
+    }
+}
+
+/// `CREATE VIEW name AS select` — object views included (§6.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    pub name: Ident,
+    pub query: SelectStmt,
+}
+
+/// The complete schema catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    types: BTreeMap<Ident, TypeDef>,
+    tables: BTreeMap<Ident, TableDef>,
+    views: BTreeMap<Ident, ViewDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -- types --------------------------------------------------------------
+
+    /// Register a type, enforcing the mode's collection-nesting rule (§2.2)
+    /// and name uniqueness across types/tables/views. A complete definition
+    /// may replace an incomplete (forward) declaration of the same name.
+    pub fn create_type(&mut self, def: TypeDef, mode: DbMode) -> Result<(), DbError> {
+        let name = def.name().clone();
+        if let Some(existing) = self.types.get(&name) {
+            let replacing_forward = existing.is_incomplete() && !def.is_incomplete();
+            if !replacing_forward {
+                return Err(DbError::DuplicateName(name.as_str().to_string()));
+            }
+        } else if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(DbError::DuplicateName(name.as_str().to_string()));
+        }
+        // Oracle 8: no collection-of-collection, no collection-of-LOB. The
+        // restriction is transitive — an object type that (anywhere inside)
+        // contains a collection or LOB attribute cannot be a collection
+        // element either, which is why the paper's §4.2 workaround applies
+        // to *all* set-valued complex elements.
+        if let Some(elem) = def.element_type() {
+            if !mode.allows_nested_collections() && self.contains_collection_or_lob(elem) {
+                return Err(DbError::NestedCollectionNotSupported {
+                    collection: name.as_str().to_string(),
+                    element: elem.to_string(),
+                });
+            }
+        }
+        // Resolve `Object(name)` attr types that actually denote collections:
+        // the parser cannot tell; fix them up against the catalog.
+        let def = self.resolve_named_types(def);
+        // Named dependencies must exist (incomplete declarations count, and
+        // a type may reference itself — e.g. a self-referential REF).
+        for dep in def.dependencies() {
+            if dep != def.name() && !self.types.contains_key(dep) {
+                return Err(DbError::UnknownType(dep.as_str().to_string()));
+            }
+        }
+        self.types.insert(name, def);
+        Ok(())
+    }
+
+    /// Does `t` transitively involve a collection type or LOB? (The Oracle 8
+    /// nesting restriction of §2.2.) REFs do not count — they are scalars.
+    fn contains_collection_or_lob(&self, t: &SqlType) -> bool {
+        let mut stack: Vec<SqlType> = vec![t.clone()];
+        let mut seen: std::collections::BTreeSet<Ident> = std::collections::BTreeSet::new();
+        while let Some(cur) = stack.pop() {
+            match cur {
+                SqlType::Clob => return true,
+                SqlType::Varray(_) | SqlType::NestedTable(_) => return true,
+                SqlType::Object(n) => {
+                    if !seen.insert(n.clone()) {
+                        continue;
+                    }
+                    match self.types.get(&n) {
+                        Some(TypeDef::Varray { .. }) | Some(TypeDef::NestedTable { .. }) => {
+                            return true
+                        }
+                        Some(TypeDef::Object { attrs, .. }) => {
+                            stack.extend(attrs.iter().map(|(_, t)| t.clone()));
+                        }
+                        None => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Rewrite `SqlType::Object(n)` into `Varray(n)`/`NestedTable(n)` when
+    /// `n` names a collection type — syntax alone cannot distinguish a named
+    /// object type from a named collection type.
+    pub fn resolve_sql_type(&self, t: SqlType) -> SqlType {
+        if let SqlType::Object(n) = &t {
+            match self.types.get(n) {
+                Some(TypeDef::Varray { .. }) => return SqlType::Varray(n.clone()),
+                Some(TypeDef::NestedTable { .. }) => return SqlType::NestedTable(n.clone()),
+                _ => {}
+            }
+        }
+        t
+    }
+
+    fn resolve_named_types(&self, def: TypeDef) -> TypeDef {
+        let fix = |t: SqlType| -> SqlType { self.resolve_sql_type(t) };
+        match def {
+            TypeDef::Object { name, attrs, incomplete } => TypeDef::Object {
+                name,
+                attrs: attrs.into_iter().map(|(n, t)| (n, fix(t))).collect(),
+                incomplete,
+            },
+            TypeDef::Varray { name, elem, max } => {
+                TypeDef::Varray { name, elem: fix(elem), max }
+            }
+            TypeDef::NestedTable { name, elem } => {
+                TypeDef::NestedTable { name, elem: fix(elem) }
+            }
+        }
+    }
+
+    pub fn get_type(&self, name: &Ident) -> Option<&TypeDef> {
+        self.types.get(name)
+    }
+
+    pub fn type_names(&self) -> impl Iterator<Item = &Ident> {
+        self.types.keys()
+    }
+
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Drop a type. Without `force`, fails if any type, table or view
+    /// depends on it ("the deletion of any type must be propagated to all
+    /// dependents by using DROP FORCE statements", §6.2). With `force`, the
+    /// type is removed and dependents are left (matching Oracle, which
+    /// marks them invalid).
+    pub fn drop_type(&mut self, name: &Ident, force: bool) -> Result<(), DbError> {
+        if !self.types.contains_key(name) {
+            return Err(DbError::UnknownType(name.as_str().to_string()));
+        }
+        if !force {
+            if let Some(dep) = self.first_type_dependent(name) {
+                return Err(DbError::DependentTypeExists {
+                    dropped: name.as_str().to_string(),
+                    dependent: dep,
+                });
+            }
+        }
+        self.types.remove(name);
+        Ok(())
+    }
+
+    fn first_type_dependent(&self, name: &Ident) -> Option<String> {
+        for def in self.types.values() {
+            if def.name() != name && def.dependencies().contains(&name) {
+                return Some(def.name().as_str().to_string());
+            }
+        }
+        for table in self.tables.values() {
+            let depends = match table {
+                TableDef::Object { of_type, .. } => of_type == name,
+                TableDef::Relational { columns, .. } => {
+                    columns.iter().any(|c| c.sql_type.named_type() == Some(name))
+                }
+            };
+            if depends {
+                return Some(table.name().as_str().to_string());
+            }
+        }
+        None
+    }
+
+    // -- tables ---------------------------------------------------------------
+
+    pub fn create_table(&mut self, def: TableDef) -> Result<(), DbError> {
+        let name = def.name().clone();
+        if self.tables.contains_key(&name)
+            || self.types.contains_key(&name)
+            || self.views.contains_key(&name)
+        {
+            return Err(DbError::DuplicateName(name.as_str().to_string()));
+        }
+        match &def {
+            TableDef::Object { of_type, .. } => {
+                let ty = self
+                    .types
+                    .get(of_type)
+                    .ok_or_else(|| DbError::UnknownType(of_type.as_str().to_string()))?;
+                if ty.is_incomplete() {
+                    return Err(DbError::UnknownType(format!(
+                        "{} (type is an incomplete forward declaration)",
+                        of_type.as_str()
+                    )));
+                }
+            }
+            TableDef::Relational { columns, .. } => {
+                for col in columns {
+                    if let Some(n) = col.sql_type.named_type() {
+                        if !self.types.contains_key(n) {
+                            return Err(DbError::UnknownType(n.as_str().to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        // Resolve column types that name collection types (same fixup as
+        // for type attributes).
+        let def = match def {
+            TableDef::Relational { name, columns, constraints, nested_table_stores } => {
+                TableDef::Relational {
+                    name,
+                    columns: columns
+                        .into_iter()
+                        .map(|c| ColumnDef {
+                            name: c.name,
+                            sql_type: self.resolve_sql_type(c.sql_type),
+                        })
+                        .collect(),
+                    constraints,
+                    nested_table_stores,
+                }
+            }
+            object => object,
+        };
+        self.tables.insert(name, def);
+        Ok(())
+    }
+
+    pub fn get_table(&self, name: &Ident) -> Option<&TableDef> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &Ident> {
+        self.tables.keys()
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn drop_table(&mut self, name: &Ident) -> Result<(), DbError> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))
+    }
+
+    /// Columns of a table as (name, type) pairs — for object tables, the
+    /// attributes of the underlying object type.
+    pub fn table_columns(&self, def: &TableDef) -> Vec<(Ident, SqlType)> {
+        match def {
+            TableDef::Object { of_type, .. } => self
+                .types
+                .get(of_type)
+                .map(|t| t.object_attrs().to_vec())
+                .unwrap_or_default(),
+            TableDef::Relational { columns, .. } => {
+                columns.iter().map(|c| (c.name.clone(), c.sql_type.clone())).collect()
+            }
+        }
+    }
+
+    // -- views ----------------------------------------------------------------
+
+    pub fn create_view(&mut self, def: ViewDef) -> Result<(), DbError> {
+        let name = def.name.clone();
+        if self.tables.contains_key(&name)
+            || self.types.contains_key(&name)
+            || self.views.contains_key(&name)
+        {
+            return Err(DbError::DuplicateName(name.as_str().to_string()));
+        }
+        self.views.insert(name, def);
+        Ok(())
+    }
+
+    pub fn get_view(&self, name: &Ident) -> Option<&ViewDef> {
+        self.views.get(name)
+    }
+
+    pub fn drop_view(&mut self, name: &Ident) -> Result<(), DbError> {
+        self.views
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))
+    }
+
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s).unwrap()
+    }
+
+    fn obj(name: &str, attrs: &[(&str, SqlType)]) -> TypeDef {
+        TypeDef::Object {
+            name: id(name),
+            attrs: attrs.iter().map(|(n, t)| (id(n), t.clone())).collect(),
+            incomplete: false,
+        }
+    }
+
+    #[test]
+    fn create_and_lookup_object_type() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            obj("Type_Professor", &[("PName", SqlType::Varchar(80))]),
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        let t = cat.get_type(&id("type_professor")).unwrap();
+        assert_eq!(t.object_attrs().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_type(obj("T", &[]), DbMode::Oracle9).unwrap();
+        assert!(matches!(
+            cat.create_type(obj("t", &[]), DbMode::Oracle9),
+            Err(DbError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn forward_declaration_can_be_completed() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            TypeDef::Object { name: id("Type_Professor"), attrs: vec![], incomplete: true },
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        // Complete it.
+        cat.create_type(obj("Type_Professor", &[("PName", SqlType::Varchar(4000))]), DbMode::Oracle9)
+            .unwrap();
+        assert!(!cat.get_type(&id("Type_Professor")).unwrap().is_incomplete());
+    }
+
+    #[test]
+    fn object_table_of_incomplete_type_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            TypeDef::Object { name: id("T"), attrs: vec![], incomplete: true },
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        let err = cat.create_table(TableDef::Object {
+            name: id("Tab"),
+            of_type: id("T"),
+            constraints: vec![],
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn oracle8_rejects_nested_collections() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            TypeDef::Varray { name: id("TypeVA_Subject"), elem: SqlType::Varchar(4000), max: 9 },
+            DbMode::Oracle8,
+        )
+        .unwrap();
+        // VARRAY of VARRAY — rejected in Oracle 8 …
+        let err = cat.create_type(
+            TypeDef::Varray {
+                name: id("TypeVA_Outer"),
+                elem: SqlType::Object(id("TypeVA_Subject")),
+                max: 10,
+            },
+            DbMode::Oracle8,
+        );
+        assert!(matches!(err, Err(DbError::NestedCollectionNotSupported { .. })), "{err:?}");
+        // … and LOB elements too.
+        let err2 = cat.create_type(
+            TypeDef::NestedTable { name: id("TypeNT_Lob"), elem: SqlType::Clob },
+            DbMode::Oracle8,
+        );
+        assert!(matches!(err2, Err(DbError::NestedCollectionNotSupported { .. })));
+    }
+
+    #[test]
+    fn oracle9_accepts_nested_collections() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            TypeDef::Varray { name: id("TypeVA_Subject"), elem: SqlType::Varchar(4000), max: 9 },
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        let t = cat.create_type(
+            TypeDef::Varray {
+                name: id("TypeVA_Outer"),
+                elem: SqlType::Object(id("TypeVA_Subject")),
+                max: 10,
+            },
+            DbMode::Oracle9,
+        );
+        assert!(t.is_ok());
+        // The named element resolved to a collection reference.
+        let outer = cat.get_type(&id("TypeVA_Outer")).unwrap();
+        assert_eq!(outer.element_type(), Some(&SqlType::Varray(id("TypeVA_Subject"))));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat.create_type(
+            obj("T", &[("x", SqlType::Object(id("Missing")))]),
+            DbMode::Oracle9,
+        );
+        assert!(matches!(err, Err(DbError::UnknownType(_))));
+    }
+
+    #[test]
+    fn drop_type_respects_dependents() {
+        let mut cat = Catalog::new();
+        cat.create_type(obj("Inner", &[]), DbMode::Oracle9).unwrap();
+        cat.create_type(obj("Outer", &[("i", SqlType::Object(id("Inner")))]), DbMode::Oracle9)
+            .unwrap();
+        assert!(matches!(
+            cat.drop_type(&id("Inner"), false),
+            Err(DbError::DependentTypeExists { .. })
+        ));
+        cat.drop_type(&id("Inner"), true).unwrap(); // FORCE
+        assert!(cat.get_type(&id("Inner")).is_none());
+    }
+
+    #[test]
+    fn drop_type_blocked_by_dependent_table() {
+        let mut cat = Catalog::new();
+        cat.create_type(obj("T", &[]), DbMode::Oracle9).unwrap();
+        cat.create_table(TableDef::Object {
+            name: id("Tab"),
+            of_type: id("T"),
+            constraints: vec![],
+        })
+        .unwrap();
+        assert!(matches!(
+            cat.drop_type(&id("T"), false),
+            Err(DbError::DependentTypeExists { .. })
+        ));
+    }
+
+    #[test]
+    fn table_columns_for_object_tables_come_from_the_type() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            obj("Type_P", &[("a", SqlType::Varchar(10)), ("b", SqlType::Number)]),
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        cat.create_table(TableDef::Object {
+            name: id("TabP"),
+            of_type: id("Type_P"),
+            constraints: vec![],
+        })
+        .unwrap();
+        let table = cat.get_table(&id("TabP")).unwrap().clone();
+        let cols = cat.table_columns(&table);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0.as_str(), "a");
+    }
+
+    #[test]
+    fn names_shared_across_namespaces_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_type(obj("X", &[]), DbMode::Oracle9).unwrap();
+        let err = cat.create_table(TableDef::Relational {
+            name: id("X"),
+            columns: vec![],
+            constraints: vec![],
+            nested_table_stores: vec![],
+        });
+        assert!(matches!(err, Err(DbError::DuplicateName(_))));
+    }
+}

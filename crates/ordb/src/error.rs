@@ -1,0 +1,122 @@
+//! Engine error type, loosely modelled on Oracle's error taxonomy so the
+//! paper's failure scenarios (identifier too long, collection nesting in
+//! Oracle 8, constraint violations, …) surface as distinct variants.
+
+use std::fmt;
+
+/// Any failure raised by the engine: syntax, catalog, typing, constraint or
+/// execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL lexical or syntax error.
+    Syntax { message: String, position: usize },
+    /// Identifier longer than the 30-character Oracle limit (ORA-00972).
+    IdentifierTooLong(String),
+    /// Name not found in the catalog.
+    UnknownType(String),
+    UnknownTable(String),
+    UnknownColumn(String),
+    /// Name already exists.
+    DuplicateName(String),
+    /// Oracle 8 mode: collection element type is a collection or LOB (§2.2).
+    NestedCollectionNotSupported { collection: String, element: String },
+    /// A type that other objects depend on cannot be dropped without FORCE.
+    DependentTypeExists { dropped: String, dependent: String },
+    /// Constructor arity or typing mismatch.
+    ConstructorMismatch { type_name: String, message: String },
+    /// Value does not fit the declared column/attribute type.
+    TypeMismatch { expected: String, found: String },
+    /// String longer than its VARCHAR(n) bound (ORA-12899).
+    ValueTooLarge { column: String, max: u32, actual: usize },
+    /// VARRAY has more elements than its declared maximum.
+    VarrayLimitExceeded { type_name: String, max: u32, actual: usize },
+    /// NOT NULL constraint violated (ORA-01400).
+    NotNullViolation { column: String },
+    /// CHECK constraint evaluated to FALSE (ORA-02290).
+    CheckViolation { constraint: String },
+    /// PRIMARY KEY / UNIQUE violated (ORA-00001).
+    UniqueViolation { constraint: String },
+    /// REF points to no live row object.
+    DanglingRef,
+    /// Arbitrary execution failure with context.
+    Execution(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax { message, position } => {
+                write!(f, "SQL syntax error at offset {position}: {message}")
+            }
+            DbError::IdentifierTooLong(name) => {
+                write!(f, "identifier '{name}' exceeds 30 characters (ORA-00972)")
+            }
+            DbError::UnknownType(name) => write!(f, "type '{name}' does not exist"),
+            DbError::UnknownTable(name) => write!(f, "table or view '{name}' does not exist"),
+            DbError::UnknownColumn(name) => write!(f, "column or path '{name}' does not exist"),
+            DbError::DuplicateName(name) => {
+                write!(f, "name '{name}' is already used by an existing object")
+            }
+            DbError::NestedCollectionNotSupported { collection, element } => write!(
+                f,
+                "Oracle 8 mode: collection type '{collection}' cannot have element type \
+                 '{element}' (nested collections/LOBs require Oracle 9, §2.2)"
+            ),
+            DbError::DependentTypeExists { dropped, dependent } => write!(
+                f,
+                "cannot drop type '{dropped}': '{dependent}' depends on it (use DROP TYPE … FORCE)"
+            ),
+            DbError::ConstructorMismatch { type_name, message } => {
+                write!(f, "constructor {type_name}(…): {message}")
+            }
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::ValueTooLarge { column, max, actual } => write!(
+                f,
+                "value too large for column '{column}' (actual: {actual}, maximum: {max}) (ORA-12899)"
+            ),
+            DbError::VarrayLimitExceeded { type_name, max, actual } => write!(
+                f,
+                "VARRAY '{type_name}' limit exceeded: {actual} elements, maximum {max}"
+            ),
+            DbError::NotNullViolation { column } => {
+                write!(f, "cannot insert NULL into '{column}' (ORA-01400)")
+            }
+            DbError::CheckViolation { constraint } => {
+                write!(f, "check constraint ({constraint}) violated (ORA-02290)")
+            }
+            DbError::UniqueViolation { constraint } => {
+                write!(f, "unique constraint ({constraint}) violated (ORA-00001)")
+            }
+            DbError::DanglingRef => write!(f, "REF does not point to a live row object"),
+            DbError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_oracle_error_codes() {
+        assert!(DbError::NotNullViolation { column: "X".into() }.to_string().contains("ORA-01400"));
+        assert!(DbError::IdentifierTooLong("Y".into()).to_string().contains("ORA-00972"));
+        assert!(DbError::UniqueViolation { constraint: "PK".into() }
+            .to_string()
+            .contains("ORA-00001"));
+    }
+
+    #[test]
+    fn oracle8_nesting_message_names_both_types() {
+        let err = DbError::NestedCollectionNotSupported {
+            collection: "TypeVA_Course".into(),
+            element: "TypeVA_Professor".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("TypeVA_Course") && msg.contains("TypeVA_Professor"));
+    }
+}

@@ -1,0 +1,150 @@
+//! DDL execution: CREATE/DROP of types, tables and views.
+
+use crate::catalog::{Catalog, ColumnDef, Constraint, TableDef, TypeDef, ViewDef};
+use crate::error::DbError;
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::{ColumnSpec, SelectStmt, Stmt};
+use crate::stats::ExecStats;
+use crate::storage::Storage;
+use crate::types::SqlType;
+
+/// Execute one DDL statement. Returns `true` if the statement was DDL.
+pub fn execute_ddl(
+    catalog: &mut Catalog,
+    storage: &mut Storage,
+    stats: &mut ExecStats,
+    mode: DbMode,
+    stmt: &Stmt,
+) -> Result<bool, DbError> {
+    match stmt {
+        Stmt::CreateTypeForward { name } => {
+            catalog.create_type(
+                TypeDef::Object { name: name.clone(), attrs: vec![], incomplete: true },
+                mode,
+            )?;
+            stats.types_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateObjectType { name, attrs } => {
+            catalog.create_type(
+                TypeDef::Object { name: name.clone(), attrs: attrs.clone(), incomplete: false },
+                mode,
+            )?;
+            stats.types_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateVarrayType { name, max, elem } => {
+            catalog.create_type(
+                TypeDef::Varray { name: name.clone(), elem: elem.clone(), max: *max },
+                mode,
+            )?;
+            stats.types_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateNestedTableType { name, elem } => {
+            catalog.create_type(
+                TypeDef::NestedTable { name: name.clone(), elem: elem.clone() },
+                mode,
+            )?;
+            stats.types_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateObjectTable { name, of_type, constraints } => {
+            catalog.create_table(TableDef::Object {
+                name: name.clone(),
+                of_type: of_type.clone(),
+                constraints: constraints.clone(),
+            })?;
+            storage.create_table(name.clone());
+            stats.tables_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateRelationalTable { name, columns, constraints, nested_table_stores } => {
+            let (column_defs, mut all_constraints) = split_column_specs(columns);
+            all_constraints.extend(constraints.iter().cloned());
+            validate_nested_table_stores(catalog, &column_defs, nested_table_stores)?;
+            catalog.create_table(TableDef::Relational {
+                name: name.clone(),
+                columns: column_defs,
+                constraints: all_constraints,
+                nested_table_stores: nested_table_stores.clone(),
+            })?;
+            storage.create_table(name.clone());
+            stats.tables_created += 1;
+            Ok(true)
+        }
+        Stmt::CreateView { name, query, or_replace } => {
+            if *or_replace && catalog.get_view(name).is_some() {
+                catalog.drop_view(name)?;
+            }
+            create_view(catalog, name, query)?;
+            Ok(true)
+        }
+        Stmt::DropType { name, force } => {
+            catalog.drop_type(name, *force)?;
+            Ok(true)
+        }
+        Stmt::DropTable { name } => {
+            catalog.drop_table(name)?;
+            storage.drop_table(name);
+            Ok(true)
+        }
+        Stmt::DropView { name } => {
+            catalog.drop_view(name)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn create_view(catalog: &mut Catalog, name: &Ident, query: &SelectStmt) -> Result<(), DbError> {
+    catalog.create_view(ViewDef { name: name.clone(), query: query.clone() })
+}
+
+/// Split parsed column specs into catalog column definitions plus the
+/// constraints implied by inline `NOT NULL` / `PRIMARY KEY` markers.
+fn split_column_specs(specs: &[ColumnSpec]) -> (Vec<ColumnDef>, Vec<Constraint>) {
+    let mut columns = Vec::with_capacity(specs.len());
+    let mut constraints = Vec::new();
+    for spec in specs {
+        columns.push(ColumnDef { name: spec.name.clone(), sql_type: spec.sql_type.clone() });
+        if spec.primary_key {
+            constraints.push(Constraint::PrimaryKey(vec![spec.name.clone()]));
+        } else if spec.not_null {
+            constraints.push(Constraint::NotNull(spec.name.clone()));
+        }
+    }
+    (columns, constraints)
+}
+
+/// Every `NESTED TABLE col STORE AS t` clause must name a column whose type
+/// is a nested-table collection (Oracle requires the clause; we require its
+/// correctness).
+fn validate_nested_table_stores(
+    catalog: &Catalog,
+    columns: &[ColumnDef],
+    stores: &[(Ident, Ident)],
+) -> Result<(), DbError> {
+    for (col, _store) in stores {
+        let def = columns
+            .iter()
+            .find(|c| &c.name == col)
+            .ok_or_else(|| DbError::UnknownColumn(col.as_str().to_string()))?;
+        let is_nested = match &def.sql_type {
+            SqlType::NestedTable(_) => true,
+            SqlType::Object(name) | SqlType::Varray(name) => matches!(
+                catalog.get_type(name),
+                Some(TypeDef::NestedTable { .. })
+            ),
+            _ => false,
+        };
+        if !is_nested {
+            return Err(DbError::TypeMismatch {
+                expected: "nested table column".into(),
+                found: format!("{} ({})", col.as_str(), def.sql_type),
+            });
+        }
+    }
+    Ok(())
+}

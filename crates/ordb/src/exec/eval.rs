@@ -1,0 +1,569 @@
+//! Expression evaluation: literals, dot-notation paths (with implicit REF
+//! dereference), constructors, built-ins, subqueries, three-valued logic.
+
+use crate::catalog::{Catalog, TableDef, TypeDef};
+use crate::error::DbError;
+use crate::exec::select::execute_select;
+use crate::exec::Env;
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::{BinOp, Expr};
+use crate::stats::ExecStats;
+use crate::storage::Storage;
+use crate::types::SqlType;
+use crate::value::{Oid, Value};
+
+/// Read-only execution context plus the statistics sink.
+pub struct ExecCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub storage: &'a Storage,
+    pub stats: &'a mut ExecStats,
+    pub mode: DbMode,
+}
+
+/// Evaluate an expression to a value.
+pub fn eval_expr(ctx: &mut ExecCtx, env: &Env, expr: &Expr) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Path(parts) => resolve_path(ctx, env, parts),
+        Expr::Call { name, args } => eval_call(ctx, env, name, args),
+        Expr::CountStar => Err(DbError::Execution(
+            "COUNT(*) is only valid as a top-level select item".into(),
+        )),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::And | BinOp::Or => Ok(bool_to_value(eval_bool(ctx, env, expr)?)),
+            BinOp::Concat => {
+                let l = eval_expr(ctx, env, lhs)?;
+                let r = eval_expr(ctx, env, rhs)?;
+                Ok(Value::Str(format!(
+                    "{}{}",
+                    null_to_empty(&l),
+                    null_to_empty(&r)
+                )))
+            }
+            _ => Ok(bool_to_value(eval_bool(ctx, env, expr)?)),
+        },
+        Expr::Not(_) | Expr::IsNull { .. } | Expr::Like { .. } | Expr::Exists(_) => {
+            Ok(bool_to_value(eval_bool(ctx, env, expr)?))
+        }
+        Expr::RefOf(alias) => {
+            let frame = env
+                .frame(alias)
+                .ok_or_else(|| DbError::UnknownColumn(alias.as_str().to_string()))?;
+            match frame.oid {
+                Some(oid) => Ok(Value::Ref(oid)),
+                None => Err(DbError::Execution(format!(
+                    "REF({alias}): '{alias}' is not a row of an object table"
+                ))),
+            }
+        }
+        Expr::Deref(inner) => {
+            let v = eval_expr(ctx, env, inner)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Ref(oid) => deref_oid(ctx, oid),
+                other => Err(DbError::TypeMismatch {
+                    expected: "REF".into(),
+                    found: other.to_sql_literal(),
+                }),
+            }
+        }
+        Expr::Subquery(query) => {
+            let result = execute_select(ctx, query, Some(env))?;
+            match result.rows.len() {
+                0 => Ok(Value::Null),
+                1 => {
+                    if result.rows[0].len() != 1 {
+                        return Err(DbError::Execution(
+                            "scalar subquery must select exactly one column".into(),
+                        ));
+                    }
+                    Ok(result.rows[0][0].clone())
+                }
+                n => Err(DbError::Execution(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+            }
+        }
+        Expr::CastMultiset { query, target } => {
+            let def = ctx
+                .catalog
+                .get_type(target)
+                .ok_or_else(|| DbError::UnknownType(target.as_str().to_string()))?;
+            let elem_type = def
+                .element_type()
+                .ok_or_else(|| DbError::TypeMismatch {
+                    expected: "collection type".into(),
+                    found: target.as_str().to_string(),
+                })?
+                .clone();
+            let max = match def {
+                TypeDef::Varray { max, .. } => Some(*max),
+                _ => None,
+            };
+            let result = execute_select(ctx, query, Some(env))?;
+            let mut elements = Vec::with_capacity(result.rows.len());
+            for row in result.rows {
+                if row.len() != 1 {
+                    return Err(DbError::Execution(
+                        "MULTISET subquery must select exactly one column".into(),
+                    ));
+                }
+                elements.push(coerce(ctx, row.into_iter().next().unwrap(), &elem_type, "MULTISET")?);
+            }
+            if let Some(max) = max {
+                if elements.len() > max as usize {
+                    return Err(DbError::VarrayLimitExceeded {
+                        type_name: target.as_str().to_string(),
+                        max,
+                        actual: elements.len(),
+                    });
+                }
+            }
+            Ok(Value::Coll { type_name: target.clone(), elements })
+        }
+    }
+}
+
+/// Three-valued boolean evaluation (SQL TRUE / FALSE / UNKNOWN as
+/// `Some(true) / Some(false) / None`).
+pub fn eval_bool(ctx: &mut ExecCtx, env: &Env, expr: &Expr) -> Result<Option<bool>, DbError> {
+    match expr {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            let l = eval_bool(ctx, env, lhs)?;
+            if l == Some(false) {
+                return Ok(Some(false));
+            }
+            let r = eval_bool(ctx, env, rhs)?;
+            Ok(match (l, r) {
+                (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+        }
+        Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+            let l = eval_bool(ctx, env, lhs)?;
+            if l == Some(true) {
+                return Ok(Some(true));
+            }
+            let r = eval_bool(ctx, env, rhs)?;
+            Ok(match (l, r) {
+                (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        Expr::Not(inner) => Ok(eval_bool(ctx, env, inner)?.map(|b| !b)),
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(ctx, env, expr)?;
+            let is_null = v.is_null();
+            Ok(Some(if *negated { !is_null } else { is_null }))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_expr(ctx, env, expr)?;
+            match v {
+                Value::Null => Ok(None),
+                other => {
+                    let text = match other {
+                        Value::Str(s) | Value::Date(s) => s,
+                        Value::Num(n) => Value::Num(n).to_string(),
+                        _ => {
+                            return Err(DbError::TypeMismatch {
+                                expected: "string".into(),
+                                found: "object/collection".into(),
+                            })
+                        }
+                    };
+                    let matched = like_match(pattern, &text);
+                    Ok(Some(if *negated { !matched } else { matched }))
+                }
+            }
+        }
+        Expr::Exists(query) => {
+            let result = execute_select(ctx, query, Some(env))?;
+            Ok(Some(!result.rows.is_empty()))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(ctx, env, lhs)?;
+            let r = eval_expr(ctx, env, rhs)?;
+            Ok(match op {
+                BinOp::Eq => l.sql_eq(&r),
+                BinOp::Ne => l.sql_eq(&r).map(|b| !b),
+                BinOp::Lt => l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less),
+                BinOp::Le => l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Greater),
+                BinOp::Gt => l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater),
+                BinOp::Ge => l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Less),
+                BinOp::And | BinOp::Or | BinOp::Concat => unreachable!("handled above"),
+            })
+        }
+        other => {
+            // A non-boolean expression in boolean position: NULL → UNKNOWN,
+            // anything else is a type error.
+            let v = eval_expr(ctx, env, other)?;
+            match v {
+                Value::Null => Ok(None),
+                _ => Err(DbError::Execution(
+                    "expected a boolean condition".into(),
+                )),
+            }
+        }
+    }
+}
+
+fn bool_to_value(b: Option<bool>) -> Value {
+    // SQL has no boolean literals in this dialect; conditions appearing in
+    // value position materialize as 1/0/NULL (Oracle NUMBER convention).
+    match b {
+        Some(true) => Value::Num(1.0),
+        Some(false) => Value::Num(0.0),
+        None => Value::Null,
+    }
+}
+
+fn null_to_empty(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// `%`/`_` pattern matching (no escape support — the generated scripts never
+/// need it).
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|i| rec(rest, &t[i..]))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((ch, rest)) => t.first() == Some(ch) && rec(rest, &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+/// Follow an OID to the full row object value.
+pub fn deref_oid(ctx: &mut ExecCtx, oid: Oid) -> Result<Value, DbError> {
+    ctx.stats.derefs += 1;
+    let (table_name, row) = ctx.storage.resolve_oid(oid).ok_or(DbError::DanglingRef)?;
+    let table = ctx
+        .catalog
+        .get_table(table_name)
+        .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
+    match table {
+        TableDef::Object { of_type, .. } => Ok(Value::Obj {
+            type_name: of_type.clone(),
+            attrs: row.values.clone(),
+        }),
+        TableDef::Relational { .. } => Err(DbError::Execution(
+            "REF target is not an object table".into(),
+        )),
+    }
+}
+
+/// Resolve a dot path against the environment.
+pub fn resolve_path(ctx: &mut ExecCtx, env: &Env, parts: &[Ident]) -> Result<Value, DbError> {
+    let full = || parts.iter().map(|p| p.as_str()).collect::<Vec<_>>().join(".");
+    // Qualified: binding.column....
+    if let Some(frame) = env.frame(&parts[0]) {
+        if parts.len() == 1 {
+            return match &frame.object_type {
+                Some(type_name) => Ok(Value::Obj {
+                    type_name: type_name.clone(),
+                    attrs: frame.values.clone(),
+                }),
+                None if frame.columns.len() == 1 => Ok(frame.values[0].clone()),
+                None => Err(DbError::Execution(format!(
+                    "'{}' denotes a whole row, not a value",
+                    parts[0]
+                ))),
+            };
+        }
+        let mut value = frame
+            .column_value(&parts[1])
+            .cloned()
+            .ok_or_else(|| DbError::UnknownColumn(full()))?;
+        for part in &parts[2..] {
+            value = navigate(ctx, value, part)?;
+        }
+        return Ok(value);
+    }
+    // Unqualified: column....
+    if let Some(frame) = env.frame_with_column(&parts[0]) {
+        let mut value = frame.column_value(&parts[0]).cloned().unwrap();
+        for part in &parts[1..] {
+            value = navigate(ctx, value, part)?;
+        }
+        return Ok(value);
+    }
+    Err(DbError::UnknownColumn(full()))
+}
+
+/// Navigate one step into an object value; REFs dereference implicitly, and
+/// navigation through NULL yields NULL (the §4.3 CHECK quirk builds on this).
+pub fn navigate(ctx: &mut ExecCtx, value: Value, part: &Ident) -> Result<Value, DbError> {
+    match value {
+        Value::Null => Ok(Value::Null),
+        Value::Obj { type_name, attrs } => {
+            let def = ctx
+                .catalog
+                .get_type(&type_name)
+                .ok_or_else(|| DbError::UnknownType(type_name.as_str().to_string()))?;
+            let idx = def
+                .object_attrs()
+                .iter()
+                .position(|(name, _)| name == part)
+                .ok_or_else(|| {
+                    DbError::UnknownColumn(format!("{}.{}", type_name.as_str(), part.as_str()))
+                })?;
+            Ok(attrs.get(idx).cloned().unwrap_or(Value::Null))
+        }
+        Value::Ref(oid) => {
+            let obj = deref_oid(ctx, oid)?;
+            navigate(ctx, obj, part)
+        }
+        other => Err(DbError::UnknownColumn(format!(
+            "cannot navigate '{}' into {}",
+            part.as_str(),
+            other.to_sql_literal()
+        ))),
+    }
+}
+
+/// Evaluate a call: a type constructor if the name is a catalog type,
+/// otherwise a built-in function.
+fn eval_call(
+    ctx: &mut ExecCtx,
+    env: &Env,
+    name: &Ident,
+    args: &[Expr],
+) -> Result<Value, DbError> {
+    if ctx.catalog.get_type(name).is_some() {
+        let mut values = Vec::with_capacity(args.len());
+        for arg in args {
+            values.push(eval_expr(ctx, env, arg)?);
+        }
+        return construct(ctx, name, values);
+    }
+    match name.key() {
+        "UPPER" | "LOWER" | "LENGTH" => {
+            if args.len() != 1 {
+                return Err(DbError::Execution(format!("{name} takes one argument")));
+            }
+            let v = eval_expr(ctx, env, &args[0])?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(match name.key() {
+                    "UPPER" => Value::Str(s.to_uppercase()),
+                    "LOWER" => Value::Str(s.to_lowercase()),
+                    _ => Value::Num(s.chars().count() as f64),
+                }),
+                other => Err(DbError::TypeMismatch {
+                    expected: "string".into(),
+                    found: other.to_sql_literal(),
+                }),
+            }
+        }
+        "TO_NUMBER" => {
+            if args.len() != 1 {
+                return Err(DbError::Execution("TO_NUMBER takes one argument".into()));
+            }
+            let v = eval_expr(ctx, env, &args[0])?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                other => other.as_num().map(Value::Num).ok_or(DbError::TypeMismatch {
+                    expected: "number".into(),
+                    found: "non-numeric string".into(),
+                }),
+            }
+        }
+        "TO_CHAR" => {
+            if args.len() != 1 {
+                return Err(DbError::Execution("TO_CHAR takes one argument".into()));
+            }
+            let v = eval_expr(ctx, env, &args[0])?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                other => Value::Str(other.to_string()),
+            })
+        }
+        _ => Err(DbError::UnknownType(name.as_str().to_string())),
+    }
+}
+
+/// Build an object or collection value via its type constructor, coercing
+/// the arguments to the declared attribute/element types.
+pub fn construct(ctx: &mut ExecCtx, type_name: &Ident, args: Vec<Value>) -> Result<Value, DbError> {
+    let def = ctx
+        .catalog
+        .get_type(type_name)
+        .ok_or_else(|| DbError::UnknownType(type_name.as_str().to_string()))?
+        .clone();
+    match def {
+        TypeDef::Object { name, attrs, incomplete } => {
+            if incomplete {
+                return Err(DbError::ConstructorMismatch {
+                    type_name: name.as_str().to_string(),
+                    message: "type is an incomplete forward declaration".into(),
+                });
+            }
+            if args.len() != attrs.len() {
+                return Err(DbError::ConstructorMismatch {
+                    type_name: name.as_str().to_string(),
+                    message: format!("expected {} arguments, got {}", attrs.len(), args.len()),
+                });
+            }
+            let mut coerced = Vec::with_capacity(args.len());
+            for (value, (attr_name, attr_type)) in args.into_iter().zip(&attrs) {
+                coerced.push(coerce(ctx, value, attr_type, attr_name.as_str())?);
+            }
+            Ok(Value::Obj { type_name: name, attrs: coerced })
+        }
+        TypeDef::Varray { name, elem, max } => {
+            if args.len() > max as usize {
+                return Err(DbError::VarrayLimitExceeded {
+                    type_name: name.as_str().to_string(),
+                    max,
+                    actual: args.len(),
+                });
+            }
+            let mut coerced = Vec::with_capacity(args.len());
+            for value in args {
+                coerced.push(coerce(ctx, value, &elem, name.as_str())?);
+            }
+            Ok(Value::Coll { type_name: name, elements: coerced })
+        }
+        TypeDef::NestedTable { name, elem } => {
+            let mut coerced = Vec::with_capacity(args.len());
+            for value in args {
+                coerced.push(coerce(ctx, value, &elem, name.as_str())?);
+            }
+            Ok(Value::Coll { type_name: name, elements: coerced })
+        }
+    }
+}
+
+/// Coerce a value to a declared SQL type, enforcing VARCHAR length bounds
+/// (the paper's §7 "restricted maximum length" drawback is real here).
+pub fn coerce(
+    ctx: &mut ExecCtx,
+    value: Value,
+    target: &SqlType,
+    context: &str,
+) -> Result<Value, DbError> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    match target {
+        SqlType::Varchar(max) | SqlType::Char(max) => {
+            let text = match value {
+                Value::Str(s) => s,
+                Value::Num(n) => Value::Num(n).to_string(),
+                Value::Date(s) => s,
+                other => {
+                    return Err(DbError::TypeMismatch {
+                        expected: target.to_string(),
+                        found: other.to_sql_literal(),
+                    })
+                }
+            };
+            if text.chars().count() > *max as usize {
+                return Err(DbError::ValueTooLarge {
+                    column: context.to_string(),
+                    max: *max,
+                    actual: text.chars().count(),
+                });
+            }
+            Ok(Value::Str(text))
+        }
+        SqlType::Clob => match value {
+            Value::Str(s) => Ok(Value::Str(s)),
+            Value::Num(n) => Ok(Value::Str(Value::Num(n).to_string())),
+            other => Err(DbError::TypeMismatch {
+                expected: "CLOB".into(),
+                found: other.to_sql_literal(),
+            }),
+        },
+        SqlType::Number | SqlType::Integer => match value.as_num() {
+            Some(n) => Ok(Value::Num(if matches!(target, SqlType::Integer) {
+                n.trunc()
+            } else {
+                n
+            })),
+            None => Err(DbError::TypeMismatch {
+                expected: target.to_string(),
+                found: value.to_sql_literal(),
+            }),
+        },
+        SqlType::Date => match value {
+            Value::Date(s) | Value::Str(s) => Ok(Value::Date(s)),
+            other => Err(DbError::TypeMismatch {
+                expected: "DATE".into(),
+                found: other.to_sql_literal(),
+            }),
+        },
+        SqlType::Object(expected) => match value {
+            Value::Obj { ref type_name, .. } if type_name == expected => Ok(value),
+            other => Err(DbError::TypeMismatch {
+                expected: expected.as_str().to_string(),
+                found: other.to_sql_literal(),
+            }),
+        },
+        SqlType::Varray(expected) | SqlType::NestedTable(expected) => match value {
+            Value::Coll { ref type_name, .. } if type_name == expected => Ok(value),
+            other => Err(DbError::TypeMismatch {
+                expected: expected.as_str().to_string(),
+                found: other.to_sql_literal(),
+            }),
+        },
+        SqlType::Ref(expected) => match value {
+            Value::Ref(oid) => {
+                // Verify the target row's object type.
+                if let Some((table_name, _)) = ctx.storage.resolve_oid(oid) {
+                    if let Some(TableDef::Object { of_type, .. }) =
+                        ctx.catalog.get_table(table_name)
+                    {
+                        if of_type != expected {
+                            return Err(DbError::TypeMismatch {
+                                expected: format!("REF {expected}"),
+                                found: format!("REF {of_type}"),
+                            });
+                        }
+                    }
+                }
+                Ok(Value::Ref(oid))
+            }
+            other => Err(DbError::TypeMismatch {
+                expected: format!("REF {expected}"),
+                found: other.to_sql_literal(),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("J%", "Jaeger"));
+        assert!(like_match("%ger", "Jaeger"));
+        assert!(like_match("%aeg%", "Jaeger"));
+        assert!(like_match("J_eger", "Jaeger"));
+        assert!(!like_match("J_ger", "Jaeger"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abcd"));
+    }
+
+    #[test]
+    fn like_with_multiple_wildcards() {
+        assert!(like_match("%a%b%", "xxaxxbxx"));
+        assert!(!like_match("%a%b%", "ba")); // 'b' precedes the only 'a'
+    }
+}

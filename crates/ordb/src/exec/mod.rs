@@ -1,0 +1,134 @@
+//! Statement execution: DDL, DML and queries.
+//!
+//! The executor is a set of free functions over `(Catalog, Storage,
+//! ExecStats, DbMode)` so the [`crate::Database`] façade can split its
+//! mutable borrows cleanly.
+
+pub mod ddl;
+pub mod dml;
+pub mod eval;
+pub mod select;
+
+use std::rc::Rc;
+
+use crate::ident::Ident;
+use crate::value::{Oid, Value};
+
+/// One row binding visible during evaluation: `binding.column` paths resolve
+/// against `columns`/`values`; `oid` is set for rows of object tables so
+/// `REF(binding)` works.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub binding: Ident,
+    pub columns: Vec<Ident>,
+    pub values: Vec<Value>,
+    pub oid: Option<Oid>,
+    /// Set when the row is an instance of an object type (object-table rows
+    /// and object-valued collection elements): a bare `binding` reference in
+    /// an expression then denotes the whole object.
+    pub object_type: Option<Ident>,
+}
+
+impl Frame {
+    pub fn column_value(&self, name: &Ident) -> Option<&Value> {
+        self.columns.iter().position(|c| c == name).map(|i| &self.values[i])
+    }
+}
+
+/// Evaluation environment: the current row combination plus (for correlated
+/// subqueries) the enclosing query's environment.
+///
+/// Frames are reference-counted so join machinery can extend combinations
+/// without deep-copying row payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Env<'a> {
+    pub frames: &'a [Rc<Frame>],
+    pub parent: Option<&'a Env<'a>>,
+}
+
+impl<'a> Env<'a> {
+    pub const EMPTY: Env<'static> = Env { frames: &[], parent: None };
+
+    pub fn new(frames: &'a [Rc<Frame>]) -> Env<'a> {
+        Env { frames, parent: None }
+    }
+
+    pub fn with_parent(frames: &'a [Rc<Frame>], parent: &'a Env<'a>) -> Env<'a> {
+        Env { frames, parent: Some(parent) }
+    }
+
+    /// Find a frame by binding name, innermost first.
+    pub fn frame(&self, binding: &Ident) -> Option<&Frame> {
+        self.frames
+            .iter()
+            .find(|f| &f.binding == binding)
+            .map(Rc::as_ref)
+            .or_else(|| self.parent.and_then(|p| p.frame(binding)))
+    }
+
+    /// Find the unique frame containing a column of this name (for
+    /// unqualified column references). Searches the innermost scope first;
+    /// ambiguity within one scope resolves to the first FROM item, like
+    /// Oracle resolves unqualified names positionally.
+    pub fn frame_with_column(&self, column: &Ident) -> Option<&Frame> {
+        self.frames
+            .iter()
+            .find(|f| f.columns.iter().any(|c| c == column))
+            .map(Rc::as_ref)
+            .or_else(|| self.parent.and_then(|p| p.frame_with_column(column)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::internal(s)
+    }
+
+    fn frame(binding: &str, cols: &[(&str, Value)]) -> Rc<Frame> {
+        Rc::new(Frame {
+            binding: id(binding),
+            columns: cols.iter().map(|(c, _)| id(c)).collect(),
+            values: cols.iter().map(|(_, v)| v.clone()).collect(),
+            oid: None,
+            object_type: None,
+        })
+    }
+
+    #[test]
+    fn frame_lookup_by_binding_and_column() {
+        let frames = vec![
+            frame("a", &[("x", Value::Num(1.0))]),
+            frame("b", &[("y", Value::Num(2.0))]),
+        ];
+        let env = Env::new(&frames);
+        assert!(env.frame(&id("b")).is_some());
+        assert!(env.frame(&id("zz")).is_none());
+        assert_eq!(
+            env.frame_with_column(&id("y")).unwrap().binding.as_str(),
+            "b"
+        );
+    }
+
+    #[test]
+    fn parent_scopes_are_searched_outward() {
+        let outer_frames = vec![frame("o", &[("deep", Value::str("v"))])];
+        let outer = Env::new(&outer_frames);
+        let inner_frames = vec![frame("i", &[("x", Value::Null)])];
+        let inner = Env::with_parent(&inner_frames, &outer);
+        assert!(inner.frame(&id("o")).is_some());
+        assert!(inner.frame_with_column(&id("deep")).is_some());
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let outer_frames = vec![frame("t", &[("x", Value::str("outer"))])];
+        let outer = Env::new(&outer_frames);
+        let inner_frames = vec![frame("t", &[("x", Value::str("inner"))])];
+        let inner = Env::with_parent(&inner_frames, &outer);
+        let f = inner.frame(&id("t")).unwrap();
+        assert_eq!(f.values[0], Value::str("inner"));
+    }
+}

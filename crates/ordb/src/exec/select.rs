@@ -1,0 +1,429 @@
+//! SELECT execution: nested-loop FROM evaluation (with lateral visibility
+//! for `TABLE(...)` un-nesting), WHERE filtering, projection, DISTINCT and
+//! ORDER BY. Views — object views included (§6.3) — expand inline.
+
+use crate::catalog::TableDef;
+use crate::error::DbError;
+use crate::exec::eval::{eval_bool, eval_expr, ExecCtx};
+use crate::exec::{Env, Frame};
+use crate::ident::Ident;
+use crate::sql::ast::{Expr, FromItem, SelectStmt};
+use crate::value::Value;
+use std::rc::Rc;
+
+/// A query result: column names and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Single-value convenience accessor.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.rows.first()) {
+            (1, Some(row)) if row.len() == 1 => Some(&row[0]),
+            _ => None,
+        }
+    }
+}
+
+/// Execute a SELECT. `outer` carries the enclosing environment for
+/// correlated subqueries.
+pub fn execute_select(
+    ctx: &mut ExecCtx,
+    stmt: &SelectStmt,
+    outer: Option<&Env>,
+) -> Result<QueryResult, DbError> {
+    // 0. Split the WHERE clause into AND-conjuncts and schedule each at the
+    //    earliest FROM position where all bindings it references are bound —
+    //    without this pushdown, self-join chains (the edge-table baseline
+    //    runs 7-way joins) materialize the full cross product.
+    let bindings: Vec<Ident> = stmt.from.iter().map(FromItem::binding).collect();
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(pred) = &stmt.where_clause {
+        split_and(pred, &mut conjuncts);
+    }
+    let mut scheduled: Vec<(usize, Expr)> = Vec::new();
+    for conjunct in conjuncts {
+        let position = conjunct_position(&conjunct, &bindings);
+        scheduled.push((position, conjunct));
+    }
+
+    // 1. FROM: build row combinations left to right (nested loops). Later
+    //    items see earlier bindings (needed by TABLE(t.attr) un-nesting),
+    //    and conjuncts filter as soon as their inputs are bound.
+    let mut combos: Vec<Vec<Rc<Frame>>> = vec![Vec::new()];
+    if stmt.from.len() > 1 {
+        ctx.stats.join_queries += 1;
+    }
+    for (item_idx, item) in stmt.from.iter().enumerate() {
+        let applicable: Vec<&Expr> = scheduled
+            .iter()
+            .filter(|(pos, _)| *pos == item_idx)
+            .map(|(_, e)| e)
+            .collect();
+        let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
+        for combo in &combos {
+            let frames = expand_from_item(ctx, item, combo, outer)?;
+            ctx.stats.rows_scanned += frames.len() as u64;
+            if item_idx > 0 {
+                ctx.stats.join_pairs += frames.len() as u64;
+            }
+            for frame in frames {
+                let mut extended = combo.clone();
+                extended.push(Rc::new(frame));
+                let mut keep = true;
+                for conjunct in &applicable {
+                    let env = make_env(&extended, outer);
+                    if eval_bool(ctx, &env, conjunct)? != Some(true) {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    next.push(extended);
+                }
+            }
+        }
+        combos = next;
+    }
+
+    // 2. Residual WHERE conjuncts (those deferred to the end).
+    let final_pos = stmt.from.len().saturating_sub(1);
+    let residual: Vec<&Expr> = scheduled
+        .iter()
+        .filter(|(pos, _)| *pos > final_pos)
+        .map(|(_, e)| e)
+        .collect();
+    let mut surviving: Vec<Vec<Rc<Frame>>> = Vec::new();
+    for combo in combos {
+        let mut keep = true;
+        for conjunct in &residual {
+            let env = make_env(&combo, outer);
+            if eval_bool(ctx, &env, conjunct)? != Some(true) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            surviving.push(combo);
+        }
+    }
+
+    // 3. Aggregate shortcut: COUNT(*) queries.
+    if !stmt.star && stmt.items.iter().any(|i| matches!(i.expr, Expr::CountStar)) {
+        if stmt.items.len() != 1 {
+            return Err(DbError::Execution(
+                "COUNT(*) cannot be combined with other select items".into(),
+            ));
+        }
+        let name = stmt.items[0]
+            .alias
+            .as_ref()
+            .map(|a| a.as_str().to_string())
+            .unwrap_or_else(|| "COUNT(*)".to_string());
+        return Ok(QueryResult {
+            columns: vec![name],
+            rows: vec![vec![Value::Num(surviving.len() as f64)]],
+        });
+    }
+
+    // 4. Projection.
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut order_keys: Vec<Vec<Value>> = Vec::new();
+    for (row_idx, combo) in surviving.iter().enumerate() {
+        let env = make_env(combo, outer);
+        let mut row = Vec::new();
+        if stmt.star {
+            for frame in combo {
+                for (col, val) in frame.columns.iter().zip(&frame.values) {
+                    if row_idx == 0 {
+                        columns.push(col.as_str().to_string());
+                    }
+                    row.push(val.clone());
+                }
+            }
+        } else {
+            for (i, item) in stmt.items.iter().enumerate() {
+                if row_idx == 0 {
+                    columns.push(item_column_name(item, i));
+                }
+                row.push(eval_expr(ctx, &env, &item.expr)?);
+            }
+        }
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (expr, _) in &stmt.order_by {
+                keys.push(eval_expr(ctx, &env, expr)?);
+            }
+            order_keys.push(keys);
+        }
+        rows.push(row);
+    }
+    if columns.is_empty() {
+        // No rows: still report column names.
+        if stmt.star {
+            columns = star_columns(ctx, stmt)?;
+        } else {
+            columns = stmt
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| item_column_name(item, i))
+                .collect();
+        }
+    }
+
+    // 5. ORDER BY (stable sort on the precomputed keys).
+    if !stmt.order_by.is_empty() {
+        let mut indexed: Vec<usize> = (0..rows.len()).collect();
+        indexed.sort_by(|&a, &b| {
+            for (k, (_, asc)) in stmt.order_by.iter().enumerate() {
+                let ord = order_keys[a][k]
+                    .sql_cmp(&order_keys[b][k])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = indexed.into_iter().map(|i| rows[i].clone()).collect();
+    }
+
+    // 6. DISTINCT.
+    if stmt.distinct {
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        rows.retain(|row| {
+            if seen.contains(row) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            }
+        });
+    }
+
+    Ok(QueryResult { columns, rows })
+}
+
+/// Flatten nested ANDs into a conjunct list.
+fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary { op: crate::sql::ast::BinOp::And, lhs, rhs } => {
+            split_and(lhs, out);
+            split_and(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Earliest FROM index after which a conjunct can be evaluated: the maximum
+/// position of any binding it references. Conjuncts referencing anything we
+/// cannot attribute to a binding (unqualified columns, subqueries, outer
+/// scopes) are deferred (`usize::MAX`).
+fn conjunct_position(expr: &Expr, bindings: &[Ident]) -> usize {
+    let mut max_pos = 0usize;
+    let mut deferred = false;
+    visit_refs(expr, &mut |head| {
+        match bindings.iter().position(|b| b == head) {
+            Some(pos) => max_pos = max_pos.max(pos),
+            None => deferred = true,
+        }
+    });
+    if has_subquery(expr) {
+        deferred = true;
+    }
+    if deferred {
+        usize::MAX
+    } else {
+        max_pos
+    }
+}
+
+fn visit_refs(expr: &Expr, visit: &mut impl FnMut(&Ident)) {
+    match expr {
+        Expr::Path(parts) => {
+            if let Some(head) = parts.first() {
+                visit(head);
+            }
+        }
+        Expr::RefOf(alias) => visit(alias),
+        Expr::Call { args, .. } => {
+            for arg in args {
+                visit_refs(arg, visit);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_refs(lhs, visit);
+            visit_refs(rhs, visit);
+        }
+        Expr::Not(inner) | Expr::Deref(inner) => visit_refs(inner, visit),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => visit_refs(expr, visit),
+        Expr::Literal(_) | Expr::CountStar => {}
+        // Subqueries handled by `has_subquery`.
+        Expr::Subquery(_) | Expr::CastMultiset { .. } | Expr::Exists(_) => {}
+    }
+}
+
+fn has_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Subquery(_) | Expr::CastMultiset { .. } | Expr::Exists(_) => true,
+        Expr::Call { args, .. } => args.iter().any(has_subquery),
+        Expr::Binary { lhs, rhs, .. } => has_subquery(lhs) || has_subquery(rhs),
+        Expr::Not(inner) | Expr::Deref(inner) => has_subquery(inner),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => has_subquery(expr),
+        _ => false,
+    }
+}
+
+fn make_env<'a>(frames: &'a [Rc<Frame>], outer: Option<&'a Env<'a>>) -> Env<'a> {
+    match outer {
+        Some(parent) => Env::with_parent(frames, parent),
+        None => Env::new(frames),
+    }
+}
+
+fn item_column_name(item: &crate::sql::ast::SelectItem, index: usize) -> String {
+    if let Some(alias) = &item.alias {
+        return alias.as_str().to_string();
+    }
+    match &item.expr {
+        Expr::Path(parts) => parts.last().unwrap().as_str().to_string(),
+        _ => format!("COL{}", index + 1),
+    }
+}
+
+/// Column names a `SELECT *` would produce when there are no rows.
+fn star_columns(ctx: &ExecCtx, stmt: &SelectStmt) -> Result<Vec<String>, DbError> {
+    let mut out = Vec::new();
+    for item in &stmt.from {
+        if let FromItem::Table { name, .. } = item {
+            if let Some(table) = ctx.catalog.get_table(name) {
+                for (col, _) in ctx.catalog.table_columns(table) {
+                    out.push(col.as_str().to_string());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Produce the frames of one FROM item given the already-bound combo.
+fn expand_from_item(
+    ctx: &mut ExecCtx,
+    item: &FromItem,
+    combo: &[Rc<Frame>],
+    outer: Option<&Env>,
+) -> Result<Vec<Frame>, DbError> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let binding = alias.clone().unwrap_or_else(|| name.clone());
+            // A real table?
+            if let Some(table) = ctx.catalog.get_table(name).cloned() {
+                let columns: Vec<Ident> =
+                    ctx.catalog.table_columns(&table).into_iter().map(|(c, _)| c).collect();
+                let object_type = match &table {
+                    TableDef::Object { of_type, .. } => Some(of_type.clone()),
+                    _ => None,
+                };
+                let data = ctx
+                    .storage
+                    .table(name)
+                    .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))?;
+                return Ok(data
+                    .rows
+                    .iter()
+                    .map(|row| Frame {
+                        binding: binding.clone(),
+                        columns: columns.clone(),
+                        values: row.values.clone(),
+                        oid: row.oid,
+                        object_type: object_type.clone(),
+                    })
+                    .collect());
+            }
+            // A view? Execute its stored query (no outer env: views are
+            // self-contained).
+            if let Some(view) = ctx.catalog.get_view(name).cloned() {
+                let result = execute_select(ctx, &view.query, None)?;
+                let columns: Vec<Ident> =
+                    result.columns.iter().map(|c| Ident::internal(c)).collect();
+                return Ok(result
+                    .rows
+                    .into_iter()
+                    .map(|values| Frame {
+                        binding: binding.clone(),
+                        columns: columns.clone(),
+                        values,
+                        oid: None,
+                        object_type: None,
+                    })
+                    .collect());
+            }
+            Err(DbError::UnknownTable(name.as_str().to_string()))
+        }
+        FromItem::CollectionTable { expr, alias } => {
+            let binding = alias.clone().unwrap_or_else(|| Ident::internal("COLLECTION"));
+            let env = make_env(combo, outer);
+            let value = eval_expr(ctx, &env, expr)?;
+            let elements = match value {
+                Value::Null => Vec::new(),
+                Value::Coll { elements, .. } => elements,
+                other => {
+                    return Err(DbError::TypeMismatch {
+                        expected: "collection".into(),
+                        found: other.to_sql_literal(),
+                    })
+                }
+            };
+            let mut frames = Vec::with_capacity(elements.len());
+            for element in elements {
+                frames.push(collection_element_frame(ctx, &binding, element)?);
+            }
+            Ok(frames)
+        }
+    }
+}
+
+/// Build the frame for one un-nested collection element: object elements
+/// expose their attributes; scalar elements appear as Oracle's
+/// `COLUMN_VALUE` pseudo-column.
+fn collection_element_frame(
+    ctx: &ExecCtx,
+    binding: &Ident,
+    element: Value,
+) -> Result<Frame, DbError> {
+    match element {
+        Value::Obj { type_name, attrs } => {
+            let def = ctx
+                .catalog
+                .get_type(&type_name)
+                .ok_or_else(|| DbError::UnknownType(type_name.as_str().to_string()))?;
+            let columns: Vec<Ident> =
+                def.object_attrs().iter().map(|(n, _)| n.clone()).collect();
+            Ok(Frame {
+                binding: binding.clone(),
+                columns,
+                values: attrs,
+                oid: None,
+                object_type: Some(type_name),
+            })
+        }
+        scalar => Ok(Frame {
+            binding: binding.clone(),
+            columns: vec![Ident::internal("COLUMN_VALUE")],
+            values: vec![scalar],
+            oid: None,
+            object_type: None,
+        }),
+    }
+}

@@ -1,0 +1,151 @@
+//! Oracle-style identifiers: case-insensitive, at most 30 characters.
+//!
+//! The paper's §5 notes both restrictions explicitly ("Oracle accepts only
+//! 30 characters"; element names "may conflict with SQL keywords (e.g.,
+//! ORDER)"). The naming-convention module of the mapping layer builds on the
+//! [`is_reserved_word`] list and [`MAX_IDENTIFIER_LEN`] exported here.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::DbError;
+
+/// Oracle's identifier length limit (both 8i and 9i).
+pub const MAX_IDENTIFIER_LEN: usize = 30;
+
+/// A database identifier. Comparison and hashing are case-insensitive
+/// (Oracle folds unquoted identifiers to upper case); the original spelling
+/// is preserved for display, matching how generated DDL scripts look.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    display: String,
+    normalized: String,
+}
+
+impl Ident {
+    /// Build an identifier, enforcing the 30-character limit.
+    pub fn new(name: &str) -> Result<Ident, DbError> {
+        if name.len() > MAX_IDENTIFIER_LEN {
+            return Err(DbError::IdentifierTooLong(name.to_string()));
+        }
+        Ok(Ident { display: name.to_string(), normalized: name.to_uppercase() })
+    }
+
+    /// Build without the length check — for engine-internal names only.
+    pub fn internal(name: &str) -> Ident {
+        Ident { display: name.to_string(), normalized: name.to_uppercase() }
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.display
+    }
+
+    /// The case-folded comparison key.
+    pub fn key(&self) -> &str {
+        &self.normalized
+    }
+
+    pub fn eq_str(&self, other: &str) -> bool {
+        self.normalized == other.to_uppercase()
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.normalized == other.normalized
+    }
+}
+impl Eq for Ident {}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.normalized.cmp(&other.normalized)
+    }
+}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.normalized.hash(state);
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display)
+    }
+}
+
+/// Reserved words that cannot be used as identifiers (the subset of
+/// Oracle's reserved words relevant to generated schemas, §5).
+pub const RESERVED_WORDS: &[&str] = &[
+    "ACCESS", "ADD", "ALL", "ALTER", "AND", "ANY", "AS", "ASC", "AUDIT", "BETWEEN", "BY", "CHAR",
+    "CHECK", "CLUSTER", "COLUMN", "COMMENT", "COMPRESS", "CONNECT", "CREATE", "CURRENT", "DATE",
+    "DECIMAL", "DEFAULT", "DELETE", "DESC", "DISTINCT", "DROP", "ELSE", "EXCLUSIVE", "EXISTS",
+    "FILE", "FLOAT", "FOR", "FROM", "GRANT", "GROUP", "HAVING", "IDENTIFIED", "IMMEDIATE", "IN",
+    "INCREMENT", "INDEX", "INITIAL", "INSERT", "INTEGER", "INTERSECT", "INTO", "IS", "LEVEL",
+    "LIKE", "LOCK", "LONG", "MAXEXTENTS", "MINUS", "MLSLABEL", "MODE", "MODIFY", "NOAUDIT",
+    "NOCOMPRESS", "NOT", "NOWAIT", "NULL", "NUMBER", "OF", "OFFLINE", "ON", "ONLINE", "OPTION",
+    "OR", "ORDER", "PCTFREE", "PRIOR", "PRIVILEGES", "PUBLIC", "RAW", "RENAME", "RESOURCE",
+    "REVOKE", "ROW", "ROWID", "ROWNUM", "ROWS", "SELECT", "SESSION", "SET", "SHARE", "SIZE",
+    "SMALLINT", "START", "SUCCESSFUL", "SYNONYM", "SYSDATE", "TABLE", "THEN", "TO", "TRIGGER",
+    "UID", "UNION", "UNIQUE", "UPDATE", "USER", "VALIDATE", "VALUES", "VARCHAR", "VARCHAR2",
+    "VIEW", "WHENEVER", "WHERE", "WITH",
+];
+
+/// Is `word` a reserved SQL word (case-insensitive)?
+pub fn is_reserved_word(word: &str) -> bool {
+    let upper = word.to_uppercase();
+    RESERVED_WORDS.binary_search(&upper.as_str()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn comparison_is_case_insensitive() {
+        let a = Ident::new("TabProfessor").unwrap();
+        let b = Ident::new("TABPROFESSOR").unwrap();
+        assert_eq!(a, b);
+        assert!(a.eq_str("tabprofessor"));
+        assert_eq!(a.as_str(), "TabProfessor"); // display preserved
+    }
+
+    #[test]
+    fn hashing_matches_equality() {
+        let mut set = HashSet::new();
+        set.insert(Ident::new("abc").unwrap());
+        assert!(set.contains(&Ident::new("ABC").unwrap()));
+    }
+
+    #[test]
+    fn thirty_char_limit_enforced() {
+        let ok = "a".repeat(30);
+        let too_long = "a".repeat(31);
+        assert!(Ident::new(&ok).is_ok());
+        assert!(matches!(Ident::new(&too_long), Err(DbError::IdentifierTooLong(_))));
+    }
+
+    #[test]
+    fn reserved_word_list_is_sorted_for_binary_search() {
+        let mut sorted = RESERVED_WORDS.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, RESERVED_WORDS, "RESERVED_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn order_is_reserved_like_the_paper_says() {
+        assert!(is_reserved_word("ORDER"));
+        assert!(is_reserved_word("order"));
+        assert!(is_reserved_word("Table"));
+        assert!(!is_reserved_word("Professor"));
+        assert!(!is_reserved_word("attrName"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # xmlord-ordb — an embedded object-relational database engine
+//!
+//! Substrate **S3** of the reproduction of *Kudrass & Conrad (EDBT 2002)*:
+//! the role Oracle 8i/9i plays in the paper. The mapping layer generates SQL
+//! *text* ("This script can be executed afterwards without any modification
+//! to create and populate the database tables", §4) — so this crate is a real
+//! SQL engine, not an API shim: lexer, parser, catalog, storage and executor
+//! for the Oracle-flavoured object-relational subset the paper exercises:
+//!
+//! * `CREATE TYPE … AS OBJECT` (§2.1), `AS VARRAY(n) OF …` and
+//!   `AS TABLE OF …` (§2.2), incomplete forward type declarations (§6.2),
+//! * object tables (`CREATE TABLE t OF type`) with column constraints,
+//!   relational tables, `NESTED TABLE … STORE AS` (§2.2),
+//! * `REF type` columns with `SCOPE FOR` (§2.3), `DEREF`, implicit
+//!   dot-navigation through object and REF attributes,
+//! * `INSERT` with nested type constructors (§4.1/§4.2), scalar subqueries
+//!   (`SELECT REF(p) …`) for the Oracle 8 workaround,
+//! * `SELECT` with dot-notation paths, `TABLE(…)` collection un-nesting,
+//!   `CAST(MULTISET(…) AS type)` (§6.3), object views,
+//! * `NOT NULL`, `PRIMARY KEY` and table-level `CHECK` constraints with the
+//!   §4.3 semantics (a CHECK over an attribute of a NULL object evaluates to
+//!   FALSE and rejects the row — the paper's "non-desired error message"),
+//! * two compatibility modes (§2.2): [`DbMode::Oracle8`] rejects collections
+//!   whose element type is another collection or a LOB; [`DbMode::Oracle9`]
+//!   accepts arbitrary nesting.
+//!
+//! Everything is deterministic and in-memory. [`stats::ExecStats`] counts
+//! statements, rows and join work so the benchmark harness can report the
+//! paper's qualitative comparisons as numbers.
+//!
+//! ```
+//! use xmlord_ordb::{Database, DbMode, Value};
+//!
+//! let mut db = Database::new(DbMode::Oracle9);
+//! db.execute_script(
+//!     "CREATE TYPE Type_Professor AS OBJECT (PName VARCHAR(80), Subject VARCHAR(120));
+//!      CREATE TABLE TabProfessor OF Type_Professor (PName PRIMARY KEY);
+//!      INSERT INTO TabProfessor VALUES (Type_Professor('Jaeger', 'CAD'));",
+//! ).unwrap();
+//! let rows = db.query("SELECT p.PName FROM TabProfessor p WHERE p.Subject = 'CAD'").unwrap();
+//! assert_eq!(rows.rows[0][0], Value::Str("Jaeger".into()));
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod ident;
+pub mod mode;
+pub mod session;
+pub mod sql;
+pub mod stats;
+pub mod storage;
+pub mod types;
+pub mod value;
+
+pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
+pub use error::DbError;
+pub use ident::Ident;
+pub use mode::DbMode;
+pub use session::{Database, QueryResult};
+pub use stats::ExecStats;
+pub use types::SqlType;
+pub use value::{Oid, Value};

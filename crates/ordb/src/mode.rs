@@ -1,0 +1,49 @@
+//! Engine compatibility modes.
+//!
+//! The paper evaluates its mapping on both Oracle 8i and Oracle 9i and its
+//! §4.2 algorithm *branches* on which one is available: 9i's arbitrarily
+//! nestable collection types enable the natural nested-VARRAY mapping, while
+//! 8i's restriction forces the REF-plus-synthetic-ID workaround. The mode
+//! enum makes that restriction a first-class engine property so the mapping
+//! layer and the E10 ablation benchmark can switch it.
+
+use std::fmt;
+
+/// Which Oracle release the engine emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbMode {
+    /// Oracle 8i semantics: a collection's element type "must not be another
+    /// collection type (array or nested table) or a large object type"
+    /// (§2.2). Matches SQL:1999, which "excludes the nesting of arrays".
+    Oracle8,
+    /// Oracle 9i semantics: "eliminates this restriction and accepts any
+    /// element type in a collection" (§2.2).
+    Oracle9,
+}
+
+impl DbMode {
+    /// May a collection type's element be another collection or a LOB?
+    pub fn allows_nested_collections(self) -> bool {
+        matches!(self, DbMode::Oracle9)
+    }
+}
+
+impl fmt::Display for DbMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbMode::Oracle8 => write!(f, "Oracle8"),
+            DbMode::Oracle9 => write!(f, "Oracle9"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_oracle9_nests_collections() {
+        assert!(!DbMode::Oracle8.allows_nested_collections());
+        assert!(DbMode::Oracle9.allows_nested_collections());
+    }
+}

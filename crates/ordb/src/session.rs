@@ -1,0 +1,667 @@
+//! The [`Database`] façade: parse → execute, statistics, introspection.
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::exec::ddl::execute_ddl;
+use crate::exec::dml::{execute_delete, execute_insert};
+use crate::exec::eval::ExecCtx;
+use crate::exec::select::execute_select;
+pub use crate::exec::select::QueryResult;
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::Stmt;
+use crate::sql::parser::{parse_script, parse_statement};
+use crate::stats::ExecStats;
+use crate::storage::Storage;
+use crate::value::Value;
+
+/// An embedded object-relational database instance.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    storage: Storage,
+    stats: ExecStats,
+    mode: DbMode,
+}
+
+impl Database {
+    pub fn new(mode: DbMode) -> Database {
+        Database { catalog: Catalog::new(), storage: Storage::new(), stats: ExecStats::default(), mode }
+    }
+
+    pub fn mode(&self) -> DbMode {
+        self.mode
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Execute a script of `;`-separated statements. Results of SELECTs are
+    /// returned in order (DDL/DML contribute nothing to the result list).
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, DbError> {
+        let stmts = parse_script(sql)?;
+        let mut results = Vec::new();
+        for stmt in &stmts {
+            if let Some(result) = self.execute_stmt(stmt)? {
+                results.push(result);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Execute a single statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>, DbError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute one SELECT and return its result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        match self.execute(sql)? {
+            Some(result) => Ok(result),
+            None => Err(DbError::Execution("statement is not a query".into())),
+        }
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
+        self.stats.statements += 1;
+        if execute_ddl(&mut self.catalog, &mut self.storage, &mut self.stats, self.mode, stmt)? {
+            return Ok(None);
+        }
+        match stmt {
+            Stmt::Insert { table, columns, values } => {
+                self.stats.inserts += 1;
+                execute_insert(
+                    &self.catalog,
+                    &mut self.storage,
+                    &mut self.stats,
+                    self.mode,
+                    table,
+                    columns,
+                    values,
+                )?;
+                Ok(None)
+            }
+            Stmt::Update { table, sets, where_clause } => {
+                crate::exec::dml::execute_update(
+                    &self.catalog,
+                    &mut self.storage,
+                    &mut self.stats,
+                    self.mode,
+                    table,
+                    sets,
+                    where_clause,
+                )?;
+                Ok(None)
+            }
+            Stmt::Delete { table, where_clause } => {
+                execute_delete(
+                    &self.catalog,
+                    &mut self.storage,
+                    &mut self.stats,
+                    self.mode,
+                    table,
+                    where_clause,
+                )?;
+                Ok(None)
+            }
+            Stmt::Select(select) => {
+                let mut ctx = ExecCtx {
+                    catalog: &self.catalog,
+                    storage: &self.storage,
+                    stats: &mut self.stats,
+                    mode: self.mode,
+                };
+                let result = execute_select(&mut ctx, select, None)?;
+                Ok(Some(result))
+            }
+            _ => unreachable!("DDL handled above"),
+        }
+    }
+
+    /// Number of rows in a table (0 if absent) — used heavily by tests and
+    /// the fragmentation experiments.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.storage.row_count(&Ident::internal(table))
+    }
+
+    /// Convenience: the single value of a single-row, single-column query.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value, DbError> {
+        let result = self.query(sql)?;
+        result
+            .scalar()
+            .cloned()
+            .ok_or_else(|| DbError::Execution("query did not return a single scalar".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::new(DbMode::Oracle9)
+    }
+
+    /// §2.1: object types as attribute domains + object tables.
+    #[test]
+    fn section_2_1_object_types_and_tables() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_Professor AS OBJECT( PName VARCHAR(80), Subject VARCHAR(120));
+             CREATE TYPE Type_Course AS OBJECT( Name VARCHAR(100), Professor Type_Professor);
+             CREATE TABLE TabProfessor OF Type_Professor( PName PRIMARY KEY);
+             CREATE TABLE Course_Offering( Department VARCHAR(120), Course Type_Course);
+             INSERT INTO Course_Offering VALUES ('CS',
+                Type_Course ('CAD Intro', Type_Professor ('Jaeger','CAD')));",
+        )
+        .unwrap();
+        let rows = d
+            .query("SELECT c.Course.Professor.PName FROM Course_Offering c WHERE c.Department = 'CS'")
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Jaeger")]]);
+    }
+
+    /// §2.2: collection types, both flavours.
+    #[test]
+    fn section_2_2_collections() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE TypeVA_Subject AS VARRAY(5) OF VARCHAR(200);
+             CREATE TYPE Type_TabSubject AS TABLE OF VARCHAR(200);
+             CREATE TABLE TabProfessor (
+                Name VARCHAR(80),
+                Subject Type_TabSubject)
+             NESTED TABLE Subject STORE AS TabSubject_List;
+             INSERT INTO TabProfessor VALUES ('Kudrass',
+                Type_TabSubject('Database Systems', 'Operating Systems'));",
+        )
+        .unwrap();
+        let rows = d
+            .query(
+                "SELECT s.COLUMN_VALUE FROM TabProfessor p, TABLE(p.Subject) s \
+                 WHERE p.Name = 'Kudrass'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        assert_eq!(rows.rows[0][0], Value::str("Database Systems"));
+    }
+
+    #[test]
+    fn varray_limit_is_enforced() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE TypeVA_S AS VARRAY(2) OF VARCHAR(10);
+             CREATE TABLE T (x TypeVA_S);",
+        )
+        .unwrap();
+        let err = d
+            .execute("INSERT INTO T VALUES (TypeVA_S('a','b','c'))")
+            .unwrap_err();
+        assert!(matches!(err, DbError::VarrayLimitExceeded { max: 2, actual: 3, .. }));
+    }
+
+    /// §2.3: REFs between object tables.
+    #[test]
+    fn section_2_3_object_references() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_Professor AS OBJECT( PName VARCHAR(200), Subject VARCHAR(200));
+             CREATE TYPE Type_Course AS OBJECT( Name VARCHAR(200), Prof_Ref REF Type_Professor);
+             CREATE TABLE TabProfessor OF Type_Professor;
+             CREATE TABLE TabCourse OF Type_Course;
+             INSERT INTO TabProfessor VALUES (Type_Professor('Jaeger', 'CAD'));
+             INSERT INTO TabCourse VALUES (Type_Course('CAD Intro',
+                (SELECT REF(p) FROM TabProfessor p WHERE p.PName = 'Jaeger')));",
+        )
+        .unwrap();
+        // Implicit dot navigation through the REF.
+        let rows = d.query("SELECT c.Prof_Ref.Subject FROM TabCourse c").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("CAD")]]);
+        // Explicit DEREF.
+        let rows = d.query("SELECT DEREF(c.Prof_Ref) FROM TabCourse c").unwrap();
+        assert!(matches!(rows.rows[0][0], Value::Obj { .. }));
+        assert!(d.stats().derefs >= 2);
+    }
+
+    /// §4.2 example: deep single INSERT with nested collections (Oracle 9).
+    #[test]
+    fn section_4_2_nested_collection_insert() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE TypeVA_Subject AS VARRAY(100) OF VARCHAR(4000);
+             CREATE TYPE Type_Professor AS OBJECT(
+                attrPName VARCHAR(4000), attrSubject TypeVA_Subject, attrDept VARCHAR(4000));
+             CREATE TYPE TypeVA_Professor AS VARRAY(100) OF Type_Professor;
+             CREATE TYPE Type_Course AS OBJECT(
+                attrName VARCHAR(4000), attrProfessor TypeVA_Professor, attrCreditPts VARCHAR(4000));
+             CREATE TYPE TypeVA_Course AS VARRAY(100) OF Type_Course;
+             CREATE TYPE Type_Student AS OBJECT(
+                attrStudNr VARCHAR(4000), attrLName VARCHAR(4000), attrFName VARCHAR(4000),
+                attrCourse TypeVA_Course);
+             CREATE TYPE TypeVA_Student AS VARRAY(100) OF Type_Student;
+             CREATE TABLE TabUniversity(
+                attrStudyCourse VARCHAR(4000), attrStudent TypeVA_Student);",
+        )
+        .unwrap();
+        let before = d.stats();
+        d.execute(
+            "INSERT INTO TabUniversity VALUES('Computer Science',
+                TypeVA_Student(
+                  Type_Student('23374','Conrad','Matthias',
+                    TypeVA_Course(
+                      Type_Course('Database Systems II',
+                        TypeVA_Professor(
+                          Type_Professor('Kudrass',
+                            TypeVA_Subject('Database Systems','Operat. Systems'),
+                            'Computer Science')), '4'),
+                      Type_Course('CAD Intro',
+                        TypeVA_Professor(
+                          Type_Professor('Jaeger',
+                            TypeVA_Subject('CAD','CAE'), 'Computer Science')), '4'))),
+                  Type_Student('00011','Meier','Ralf', TypeVA_Course())))",
+        )
+        .unwrap();
+        let delta = d.stats().since(&before);
+        // The paper's headline: ONE insert statement for the whole document.
+        assert_eq!(delta.inserts, 1);
+        assert_eq!(delta.rows_inserted, 1);
+
+        // The paper's §4.1 query, adapted: family names of students
+        // subscribed to a course of Professor Jaeger, without joins.
+        let rows = d
+            .query(
+                "SELECT s.attrLName FROM TabUniversity u, TABLE(u.attrStudent) s, \
+                 TABLE(s.attrCourse) c, TABLE(c.attrProfessor) p \
+                 WHERE p.attrPName = 'Jaeger'",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Conrad")]]);
+    }
+
+    /// §4.3: NOT NULL on object tables; CHECK over inner attributes rejects
+    /// NULL parents too (the paper's "non-desired error message").
+    #[test]
+    fn section_4_3_constraints() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_Address AS OBJECT( attrStreet VARCHAR(4000), attrCity VARCHAR(4000));
+             CREATE TYPE Type_Course AS OBJECT( attrName VARCHAR(4000), attrAddress Type_Address);
+             CREATE TABLE TabCourse OF Type_Course(
+                attrName NOT NULL,
+                CHECK (attrAddress.attrStreet IS NOT NULL));",
+        )
+        .unwrap();
+        // Valid: full address.
+        d.execute("INSERT INTO TabCourse VALUES('DB', Type_Address('Main St','Leipzig'))")
+            .unwrap();
+        // Desired error: address present but street NULL.
+        let err = d
+            .execute("INSERT INTO TabCourse VALUES('CAD Intro', Type_Address(NULL,'Leipzig'))")
+            .unwrap_err();
+        assert!(matches!(err, DbError::CheckViolation { .. }));
+        // The paper's *non-desired* error: NULL address also violates the
+        // CHECK, because NULL.attrStreet evaluates to NULL → IS NOT NULL is
+        // FALSE.
+        let err = d
+            .execute("INSERT INTO TabCourse VALUES('Operating Systems', NULL)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::CheckViolation { .. }));
+        // NOT NULL on the simple column.
+        let err = d
+            .execute("INSERT INTO TabCourse VALUES(NULL, Type_Address('X','Y'))")
+            .unwrap_err();
+        assert!(matches!(err, DbError::NotNullViolation { .. }));
+    }
+
+    #[test]
+    fn primary_key_enforced_on_object_tables() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE T AS OBJECT(a VARCHAR(10), b VARCHAR(10));
+             CREATE TABLE Tab OF T(a PRIMARY KEY);
+             INSERT INTO Tab VALUES (T('1','x'));",
+        )
+        .unwrap();
+        let err = d.execute("INSERT INTO Tab VALUES (T('1','y'))").unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        let err = d.execute("INSERT INTO Tab VALUES (T(NULL,'y'))").unwrap_err();
+        assert!(matches!(err, DbError::NotNullViolation { .. }));
+    }
+
+    #[test]
+    fn oracle8_mode_rejects_nested_collection_ddl() {
+        let mut d = Database::new(DbMode::Oracle8);
+        d.execute("CREATE TYPE TypeVA_S AS VARRAY(9) OF VARCHAR(4000)").unwrap();
+        let err = d
+            .execute("CREATE TYPE TypeVA_Outer AS VARRAY(9) OF TypeVA_S")
+            .unwrap_err();
+        assert!(matches!(err, DbError::NestedCollectionNotSupported { .. }));
+        // Same script succeeds on Oracle 9.
+        let mut d9 = db();
+        d9.execute("CREATE TYPE TypeVA_S AS VARRAY(9) OF VARCHAR(4000)").unwrap();
+        d9.execute("CREATE TYPE TypeVA_Outer AS VARRAY(9) OF TypeVA_S").unwrap();
+    }
+
+    #[test]
+    fn varchar_length_limit_enforced() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE T AS OBJECT(x VARCHAR(5));
+             CREATE TABLE Tab OF T;",
+        )
+        .unwrap();
+        let err = d.execute("INSERT INTO Tab VALUES (T('toolongvalue'))").unwrap_err();
+        assert!(matches!(err, DbError::ValueTooLarge { max: 5, .. }));
+    }
+
+    #[test]
+    fn forward_declaration_and_drop_force_cycle() {
+        // §6.2's recursive Professor/Dept structure.
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_Professor;
+             CREATE TYPE TabRefProfessor AS TABLE OF REF Type_Professor;
+             CREATE TYPE Type_Dept AS OBJECT(
+                attrDName VARCHAR(4000), attrProfessor TabRefProfessor);
+             CREATE TYPE Type_Professor AS OBJECT(
+                attrPName VARCHAR(4000), attrDept Type_Dept);",
+        )
+        .unwrap();
+        // Dropping a depended-on type requires FORCE.
+        let err = d.execute("DROP TYPE Type_Dept").unwrap_err();
+        assert!(matches!(err, DbError::DependentTypeExists { .. }));
+        d.execute("DROP TYPE Type_Dept FORCE").unwrap();
+    }
+
+    #[test]
+    fn views_execute_their_stored_query() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a VARCHAR(10), b NUMBER);
+             INSERT INTO T VALUES ('x', 1);
+             INSERT INTO T VALUES ('y', 2);
+             CREATE VIEW V AS SELECT t.a AS name FROM T t WHERE t.b > 1;",
+        )
+        .unwrap();
+        let rows = d.query("SELECT v.name FROM V v").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("y")]]);
+    }
+
+    #[test]
+    fn cast_multiset_builds_collections_from_joins() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE TypeVA_Subject AS VARRAY(10) OF VARCHAR(100);
+             CREATE TABLE tabProfessor (IDProfessor NUMBER, attrPName VARCHAR(100));
+             CREATE TABLE tabSubject (IDProfessor NUMBER, attrSubject VARCHAR(100));
+             INSERT INTO tabProfessor VALUES (1, 'Kudrass');
+             INSERT INTO tabSubject VALUES (1, 'Database Systems');
+             INSERT INTO tabSubject VALUES (1, 'Operating Systems');
+             INSERT INTO tabSubject VALUES (2, 'Other');",
+        )
+        .unwrap();
+        let rows = d
+            .query(
+                "SELECT p.attrPName, CAST (MULTISET (SELECT s.attrSubject FROM tabSubject s \
+                 WHERE p.IDProfessor = s.IDProfessor) AS TypeVA_Subject) FROM tabProfessor p",
+            )
+            .unwrap();
+        let Value::Coll { elements, .. } = &rows.rows[0][1] else {
+            panic!("expected collection")
+        };
+        assert_eq!(elements.len(), 2);
+    }
+
+    #[test]
+    fn count_star_and_order_by_and_distinct() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a VARCHAR(5), b NUMBER);
+             INSERT INTO T VALUES ('b', 2);
+             INSERT INTO T VALUES ('a', 1);
+             INSERT INTO T VALUES ('a', 3);",
+        )
+        .unwrap();
+        assert_eq!(d.query_scalar("SELECT COUNT(*) FROM T").unwrap(), Value::Num(3.0));
+        let rows = d.query("SELECT t.a FROM T t ORDER BY t.b DESC").unwrap();
+        assert_eq!(rows.rows[0][0], Value::str("a"));
+        let distinct = d.query("SELECT DISTINCT t.a FROM T t ORDER BY t.a").unwrap();
+        assert_eq!(distinct.rows.len(), 2);
+    }
+
+    #[test]
+    fn delete_with_and_without_where() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a NUMBER);
+             INSERT INTO T VALUES (1); INSERT INTO T VALUES (2); INSERT INTO T VALUES (3);",
+        )
+        .unwrap();
+        d.execute("DELETE FROM T WHERE a > 1").unwrap();
+        assert_eq!(d.row_count("T"), 1);
+        d.execute("DELETE FROM T").unwrap();
+        assert_eq!(d.row_count("T"), 0);
+    }
+
+    #[test]
+    fn join_statistics_are_tracked() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE A (x NUMBER); CREATE TABLE B (y NUMBER);
+             INSERT INTO A VALUES (1); INSERT INTO A VALUES (2);
+             INSERT INTO B VALUES (10);",
+        )
+        .unwrap();
+        let before = d.stats();
+        d.query("SELECT a.x, b.y FROM A a, B b").unwrap();
+        let delta = d.stats().since(&before);
+        assert_eq!(delta.join_queries, 1);
+        assert_eq!(delta.join_pairs, 2); // 2 combos × 1 B-row each
+        // Single-table query: no joins.
+        let before = d.stats();
+        d.query("SELECT a.x FROM A a").unwrap();
+        assert_eq!(d.stats().since(&before).join_queries, 0);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let mut d = db();
+        assert!(matches!(
+            d.query("SELECT x FROM Nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        d.execute("INSERT INTO T VALUES (1)").unwrap();
+        assert!(matches!(
+            d.query("SELECT t.bogus FROM T t"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn like_and_is_null_predicates() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (name VARCHAR(20));
+             INSERT INTO T VALUES ('Jaeger');
+             INSERT INTO T VALUES ('Kudrass');
+             INSERT INTO T VALUES (NULL);",
+        )
+        .unwrap();
+        let rows = d.query("SELECT t.name FROM T t WHERE t.name LIKE 'J%'").unwrap();
+        assert_eq!(rows.rows.len(), 1);
+        let nulls = d.query("SELECT COUNT(*) FROM T t WHERE t.name IS NULL").unwrap();
+        assert_eq!(nulls.rows[0][0], Value::Num(1.0));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE A (x NUMBER); CREATE TABLE B (x NUMBER);
+             INSERT INTO A VALUES (1); INSERT INTO A VALUES (2);
+             INSERT INTO B VALUES (2);",
+        )
+        .unwrap();
+        let rows = d
+            .query("SELECT a.x FROM A a WHERE EXISTS (SELECT b.x FROM B b WHERE b.x = a.x)")
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Num(2.0)]]);
+    }
+
+    #[test]
+    fn insert_with_column_list() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER, b VARCHAR(5), c NUMBER)").unwrap();
+        d.execute("INSERT INTO T (c, a) VALUES (3, 1)").unwrap();
+        let rows = d.query("SELECT * FROM T").unwrap();
+        assert_eq!(rows.rows[0], vec![Value::Num(1.0), Value::Null, Value::Num(3.0)]);
+    }
+
+    #[test]
+    fn select_star_columns() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER, b VARCHAR(5))").unwrap();
+        let rows = d.query("SELECT * FROM T").unwrap();
+        assert_eq!(rows.columns, vec!["a", "b"]);
+        assert!(rows.rows.is_empty());
+    }
+
+    #[test]
+    fn dangling_ref_detected() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE T AS OBJECT(a VARCHAR(5));
+             CREATE TABLE Tab OF T;
+             CREATE TABLE Holder (r REF T);
+             INSERT INTO Tab VALUES (T('x'));
+             INSERT INTO Holder VALUES ((SELECT REF(t) FROM Tab t));",
+        )
+        .unwrap();
+        d.execute("DELETE FROM Tab").unwrap();
+        let err = d.query("SELECT DEREF(h.r) FROM Holder h").unwrap_err();
+        assert!(matches!(err, DbError::DanglingRef));
+    }
+
+    #[test]
+    fn update_sets_columns_and_nested_attributes() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_Addr AS OBJECT(street VARCHAR(100), city VARCHAR(100));
+             CREATE TYPE Type_P AS OBJECT(name VARCHAR(100), addr Type_Addr);
+             CREATE TABLE TabP OF Type_P;
+             INSERT INTO TabP VALUES (Type_P('Kudrass', Type_Addr('Main St', 'Leipzig')));
+             INSERT INTO TabP VALUES (Type_P('Jaeger', Type_Addr('Side St', 'Halle')));",
+        )
+        .unwrap();
+        // Top-level column.
+        d.execute("UPDATE TabP SET name = 'Conrad' WHERE name = 'Kudrass'").unwrap();
+        assert_eq!(
+            d.query("SELECT p.name FROM TabP p WHERE p.name = 'Conrad'").unwrap().rows.len(),
+            1
+        );
+        // Nested object attribute.
+        d.execute("UPDATE TabP SET addr.city = 'Dresden' WHERE name = 'Jaeger'").unwrap();
+        assert_eq!(
+            d.query_scalar("SELECT p.addr.city FROM TabP p WHERE p.name = 'Jaeger'").unwrap(),
+            Value::str("Dresden")
+        );
+        // Unaffected row untouched.
+        assert_eq!(
+            d.query_scalar("SELECT p.addr.city FROM TabP p WHERE p.name = 'Conrad'").unwrap(),
+            Value::str("Leipzig")
+        );
+    }
+
+    #[test]
+    fn update_without_where_touches_all_rows() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a NUMBER, b VARCHAR(10));
+             INSERT INTO T VALUES (1, 'x'); INSERT INTO T VALUES (2, 'y');",
+        )
+        .unwrap();
+        d.execute("UPDATE T SET b = 'z'").unwrap();
+        let rows = d.query("SELECT t.b FROM T t").unwrap();
+        assert!(rows.rows.iter().all(|r| r[0] == Value::str("z")));
+    }
+
+    #[test]
+    fn update_uses_old_row_values_on_the_right_hand_side() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a VARCHAR(20), b VARCHAR(20));
+             INSERT INTO T VALUES ('old-a', 'old-b');",
+        )
+        .unwrap();
+        d.execute("UPDATE T SET a = b, b = a").unwrap();
+        let rows = d.query("SELECT t.a, t.b FROM T t").unwrap();
+        // Swap semantics: both sides read the pre-update row.
+        assert_eq!(rows.rows[0], vec![Value::str("old-b"), Value::str("old-a")]);
+    }
+
+    #[test]
+    fn update_respects_not_null_and_check_constraints() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE T AS OBJECT(a VARCHAR(10), b NUMBER);
+             CREATE TABLE Tab OF T(a NOT NULL, CHECK (b > 0));
+             INSERT INTO Tab VALUES (T('x', 1));",
+        )
+        .unwrap();
+        assert!(matches!(
+            d.execute("UPDATE Tab SET a = NULL").unwrap_err(),
+            DbError::NotNullViolation { .. }
+        ));
+        assert!(matches!(
+            d.execute("UPDATE Tab SET b = 0").unwrap_err(),
+            DbError::CheckViolation { .. }
+        ));
+        // Nothing was changed by the failed statements.
+        assert_eq!(d.query_scalar("SELECT t.b FROM Tab t").unwrap(), Value::Num(1.0));
+    }
+
+    #[test]
+    fn update_with_subquery_wires_refs() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20), boss REF Type_P);
+             CREATE TABLE TabP OF Type_P;
+             INSERT INTO TabP VALUES (Type_P('Kudrass', NULL));
+             INSERT INTO TabP VALUES (Type_P('Conrad', NULL));",
+        )
+        .unwrap();
+        d.execute(
+            "UPDATE TabP SET boss = (SELECT REF(x) FROM TabP x WHERE x.name = 'Kudrass') \
+             WHERE name = 'Conrad'",
+        )
+        .unwrap();
+        assert_eq!(
+            d.query_scalar("SELECT p.boss.name FROM TabP p WHERE p.name = 'Conrad'").unwrap(),
+            Value::str("Kudrass")
+        );
+    }
+
+    #[test]
+    fn statement_counter_counts_everything() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TABLE T (a NUMBER); INSERT INTO T VALUES (1); SELECT COUNT(*) FROM T;",
+        )
+        .unwrap();
+        assert_eq!(d.stats().statements, 3);
+        assert_eq!(d.stats().inserts, 1);
+        assert_eq!(d.stats().tables_created, 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! The SQL dialect: lexer, AST and parser.
+//!
+//! Covers the Oracle-flavoured subset the paper's generated scripts use —
+//! see the crate docs for the full statement inventory.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{Expr, FromItem, SelectItem, SelectStmt, Stmt};
+pub use parser::{parse_script, parse_statement};
+pub use printer::{print_expr, print_select, print_stmt};

@@ -1,0 +1,61 @@
+//! Execution statistics.
+//!
+//! The paper argues qualitatively ("a large number of relational insert
+//! operations", "without executing join operations"); these counters turn
+//! those claims into measurements for the E6–E8 experiments.
+
+/// Cumulative counters for one [`crate::Database`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// SQL statements executed (DDL + DML + queries).
+    pub statements: u64,
+    /// INSERT statements executed.
+    pub inserts: u64,
+    /// Rows materialized into tables (top-level rows, not nested objects).
+    pub rows_inserted: u64,
+    /// Rows scanned while evaluating FROM clauses.
+    pub rows_scanned: u64,
+    /// Join pairings formed (each row combination beyond a single-table
+    /// FROM counts once) — the paper's "join operations" metric.
+    pub join_pairs: u64,
+    /// FROM clauses with more than one item (join queries).
+    pub join_queries: u64,
+    /// Tables created.
+    pub tables_created: u64,
+    /// Types created.
+    pub types_created: u64,
+    /// REF dereferences performed during path navigation.
+    pub derefs: u64,
+}
+
+impl ExecStats {
+    /// Difference since `earlier` (for per-operation measurements).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            statements: self.statements - earlier.statements,
+            inserts: self.inserts - earlier.inserts,
+            rows_inserted: self.rows_inserted - earlier.rows_inserted,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            join_pairs: self.join_pairs - earlier.join_pairs,
+            join_queries: self.join_queries - earlier.join_queries,
+            tables_created: self.tables_created - earlier.tables_created,
+            types_created: self.types_created - earlier.types_created,
+            derefs: self.derefs - earlier.derefs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = ExecStats { statements: 10, inserts: 4, ..Default::default() };
+        let b = ExecStats { statements: 3, inserts: 1, ..Default::default() };
+        let d = a.since(&b);
+        assert_eq!(d.statements, 7);
+        assert_eq!(d.inserts, 3);
+        assert_eq!(d.rows_inserted, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! In-memory row storage with OID management for row objects.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::ident::Ident;
+use crate::value::{Oid, Value};
+
+/// One stored row. `values` parallels the table's column list; rows of
+/// object tables additionally carry the OID that REFs target (§2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub oid: Option<Oid>,
+    pub values: Vec<Value>,
+}
+
+/// All rows of one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    pub rows: Vec<Row>,
+}
+
+/// The storage layer: table heaps plus the OID directory.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    tables: BTreeMap<Ident, TableData>,
+    /// OID → owning table (rows embed their own OIDs; lookup scans the
+    /// table, which is fine at simulation scale and stays correct across
+    /// deletes).
+    oid_directory: BTreeMap<Oid, Ident>,
+    next_oid: u64,
+}
+
+impl Storage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn create_table(&mut self, name: Ident) {
+        self.tables.entry(name).or_default();
+    }
+
+    pub fn drop_table(&mut self, name: &Ident) {
+        if let Some(data) = self.tables.remove(name) {
+            for row in &data.rows {
+                if let Some(oid) = row.oid {
+                    self.oid_directory.remove(&oid);
+                }
+            }
+        }
+    }
+
+    pub fn table(&self, name: &Ident) -> Option<&TableData> {
+        self.tables.get(name)
+    }
+
+    pub fn table_mut(&mut self, name: &Ident) -> Option<&mut TableData> {
+        self.tables.get_mut(name)
+    }
+
+    /// Append a row; if `with_oid`, allocate a fresh OID for it.
+    pub fn insert_row(
+        &mut self,
+        table: &Ident,
+        values: Vec<Value>,
+        with_oid: bool,
+    ) -> Result<Option<Oid>, DbError> {
+        let oid = if with_oid {
+            self.next_oid += 1;
+            let oid = Oid(self.next_oid);
+            self.oid_directory.insert(oid, table.clone());
+            Some(oid)
+        } else {
+            None
+        };
+        let data = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        data.rows.push(Row { oid, values });
+        Ok(oid)
+    }
+
+    /// Find the row object behind an OID.
+    pub fn resolve_oid(&self, oid: Oid) -> Option<(&Ident, &Row)> {
+        let table = self.oid_directory.get(&oid)?;
+        let data = self.tables.get(table)?;
+        let row = data.rows.iter().find(|r| r.oid == Some(oid))?;
+        Some((table, row))
+    }
+
+    /// Remove rows matching `pred`; returns how many were removed.
+    pub fn delete_rows(&mut self, table: &Ident, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let Some(data) = self.tables.get_mut(table) else { return 0 };
+        let mut removed_oids = Vec::new();
+        let before = data.rows.len();
+        data.rows.retain(|row| {
+            let keep = !pred(row);
+            if !keep {
+                if let Some(oid) = row.oid {
+                    removed_oids.push(oid);
+                }
+            }
+            keep
+        });
+        for oid in removed_oids {
+            self.oid_directory.remove(&oid);
+        }
+        before - data.rows.len()
+    }
+
+    pub fn row_count(&self, table: &Ident) -> usize {
+        self.tables.get(table).map(|d| d.rows.len()).unwrap_or(0)
+    }
+
+    /// Total rows across all tables (for fragmentation experiments, E8).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|d| d.rows.len()).sum()
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup_with_oids() {
+        let mut st = Storage::new();
+        st.create_table(id("Tab"));
+        let oid = st.insert_row(&id("Tab"), vec![Value::str("x")], true).unwrap().unwrap();
+        let (table, row) = st.resolve_oid(oid).unwrap();
+        assert!(table.eq_str("Tab"));
+        assert_eq!(row.values[0], Value::str("x"));
+    }
+
+    #[test]
+    fn oids_are_unique_and_monotonic() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let a = st.insert_row(&id("T"), vec![], true).unwrap().unwrap();
+        let b = st.insert_row(&id("T"), vec![], true).unwrap().unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn relational_rows_have_no_oid() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let oid = st.insert_row(&id("T"), vec![Value::Null], false).unwrap();
+        assert!(oid.is_none());
+    }
+
+    #[test]
+    fn insert_into_missing_table_fails() {
+        let mut st = Storage::new();
+        assert!(st.insert_row(&id("Nope"), vec![], false).is_err());
+    }
+
+    #[test]
+    fn delete_cleans_oid_directory() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let oid = st.insert_row(&id("T"), vec![Value::Num(1.0)], true).unwrap().unwrap();
+        let removed = st.delete_rows(&id("T"), |r| r.values[0] == Value::Num(1.0));
+        assert_eq!(removed, 1);
+        assert!(st.resolve_oid(oid).is_none());
+        assert_eq!(st.row_count(&id("T")), 0);
+    }
+
+    #[test]
+    fn drop_table_cleans_oid_directory() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let oid = st.insert_row(&id("T"), vec![], true).unwrap().unwrap();
+        st.drop_table(&id("T"));
+        assert!(st.resolve_oid(oid).is_none());
+        assert_eq!(st.table_count(), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let mut st = Storage::new();
+        st.create_table(id("A"));
+        st.create_table(id("B"));
+        st.insert_row(&id("A"), vec![], false).unwrap();
+        st.insert_row(&id("B"), vec![], false).unwrap();
+        st.insert_row(&id("B"), vec![], false).unwrap();
+        assert_eq!(st.total_rows(), 3);
+        assert_eq!(st.table_count(), 2);
+    }
+}

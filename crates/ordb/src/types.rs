@@ -1,0 +1,115 @@
+//! SQL type system: scalars, user-defined object types, collection types
+//! and REFs (paper §2.1–§2.3).
+
+use std::fmt;
+
+use crate::ident::Ident;
+
+/// A column/attribute type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlType {
+    /// `VARCHAR(n)` / `VARCHAR2(n)` — the workhorse of the mapping (§4.1
+    /// generates `VARCHAR(4000)` for every #PCDATA element).
+    Varchar(u32),
+    /// `CHAR(n)` fixed length.
+    Char(u32),
+    /// `NUMBER` — arbitrary numeric.
+    Number,
+    /// `INTEGER`.
+    Integer,
+    /// `DATE`.
+    Date,
+    /// `CLOB` — the large-object type §7 recommends for large text elements.
+    Clob,
+    /// A user-defined object type (by name).
+    Object(Ident),
+    /// A named VARRAY collection type.
+    Varray(Ident),
+    /// A named nested-table collection type.
+    NestedTable(Ident),
+    /// `REF t` — reference to a row object of object type `t` (§2.3).
+    Ref(Ident),
+}
+
+impl SqlType {
+    /// Is this a large-object type (relevant to the Oracle 8 restriction)?
+    pub fn is_lob(&self) -> bool {
+        matches!(self, SqlType::Clob)
+    }
+
+    /// Is this a (named) collection type reference?
+    pub fn is_collection_name(&self) -> bool {
+        matches!(self, SqlType::Varray(_) | SqlType::NestedTable(_))
+    }
+
+    /// Is this a scalar (non-object, non-collection, non-ref)?
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            SqlType::Varchar(_)
+                | SqlType::Char(_)
+                | SqlType::Number
+                | SqlType::Integer
+                | SqlType::Date
+                | SqlType::Clob
+        )
+    }
+
+    /// The named user-defined type this type refers to, if any.
+    pub fn named_type(&self) -> Option<&Ident> {
+        match self {
+            SqlType::Object(n) | SqlType::Varray(n) | SqlType::NestedTable(n) | SqlType::Ref(n) => {
+                Some(n)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            SqlType::Char(n) => write!(f, "CHAR({n})"),
+            SqlType::Number => write!(f, "NUMBER"),
+            SqlType::Integer => write!(f, "INTEGER"),
+            SqlType::Date => write!(f, "DATE"),
+            SqlType::Clob => write!(f, "CLOB"),
+            SqlType::Object(n) | SqlType::Varray(n) | SqlType::NestedTable(n) => {
+                write!(f, "{n}")
+            }
+            SqlType::Ref(n) => write!(f, "REF {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s).unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        assert!(SqlType::Varchar(4000).is_scalar());
+        assert!(SqlType::Clob.is_scalar() && SqlType::Clob.is_lob());
+        assert!(SqlType::Varray(id("TypeVA_X")).is_collection_name());
+        assert!(!SqlType::Object(id("Type_X")).is_collection_name());
+        assert!(!SqlType::Ref(id("Type_X")).is_scalar());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SqlType::Varchar(4000).to_string(), "VARCHAR(4000)");
+        assert_eq!(SqlType::Ref(id("Type_Professor")).to_string(), "REF Type_Professor");
+        assert_eq!(SqlType::Object(id("Type_Course")).to_string(), "Type_Course");
+    }
+
+    #[test]
+    fn named_type_extraction() {
+        assert_eq!(SqlType::Varray(id("T")).named_type().unwrap().as_str(), "T");
+        assert_eq!(SqlType::Number.named_type(), None);
+    }
+}

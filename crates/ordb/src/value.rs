@@ -1,0 +1,214 @@
+//! Runtime values: scalars, object instances, collections and REFs.
+
+use std::fmt;
+
+use crate::ident::Ident;
+
+/// Object identifier of a row object (§2.3: "Oracle supports the concept of
+/// object identifiers that are managed for row objects"). Globally unique
+/// within one [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OID#{}", self.0)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Str(String),
+    Num(f64),
+    /// DATE values carried as ISO-8601 strings (sufficient for the paper's
+    /// meta-table `Date` column).
+    Date(String),
+    /// An instance of an object type: type name + attribute values in
+    /// declaration order.
+    Obj { type_name: Ident, attrs: Vec<Value> },
+    /// An instance of a collection type (VARRAY or nested table).
+    Coll { type_name: Ident, elements: Vec<Value> },
+    /// Reference to a row object.
+    Ref(Oid),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// String content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) | Value::Date(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, coercing numeric-looking strings like SQL does.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<(&Ident, &[Value])> {
+        match self {
+            Value::Obj { type_name, attrs } => Some((type_name, attrs)),
+            _ => None,
+        }
+    }
+
+    pub fn as_coll(&self) -> Option<(&Ident, &[Value])> {
+        match self {
+            Value::Coll { type_name, elements } => Some((type_name, elements)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL compares equal to nothing (three-valued logic is
+    /// applied by the expression evaluator; this is the TRUE case only).
+    /// Numeric comparison applies string→number coercion on mixed operands.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Num(_), _) | (_, Value::Num(_)) => {
+                match (self.as_num(), other.as_num()) {
+                    (Some(a), Some(b)) => Some(a == b),
+                    _ => Some(false),
+                }
+            }
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Date(a), Value::Date(b)) => Some(a == b),
+            (Value::Ref(a), Value::Ref(b)) => Some(a == b),
+            (a, b) => Some(a == b),
+        }
+    }
+
+    /// SQL ordering comparison; `None` when either side is NULL or the
+    /// values are not comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Num(_), _) | (_, Value::Num(_)) => {
+                let (a, b) = (self.as_num()?, other.as_num()?);
+                a.partial_cmp(&b)
+            }
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Render as a SQL literal (for script/debug output).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Date(s) => format!("DATE '{s}'"),
+            Value::Obj { type_name, attrs } => {
+                let inner: Vec<String> = attrs.iter().map(Value::to_sql_literal).collect();
+                format!("{type_name}({})", inner.join(", "))
+            }
+            Value::Coll { type_name, elements } => {
+                let inner: Vec<String> = elements.iter().map(Value::to_sql_literal).collect();
+                format!("{type_name}({})", inner.join(", "))
+            }
+            Value::Ref(oid) => format!("{oid}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honours width/alignment flags, so values line up in the
+        // table output of examples and the experiments binary.
+        match self {
+            Value::Null => f.pad("NULL"),
+            Value::Str(s) | Value::Date(s) => f.pad(s),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    f.pad(&format!("{}", *n as i64))
+                } else {
+                    f.pad(&format!("{n}"))
+                }
+            }
+            other => f.pad(&other.to_sql_literal()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s).unwrap()
+    }
+
+    #[test]
+    fn null_equality_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::str("x")), None);
+        assert_eq!(Value::str("x").sql_eq(&Value::Null), None);
+        assert_eq!(Value::str("x").sql_eq(&Value::str("x")), Some(true));
+        assert_eq!(Value::str("x").sql_eq(&Value::str("y")), Some(false));
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparisons() {
+        assert_eq!(Value::Num(4.0).sql_eq(&Value::str("4")), Some(true));
+        assert_eq!(Value::str("4").sql_eq(&Value::Num(4.0)), Some(true));
+        assert_eq!(Value::str("abc").sql_eq(&Value::Num(4.0)), Some(false));
+        assert_eq!(
+            Value::Num(3.0).sql_cmp(&Value::str("10")),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn string_comparison_is_lexical() {
+        assert_eq!(Value::str("abc").sql_cmp(&Value::str("abd")), Some(std::cmp::Ordering::Less));
+    }
+
+    #[test]
+    fn sql_literal_escapes_quotes() {
+        assert_eq!(Value::str("O'Hara").to_sql_literal(), "'O''Hara'");
+    }
+
+    #[test]
+    fn object_literal_renders_constructor_syntax() {
+        let v = Value::Obj {
+            type_name: id("Type_Professor"),
+            attrs: vec![Value::str("Jaeger"), Value::str("CAD")],
+        };
+        assert_eq!(v.to_sql_literal(), "Type_Professor('Jaeger', 'CAD')");
+    }
+
+    #[test]
+    fn whole_numbers_render_without_fraction() {
+        assert_eq!(Value::Num(4.0).to_string(), "4");
+        assert_eq!(Value::Num(4.5).to_string(), "4.5");
+    }
+
+    #[test]
+    fn as_num_parses_strings() {
+        assert_eq!(Value::str(" 42 ").as_num(), Some(42.0));
+        assert_eq!(Value::str("x").as_num(), None);
+        assert_eq!(Value::Null.as_num(), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! A document-centric product catalog: exercises the features whose loss
+//! the paper's §6.1/§7 discuss — comments, processing instructions, CDATA,
+//! entity references and mixed content. Used by the round-trip fidelity
+//! experiment (E9).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The catalog DTD. `Blurb` is mixed content; `vendor` is an entity.
+pub const CATALOG_DTD: &str = r#"<!ELEMENT Catalog (Title,Product*)>
+<!ELEMENT Product (Name,Price,Blurb?)>
+<!ATTLIST Product Sku CDATA #REQUIRED Family CDATA #IMPLIED>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Price (#PCDATA)>
+<!ELEMENT Blurb (#PCDATA|Em)*>
+<!ELEMENT Em (#PCDATA)>
+<!ELEMENT Title (#PCDATA)>
+<!ENTITY vendor "ACME Corp.">
+<!ENTITY tm "(TM)">"#;
+
+/// Scale/feature knobs for a generated catalog document.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    pub products: usize,
+    /// Sprinkle comments between products.
+    pub with_comments: bool,
+    /// Sprinkle processing instructions.
+    pub with_pis: bool,
+    /// Use CDATA sections in blurbs.
+    pub with_cdata: bool,
+    /// Use `&vendor;` entity references in text.
+    pub with_entities: bool,
+    pub seed: u64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            products: 5,
+            with_comments: true,
+            with_pis: true,
+            with_cdata: true,
+            with_entities: true,
+            seed: 7,
+        }
+    }
+}
+
+const PRODUCT_NAMES: &[&str] =
+    &["Anvil", "Rocket Skates", "Giant Magnet", "Tornado Seeds", "Earthquake Pills", "Iron Bird Seed"];
+
+/// Generate a catalog document with the configured document-centric
+/// features.
+pub fn catalog_xml(config: &CatalogConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if config.with_pis {
+        out.push_str("<?xml-stylesheet type=\"text/css\" href=\"catalog.css\"?>");
+    }
+    out.push_str("<Catalog>");
+    if config.with_entities {
+        out.push_str("<Title>Products of &vendor;</Title>");
+    } else {
+        out.push_str("<Title>Product Catalog</Title>");
+    }
+    for i in 0..config.products {
+        if config.with_comments && i % 2 == 0 {
+            out.push_str(&format!("<!-- product block {i} -->"));
+        }
+        let name = PRODUCT_NAMES[rng.gen_range(0..PRODUCT_NAMES.len())];
+        let price = rng.gen_range(5..500);
+        out.push_str(&format!(
+            "<Product Sku=\"SKU-{i:04}\" Family=\"F{}\"><Name>{name}{}</Name><Price>{price}.99</Price>",
+            rng.gen_range(1..4),
+            if config.with_entities { "&tm;" } else { "" },
+        ));
+        match (config.with_cdata, i % 3) {
+            (true, 0) => out.push_str(
+                "<Blurb><![CDATA[Use only as directed & never near cliffs]]></Blurb>",
+            ),
+            (_, 1) if config.with_entities => out.push_str(
+                "<Blurb>Our <Em>finest</Em> quality, straight from &vendor; labs</Blurb>",
+            ),
+            (_, 1) => out.push_str(
+                "<Blurb>Our <Em>finest</Em> quality, straight from the labs</Blurb>",
+            ),
+            _ => {}
+        }
+        out.push_str("</Product>");
+    }
+    out.push_str("</Catalog>");
+    if config.with_comments {
+        out.push_str("<!-- end of catalog -->");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlord_dtd::parse_dtd;
+    use xmlord_xml::NodeKind;
+
+    #[test]
+    fn generated_catalogs_are_valid() {
+        let dtd = parse_dtd(CATALOG_DTD).unwrap();
+        let xml = catalog_xml(&CatalogConfig::default());
+        let doc = xmlord_xml::parse_with_catalog(&xml, dtd.entity_catalog()).unwrap();
+        let report = xmlord_dtd::validate(&doc, &dtd);
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn document_centric_features_are_present() {
+        let dtd = parse_dtd(CATALOG_DTD).unwrap();
+        let xml = catalog_xml(&CatalogConfig { products: 6, ..Default::default() });
+        let doc = xmlord_xml::parse_with_catalog(&xml, dtd.entity_catalog()).unwrap();
+        assert!(doc.count_nodes(|k| matches!(k, NodeKind::Comment(_))) >= 3);
+        assert!(doc.count_nodes(|k| matches!(k, NodeKind::CData(_))) >= 1);
+        assert!(!doc.prolog_misc.is_empty()); // the stylesheet PI
+        // Entity expanded at occurrence (§6.1).
+        let root = doc.root_element().unwrap();
+        let title = doc.first_child_named(root, "Title").unwrap();
+        assert_eq!(doc.text_content(title), "Products of ACME Corp.");
+    }
+
+    #[test]
+    fn features_can_be_disabled() {
+        let xml = catalog_xml(&CatalogConfig {
+            with_comments: false,
+            with_pis: false,
+            with_cdata: false,
+            with_entities: false,
+            ..Default::default()
+        });
+        assert!(!xml.contains("<!--"));
+        assert!(!xml.contains("CDATA"));
+        assert!(!xml.contains("&vendor;"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = CatalogConfig::default();
+        assert_eq!(catalog_xml(&c), catalog_xml(&c));
+    }
+}

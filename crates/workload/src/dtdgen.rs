@@ -1,0 +1,192 @@
+//! Random DTD + document generation (experiment E13 and property tests).
+//!
+//! Generates element hierarchies of configurable depth and fanout, with a
+//! seeded mix of occurrence operators and attributes, plus *valid* sample
+//! documents for them. The generated DTDs are trees (no recursion, no
+//! sharing) so every mapping strategy accepts them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape knobs for a generated DTD.
+#[derive(Debug, Clone, Copy)]
+pub struct DtdConfig {
+    /// Nesting depth of complex elements below the root.
+    pub depth: usize,
+    /// Complex children per complex element.
+    pub fanout: usize,
+    /// Simple (#PCDATA) children per complex element.
+    pub leaves: usize,
+    /// Probability (0..=100) that a child is `*`-starred.
+    pub star_percent: u32,
+    /// Probability (0..=100) that an element gets an attribute.
+    pub attr_percent: u32,
+    pub seed: u64,
+}
+
+impl Default for DtdConfig {
+    fn default() -> Self {
+        DtdConfig { depth: 3, fanout: 2, leaves: 2, star_percent: 40, attr_percent: 30, seed: 42 }
+    }
+}
+
+/// A generated DTD plus everything needed to produce documents for it.
+#[derive(Debug, Clone)]
+pub struct GeneratedDtd {
+    pub root: String,
+    pub dtd_text: String,
+    elements: Vec<GenElement>,
+}
+
+#[derive(Debug, Clone)]
+struct GenElement {
+    name: String,
+    /// (child name, starred) — complex then simple children.
+    children: Vec<(String, bool)>,
+    simple: bool,
+    has_attr: bool,
+}
+
+/// Generate a DTD with the given shape.
+pub fn generate_dtd(config: &DtdConfig) -> GeneratedDtd {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut elements: Vec<GenElement> = Vec::new();
+    let mut counter = 0usize;
+    let root = build_element(config, &mut rng, config.depth, &mut elements, &mut counter);
+    let mut dtd_text = String::new();
+    for element in &elements {
+        if element.simple {
+            dtd_text.push_str(&format!("<!ELEMENT {} (#PCDATA)>\n", element.name));
+        } else {
+            let model: Vec<String> = element
+                .children
+                .iter()
+                .map(|(name, starred)| {
+                    if *starred {
+                        format!("{name}*")
+                    } else {
+                        name.clone()
+                    }
+                })
+                .collect();
+            dtd_text.push_str(&format!("<!ELEMENT {} ({})>\n", element.name, model.join(",")));
+        }
+        if element.has_attr {
+            dtd_text.push_str(&format!(
+                "<!ATTLIST {} id{} CDATA #IMPLIED>\n",
+                element.name, element.name
+            ));
+        }
+    }
+    GeneratedDtd { root, dtd_text, elements }
+}
+
+fn build_element(
+    config: &DtdConfig,
+    rng: &mut StdRng,
+    depth: usize,
+    elements: &mut Vec<GenElement>,
+    counter: &mut usize,
+) -> String {
+    *counter += 1;
+    let name = format!("E{}", *counter);
+    let simple = depth == 0;
+    let mut children = Vec::new();
+    if !simple {
+        for _ in 0..config.fanout {
+            let child = build_element(config, rng, depth - 1, elements, counter);
+            children.push((child, rng.gen_range(0..100) < config.star_percent));
+        }
+        for _ in 0..config.leaves {
+            let leaf = build_element(config, rng, 0, elements, counter);
+            children.push((leaf, rng.gen_range(0..100) < config.star_percent));
+        }
+    }
+    let has_attr = rng.gen_range(0..100) < config.attr_percent;
+    elements.push(GenElement { name: name.clone(), children, simple, has_attr });
+    name
+}
+
+impl GeneratedDtd {
+    /// Number of declared elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Generate a valid document; `repeat` is the instance count used for
+    /// every `*`-starred child.
+    pub fn document(&self, repeat: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = String::new();
+        self.write_element(&self.root, repeat, &mut rng, &mut out);
+        out
+    }
+
+    fn write_element(&self, name: &str, repeat: usize, rng: &mut StdRng, out: &mut String) {
+        let element = self
+            .elements
+            .iter()
+            .find(|e| e.name == name)
+            .expect("generated elements are closed under children");
+        out.push('<');
+        out.push_str(name);
+        if element.has_attr {
+            out.push_str(&format!(" id{}=\"v{}\"", name, rng.gen_range(0..1000)));
+        }
+        out.push('>');
+        if element.simple {
+            out.push_str(&format!("text{}", rng.gen_range(0..1000)));
+        } else {
+            for (child, starred) in &element.children {
+                let n = if *starred { repeat } else { 1 };
+                for _ in 0..n {
+                    self.write_element(child, repeat, rng, out);
+                }
+            }
+        }
+        out.push_str(&format!("</{name}>"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlord_dtd::{parse_dtd, validate};
+
+    #[test]
+    fn generated_dtds_parse_and_documents_validate() {
+        for seed in 0..5 {
+            let config = DtdConfig { seed, ..Default::default() };
+            let generated = generate_dtd(&config);
+            let dtd = parse_dtd(&generated.dtd_text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", generated.dtd_text));
+            for repeat in [0, 1, 3] {
+                let xml = generated.document(repeat, seed);
+                let doc = xmlord_xml::parse(&xml).unwrap();
+                let report = validate(&doc, &dtd);
+                assert!(report.is_valid(), "seed {seed} repeat {repeat}: {:?}", report.errors);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_fanout_control_size() {
+        let small = generate_dtd(&DtdConfig { depth: 2, fanout: 2, ..Default::default() });
+        let large = generate_dtd(&DtdConfig { depth: 4, fanout: 3, ..Default::default() });
+        assert!(large.element_count() > small.element_count() * 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_dtd(&DtdConfig::default());
+        let b = generate_dtd(&DtdConfig::default());
+        assert_eq!(a.dtd_text, b.dtd_text);
+        assert_eq!(a.document(2, 9), b.document(2, 9));
+    }
+
+    #[test]
+    fn star_zero_means_all_mandatory() {
+        let generated = generate_dtd(&DtdConfig { star_percent: 0, ..Default::default() });
+        assert!(!generated.dtd_text.contains('*'));
+    }
+}

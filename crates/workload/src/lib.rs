@@ -1,0 +1,24 @@
+//! # xmlord-workload — deterministic synthetic workload generators
+//!
+//! Substrate **S6**: the data side of the experiment harness. The paper's
+//! only dataset is the Appendix A university document, so the scaling
+//! experiments (E6–E8, E10, E13) use parameterized generators that produce
+//! arbitrarily large instances of the same *shape*:
+//!
+//! * [`university`] — the Appendix A schema, scaled by student/course/
+//!   professor counts,
+//! * [`catalog`] — a document-centric product catalog with comments,
+//!   processing instructions, CDATA, entities and mixed content (for the
+//!   round-trip fidelity experiment E9),
+//! * [`dtdgen`] — random DTDs of configurable depth/fanout plus matching
+//!   valid documents (for the schema-generation scaling experiment E13 and
+//!   property tests).
+//!
+//! Everything is seeded (`rand::rngs::StdRng`) — identical inputs produce
+//! identical documents, as benchmarks require.
+
+pub mod catalog;
+pub mod dtdgen;
+pub mod university;
+
+pub use university::{university_dtd, university_xml, UniversityConfig};

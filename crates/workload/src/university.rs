@@ -1,0 +1,155 @@
+//! Scaled instances of the paper's Appendix A university document.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Appendix A DTD, verbatim (with the `CreditPts` declaration the
+/// appendix implies).
+pub const UNIVERSITY_DTD: &str = r#"<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>"#;
+
+/// Scale knobs for a generated university document.
+#[derive(Debug, Clone, Copy)]
+pub struct UniversityConfig {
+    pub students: usize,
+    pub courses_per_student: usize,
+    pub professors_per_course: usize,
+    pub subjects_per_professor: usize,
+    pub seed: u64,
+}
+
+impl Default for UniversityConfig {
+    fn default() -> Self {
+        UniversityConfig {
+            students: 10,
+            courses_per_student: 2,
+            professors_per_course: 1,
+            subjects_per_professor: 2,
+            seed: 2002,
+        }
+    }
+}
+
+impl UniversityConfig {
+    /// Total element count of a generated document (for reporting).
+    pub fn element_count(&self) -> usize {
+        let professors = self.students * self.courses_per_student * self.professors_per_course;
+        let subjects = professors * self.subjects_per_professor;
+        // University + StudyCourse + per-student (1 + LName + FName)
+        // + per-course (1 + Name + CreditPts) + per-professor (1 + PName + Dept)
+        // + subjects
+        2 + self.students * 3
+            + self.students * self.courses_per_student * 3
+            + professors * 3
+            + subjects
+    }
+}
+
+const LAST_NAMES: &[&str] = &[
+    "Conrad", "Meier", "Kudrass", "Jaeger", "Schmidt", "Fischer", "Weber", "Wagner", "Becker",
+    "Hoffmann", "Koch", "Richter",
+];
+const FIRST_NAMES: &[&str] = &[
+    "Matthias", "Ralf", "Thomas", "Anna", "Julia", "Stefan", "Petra", "Karin", "Jens", "Uwe",
+];
+const COURSE_NAMES: &[&str] = &[
+    "Database Systems II", "CAD Intro", "Operating Systems", "Compiler Construction",
+    "Information Retrieval", "Computer Graphics", "Software Engineering", "Distributed Systems",
+];
+const SUBJECTS: &[&str] = &[
+    "Database Systems", "Operat. Systems", "CAD", "CAE", "Networks", "Algorithms",
+    "Formal Methods", "Information Systems",
+];
+const DEPTS: &[&str] = &["Computer Science", "Mathematics", "Electrical Engineering"];
+
+/// The DTD text (constant; provided as a function for API symmetry).
+pub fn university_dtd() -> &'static str {
+    UNIVERSITY_DTD
+}
+
+/// Generate a valid university document with the configured sizes.
+pub fn university_xml(config: &UniversityConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = String::with_capacity(config.element_count() * 24);
+    out.push_str("<University><StudyCourse>Computer Science</StudyCourse>");
+    for s in 0..config.students {
+        let lname = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let fname = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        out.push_str(&format!(
+            "<Student StudNr=\"{:05}\"><LName>{lname}</LName><FName>{fname}</FName>",
+            s + 1
+        ));
+        for _ in 0..config.courses_per_student {
+            let course = COURSE_NAMES[rng.gen_range(0..COURSE_NAMES.len())];
+            out.push_str(&format!("<Course><Name>{course}</Name>"));
+            for _ in 0..config.professors_per_course {
+                let pname = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+                let dept = DEPTS[rng.gen_range(0..DEPTS.len())];
+                out.push_str(&format!("<Professor><PName>{pname}</PName>"));
+                for _ in 0..config.subjects_per_professor.max(1) {
+                    let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+                    out.push_str(&format!("<Subject>{subject}</Subject>"));
+                }
+                out.push_str(&format!("<Dept>{dept}</Dept></Professor>"));
+            }
+            out.push_str(&format!("<CreditPts>{}</CreditPts></Course>", rng.gen_range(2..8)));
+        }
+        out.push_str("</Student>");
+    }
+    out.push_str("</University>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlord_dtd::{parse_dtd, validate};
+
+    #[test]
+    fn generated_documents_are_valid() {
+        let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+        for students in [0, 1, 5, 25] {
+            let config = UniversityConfig { students, ..Default::default() };
+            let xml = university_xml(&config);
+            let doc = xmlord_xml::parse(&xml).unwrap();
+            let report = validate(&doc, &dtd);
+            assert!(report.is_valid(), "students={students}: {:?}", report.errors);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = UniversityConfig::default();
+        assert_eq!(university_xml(&config), university_xml(&config));
+        let other = UniversityConfig { seed: 1, ..Default::default() };
+        assert_ne!(university_xml(&config), university_xml(&other));
+    }
+
+    #[test]
+    fn element_count_matches_actual() {
+        let config = UniversityConfig { students: 3, ..Default::default() };
+        let xml = university_xml(&config);
+        let actual = xml.matches("</").count() + xml.matches("/>").count();
+        assert_eq!(actual, config.element_count());
+    }
+
+    #[test]
+    fn scaling_grows_linearly() {
+        let small = UniversityConfig { students: 10, ..Default::default() };
+        let large = UniversityConfig { students: 100, ..Default::default() };
+        let ratio = university_xml(&large).len() as f64 / university_xml(&small).len() as f64;
+        assert!(ratio > 8.0 && ratio < 12.0, "{ratio}");
+    }
+}

@@ -1,0 +1,208 @@
+//! A character cursor over the input with line/column tracking.
+//!
+//! Both the XML parser and the DTD parser (in `xmlord-dtd`) consume input
+//! through this cursor so error positions are consistent across the two
+//! parsers of the paper's Fig. 1 architecture.
+
+use crate::error::{Position, XmlError, XmlErrorKind};
+
+/// A peekable cursor over `&str` that tracks the current [`Position`].
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    input: &'a str,
+    pos: Position,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Cursor { input, pos: Position::start() }
+    }
+
+    /// Current position (of the next unread character).
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    /// The unread remainder of the input.
+    pub fn rest(&self) -> &'a str {
+        &self.input[self.pos.offset..]
+    }
+
+    pub fn is_eof(&self) -> bool {
+        self.pos.offset >= self.input.len()
+    }
+
+    /// Peek at the next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Peek at the character `n` characters ahead (0 == `peek`).
+    pub fn peek_nth(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    /// True if the unread input starts with `s`.
+    pub fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Consume and return the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos.offset += ch.len_utf8();
+        if ch == '\n' {
+            self.pos.line += 1;
+            self.pos.column = 1;
+        } else {
+            self.pos.column += 1;
+        }
+        Some(ch)
+    }
+
+    /// Consume `s` if the input starts with it; return whether it did.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `s` or fail with an `Unexpected` error mentioning `what`.
+    pub fn expect(&mut self, s: &str, what: &str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else if self.is_eof() {
+            Err(XmlError::new(XmlErrorKind::UnexpectedEof, self.pos))
+        } else {
+            Err(XmlError::new(
+                XmlErrorKind::Unexpected(format!(
+                    "input at '{}' (expected {what})",
+                    preview(self.rest())
+                )),
+                self.pos,
+            ))
+        }
+    }
+
+    /// Consume characters while `pred` holds; return the consumed slice.
+    pub fn take_while(&mut self, mut pred: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.pos.offset;
+        while let Some(ch) = self.peek() {
+            if pred(ch) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.input[start..self.pos.offset]
+    }
+
+    /// Consume XML whitespace (space, tab, CR, LF); return whether any was consumed.
+    pub fn skip_ws(&mut self) -> bool {
+        !self.take_while(is_xml_ws).is_empty()
+    }
+
+    /// Consume up to (but not including) the first occurrence of `delim`.
+    /// Errors with `UnexpectedEof` if `delim` never occurs.
+    pub fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
+        let rest = self.rest();
+        match rest.find(delim) {
+            Some(idx) => {
+                let start = self.pos.offset;
+                // Advance char by char to keep line/column tracking correct.
+                while self.pos.offset < start + idx {
+                    self.bump();
+                }
+                Ok(&self.input[start..start + idx])
+            }
+            None => Err(XmlError::new(XmlErrorKind::UnexpectedEof, self.pos)),
+        }
+    }
+
+    pub fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos)
+    }
+}
+
+/// XML S production: space, tab, carriage return, line feed.
+pub fn is_xml_ws(ch: char) -> bool {
+    matches!(ch, ' ' | '\t' | '\r' | '\n')
+}
+
+/// A short preview of the input for error messages.
+fn preview(s: &str) -> String {
+    let mut out: String = s.chars().take(16).collect();
+    if s.chars().count() > 16 {
+        out.push('…');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.bump(), Some('a'));
+        assert_eq!(c.position().column, 2);
+        c.bump();
+        c.bump(); // newline
+        assert_eq!(c.position().line, 2);
+        assert_eq!(c.position().column, 1);
+        assert_eq!(c.bump(), Some('c'));
+        assert_eq!(c.position().column, 2);
+    }
+
+    #[test]
+    fn eat_consumes_only_on_match() {
+        let mut c = Cursor::new("<!--x");
+        assert!(!c.eat("<!DOCTYPE"));
+        assert_eq!(c.position().offset, 0);
+        assert!(c.eat("<!--"));
+        assert_eq!(c.rest(), "x");
+    }
+
+    #[test]
+    fn take_until_returns_span_and_stops_before_delimiter() {
+        let mut c = Cursor::new("hello-->tail");
+        let got = c.take_until("-->").unwrap();
+        assert_eq!(got, "hello");
+        assert!(c.starts_with("-->"));
+    }
+
+    #[test]
+    fn take_until_eof_is_error() {
+        let mut c = Cursor::new("no terminator");
+        assert!(c.take_until("-->").is_err());
+    }
+
+    #[test]
+    fn take_while_handles_multibyte() {
+        let mut c = Cursor::new("äöü!");
+        let got = c.take_while(|ch| ch != '!');
+        assert_eq!(got, "äöü");
+        assert_eq!(c.peek(), Some('!'));
+    }
+
+    #[test]
+    fn skip_ws_reports_whether_it_skipped() {
+        let mut c = Cursor::new("  x");
+        assert!(c.skip_ws());
+        assert!(!c.skip_ws());
+        assert_eq!(c.peek(), Some('x'));
+    }
+
+    #[test]
+    fn expect_reports_expected_token() {
+        let mut c = Cursor::new("abc");
+        let err = c.expect(">", "tag close").unwrap_err();
+        assert!(err.to_string().contains("tag close"));
+    }
+}

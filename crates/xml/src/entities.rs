@@ -1,0 +1,222 @@
+//! General-entity catalog and expansion bookkeeping.
+//!
+//! The paper's §6.1 ("Representation of Entities") prescribes the behaviour
+//! implemented here: internal entities declared in the DTD are *expanded at
+//! their occurrences* before storage, and the original definitions are kept
+//! so the meta-database can restore the references when the document is
+//! retrieved. [`EntityCatalog`] is that definition store; the parser consults
+//! it during expansion and the `xml2ordb` metadata module persists it.
+
+use std::collections::BTreeMap;
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::predefined_entity;
+use crate::{cursor::Cursor, escape::decode_char_ref};
+
+/// Declared general entities: name → replacement text.
+///
+/// Uses a `BTreeMap` so iteration (and therefore generated metadata and SQL)
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EntityCatalog {
+    entities: BTreeMap<String, String>,
+}
+
+impl EntityCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an internal entity. First declaration wins, per XML 1.0 §4.2
+    /// ("at user option, an XML processor may issue a warning if entities are
+    /// declared multiple times").
+    pub fn declare(&mut self, name: &str, replacement: &str) {
+        self.entities.entry(name.to_string()).or_insert_with(|| replacement.to_string());
+    }
+
+    /// Replacement text for `name`: predefined entities first, then declared.
+    pub fn lookup(&self, name: &str) -> Option<&str> {
+        predefined_entity(name).or_else(|| self.entities.get(name).map(String::as_str))
+    }
+
+    /// Declared (non-predefined) entities in name order.
+    pub fn declared(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entities.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Fully expand entity and character references inside `text`.
+    ///
+    /// This is used for entity *replacement text*, which may itself contain
+    /// references (XML 1.0 §4.4: "included" entities are recursively
+    /// processed). Recursion through the same entity is a well-formedness
+    /// error (`RecursiveEntity`).
+    pub fn expand_text(&self, text: &str) -> Result<String, XmlError> {
+        let mut active: Vec<String> = Vec::new();
+        self.expand_inner(text, &mut active)
+    }
+
+    fn expand_inner(&self, text: &str, active: &mut Vec<String>) -> Result<String, XmlError> {
+        let mut cur = Cursor::new(text);
+        let mut out = String::with_capacity(text.len());
+        while let Some(ch) = cur.peek() {
+            if ch != '&' {
+                out.push(ch);
+                cur.bump();
+                continue;
+            }
+            cur.bump(); // '&'
+            if cur.eat("#") {
+                let body = cur.take_until(";").map_err(|e| {
+                    XmlError::new(XmlErrorKind::InvalidCharRef("&#".into()), e.position)
+                })?;
+                cur.eat(";");
+                let decoded = decode_char_ref(body).ok_or_else(|| {
+                    cur.error(XmlErrorKind::InvalidCharRef(format!("&#{body};")))
+                })?;
+                out.push(decoded);
+            } else {
+                let name = cur.take_until(";").map_err(|e| {
+                    XmlError::new(XmlErrorKind::UnknownEntity("&".into()), e.position)
+                })?;
+                cur.eat(";");
+                if active.iter().any(|n| n == name) {
+                    return Err(cur.error(XmlErrorKind::RecursiveEntity(name.to_string())));
+                }
+                let replacement = self
+                    .lookup(name)
+                    .ok_or_else(|| cur.error(XmlErrorKind::UnknownEntity(name.to_string())))?
+                    .to_string();
+                if predefined_entity(name).is_some() {
+                    // Predefined entities expand to literal markup characters
+                    // and are NOT reprocessed.
+                    out.push_str(&replacement);
+                } else {
+                    active.push(name.to_string());
+                    let expanded = self.expand_inner(&replacement, active)?;
+                    active.pop();
+                    out.push_str(&expanded);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-substitute declared entity references into serialized text — the
+    /// §6.1 retrieval direction: "the characters can be replaced by the
+    /// original entity references that can be found in the meta-table".
+    ///
+    /// Longer replacement texts are substituted first so overlapping
+    /// definitions behave deterministically. Only non-empty replacement texts
+    /// are considered.
+    pub fn resubstitute(&self, text: &str) -> String {
+        let mut pairs: Vec<(&str, &str)> = self
+            .entities
+            .iter()
+            .filter(|(_, repl)| !repl.is_empty())
+            .map(|(name, repl)| (name.as_str(), repl.as_str()))
+            .collect();
+        pairs.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+        let mut out = text.to_string();
+        for (name, repl) in pairs {
+            out = out.replace(repl, &format!("&{name};"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_prefers_predefined() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("amp", "NOT AMP");
+        assert_eq!(cat.lookup("amp"), Some("&"));
+    }
+
+    #[test]
+    fn first_declaration_wins() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("cs", "Computer Science");
+        cat.declare("cs", "Something Else");
+        assert_eq!(cat.lookup("cs"), Some("Computer Science"));
+    }
+
+    #[test]
+    fn expands_nested_entities() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("uni", "HTWK &city;");
+        cat.declare("city", "Leipzig");
+        assert_eq!(cat.expand_text("at &uni;!").unwrap(), "at HTWK Leipzig!");
+    }
+
+    #[test]
+    fn detects_recursive_entities() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("a", "&b;");
+        cat.declare("b", "&a;");
+        let err = cat.expand_text("&a;").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::RecursiveEntity(_)));
+    }
+
+    #[test]
+    fn detects_self_recursion() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("x", "pre &x; post");
+        assert!(cat.expand_text("&x;").is_err());
+    }
+
+    #[test]
+    fn predefined_expansion_is_not_reprocessed() {
+        let cat = EntityCatalog::new();
+        // &amp;lt; must become the literal text "&lt;", not "<".
+        assert_eq!(cat.expand_text("&amp;lt;").unwrap(), "&lt;");
+    }
+
+    #[test]
+    fn expands_char_refs_in_replacement_flow() {
+        let cat = EntityCatalog::new();
+        assert_eq!(cat.expand_text("A&#66;&#x43;").unwrap(), "ABC");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let cat = EntityCatalog::new();
+        let err = cat.expand_text("&nosuch;").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(ref n) if n == "nosuch"));
+    }
+
+    #[test]
+    fn resubstitute_restores_references_longest_first() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("cs", "Computer Science");
+        cat.declare("sci", "Science");
+        let text = "Dept of Computer Science";
+        assert_eq!(cat.resubstitute(text), "Dept of &cs;");
+    }
+
+    #[test]
+    fn resubstitute_skips_empty_replacements() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("nothing", "");
+        assert_eq!(cat.resubstitute("abc"), "abc");
+    }
+
+    #[test]
+    fn declared_iteration_is_sorted() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("z", "1");
+        cat.declare("a", "2");
+        let names: Vec<&str> = cat.declared().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Escaping of character data and attribute values.
+//!
+//! §6.1 of the paper discusses exactly this machinery: markup characters
+//! "are stored using the lt, gt, amp, quot, and apos entities", the parser
+//! "transforms those entity references into the corresponding character
+//! literals that are stored in the database", and on retrieval the
+//! serializer must re-escape them. These helpers implement both directions.
+
+/// Escape character data content: `&`, `<` and `>` (the latter for safety
+/// with `]]>` sequences).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for emission inside double quotes.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// The replacement text of a predefined entity, if `name` is one of the five.
+pub fn predefined_entity(name: &str) -> Option<&'static str> {
+    match name {
+        "lt" => Some("<"),
+        "gt" => Some(">"),
+        "amp" => Some("&"),
+        "apos" => Some("'"),
+        "quot" => Some("\""),
+        _ => None,
+    }
+}
+
+/// True if `ch` is a character permitted by the XML 1.0 `Char` production.
+pub fn is_xml_char(ch: char) -> bool {
+    matches!(ch,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Decode a character reference body (the part between `&#` and `;`),
+/// e.g. `"x41"` or `"65"`. Returns `None` for syntax errors or code points
+/// outside the XML `Char` production.
+pub fn decode_char_ref(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    let ch = char::from_u32(code)?;
+    is_xml_char(ch).then_some(ch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_text_markup_characters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escapes_attr_quotes_and_whitespace_controls() {
+        assert_eq!(escape_attr("\"x\"\n"), "&quot;x&quot;&#10;");
+    }
+
+    #[test]
+    fn all_five_predefined_entities_resolve() {
+        assert_eq!(predefined_entity("lt"), Some("<"));
+        assert_eq!(predefined_entity("gt"), Some(">"));
+        assert_eq!(predefined_entity("amp"), Some("&"));
+        assert_eq!(predefined_entity("apos"), Some("'"));
+        assert_eq!(predefined_entity("quot"), Some("\""));
+        assert_eq!(predefined_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn decodes_decimal_and_hex_char_refs() {
+        assert_eq!(decode_char_ref("65"), Some('A'));
+        assert_eq!(decode_char_ref("x41"), Some('A'));
+        assert_eq!(decode_char_ref("X41"), Some('A'));
+        assert_eq!(decode_char_ref("x20AC"), Some('€'));
+    }
+
+    #[test]
+    fn rejects_invalid_char_refs() {
+        assert_eq!(decode_char_ref(""), None);
+        assert_eq!(decode_char_ref("x"), None);
+        assert_eq!(decode_char_ref("zz"), None);
+        assert_eq!(decode_char_ref("0"), None); // NUL is not an XML char
+        assert_eq!(decode_char_ref("x1F"), None); // control char
+        assert_eq!(decode_char_ref("xD800"), None); // surrogate
+        assert_eq!(decode_char_ref("x110000"), None); // out of range
+    }
+
+    #[test]
+    fn tab_cr_lf_are_xml_chars_but_other_controls_are_not() {
+        assert!(is_xml_char('\t') && is_xml_char('\r') && is_xml_char('\n'));
+        assert!(!is_xml_char('\u{0}') && !is_xml_char('\u{B}') && !is_xml_char('\u{1F}'));
+    }
+}

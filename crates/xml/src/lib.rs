@@ -1,0 +1,53 @@
+//! # xmlord-xml — XML 1.0 parser, DOM and serializer
+//!
+//! This crate is substrate **S1** of the reproduction of *Kudrass & Conrad,
+//! "Management of XML Documents in Object-Relational Databases" (EDBT 2002)*.
+//! It plays the role the Oracle XDK parser plays in the paper's `XML2Oracle`
+//! utility (Fig. 1): it checks well-formedness, expands entity references and
+//! produces a DOM tree of the document — elements with their values,
+//! attributes with their values, plus the comments and processing
+//! instructions whose loss the paper discusses in §6.1/§7.
+//!
+//! The crate is deliberately self-contained (no dependencies) and implements
+//! the subset of XML 1.0 the paper's pipeline requires:
+//!
+//! * prolog (XML declaration, `DOCTYPE` with internal subset capture),
+//! * elements, attributes, character data, CDATA sections,
+//! * comments and processing instructions (preserved in the DOM so the
+//!   round-trip experiments can measure their loss through the database),
+//! * character references (`&#10;`, `&#x0A;`) and entity references — the
+//!   five predefined entities plus general entities declared in the internal
+//!   DTD subset, which are *expanded at their occurrences* exactly as §6.1
+//!   describes ("XML2Oracle expands them at their occurrences so that the
+//!   expanded entities are stored in the database"),
+//! * namespace-aware qualified names (`prefix:local`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use xmlord_xml::{parse, serializer::{serialize, SerializeOptions}};
+//!
+//! let doc = parse("<a x='1'><b>hi</b><!--c--></a>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.name(root).local, "a");
+//! assert_eq!(doc.attribute(root, "x"), Some("1"));
+//! let text = serialize(&doc, &SerializeOptions::compact());
+//! assert_eq!(text, "<a x=\"1\"><b>hi</b><!--c--></a>");
+//! ```
+
+pub mod cursor;
+pub mod dom;
+pub mod entities;
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod parser;
+pub mod prolog;
+pub mod serializer;
+
+pub use dom::{Attribute, Document, ElementData, NodeId, NodeKind};
+pub use entities::EntityCatalog;
+pub use error::{Position, XmlError, XmlErrorKind};
+pub use name::QName;
+pub use parser::{parse, parse_with_catalog};
+pub use prolog::{DoctypeDecl, XmlDeclaration};

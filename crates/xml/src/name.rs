@@ -1,0 +1,154 @@
+//! XML names and namespace-qualified names.
+//!
+//! The mapping layer (paper §5) derives database identifiers from element and
+//! attribute names, and the meta-table stores namespace information, so names
+//! are first-class here: validated on parse, split into `prefix:local`.
+
+use std::fmt;
+
+/// A (possibly prefixed) XML qualified name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace prefix, empty for unprefixed names.
+    pub prefix: String,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// Build a name from its raw `prefix:local` form.
+    ///
+    /// Returns `None` when the raw text is not a valid QName (empty parts,
+    /// more than one colon, invalid characters).
+    pub fn parse(raw: &str) -> Option<QName> {
+        let mut parts = raw.splitn(3, ':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) => {
+                if is_valid_ncname(first) {
+                    Some(QName { prefix: String::new(), local: first.to_string() })
+                } else {
+                    None
+                }
+            }
+            (Some(second), None) => {
+                if is_valid_ncname(first) && is_valid_ncname(second) {
+                    Some(QName { prefix: first.to_string(), local: second.to_string() })
+                } else {
+                    None
+                }
+            }
+            (Some(_), Some(_)) => None,
+        }
+    }
+
+    /// An unprefixed name. Panics if `local` is not a valid NCName — intended
+    /// for names that originate in code, not in documents.
+    pub fn local(local: &str) -> QName {
+        assert!(is_valid_ncname(local), "invalid NCName {local:?}");
+        QName { prefix: String::new(), local: local.to_string() }
+    }
+
+    /// Raw `prefix:local` (or just `local`) form.
+    pub fn as_raw(&self) -> String {
+        if self.prefix.is_empty() {
+            self.local.clone()
+        } else {
+            format!("{}:{}", self.prefix, self.local)
+        }
+    }
+
+    pub fn has_prefix(&self) -> bool {
+        !self.prefix.is_empty()
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix.is_empty() {
+            write!(f, "{}", self.local)
+        } else {
+            write!(f, "{}:{}", self.prefix, self.local)
+        }
+    }
+}
+
+/// First character of an XML name (colon excluded: NCName).
+pub fn is_name_start_char(ch: char) -> bool {
+    matches!(ch,
+        'A'..='Z' | 'a'..='z' | '_'
+        | '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+        | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+        | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// Subsequent character of an XML name (colon excluded: NCName).
+pub fn is_name_char(ch: char) -> bool {
+    is_name_start_char(ch)
+        || matches!(ch, '-' | '.' | '0'..='9' | '\u{B7}'
+            | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// Validate an NCName (a name with no colon).
+pub fn is_valid_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) if is_name_start_char(first) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+/// Validate a full name as it may appear in a document (at most one colon).
+pub fn is_valid_qname(s: &str) -> bool {
+    QName::parse(s).is_some()
+}
+
+/// Validate an `Nmtoken` (any name characters, colon allowed per XML spec).
+pub fn is_valid_nmtoken(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| is_name_char(c) || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unprefixed_names() {
+        let q = QName::parse("University").unwrap();
+        assert_eq!(q.prefix, "");
+        assert_eq!(q.local, "University");
+        assert_eq!(q.as_raw(), "University");
+    }
+
+    #[test]
+    fn parses_prefixed_names() {
+        let q = QName::parse("uni:Student").unwrap();
+        assert_eq!(q.prefix, "uni");
+        assert_eq!(q.local, "Student");
+        assert_eq!(q.to_string(), "uni:Student");
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        for bad in ["", ":", "a:", ":b", "a:b:c", "1abc", "-x", "a b", "a\u{0}"] {
+            assert!(QName::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_names_with_digits_dots_dashes_inside() {
+        for good in ["a1", "a-b", "a.b", "_x", "Straße", "日本語"] {
+            assert!(QName::parse(good).is_some(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn nmtoken_allows_leading_digit() {
+        assert!(is_valid_nmtoken("1st"));
+        assert!(!is_valid_ncname("1st"));
+        assert!(!is_valid_nmtoken(""));
+    }
+}

@@ -1,0 +1,749 @@
+//! The XML document parser (well-formedness checker of Fig. 1).
+//!
+//! Parses a complete document — prolog, DOCTYPE (capturing the internal
+//! subset verbatim and scanning it for entity declarations), root element
+//! tree, epilog — into a [`Document`]. Entity references are expanded at
+//! their occurrences (§6.1); character references are decoded; comments and
+//! processing instructions are retained as DOM nodes.
+
+use crate::cursor::{is_xml_ws, Cursor};
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::entities::EntityCatalog;
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::decode_char_ref;
+use crate::name::{is_name_char, is_name_start_char, QName};
+use crate::prolog::{DoctypeDecl, ExternalId, XmlDeclaration};
+
+/// Parse a document, starting from an empty entity catalog (entities declared
+/// in the internal DTD subset are still picked up).
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    parse_with_catalog(input, EntityCatalog::new())
+}
+
+/// Parse a document with pre-declared general entities (e.g. entities
+/// declared in an *external* DTD that the caller has already parsed).
+pub fn parse_with_catalog(input: &str, catalog: EntityCatalog) -> Result<Document, XmlError> {
+    let mut parser = Parser { cur: Cursor::new(input), doc: Document::new(), catalog };
+    parser.parse_document()?;
+    Ok(parser.doc)
+}
+
+struct Parser<'a> {
+    cur: Cursor<'a>,
+    doc: Document,
+    catalog: EntityCatalog,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(&mut self) -> Result<(), XmlError> {
+        // Optional BOM.
+        self.cur.eat("\u{FEFF}");
+        // XML declaration must be first if present.
+        if self.cur.starts_with("<?xml") && self.cur.peek_nth(5).is_none_or(is_xml_ws) {
+            self.doc.declaration = Some(self.parse_xml_declaration()?);
+        }
+        // Misc and doctype before the root.
+        loop {
+            self.cur.skip_ws();
+            if self.cur.starts_with("<!--") {
+                let node = self.parse_comment()?;
+                self.doc.prolog_misc.push(node);
+            } else if self.cur.starts_with("<?") {
+                let node = self.parse_pi()?;
+                self.doc.prolog_misc.push(node);
+            } else if self.cur.starts_with("<!DOCTYPE") {
+                if self.doc.doctype.is_some() {
+                    return Err(self.cur.error(XmlErrorKind::StructureViolation(
+                        "multiple DOCTYPE declarations".into(),
+                    )));
+                }
+                let dt = self.parse_doctype()?;
+                self.doc.doctype = Some(dt);
+            } else {
+                break;
+            }
+        }
+        // Root element.
+        if !self.cur.starts_with("<") {
+            return Err(self.cur.error(XmlErrorKind::StructureViolation(
+                "document has no root element".into(),
+            )));
+        }
+        let root = self.parse_element()?;
+        self.doc.set_root(root);
+        // Epilog: only misc allowed.
+        loop {
+            self.cur.skip_ws();
+            if self.cur.is_eof() {
+                return Ok(());
+            }
+            if self.cur.starts_with("<!--") {
+                let node = self.parse_comment()?;
+                self.doc.epilog_misc.push(node);
+            } else if self.cur.starts_with("<?") {
+                let node = self.parse_pi()?;
+                self.doc.epilog_misc.push(node);
+            } else {
+                return Err(self.cur.error(XmlErrorKind::StructureViolation(
+                    "content after the root element".into(),
+                )));
+            }
+        }
+    }
+
+    fn parse_xml_declaration(&mut self) -> Result<XmlDeclaration, XmlError> {
+        self.cur.expect("<?xml", "XML declaration")?;
+        let mut decl =
+            XmlDeclaration { version: String::new(), encoding: None, standalone: None };
+        loop {
+            let had_ws = self.cur.skip_ws();
+            if self.cur.eat("?>") {
+                break;
+            }
+            if !had_ws {
+                return Err(self
+                    .cur
+                    .error(XmlErrorKind::IllegalConstruct("malformed XML declaration".into())));
+            }
+            let (name, value) = self.parse_pseudo_attr()?;
+            match name.as_str() {
+                "version" => decl.version = value,
+                "encoding" => decl.encoding = Some(value),
+                "standalone" => match value.as_str() {
+                    "yes" => decl.standalone = Some(true),
+                    "no" => decl.standalone = Some(false),
+                    other => {
+                        return Err(self.cur.error(XmlErrorKind::IllegalConstruct(format!(
+                            "standalone must be yes or no, got '{other}'"
+                        ))))
+                    }
+                },
+                other => {
+                    return Err(self.cur.error(XmlErrorKind::IllegalConstruct(format!(
+                        "unknown XML declaration attribute '{other}'"
+                    ))))
+                }
+            }
+        }
+        if decl.version.is_empty() {
+            return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                "XML declaration lacks a version".into(),
+            )));
+        }
+        Ok(decl)
+    }
+
+    /// `name="value"` inside `<?xml ...?>` — no references processed.
+    fn parse_pseudo_attr(&mut self) -> Result<(String, String), XmlError> {
+        let name = self.parse_raw_name()?;
+        self.cur.skip_ws();
+        self.cur.expect("=", "'=' in XML declaration")?;
+        self.cur.skip_ws();
+        let quote = match self.cur.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => {
+                return Err(self
+                    .cur
+                    .error(XmlErrorKind::IllegalConstruct("expected quoted value".into())))
+            }
+        };
+        let value = self.cur.take_until(&quote.to_string())?.to_string();
+        self.cur.eat(&quote.to_string());
+        Ok((name, value))
+    }
+
+    fn parse_doctype(&mut self) -> Result<DoctypeDecl, XmlError> {
+        self.cur.expect("<!DOCTYPE", "DOCTYPE")?;
+        if !self.cur.skip_ws() {
+            return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                "whitespace required after <!DOCTYPE".into(),
+            )));
+        }
+        let name = self.parse_raw_name()?;
+        self.cur.skip_ws();
+        let external_id = if self.cur.eat("SYSTEM") {
+            self.cur.skip_ws();
+            let system = self.parse_quoted_literal()?;
+            Some(ExternalId::System { system })
+        } else if self.cur.eat("PUBLIC") {
+            self.cur.skip_ws();
+            let public = self.parse_quoted_literal()?;
+            self.cur.skip_ws();
+            let system = self.parse_quoted_literal()?;
+            Some(ExternalId::Public { public, system })
+        } else {
+            None
+        };
+        self.cur.skip_ws();
+        let internal_subset = if self.cur.eat("[") {
+            let subset = self.scan_internal_subset()?;
+            Some(subset)
+        } else {
+            None
+        };
+        self.cur.skip_ws();
+        self.cur.expect(">", "'>' closing DOCTYPE")?;
+        if let Some(subset) = &internal_subset {
+            self.scan_subset_entities(&subset.clone())?;
+        }
+        Ok(DoctypeDecl { name, external_id, internal_subset })
+    }
+
+    /// Consume the internal subset up to its closing `]`, respecting quoted
+    /// literals and comments so a `]` inside them does not terminate it.
+    fn scan_internal_subset(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        loop {
+            match self.cur.peek() {
+                None => return Err(self.cur.error(XmlErrorKind::UnexpectedEof)),
+                Some(']') => {
+                    self.cur.bump();
+                    return Ok(out);
+                }
+                Some('"') | Some('\'') => {
+                    let quote = self.cur.bump().unwrap();
+                    out.push(quote);
+                    let lit = self.cur.take_until(&quote.to_string())?;
+                    out.push_str(lit);
+                    self.cur.eat(&quote.to_string());
+                    out.push(quote);
+                }
+                Some(_) if self.cur.starts_with("<!--") => {
+                    self.cur.eat("<!--");
+                    out.push_str("<!--");
+                    let body = self.cur.take_until("-->")?;
+                    out.push_str(body);
+                    self.cur.eat("-->");
+                    out.push_str("-->");
+                }
+                Some(ch) => {
+                    out.push(ch);
+                    self.cur.bump();
+                }
+            }
+        }
+    }
+
+    /// Scan the internal subset for `<!ENTITY name "text">` declarations so
+    /// general entities can be expanded in document content. Parameter
+    /// entities and full markup declarations are handled by `xmlord-dtd`.
+    fn scan_subset_entities(&mut self, subset: &str) -> Result<(), XmlError> {
+        let mut cur = Cursor::new(subset);
+        while !cur.is_eof() {
+            if cur.starts_with("<!--") {
+                cur.eat("<!--");
+                let _ = cur.take_until("-->")?;
+                cur.eat("-->");
+                continue;
+            }
+            if cur.starts_with("<!ENTITY") {
+                cur.eat("<!ENTITY");
+                cur.skip_ws();
+                if cur.eat("%") {
+                    // Parameter entity — skip its declaration.
+                    let _ = cur.take_until(">")?;
+                    cur.eat(">");
+                    continue;
+                }
+                let name = cur.take_while(is_name_char).to_string();
+                cur.skip_ws();
+                match cur.peek() {
+                    Some(q @ ('"' | '\'')) => {
+                        cur.bump();
+                        let raw = cur.take_until(&q.to_string())?.to_string();
+                        cur.eat(&q.to_string());
+                        cur.skip_ws();
+                        cur.eat(">");
+                        self.catalog.declare(&name, &raw);
+                    }
+                    _ => {
+                        // External entity (SYSTEM/PUBLIC) — recorded but the
+                        // replacement text is unavailable; skip.
+                        let _ = cur.take_until(">")?;
+                        cur.eat(">");
+                    }
+                }
+                continue;
+            }
+            cur.bump();
+        }
+        Ok(())
+    }
+
+    fn parse_quoted_literal(&mut self) -> Result<String, XmlError> {
+        let quote = match self.cur.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => {
+                return Err(self
+                    .cur
+                    .error(XmlErrorKind::IllegalConstruct("expected quoted literal".into())))
+            }
+        };
+        let lit = self.cur.take_until(&quote.to_string())?.to_string();
+        self.cur.eat(&quote.to_string());
+        Ok(lit)
+    }
+
+    fn parse_raw_name(&mut self) -> Result<String, XmlError> {
+        let start_ok = self.cur.peek().map(|c| is_name_start_char(c) || c == ':').unwrap_or(false);
+        if !start_ok {
+            return Err(self
+                .cur
+                .error(XmlErrorKind::InvalidName(self.cur.peek().map(String::from).unwrap_or_default())));
+        }
+        let name = self.cur.take_while(|c| is_name_char(c) || c == ':');
+        Ok(name.to_string())
+    }
+
+    fn parse_qname(&mut self) -> Result<QName, XmlError> {
+        let raw = self.parse_raw_name()?;
+        QName::parse(&raw).ok_or_else(|| self.cur.error(XmlErrorKind::InvalidName(raw)))
+    }
+
+    fn parse_element(&mut self) -> Result<NodeId, XmlError> {
+        self.cur.expect("<", "start tag")?;
+        let name = self.parse_qname()?;
+        let element = self.doc.create_element(name.clone());
+        // Attributes.
+        loop {
+            let had_ws = self.cur.skip_ws();
+            match self.cur.peek() {
+                Some('>') => {
+                    self.cur.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.cur.bump();
+                    self.cur.expect(">", "'>' after '/'")?;
+                    return Ok(element); // empty element
+                }
+                Some(_) if had_ws => {
+                    let attr_name = self.parse_qname()?;
+                    if self.doc.attribute(element, &attr_name.as_raw()).is_some() {
+                        return Err(self
+                            .cur
+                            .error(XmlErrorKind::DuplicateAttribute(attr_name.as_raw())));
+                    }
+                    self.cur.skip_ws();
+                    self.cur.expect("=", "'=' after attribute name")?;
+                    self.cur.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    self.doc.set_attribute(element, attr_name, &value);
+                }
+                Some(_) => {
+                    return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                        "whitespace required before attribute".into(),
+                    )))
+                }
+                None => return Err(self.cur.error(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        // Content until the matching close tag.
+        self.parse_content(element, &name)?;
+        Ok(element)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.cur.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => {
+                return Err(self
+                    .cur
+                    .error(XmlErrorKind::IllegalConstruct("attribute value must be quoted".into())))
+            }
+        };
+        let mut out = String::new();
+        loop {
+            match self.cur.peek() {
+                None => return Err(self.cur.error(XmlErrorKind::UnexpectedEof)),
+                Some(ch) if ch == quote => {
+                    self.cur.bump();
+                    return Ok(out);
+                }
+                Some('<') => {
+                    return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                        "'<' not allowed in attribute value".into(),
+                    )))
+                }
+                Some('&') => {
+                    let expanded = self.parse_reference()?;
+                    out.push_str(&expanded);
+                }
+                // Attribute-value normalization: whitespace → space.
+                Some('\t') | Some('\n') | Some('\r') => {
+                    self.cur.bump();
+                    out.push(' ');
+                }
+                Some(ch) => {
+                    self.cur.bump();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    /// Parse `&...;` at the cursor and return the fully expanded text.
+    fn parse_reference(&mut self) -> Result<String, XmlError> {
+        let at = self.cur.position();
+        self.cur.expect("&", "reference")?;
+        if self.cur.eat("#") {
+            let body = self.cur.take_until(";")?.to_string();
+            self.cur.eat(";");
+            let ch = decode_char_ref(&body).ok_or_else(|| {
+                XmlError::new(XmlErrorKind::InvalidCharRef(format!("&#{body};")), at)
+            })?;
+            Ok(ch.to_string())
+        } else {
+            let name = self.parse_raw_name()?;
+            self.cur.expect(";", "';' terminating entity reference")?;
+            match self.catalog.lookup(&name) {
+                Some(_) => {
+                    // Full recursive expansion via the catalog — mirrors the
+                    // paper's expand-at-occurrence behaviour.
+                    self.catalog
+                        .expand_text(&format!("&{name};"))
+                        .map_err(|e| XmlError::new(e.kind, at))
+                }
+                None => Err(XmlError::new(XmlErrorKind::UnknownEntity(name), at)),
+            }
+        }
+    }
+
+    fn parse_content(&mut self, parent: NodeId, open_name: &QName) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            if self.cur.is_eof() {
+                return Err(self.cur.error(XmlErrorKind::UnexpectedEof));
+            }
+            if self.cur.starts_with("</") {
+                self.flush_text(parent, &mut text);
+                self.cur.eat("</");
+                let close = self.parse_qname()?;
+                self.cur.skip_ws();
+                self.cur.expect(">", "'>' closing end tag")?;
+                if &close != open_name {
+                    return Err(self.cur.error(XmlErrorKind::MismatchedTag {
+                        open: open_name.as_raw(),
+                        close: close.as_raw(),
+                    }));
+                }
+                return Ok(());
+            }
+            if self.cur.starts_with("<!--") {
+                self.flush_text(parent, &mut text);
+                let node = self.parse_comment()?;
+                self.doc.append_child(parent, node);
+                continue;
+            }
+            if self.cur.starts_with("<![CDATA[") {
+                self.flush_text(parent, &mut text);
+                self.cur.eat("<![CDATA[");
+                let body = self.cur.take_until("]]>")?.to_string();
+                self.cur.eat("]]>");
+                let node = self.doc.push_node(NodeKind::CData(body));
+                self.doc.append_child(parent, node);
+                continue;
+            }
+            if self.cur.starts_with("<?") {
+                self.flush_text(parent, &mut text);
+                let node = self.parse_pi()?;
+                self.doc.append_child(parent, node);
+                continue;
+            }
+            if self.cur.starts_with("<") {
+                self.flush_text(parent, &mut text);
+                let child = self.parse_element()?;
+                self.doc.append_child(parent, child);
+                continue;
+            }
+            if self.cur.starts_with("&") {
+                let expanded = self.parse_reference()?;
+                text.push_str(&expanded);
+                continue;
+            }
+            if self.cur.starts_with("]]>") {
+                return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                    "']]>' not allowed in character data".into(),
+                )));
+            }
+            let ch = self.cur.bump().unwrap();
+            text.push(ch);
+        }
+    }
+
+    fn flush_text(&mut self, parent: NodeId, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        let node = self.doc.create_text(text);
+        self.doc.append_child(parent, node);
+        text.clear();
+    }
+
+    fn parse_comment(&mut self) -> Result<NodeId, XmlError> {
+        self.cur.expect("<!--", "comment")?;
+        let body = self.cur.take_until("--")?.to_string();
+        self.cur.eat("--");
+        if !self.cur.eat(">") {
+            return Err(self
+                .cur
+                .error(XmlErrorKind::IllegalConstruct("'--' not allowed inside a comment".into())));
+        }
+        Ok(self.doc.create_comment(&body))
+    }
+
+    fn parse_pi(&mut self) -> Result<NodeId, XmlError> {
+        self.cur.expect("<?", "processing instruction")?;
+        let target = self.parse_raw_name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                "processing instruction target 'xml' is reserved".into(),
+            )));
+        }
+        let data = if self.cur.eat("?>") {
+            String::new()
+        } else {
+            if !self.cur.skip_ws() {
+                return Err(self.cur.error(XmlErrorKind::IllegalConstruct(
+                    "whitespace required after PI target".into(),
+                )));
+            }
+            let body = self.cur.take_until("?>")?.to_string();
+            self.cur.eat("?>");
+            body
+        };
+        Ok(self.doc.create_pi(&target, &data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).local, "a");
+        assert!(doc.children(root).is_empty());
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse("<a><b>hello</b><b>world</b></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let bs = doc.child_elements_named(root, "b");
+        assert_eq!(bs.len(), 2);
+        assert_eq!(doc.text_content(bs[0]), "hello");
+        assert_eq!(doc.text_content(bs[1]), "world");
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let doc = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(root, "x"), Some("1"));
+        assert_eq!(doc.attribute(root, "y"), Some("two"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn rejects_content_after_root() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::StructureViolation(_)));
+    }
+
+    #[test]
+    fn expands_predefined_entities_in_text_and_attrs() {
+        let doc = parse(r#"<a t="&lt;x&gt;">&amp;&apos;&quot;</a>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(root, "t"), Some("<x>"));
+        assert_eq!(doc.text_content(root), "&'\"");
+    }
+
+    #[test]
+    fn expands_char_refs() {
+        let doc = parse("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "AB");
+    }
+
+    #[test]
+    fn expands_internal_subset_entities_like_the_paper() {
+        // Appendix A: <!ENTITY cs "Computer Science">
+        let input = r#"<!DOCTYPE University [<!ENTITY cs "Computer Science">]>
+<University><StudyCourse>&cs;</StudyCourse></University>"#;
+        let doc = parse(input).unwrap();
+        let root = doc.root_element().unwrap();
+        let sc = doc.first_child_named(root, "StudyCourse").unwrap();
+        assert_eq!(doc.text_content(sc), "Computer Science");
+        assert_eq!(doc.doctype.as_ref().unwrap().name, "University");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn keeps_comments_and_pis_in_the_dom() {
+        let doc = parse("<?pi data?><a><!--note--><?p q?></a><!--tail-->").unwrap();
+        assert_eq!(doc.prolog_misc.len(), 1);
+        assert_eq!(doc.epilog_misc.len(), 1);
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).len(), 2);
+        assert!(matches!(doc.kind(doc.children(root)[0]), NodeKind::Comment(c) if c == "note"));
+    }
+
+    #[test]
+    fn parses_cdata_sections() {
+        let doc = parse("<a><![CDATA[<raw> & stuff]]></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert!(matches!(doc.kind(doc.children(root)[0]), NodeKind::CData(c) if c == "<raw> & stuff"));
+        assert_eq!(doc.text_content(root), "<raw> & stuff");
+    }
+
+    #[test]
+    fn parses_xml_declaration_fields() {
+        let doc =
+            parse("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"yes\"?><a/>").unwrap();
+        let decl = doc.declaration.unwrap();
+        assert_eq!(decl.version, "1.0");
+        assert_eq!(decl.encoding.as_deref(), Some("UTF-8"));
+        assert_eq!(decl.standalone, Some(true));
+    }
+
+    #[test]
+    fn doctype_with_system_id() {
+        let doc = parse("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>").unwrap();
+        let dt = doc.doctype.unwrap();
+        assert_eq!(dt.name, "a");
+        assert!(matches!(dt.external_id, Some(ExternalId::System { ref system }) if system == "a.dtd"));
+    }
+
+    #[test]
+    fn internal_subset_is_captured_verbatim() {
+        let input = "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>";
+        let doc = parse(input).unwrap();
+        assert_eq!(doc.doctype.unwrap().internal_subset.unwrap(), "<!ELEMENT a (#PCDATA)>");
+    }
+
+    #[test]
+    fn attr_value_normalizes_whitespace() {
+        let doc = parse("<a x=\"l1\nl2\tl3\"/>").unwrap();
+        assert_eq!(doc.attribute(doc.root_element().unwrap(), "x"), Some("l1 l2 l3"));
+    }
+
+    #[test]
+    fn lt_in_attr_value_is_error() {
+        assert!(parse("<a x=\"<\"/>").is_err());
+    }
+
+    #[test]
+    fn double_dash_in_comment_is_error() {
+        assert!(parse("<a><!-- no -- no --></a>").is_err());
+    }
+
+    #[test]
+    fn cdata_end_in_text_is_error() {
+        assert!(parse("<a>bad ]]> here</a>").is_err());
+    }
+
+    #[test]
+    fn reserved_pi_target_is_error() {
+        assert!(parse("<a><?xml version=\"1.0\"?></a>").is_err());
+    }
+
+    #[test]
+    fn parses_prefixed_names() {
+        let doc = parse("<u:a xmlns:u=\"urn:x\"><u:b/></u:a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).prefix, "u");
+        assert_eq!(doc.attribute(root, "xmlns:u"), Some("urn:x"));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        assert!(parse("").is_err());
+        assert!(parse("   \n ").is_err());
+    }
+
+    #[test]
+    fn unterminated_tag_is_eof_error() {
+        let err = parse("<a><b>text").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn external_catalog_entities_expand() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("brand", "ACME");
+        let doc = parse_with_catalog("<a>&brand;</a>", cat).unwrap();
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "ACME");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_preserved_inside_elements() {
+        let doc = parse("<a> <b/> </a>").unwrap();
+        let root = doc.root_element().unwrap();
+        // text, element, text
+        assert_eq!(doc.children(root).len(), 3);
+    }
+
+    #[test]
+    fn appendix_a_university_document_parses() {
+        let input = r#"<?xml version="1.0"?>
+<!DOCTYPE University [
+  <!ELEMENT University (StudyCourse,Student*)>
+  <!ELEMENT Student (LName,FName,Course*)>
+  <!ATTLIST Student StudNr CDATA #REQUIRED>
+  <!ELEMENT Course (Name,Professor*,CreditPts?)>
+  <!ELEMENT Professor (PName,Subject+,Dept)>
+  <!ENTITY cs "Computer Science">
+  <!ELEMENT LName (#PCDATA)>
+  <!ELEMENT FName (#PCDATA)>
+  <!ELEMENT Name (#PCDATA)>
+  <!ELEMENT PName (#PCDATA)>
+  <!ELEMENT Subject (#PCDATA)>
+  <!ELEMENT Dept (#PCDATA)>
+  <!ELEMENT StudyCourse (#PCDATA)>
+]>
+<University>
+  <StudyCourse>&cs;</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName>
+    <FName>Matthias</FName>
+    <Course>
+      <Name>Database Systems II</Name>
+      <Professor>
+        <PName>Kudrass</PName>
+        <Subject>Database Systems</Subject>
+        <Subject>Operat. Systems</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+</University>"#;
+        let doc = parse(input).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).local, "University");
+        let student = doc.first_child_named(root, "Student").unwrap();
+        assert_eq!(doc.attribute(student, "StudNr"), Some("23374"));
+        let course = doc.first_child_named(student, "Course").unwrap();
+        let prof = doc.first_child_named(course, "Professor").unwrap();
+        assert_eq!(doc.child_elements_named(prof, "Subject").len(), 2);
+        assert_eq!(doc.text_content(doc.first_child_named(prof, "Dept").unwrap()), "Computer Science");
+    }
+}

@@ -1,0 +1,253 @@
+//! DOM → XML text serialization.
+//!
+//! This is the retrieval direction of the paper's pipeline: after a document
+//! is reconstructed from the database, it must be rendered back to XML. The
+//! [`SerializeOptions::entity_catalog`] hook implements §6.1's proposal of
+//! re-substituting the original entity references recorded in the meta-table.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::entities::EntityCatalog;
+use crate::escape::{escape_attr, escape_text};
+
+/// Controls for [`serialize`].
+#[derive(Debug, Clone, Default)]
+pub struct SerializeOptions {
+    /// Emit `<?xml ...?>` when the document has one.
+    pub include_declaration: bool,
+    /// Emit the DOCTYPE declaration when the document has one.
+    pub include_doctype: bool,
+    /// Pretty-print with this many spaces per level; `None` = compact.
+    pub indent: Option<usize>,
+    /// Re-substitute these declared entities into text content (§6.1).
+    pub entity_catalog: Option<EntityCatalog>,
+}
+
+impl SerializeOptions {
+    /// Compact output, no prolog.
+    pub fn compact() -> Self {
+        SerializeOptions::default()
+    }
+
+    /// Full-document output: declaration + doctype, 2-space indent.
+    pub fn document() -> Self {
+        SerializeOptions {
+            include_declaration: true,
+            include_doctype: true,
+            indent: Some(2),
+            entity_catalog: None,
+        }
+    }
+
+    pub fn with_entities(mut self, catalog: EntityCatalog) -> Self {
+        self.entity_catalog = Some(catalog);
+        self
+    }
+}
+
+/// Serialize a whole document.
+pub fn serialize(doc: &Document, opts: &SerializeOptions) -> String {
+    let mut out = String::new();
+    if opts.include_declaration {
+        if let Some(decl) = &doc.declaration {
+            out.push_str(&decl.to_xml());
+            out.push('\n');
+        }
+    }
+    if opts.include_doctype {
+        if let Some(dt) = &doc.doctype {
+            out.push_str(&dt.to_xml());
+            out.push('\n');
+        }
+    }
+    for misc in &doc.prolog_misc {
+        write_node(doc, *misc, opts, 0, &mut out);
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    if let Some(root) = doc.root_element() {
+        write_node(doc, root, opts, 0, &mut out);
+    }
+    for misc in &doc.epilog_misc {
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+        write_node(doc, *misc, opts, 0, &mut out);
+    }
+    out
+}
+
+/// Serialize a single subtree compactly (no prolog).
+pub fn serialize_node(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &SerializeOptions::compact(), 0, &mut out);
+    out
+}
+
+fn write_node(
+    doc: &Document,
+    id: NodeId,
+    opts: &SerializeOptions,
+    depth: usize,
+    out: &mut String,
+) {
+    match doc.kind(id) {
+        NodeKind::Element(el) => {
+            out.push('<');
+            out.push_str(&el.name.as_raw());
+            for attr in &el.attributes {
+                out.push(' ');
+                out.push_str(&attr.name.as_raw());
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&attr.value));
+                out.push('"');
+            }
+            if el.children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Indent only around element children; any text child forces
+            // mixed-content mode, which must not introduce whitespace.
+            let element_only = opts.indent.is_some()
+                && el.children.iter().all(|c| {
+                    matches!(
+                        doc.kind(*c),
+                        NodeKind::Element(_)
+                            | NodeKind::Comment(_)
+                            | NodeKind::ProcessingInstruction { .. }
+                    )
+                });
+            for child in &el.children {
+                if element_only {
+                    out.push('\n');
+                    push_indent(opts, depth + 1, out);
+                }
+                write_node(doc, *child, opts, depth + 1, out);
+            }
+            if element_only {
+                out.push('\n');
+                push_indent(opts, depth, out);
+            }
+            out.push_str("</");
+            out.push_str(&el.name.as_raw());
+            out.push('>');
+        }
+        NodeKind::Text(text) => {
+            let escaped = escape_text(text);
+            match &opts.entity_catalog {
+                Some(cat) => out.push_str(&cat.resubstitute(&escaped)),
+                None => out.push_str(&escaped),
+            }
+        }
+        NodeKind::CData(text) => {
+            out.push_str("<![CDATA[");
+            out.push_str(text);
+            out.push_str("]]>");
+        }
+        NodeKind::Comment(text) => {
+            out.push_str("<!--");
+            out.push_str(text);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+fn push_indent(opts: &SerializeOptions, depth: usize, out: &mut String) {
+    if let Some(width) = opts.indent {
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_round_trip_is_stable() {
+        let src = "<a x=\"1\"><b>hi</b><c/><!--n--></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(serialize(&doc, &SerializeOptions::compact()), src);
+    }
+
+    #[test]
+    fn escapes_markup_in_text_and_attrs() {
+        let mut doc = Document::new();
+        let root = doc.create_root(crate::QName::local("a"));
+        doc.set_attribute(root, crate::QName::local("x"), "a\"b<c");
+        let t = doc.create_text("1 < 2 & 3 > 2");
+        doc.append_child(root, t);
+        let out = serialize(&doc, &SerializeOptions::compact());
+        assert_eq!(out, "<a x=\"a&quot;b&lt;c\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+        // And it reparses to the same values.
+        let doc2 = parse(&out).unwrap();
+        let r2 = doc2.root_element().unwrap();
+        assert_eq!(doc2.attribute(r2, "x"), Some("a\"b<c"));
+        assert_eq!(doc2.text_content(r2), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn pretty_print_indents_element_only_content() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let opts = SerializeOptions { indent: Some(2), ..Default::default() };
+        let out = serialize(&doc, &opts);
+        assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_print_leaves_mixed_content_alone() {
+        let doc = parse("<a>text<b/>more</a>").unwrap();
+        let opts = SerializeOptions { indent: Some(2), ..Default::default() };
+        assert_eq!(serialize(&doc, &opts), "<a>text<b/>more</a>");
+    }
+
+    #[test]
+    fn document_options_emit_prolog() {
+        let doc = parse("<?xml version=\"1.0\"?><!DOCTYPE a><a/>").unwrap();
+        let out = serialize(&doc, &SerializeOptions::document());
+        assert!(out.starts_with("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<a/>"), "{out}");
+    }
+
+    #[test]
+    fn cdata_survives_serialization() {
+        let src = "<a><![CDATA[<not & markup>]]></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(serialize(&doc, &SerializeOptions::compact()), src);
+    }
+
+    #[test]
+    fn entity_resubstitution_restores_references() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("cs", "Computer Science");
+        let doc = parse("<a>BSc Computer Science</a>").unwrap();
+        let opts = SerializeOptions::compact().with_entities(cat);
+        assert_eq!(serialize(&doc, &opts), "<a>BSc &cs;</a>");
+    }
+
+    #[test]
+    fn serialize_node_renders_a_subtree() {
+        let doc = parse("<a><b k=\"v\">x</b></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let b = doc.first_child_named(root, "b").unwrap();
+        assert_eq!(serialize_node(&doc, b), "<b k=\"v\">x</b>");
+    }
+
+    #[test]
+    fn prolog_and_epilog_misc_emitted() {
+        let doc = parse("<?p a?><a/><!--tail-->").unwrap();
+        let out = serialize(&doc, &SerializeOptions::compact());
+        assert_eq!(out, "<?p a?><a/><!--tail-->");
+    }
+}

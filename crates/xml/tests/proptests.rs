@@ -1,0 +1,134 @@
+//! Property-based tests for the XML substrate: escaping and parse/serialize
+//! round trips must be lossless for arbitrary content.
+
+use proptest::prelude::*;
+use xmlord_xml::escape::{escape_attr, escape_text};
+use xmlord_xml::serializer::{serialize, SerializeOptions};
+use xmlord_xml::{parse, Document, NodeKind, QName};
+
+/// Characters legal in XML content (excluding CR, which parsers normalize).
+fn xml_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Mostly printable ASCII including the characters that need escaping.
+            proptest::char::range(' ', '~'),
+            Just('\n'),
+            Just('\t'),
+            proptest::char::range('\u{A0}', '\u{2FF}'),
+            proptest::char::range('\u{4E00}', '\u{4EFF}'),
+        ],
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn ncname() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}"
+}
+
+/// A small random element tree.
+fn arb_tree() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (ncname(), xml_text()).prop_map(|(name, text)| TreeSpec {
+        name,
+        attrs: vec![],
+        text: Some(text),
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            ncname(),
+            proptest::collection::vec((ncname(), xml_text()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                // Attribute names must be unique on one element.
+                attrs.sort_by(|a, b| a.0.cmp(&b.0));
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                TreeSpec { name, attrs, text: None, children }
+            })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    name: String,
+    attrs: Vec<(String, String)>,
+    text: Option<String>,
+    children: Vec<TreeSpec>,
+}
+
+fn build(doc: &mut Document, spec: &TreeSpec) -> xmlord_xml::NodeId {
+    let el = doc.create_element(QName::local(&spec.name));
+    for (k, v) in &spec.attrs {
+        doc.set_attribute(el, QName::local(k), v);
+    }
+    if let Some(text) = &spec.text {
+        if !text.is_empty() {
+            let t = doc.create_text(text);
+            doc.append_child(el, t);
+        }
+    }
+    for child in &spec.children {
+        let c = build(doc, child);
+        doc.append_child(el, c);
+    }
+    el
+}
+
+/// Structural equality that ignores arena layout: name, attrs, child kinds.
+fn tree_eq(a: &Document, an: xmlord_xml::NodeId, b: &Document, bn: xmlord_xml::NodeId) -> bool {
+    match (a.kind(an), b.kind(bn)) {
+        (NodeKind::Element(ea), NodeKind::Element(eb)) => {
+            ea.name == eb.name
+                && ea.attributes == eb.attributes
+                && ea.children.len() == eb.children.len()
+                && ea
+                    .children
+                    .iter()
+                    .zip(&eb.children)
+                    .all(|(x, y)| tree_eq(a, *x, b, *y))
+        }
+        (ka, kb) => ka == kb,
+    }
+}
+
+proptest! {
+    #[test]
+    fn escaped_text_reparses_to_original(text in xml_text()) {
+        let xml = format!("<a>{}</a>", escape_text(&text));
+        let doc = parse(&xml).unwrap();
+        prop_assert_eq!(doc.text_content(doc.root_element().unwrap()), text);
+    }
+
+    #[test]
+    fn escaped_attr_reparses_to_original(value in xml_text()) {
+        let xml = format!("<a x=\"{}\"/>", escape_attr(&value));
+        let doc = parse(&xml).unwrap();
+        // Attribute-value normalization folds tab/newline to space — the
+        // escaper emits char refs for them precisely to survive it.
+        prop_assert_eq!(doc.attribute(doc.root_element().unwrap(), "x").unwrap(), value);
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity(spec in arb_tree()) {
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root);
+        let text = serialize(&doc, &SerializeOptions::compact());
+        let reparsed = parse(&text).unwrap();
+        prop_assert!(tree_eq(
+            &doc, doc.root_element().unwrap(),
+            &reparsed, reparsed.root_element().unwrap(),
+        ), "serialized: {text}");
+    }
+
+    #[test]
+    fn compact_serialization_is_a_fixpoint(spec in arb_tree()) {
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root);
+        let once = serialize(&doc, &SerializeOptions::compact());
+        let twice = serialize(&parse(&once).unwrap(), &SerializeOptions::compact());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,25 @@
+//! # xml-ordb — XML document management in an object-relational database
+//!
+//! Umbrella crate of the reproduction of *Kudrass & Conrad, "Management of
+//! XML Documents in Object-Relational Databases" (EDBT 2002 Workshops,
+//! LNCS 2490)*. It re-exports the workspace crates under stable module
+//! names and hosts the repository-level examples and integration tests.
+//!
+//! * [`xml`] — XML 1.0 parser, DOM, serializer (substrate S1).
+//! * [`dtd`] — DTD parser, DTD DOM tree, validator, element graph (S2).
+//! * [`ordb`] — embedded object-relational engine, Oracle-flavoured SQL (S3).
+//! * [`mapping`] — the paper's contribution: DTD→OR schema generation,
+//!   document load/retrieval, metadata, naming conventions, object views (S4).
+//! * [`shred`] — relational baselines: edge table, attribute tables,
+//!   DTD inlining (S5).
+//! * [`workload`] — deterministic synthetic workload generators (S6).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-artifact index.
+
+pub use xml2ordb as mapping;
+pub use xmlord_dtd as dtd;
+pub use xmlord_ordb as ordb;
+pub use xmlord_shred as shred;
+pub use xmlord_workload as workload;
+pub use xmlord_xml as xml;

@@ -1,0 +1,137 @@
+//! Cross-strategy answer equivalence: every storage strategy must return
+//! the same answer set for the same path queries over the same document —
+//! the precondition for the E6–E8 comparisons being meaningful.
+
+use std::collections::BTreeSet;
+
+use xml_ordb::dtd::parse_dtd;
+use xml_ordb::mapping::ddlgen::create_script;
+use xml_ordb::mapping::loader::load_script;
+use xml_ordb::mapping::model::MappingOptions;
+use xml_ordb::mapping::pathquery::{translate, PathQuery};
+use xml_ordb::mapping::schemagen::{generate_schema, IdrefTargets};
+use xml_ordb::ordb::{Database, DbMode};
+use xml_ordb::shred::Baseline;
+use xml_ordb::workload::university::{university_dtd, university_xml, UniversityConfig};
+
+/// A path query: steps plus an optional (path, value) predicate.
+type QuerySpec<'a> = (Vec<&'a str>, Option<(Vec<&'a str>, &'a str)>);
+
+/// Answer set of a (steps, predicate) query under one strategy.
+fn answers(
+    db: &mut Database,
+    sql: &str,
+) -> BTreeSet<String> {
+    db.query(sql)
+        .unwrap_or_else(|e| panic!("{e}\n{sql}"))
+        .rows
+        .into_iter()
+        .map(|row| row[0].as_str().unwrap_or_default().to_string())
+        .collect()
+}
+
+#[test]
+fn all_strategies_agree_on_all_queries() {
+    let config = UniversityConfig { students: 8, seed: 77, ..Default::default() };
+    let xml = university_xml(&config);
+    let dtd = parse_dtd(university_dtd()).unwrap();
+    let doc = xml_ordb::xml::parse(&xml).unwrap();
+
+    let queries: Vec<QuerySpec> = vec![
+        (vec!["StudyCourse"], None),
+        (vec!["Student", "LName"], None),
+        (vec!["Student", "@StudNr"], None),
+        (vec!["Student", "Course", "Name"], None),
+        (vec!["Student", "Course", "Professor", "PName"], None),
+        (vec!["Student", "Course", "Professor", "Subject"], None),
+        (
+            vec!["Student", "LName"],
+            Some((vec!["Student", "Course", "Professor", "PName"], "Jaeger")),
+        ),
+        (
+            vec!["Student", "Course", "Name"],
+            Some((vec!["Student", "Course", "Professor", "PName"], "Kudrass")),
+        ),
+    ];
+
+    // Reference: the Oracle 9 object-relational store.
+    let schema = generate_schema(
+        &dtd,
+        "University",
+        DbMode::Oracle9,
+        MappingOptions::default(),
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let mut or_db = Database::new(DbMode::Oracle9);
+    or_db.execute_script(&create_script(&schema)).unwrap();
+    for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
+        or_db.execute(&stmt).unwrap();
+    }
+    let mut reference: Vec<BTreeSet<String>> = Vec::new();
+    for (steps, predicate) in &queries {
+        let mut q = PathQuery {
+            steps: steps.iter().map(|s| s.to_string()).collect(),
+            predicate: None,
+        };
+        if let Some((path, value)) = predicate {
+            q = q.with_predicate(&path.join("/"), value);
+        }
+        let sql = translate(&schema, &q).unwrap().sql;
+        reference.push(answers(&mut or_db, &sql));
+    }
+
+    // Each baseline must agree.
+    for baseline in Baseline::ALL {
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(&baseline.ddl(&dtd, "University").unwrap()).unwrap();
+        for stmt in baseline.load(&dtd, "University", &doc).unwrap() {
+            db.execute(&stmt).unwrap();
+        }
+        for ((steps, predicate), expected) in queries.iter().zip(&reference) {
+            let sql = baseline
+                .path_query(
+                    &dtd,
+                    "University",
+                    steps,
+                    predicate.as_ref().map(|(p, v)| (p.as_slice(), *v)),
+                )
+                .unwrap();
+            let got = answers(&mut db, &sql);
+            assert_eq!(
+                &got, expected,
+                "{} disagrees on {:?} [{:?}]\nSQL: {sql}",
+                baseline.name(),
+                steps,
+                predicate
+            );
+        }
+    }
+
+    // And the Oracle 8 variant of the contribution too.
+    let schema8 = generate_schema(
+        &dtd,
+        "University",
+        DbMode::Oracle8,
+        MappingOptions::default(),
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let mut db8 = Database::new(DbMode::Oracle8);
+    db8.execute_script(&create_script(&schema8)).unwrap();
+    for stmt in load_script(&schema8, &dtd, &doc, "d").unwrap() {
+        db8.execute(&stmt).unwrap();
+    }
+    for ((steps, predicate), expected) in queries.iter().zip(&reference) {
+        let mut q = PathQuery {
+            steps: steps.iter().map(|s| s.to_string()).collect(),
+            predicate: None,
+        };
+        if let Some((path, value)) = predicate {
+            q = q.with_predicate(&path.join("/"), value);
+        }
+        let sql = translate(&schema8, &q).unwrap().sql;
+        let got = answers(&mut db8, &sql);
+        assert_eq!(&got, expected, "or8 disagrees on {steps:?}\nSQL: {sql}");
+    }
+}

@@ -1,0 +1,199 @@
+//! E12 — the §7 drawback checklist. Each advantage/drawback the paper lists
+//! in its conclusions, demonstrated mechanically.
+
+use xml_ordb::mapping::model::MappingOptions;
+use xml_ordb::mapping::schemagen::{generate_schema, IdrefTargets};
+use xml_ordb::mapping::{MappingError, Xml2OrDb};
+use xml_ordb::ordb::{DbError, DbMode, Value};
+
+const UNIVERSITY_DTD: &str = include_str!("../assets/university.dtd");
+const UNIVERSITY_XML: &str = include_str!("../assets/university.xml");
+
+// ---------------------------------------------------------------------
+// Advantages (§7) — positive demonstrations.
+// ---------------------------------------------------------------------
+
+#[test]
+fn advantage_non_atomic_domains_and_multiple_nesting() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    system.store_document("uni", UNIVERSITY_XML).unwrap();
+    // Four levels of nesting navigated in one expression.
+    let rows = system
+        .database()
+        .query(
+            "SELECT p.attrDept FROM TabUniversity u, TABLE(u.attrStudent) s, \
+             TABLE(s.attrCourse) c, TABLE(c.attrProfessor) p \
+             WHERE p.attrPName = 'Kudrass'",
+        )
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("Computer Science")]]);
+}
+
+#[test]
+fn advantage_object_identity_for_row_objects() {
+    // §7: "uniform identity of every element in the database by object
+    // identifiers" — row objects carry OIDs REFs can target.
+    let mut system = Xml2OrDb::new(DbMode::Oracle8);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    system.store_document("uni", UNIVERSITY_XML).unwrap();
+    let rows = system
+        .database()
+        .query("SELECT REF(s) FROM TabStudent s")
+        .unwrap();
+    assert_eq!(rows.rows.len(), 2);
+    assert!(matches!(rows.rows[0][0], Value::Ref(_)));
+}
+
+// ---------------------------------------------------------------------
+// Drawbacks (§7) — each reproduced.
+// ---------------------------------------------------------------------
+
+#[test]
+fn drawback_oracle8_rejects_nested_collections() {
+    // "set-valued complex elements cannot be mapped to collection types due
+    // to system limitations (Oracle 8i only)".
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle8);
+    db.execute("CREATE TYPE TypeVA_S AS VARRAY(10) OF VARCHAR(100)").unwrap();
+    let err = db.execute("CREATE TYPE TypeVA_T AS VARRAY(10) OF TypeVA_S").unwrap_err();
+    assert!(matches!(err, DbError::NestedCollectionNotSupported { .. }));
+    // Even indirectly: an object type *containing* a collection cannot be a
+    // collection element in Oracle 8.
+    db.execute("CREATE TYPE Type_P AS OBJECT(name VARCHAR(10), subj TypeVA_S)").unwrap();
+    let err = db.execute("CREATE TYPE TypeVA_P AS VARRAY(10) OF Type_P").unwrap_err();
+    assert!(matches!(err, DbError::NestedCollectionNotSupported { .. }));
+}
+
+#[test]
+fn drawback_not_null_cannot_be_expressed_for_embedded_content() {
+    let dtd = xml_ordb::dtd::parse_dtd(UNIVERSITY_DTD).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        "University",
+        DbMode::Oracle9,
+        MappingOptions::default(),
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    // PName is mandatory inside Professor, but Type_Professor is embedded:
+    // the constraint lands in the unenforced list, not the DDL.
+    assert!(schema
+        .unenforced_not_null
+        .iter()
+        .any(|u| u.type_name == "Type_Professor" && u.field == "attrPName"));
+    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema);
+    assert!(!ddl.contains("attrPName NOT NULL"), "{ddl}");
+    // Consequence: an invalid-by-DTD object slips into the database when
+    // inserted via raw SQL.
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
+    db.execute_script(&ddl).unwrap();
+    db.execute(
+        "INSERT INTO TabUniversity VALUES (Type_University('CS', TypeVA_Student(\
+         Type_Student('1','x','y', TypeVA_Course(Type_Course('c', TypeVA_Professor(\
+         Type_Professor(NULL, TypeVA_Subject('s'), 'd')), '4')))), 'doc'))",
+    )
+    .expect("the DBMS cannot stop the NULL PName — the paper's point");
+}
+
+#[test]
+fn drawback_check_constraint_on_optional_complex_element_misfires() {
+    // §4.3's exact scenario, reproduced end to end.
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
+    db.execute_script(
+        "CREATE TYPE Type_Address AS OBJECT(attrStreet VARCHAR(4000), attrCity VARCHAR(4000));
+         CREATE TYPE Type_Course AS OBJECT(attrName VARCHAR(4000), attrAddress Type_Address);
+         CREATE TABLE TabCourse OF Type_Course(
+            attrName NOT NULL,
+            CHECK (attrAddress.attrStreet IS NOT NULL));",
+    )
+    .unwrap();
+    // Desired rejection: address with city but no street.
+    assert!(db
+        .execute("INSERT INTO TabCourse VALUES('CAD Intro', Type_Address(NULL,'Leipzig'))")
+        .is_err());
+    // NON-desired rejection: NULL address should be fine per the DTD
+    // (Address is optional) but the CHECK rejects it anyway.
+    let err = db
+        .execute("INSERT INTO TabCourse VALUES('Operating Systems', NULL)")
+        .unwrap_err();
+    assert!(matches!(err, DbError::CheckViolation { .. }));
+}
+
+#[test]
+fn drawback_varchar_length_limit() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("doc", "<!ELEMENT doc (#PCDATA)>", "doc").unwrap();
+    let long = "x".repeat(4001);
+    let err = system.store_document("doc", &format!("<doc>{long}</doc>")).unwrap_err();
+    assert!(matches!(err, MappingError::Db(DbError::ValueTooLarge { .. })));
+    // 4000 characters exactly still fit.
+    let ok = "x".repeat(4000);
+    system.store_document("doc", &format!("<doc>{ok}</doc>")).unwrap();
+}
+
+#[test]
+fn drawback_comments_and_pis_lost() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("doc", "<!ELEMENT doc (#PCDATA)>", "doc").unwrap();
+    let id = system
+        .store_document("doc", "<doc>text<!--comment--><?target data?></doc>")
+        .unwrap();
+    let restored = system.retrieve_document(&id).unwrap();
+    assert!(!restored.contains("comment"));
+    assert!(!restored.contains("target"));
+    assert!(restored.contains(">text<"));
+}
+
+#[test]
+fn drawback_dtd_change_requires_schema_adaptation() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("v1", "<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>", "r").unwrap();
+    // Works for v1 documents…
+    system.store_document("v1", "<r><a>1</a></r>").unwrap();
+    // …but a document following an evolved DTD is rejected outright.
+    let err = system.store_document("v1", "<r><a>1</a><b>2</b></r>").unwrap_err();
+    assert!(matches!(err, MappingError::Invalid(_)));
+    // Re-registering the same name does not adapt the schema either.
+    let err = system
+        .register_dtd("v1", "<!ELEMENT r (a,b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>", "r")
+        .unwrap_err();
+    assert!(matches!(err, MappingError::Unsupported(_)));
+}
+
+#[test]
+fn drawback_element_attribute_distinction_needs_metadata() {
+    // Without the §5 meta-data the database cannot tell an element-derived
+    // column from an attribute-derived one: both are VARCHAR attr… columns.
+    let dtd_text = r#"<!ELEMENT r (name)><!ELEMENT name (#PCDATA)>
+        <!ATTLIST r label CDATA #IMPLIED>"#;
+    let dtd = xml_ordb::dtd::parse_dtd(dtd_text).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        "r",
+        DbMode::Oracle9,
+        MappingOptions { with_doc_id: false, ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema);
+    // Identical column shapes…
+    assert!(ddl.contains("attrlabel VARCHAR(4000)"));
+    assert!(ddl.contains("attrname VARCHAR(4000)"));
+    // …distinguished only by the meta-data entries.
+    let entries = xml_ordb::mapping::metadata::doc_data_entries(&schema);
+    assert!(entries.iter().any(|(t, x, _, _)| t == "attribute" && x == "label"));
+    assert!(entries.iter().any(|(t, x, _, _)| t == "element" && x == "name"));
+}
+
+#[test]
+fn drawback_order_across_references_is_content_model_order() {
+    // Oracle 8 mode stores students in their own table; interleavings not
+    // expressible in the content model cannot come back. For the university
+    // DTD the content-model order equals document order, so this document
+    // round-trips — the point is that the *mechanism* is reordering.
+    let mut system = Xml2OrDb::new(DbMode::Oracle8);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let id = system.store_document("uni", UNIVERSITY_XML).unwrap();
+    let report = system.fidelity(&id, UNIVERSITY_XML).unwrap();
+    assert!(report.data_preserved(), "{:?}", report.losses);
+}

@@ -1,0 +1,230 @@
+//! E2 — the Fig. 2 mapping decision tree: one test per leaf, each checking
+//! the generated DDL *and* that a conforming document loads and queries.
+
+use xml_ordb::dtd::parse_dtd;
+use xml_ordb::mapping::ddlgen::create_script;
+use xml_ordb::mapping::loader::load_script;
+use xml_ordb::mapping::model::{MappedSchema, MappingOptions};
+use xml_ordb::mapping::schemagen::{generate_schema, IdrefTargets};
+use xml_ordb::ordb::{Database, DbMode, Value};
+
+/// Generate, execute DDL, load one document, return (schema, db).
+fn run_case(dtd_text: &str, root: &str, xml: &str) -> (MappedSchema, Database) {
+    let dtd = parse_dtd(dtd_text).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        root,
+        DbMode::Oracle9,
+        MappingOptions { with_doc_id: false, ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let mut db = Database::new(DbMode::Oracle9);
+    db.execute_script(&create_script(&schema)).unwrap();
+    let doc = xml_ordb::xml::parse(xml).unwrap();
+    for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
+        db.execute(&stmt).unwrap_or_else(|e| panic!("{e}\n{stmt}"));
+    }
+    (schema, db)
+}
+
+#[test]
+fn simple_mandatory_element() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>",
+        "r",
+        "<r><a>x</a></r>",
+    );
+    // §4.1: VARCHAR(4000) attribute — the "no type concept in DTDs" default.
+    let script = create_script(&schema);
+    assert!(script.contains("attra VARCHAR(4000)"), "{script}");
+    assert!(script.contains("attra NOT NULL"), "{script}"); // mandatory on a table
+    assert_eq!(db.query_scalar("SELECT r.attra FROM Tabr r").unwrap(), Value::str("x"));
+}
+
+#[test]
+fn simple_optional_element_is_nullable() {
+    let (_, mut db) = run_case(
+        "<!ELEMENT r (a?)><!ELEMENT a (#PCDATA)>",
+        "r",
+        "<r/>",
+    );
+    assert_eq!(db.query_scalar("SELECT r.attra FROM Tabr r").unwrap(), Value::Null);
+    // And NULL insert was accepted (nullable column).
+    assert_eq!(db.row_count("Tabr"), 1);
+}
+
+#[test]
+fn simple_star_element_becomes_scalar_collection() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>",
+        "r",
+        "<r><a>1</a><a>2</a><a>3</a></r>",
+    );
+    assert!(create_script(&schema).contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF VARCHAR(4000);"));
+    let rows = db
+        .query("SELECT x.COLUMN_VALUE FROM Tabr r, TABLE(r.attra) x")
+        .unwrap();
+    assert_eq!(rows.rows.len(), 3);
+}
+
+#[test]
+fn simple_plus_element_collection_cannot_be_not_null() {
+    let (schema, _) = run_case(
+        "<!ELEMENT r (a+)><!ELEMENT a (#PCDATA)>",
+        "r",
+        "<r><a>1</a></r>",
+    );
+    // §4.3: "Set-valued attributes cannot be defined as NOT NULL altogether."
+    let script = create_script(&schema);
+    assert!(!script.contains("attra NOT NULL"), "{script}");
+    assert!(schema.unenforced_not_null.iter().any(|u| u.field == "attra"));
+}
+
+#[test]
+fn complex_mandatory_element_embeds_object_type() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>",
+        "r",
+        "<r><a><b>deep</b></a></r>",
+    );
+    let script = create_script(&schema);
+    assert!(script.contains("attra Type_a"), "{script}");
+    assert_eq!(
+        db.query_scalar("SELECT r.attra.attrb FROM Tabr r").unwrap(),
+        Value::str("deep")
+    );
+    assert_eq!(schema.generated_table_count(), 1); // no shredding
+}
+
+#[test]
+fn complex_star_element_becomes_object_collection() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>",
+        "r",
+        "<r><a><b>1</b></a><a><b>2</b></a></r>",
+    );
+    assert!(create_script(&schema).contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF Type_a;"));
+    let rows = db
+        .query("SELECT x.attrb FROM Tabr r, TABLE(r.attra) x ORDER BY x.attrb")
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("1")], vec![Value::str("2")]]);
+}
+
+#[test]
+fn implied_attribute_is_nullable() {
+    let (_, mut db) = run_case(
+        "<!ELEMENT r (#PCDATA)><!ATTLIST r x CDATA #IMPLIED>",
+        "r",
+        "<r>t</r>",
+    );
+    assert_eq!(db.query_scalar("SELECT r.attrx FROM Tabr r").unwrap(), Value::Null);
+}
+
+#[test]
+fn required_attribute_is_not_null() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT r (#PCDATA)><!ATTLIST r x CDATA #REQUIRED>",
+        "r",
+        "<r x=\"v\">t</r>",
+    );
+    assert!(create_script(&schema).contains("attrx NOT NULL"));
+    assert_eq!(db.query_scalar("SELECT r.attrx FROM Tabr r").unwrap(), Value::str("v"));
+    // Violating insert is rejected by the engine.
+    let err = db.execute("INSERT INTO Tabr VALUES (Type_r(NULL, 't'))").unwrap_err();
+    assert!(matches!(err, xml_ordb::ordb::DbError::NotNullViolation { .. }));
+}
+
+#[test]
+fn attribute_list_generates_typeattrl_object() {
+    // §4.4's example shape: element B with attributes C and D.
+    let (schema, mut db) = run_case(
+        r#"<!ELEMENT A (B)><!ELEMENT B (#PCDATA)>
+           <!ATTLIST B C CDATA #IMPLIED D CDATA #IMPLIED>"#,
+        "A",
+        r#"<A><B C="c-value" D="d-value">text</B></A>"#,
+    );
+    let script = create_script(&schema);
+    assert!(script.contains("CREATE TYPE TypeAttrL_B AS OBJECT ("), "{script}");
+    assert!(script.contains("attrListB TypeAttrL_B"), "{script}");
+    assert_eq!(
+        db.query_scalar("SELECT a.attrB.attrListB.attrC FROM TabA a").unwrap(),
+        Value::str("c-value")
+    );
+    assert_eq!(
+        db.query_scalar("SELECT a.attrB.attrB FROM TabA a").unwrap(),
+        Value::str("text")
+    );
+}
+
+#[test]
+fn empty_element_with_attributes() {
+    let (_, mut db) = run_case(
+        "<!ELEMENT r (e)><!ELEMENT e EMPTY><!ATTLIST e on CDATA #REQUIRED>",
+        "r",
+        r#"<r><e on="yes"/></r>"#,
+    );
+    assert_eq!(
+        db.query_scalar("SELECT r.attre.attron FROM Tabr r").unwrap(),
+        Value::str("yes")
+    );
+}
+
+#[test]
+fn mixed_content_stores_text_and_children() {
+    let (schema, mut db) = run_case(
+        "<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>",
+        "p",
+        "<p>hello <em>bold</em> world</p>",
+    );
+    assert!(schema.mapping("p").unwrap().mixed);
+    assert_eq!(
+        db.query_scalar("SELECT p.attrp FROM Tabp p").unwrap(),
+        Value::str("hello  world")
+    );
+    let rows = db.query("SELECT e.COLUMN_VALUE FROM Tabp p, TABLE(p.attrem) e").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("bold")]]);
+}
+
+#[test]
+fn choice_members_are_nullable() {
+    let (_, mut db) = run_case(
+        "<!ELEMENT r (a|b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
+        "r",
+        "<r><b>chosen</b></r>",
+    );
+    assert_eq!(db.query_scalar("SELECT r.attra FROM Tabr r").unwrap(), Value::Null);
+    assert_eq!(db.query_scalar("SELECT r.attrb FROM Tabr r").unwrap(), Value::str("chosen"));
+}
+
+#[test]
+fn nested_groups_aggregate_cardinality() {
+    // (a,b)* makes both a and b set-valued and optional.
+    let (schema, _) = run_case(
+        "<!ELEMENT r ((a,b)*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
+        "r",
+        "<r><a>1</a><b>2</b><a>3</a><b>4</b></r>",
+    );
+    let r = schema.mapping("r").unwrap();
+    for child in ["a", "b"] {
+        let field = r.field_for_child(child).unwrap();
+        assert!(field.set_valued && field.optional, "{child}");
+    }
+}
+
+#[test]
+fn every_scalar_column_is_varchar_4000() {
+    // §7 drawback: "no type concept in DTDs -> simple elements and
+    // attributes can only be assigned the VARCHAR datatype".
+    let (schema, _) = run_case(
+        r#"<!ELEMENT r (num,date,flag)><!ELEMENT num (#PCDATA)>
+           <!ELEMENT date (#PCDATA)><!ELEMENT flag (#PCDATA)>
+           <!ATTLIST r count CDATA #IMPLIED>"#,
+        "r",
+        r#"<r count="7"><num>42</num><date>2002-03-25</date><flag>y</flag></r>"#,
+    );
+    let script = create_script(&schema);
+    // Four scalar columns, all VARCHAR(4000); no NUMBER/DATE inferred.
+    assert_eq!(script.matches("VARCHAR(4000)").count(), 4, "{script}");
+    assert!(!script.contains(" NUMBER"), "{script}");
+}

@@ -1,0 +1,104 @@
+//! E1 — Table 1, verified against a whole generated schema: every database
+//! object created for the university DTD follows the paper's conventions.
+
+use xml_ordb::mapping::model::MappingOptions;
+use xml_ordb::mapping::schemagen::{generate_schema, IdrefTargets};
+use xml_ordb::ordb::DbMode;
+
+const UNIVERSITY_DTD: &str = include_str!("../assets/university.dtd");
+
+#[test]
+fn every_generated_name_follows_table_1() {
+    let dtd = xml_ordb::dtd::parse_dtd(UNIVERSITY_DTD).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        "University",
+        DbMode::Oracle9,
+        MappingOptions::default(),
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    for mapping in schema.elements.values() {
+        if let Some(t) = &mapping.table {
+            assert!(t.starts_with("Tab"), "table {t}");
+        }
+        if let Some(t) = &mapping.object_type {
+            assert!(t.starts_with("Type_"), "object type {t}");
+        }
+        if let Some(t) = &mapping.collection_type {
+            assert!(t.starts_with("TypeVA_"), "array type {t}");
+        }
+        if let Some(t) = &mapping.ref_collection_type {
+            assert!(t.starts_with("TabRef"), "ref table type {t}");
+        }
+        if let Some(al) = &mapping.attr_list {
+            assert!(al.type_name.starts_with("TypeAttrL_"), "{}", al.type_name);
+        }
+        if let Some(id) = &mapping.synthetic_id {
+            assert!(id.starts_with("ID"), "synthetic id {id}");
+        }
+        for field in &mapping.fields {
+            use xml_ordb::mapping::model::FieldSource;
+            match &field.source {
+                FieldSource::SyntheticId => assert!(field.db_name.starts_with("ID")),
+                FieldSource::AttrList => {
+                    assert!(field.db_name.starts_with("attrList"), "{}", field.db_name)
+                }
+                _ => assert!(field.db_name.starts_with("attr"), "{}", field.db_name),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_generated_names_respect_the_30_char_limit() {
+    // A DTD full of very long element names.
+    let long_a = "AnnualFinancialReportStatement";
+    let long_b = "ConsolidatedSubsidiaryAccountingEntry";
+    let dtd_text = format!(
+        "<!ELEMENT {long_a} ({long_b}*)><!ELEMENT {long_b} (#PCDATA)>\
+         <!ATTLIST {long_b} VeryLongAttributeNameIndeedYes CDATA #IMPLIED>"
+    );
+    let dtd = xml_ordb::dtd::parse_dtd(&dtd_text).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        long_a,
+        DbMode::Oracle9,
+        MappingOptions { schema_id: Some("S9".into()), ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let script = xml_ordb::mapping::ddlgen::create_script(&schema);
+    // The engine enforces the limit at parse time — executing proves it.
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
+    db.execute_script(&script)
+        .unwrap_or_else(|e| panic!("{e}\n{script}"));
+}
+
+#[test]
+fn schema_ids_disambiguate_identical_element_names() {
+    let dtd_a = xml_ordb::dtd::parse_dtd("<!ELEMENT Item (#PCDATA)>").unwrap();
+    let schema_a = generate_schema(
+        &dtd_a,
+        "Item",
+        DbMode::Oracle9,
+        MappingOptions { schema_id: Some("S1".into()), ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let schema_b = generate_schema(
+        &dtd_a,
+        "Item",
+        DbMode::Oracle9,
+        MappingOptions { schema_id: Some("S2".into()), ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    assert_eq!(schema_a.root_table, "TabItem_S1");
+    assert_eq!(schema_b.root_table, "TabItem_S2");
+    // Both coexist in one database.
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_a)).unwrap();
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_b)).unwrap();
+    assert_eq!(db.catalog().table_count(), 2);
+}

@@ -1,0 +1,94 @@
+//! E11 — §6.3 object views over a relational shredding, spanning crates.
+
+use xml_ordb::dtd::parse_dtd;
+use xml_ordb::mapping::ddlgen::types_script;
+use xml_ordb::mapping::model::MappingOptions;
+use xml_ordb::mapping::schemagen::{generate_schema, IdrefTargets};
+use xml_ordb::mapping::views;
+use xml_ordb::ordb::{Database, DbMode, Value};
+
+const UNIVERSITY_DTD: &str = include_str!("../assets/university.dtd");
+const UNIVERSITY_XML: &str = include_str!("../assets/university.xml");
+
+fn view_fixture() -> Database {
+    let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+    let doc =
+        xml_ordb::xml::parse_with_catalog(UNIVERSITY_XML, dtd.entity_catalog()).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        "University",
+        DbMode::Oracle9,
+        MappingOptions { with_doc_id: false, ..Default::default() },
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let rel = views::relational_schema(&schema);
+    let mut db = Database::new(DbMode::Oracle9);
+    db.execute_script(&types_script(&schema)).unwrap();
+    db.execute_script(&views::relational_ddl(&rel, 4000)).unwrap();
+    for stmt in views::relational_load_script(&schema, &rel, &doc).unwrap() {
+        db.execute(&stmt).unwrap();
+    }
+    db.execute(&views::object_view_script(&schema, &rel).unwrap()).unwrap();
+    db
+}
+
+#[test]
+fn view_answers_the_paper_query_over_relational_data() {
+    let mut db = view_fixture();
+    let rows = db
+        .query(
+            "SELECT s.attrLName FROM OView_University v, TABLE(v.University.attrStudent) s, \
+             TABLE(s.attrCourse) c, TABLE(c.attrProfessor) p WHERE p.attrPName = 'Jaeger'",
+        )
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("Conrad")]]);
+}
+
+#[test]
+fn multiset_collects_the_subjects_per_professor() {
+    let mut db = view_fixture();
+    let rows = db
+        .query(
+            "SELECT p.attrPName, x.COLUMN_VALUE FROM OView_University v, \
+             TABLE(v.University.attrStudent) s, TABLE(s.attrCourse) c, \
+             TABLE(c.attrProfessor) p, TABLE(p.attrSubject) x \
+             WHERE p.attrPName = 'Kudrass'",
+        )
+        .unwrap();
+    let subjects: Vec<String> =
+        rows.rows.iter().map(|r| r[1].as_str().unwrap().to_string()).collect();
+    assert_eq!(subjects, vec!["Database Systems", "Operat. Systems"]);
+}
+
+#[test]
+fn view_reflects_relational_updates() {
+    // Views are virtual: deleting base rows changes the view's answer.
+    let mut db = view_fixture();
+    let before = db
+        .query("SELECT s.attrLName FROM OView_University v, TABLE(v.University.attrStudent) s")
+        .unwrap();
+    assert_eq!(before.rows.len(), 2);
+    db.execute("DELETE FROM RelStudent WHERE attrLName = 'Meier'").unwrap();
+    let after = db
+        .query("SELECT s.attrLName FROM OView_University v, TABLE(v.University.attrStudent) s")
+        .unwrap();
+    assert_eq!(after.rows, vec![vec![Value::str("Conrad")]]);
+}
+
+#[test]
+fn view_construction_matches_the_direct_or_storage() {
+    // The object produced by the view equals the object the OR loader
+    // stores directly — same types, same field order.
+    let mut db = view_fixture();
+    let via_view = db
+        .query("SELECT v.University FROM OView_University v")
+        .unwrap();
+    let Value::Obj { type_name, attrs } = &via_view.rows[0][0] else {
+        panic!("expected object value")
+    };
+    assert!(type_name.eq_str("Type_University"));
+    assert_eq!(attrs.len(), 2); // attrStudyCourse + attrStudent
+    assert_eq!(attrs[0], Value::str("Computer Science"));
+    assert!(matches!(&attrs[1], Value::Coll { elements, .. } if elements.len() == 2));
+}

@@ -1,0 +1,145 @@
+//! E4 — §6.2 (recursive relationships) and Fig. 3 (multi-parent elements),
+//! end to end.
+
+use xml_ordb::dtd::{parse_dtd, DtdTree, ElementGraph};
+use xml_ordb::mapping::Xml2OrDb;
+use xml_ordb::ordb::{DbMode, Value};
+
+const RECURSIVE_DTD: &str = r#"
+<!ELEMENT Professor (PName,Dept)>
+<!ELEMENT Dept (DName,Professor*)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT DName (#PCDATA)>
+"#;
+
+#[test]
+fn recursion_is_detected_and_cut_in_the_tree() {
+    let dtd = parse_dtd(RECURSIVE_DTD).unwrap();
+    let graph = ElementGraph::build(&dtd);
+    assert!(graph.is_recursive("Professor"));
+    assert!(graph.is_recursive("Dept"));
+    assert_eq!(
+        graph.back_edges_from(Some("Professor")),
+        vec![("Dept".to_string(), "Professor".to_string())]
+    );
+    let tree = DtdTree::build(&dtd, "Professor");
+    assert!(tree.has_recursion());
+}
+
+#[test]
+fn deep_recursion_round_trips() {
+    // Five levels of departments.
+    let mut xml = String::new();
+    let depth = 5;
+    for level in 0..depth {
+        xml.push_str(&format!(
+            "<Professor><PName>P{level}</PName><Dept><DName>D{level}</DName>"
+        ));
+    }
+    xml.push_str("<Professor><PName>Leaf</PName><Dept><DName>LeafDept</DName></Dept></Professor>");
+    for _ in 0..depth {
+        xml.push_str("</Dept></Professor>");
+    }
+
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("org", RECURSIVE_DTD, "Professor").unwrap();
+    let doc_id = system.store_document("org", &xml).unwrap();
+    // Each level is a row object.
+    assert_eq!(system.database().row_count("TabProfessor"), depth + 1);
+
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    // Strip the XML declaration the pipeline may add.
+    let restored_body = restored.trim_start_matches("<?xml version=\"1.0\"?>").trim_start();
+    assert_eq!(restored_body, xml);
+}
+
+#[test]
+fn self_recursive_parts_list() {
+    let dtd_text = "<!ELEMENT part (name,part*)><!ELEMENT name (#PCDATA)>";
+    let xml = "<part><name>engine</name>\
+        <part><name>piston</name></part>\
+        <part><name>valve</name><part><name>spring</name></part></part>\
+        </part>";
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("parts", dtd_text, "part").unwrap();
+    let doc_id = system.store_document("parts", xml).unwrap();
+    assert_eq!(system.database().row_count("Tabpart"), 4);
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains("<name>spring</name>"), "{restored}");
+    // Navigate two levels of REFs.
+    let rows = system
+        .database()
+        .query(
+            "SELECT sub.COLUMN_VALUE.attrname FROM Tabpart p, TABLE(p.attrpart) sub \
+             WHERE p.attrname = 'engine'",
+        )
+        .unwrap();
+    assert_eq!(rows.rows.len(), 2);
+}
+
+#[test]
+fn fig3_multi_parent_elements_share_a_type_and_round_trip() {
+    let dtd_text = r#"
+        <!ELEMENT Faculty (Professor,Student)>
+        <!ELEMENT Professor (PName,Address)>
+        <!ELEMENT Address (Street,City)>
+        <!ELEMENT Student (Address,SName)>
+        <!ELEMENT PName (#PCDATA)> <!ELEMENT SName (#PCDATA)>
+        <!ELEMENT Street (#PCDATA)> <!ELEMENT City (#PCDATA)>"#;
+    let xml = "<Faculty><Professor><PName>Kudrass</PName>\
+        <Address><Street>Main St 1</Street><City>Leipzig</City></Address></Professor>\
+        <Student><Address><Street>Side St 2</Street><City>Halle</City></Address>\
+        <SName>Conrad</SName></Student></Faculty>";
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("faculty", dtd_text, "Faculty").unwrap();
+    let doc_id = system.store_document("faculty", xml).unwrap();
+    // One shared Type_Address navigated from both parents.
+    let prof_city = system
+        .database()
+        .query_scalar("SELECT f.attrProfessor.attrAddress.attrCity FROM TabFaculty f")
+        .unwrap();
+    let student_city = system
+        .database()
+        .query_scalar("SELECT f.attrStudent.attrAddress.attrCity FROM TabFaculty f")
+        .unwrap();
+    assert_eq!(prof_city, Value::str("Leipzig"));
+    assert_eq!(student_city, Value::str("Halle"));
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains("<Street>Side St 2</Street>"));
+}
+
+#[test]
+fn mutual_recursion_between_three_elements() {
+    let dtd_text = r#"
+        <!ELEMENT a (name,b?)>
+        <!ELEMENT b (name,c?)>
+        <!ELEMENT c (name,a?)>
+        <!ELEMENT name (#PCDATA)>"#;
+    let xml = "<a><name>1</name><b><name>2</name><c><name>3</name>\
+        <a><name>4</name></a></c></b></a>";
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("cycle", dtd_text, "a").unwrap();
+    let doc_id = system.store_document("cycle", xml).unwrap();
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    let body = restored.trim_start_matches("<?xml version=\"1.0\"?>").trim_start();
+    assert_eq!(body, xml);
+}
+
+#[test]
+fn drop_script_tears_down_recursive_schemas() {
+    let dtd = parse_dtd(RECURSIVE_DTD).unwrap();
+    let schema = xml_ordb::mapping::generate_schema(
+        &dtd,
+        "Professor",
+        DbMode::Oracle9,
+        xml_ordb::mapping::MappingOptions::default(),
+        &xml_ordb::mapping::schemagen::IdrefTargets::new(),
+    )
+    .unwrap();
+    let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema)).unwrap();
+    assert!(db.catalog().type_count() > 0);
+    db.execute_script(&xml_ordb::mapping::ddlgen::drop_script(&schema)).unwrap();
+    assert_eq!(db.catalog().type_count(), 0);
+    assert_eq!(db.catalog().table_count(), 0);
+}

@@ -1,0 +1,115 @@
+//! E9 — round-trip fidelity: what survives the database and what is lost,
+//! feature by feature, exactly as §6.1/§7 predict.
+
+use xml_ordb::mapping::roundtrip::Loss;
+use xml_ordb::mapping::Xml2OrDb;
+use xml_ordb::ordb::DbMode;
+use xml_ordb::workload::catalog::{catalog_xml, CatalogConfig, CATALOG_DTD};
+
+fn catalog_fidelity(config: CatalogConfig) -> (xml_ordb::mapping::roundtrip::FidelityReport, String) {
+    let xml = catalog_xml(&config);
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("catalog", CATALOG_DTD, "Catalog").unwrap();
+    let doc_id = system.store_document("catalog", &xml).unwrap();
+    let report = system.fidelity(&doc_id, &xml).unwrap();
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    (report, restored)
+}
+
+#[test]
+fn data_is_always_preserved() {
+    let (report, _) = catalog_fidelity(CatalogConfig::default());
+    assert!(report.data_preserved(), "{:?}", report.losses);
+}
+
+#[test]
+fn comments_are_lost_as_predicted() {
+    let (report, restored) = catalog_fidelity(CatalogConfig::default());
+    assert!(report.count(|l| matches!(l, Loss::Comment { .. })) >= 3);
+    assert!(!restored.contains("<!--"));
+}
+
+#[test]
+fn processing_instructions_are_lost_as_predicted() {
+    let (report, restored) = catalog_fidelity(CatalogConfig::default());
+    assert!(report.count(|l| matches!(l, Loss::ProcessingInstruction { .. })) >= 1);
+    assert!(!restored.contains("<?xml-stylesheet"));
+}
+
+#[test]
+fn entity_references_are_restored_from_the_meta_table() {
+    // §6.1's fix works: the ampersand references come back.
+    let (_, restored) = catalog_fidelity(CatalogConfig::default());
+    assert!(restored.contains("&vendor;"), "{restored}");
+    assert!(restored.contains("&tm;"), "{restored}");
+}
+
+#[test]
+fn cdata_sections_come_back_as_plain_text() {
+    let (report, restored) = catalog_fidelity(CatalogConfig::default());
+    assert!(report.count(|l| matches!(l, Loss::CDataDemoted { .. })) >= 1);
+    assert!(!restored.contains("<![CDATA["));
+    // The *content* survives, properly re-escaped.
+    assert!(restored.contains("directed &amp; never"), "{restored}");
+}
+
+#[test]
+fn mixed_content_text_survives_concatenated() {
+    let (report, restored) = catalog_fidelity(CatalogConfig::default());
+    assert!(report.count(|l| matches!(l, Loss::MixedInterleaving { .. })) >= 1);
+    // Both the text and the <Em> child are present, interleaving lost.
+    assert!(restored.contains("<Em>finest</Em>"), "{restored}");
+}
+
+#[test]
+fn a_clean_document_round_trips_exactly() {
+    // With no document-centric features, the reconstruction is exact.
+    let config = CatalogConfig {
+        with_comments: false,
+        with_pis: false,
+        with_cdata: false,
+        with_entities: false,
+        ..Default::default()
+    };
+    let xml = catalog_xml(&config);
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("catalog", CATALOG_DTD, "Catalog").unwrap();
+    let doc_id = system.store_document("catalog", &xml).unwrap();
+    let report = system.fidelity(&doc_id, &xml).unwrap();
+    // Only the mixed-content interleaving marker may fire (Blurb has an Em
+    // between text runs).
+    assert!(
+        report.losses.iter().all(|l| matches!(
+            l,
+            Loss::MixedInterleaving { .. } | Loss::Whitespace { .. }
+        )),
+        "{:?}",
+        report.losses
+    );
+}
+
+#[test]
+fn prolog_declaration_survives_via_metadata() {
+    let xml = catalog_xml(&CatalogConfig::default());
+    assert!(xml.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"));
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("catalog", CATALOG_DTD, "Catalog").unwrap();
+    let doc_id = system.store_document("catalog", &xml).unwrap();
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(
+        restored.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"),
+        "{restored}"
+    );
+}
+
+#[test]
+fn fidelity_in_oracle8_mode_matches_oracle9() {
+    let xml = catalog_xml(&CatalogConfig::default());
+    for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+        let mut system = Xml2OrDb::new(mode);
+        system.register_dtd("catalog", CATALOG_DTD, "Catalog").unwrap();
+        let doc_id = system.store_document("catalog", &xml).unwrap();
+        let report = system.fidelity(&doc_id, &xml).unwrap();
+        assert!(report.data_preserved(), "{mode}: {:?}", report.losses);
+    }
+}

@@ -1,0 +1,113 @@
+//! E5 — the Appendix A example end-to-end, in both engine modes: parse,
+//! validate, map, load, query, retrieve, fidelity-check.
+
+use xml_ordb::mapping::pathquery::PathQuery;
+use xml_ordb::mapping::Xml2OrDb;
+use xml_ordb::ordb::{DbMode, Value};
+
+const UNIVERSITY_DTD: &str = include_str!("../assets/university.dtd");
+const UNIVERSITY_XML: &str = include_str!("../assets/university.xml");
+
+fn full_pipeline(mode: DbMode) {
+    let mut system = Xml2OrDb::new(mode);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let doc_id = system.store_document("uni", UNIVERSITY_XML).unwrap();
+
+    // The §4.1 query.
+    let query = PathQuery::parse("Student/LName")
+        .with_predicate("Student/Course/Professor/PName", "Jaeger");
+    let result = system.query_path("uni", &query).unwrap();
+    assert_eq!(result.rows, vec![vec![Value::str("Conrad")]]);
+
+    // Attribute query.
+    let query = PathQuery::parse("Student/@StudNr");
+    let result = system.query_path("uni", &query).unwrap();
+    assert_eq!(result.rows.len(), 2);
+
+    // Retrieval restores data and the entity reference.
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains("<StudyCourse>&cs;</StudyCourse>"), "{restored}");
+    assert!(restored.contains("StudNr=\"23374\""));
+    assert!(restored.contains("<Subject>Operat. Systems</Subject>"));
+
+    // Fidelity: only whitespace pretty-printing may differ.
+    let report = system.fidelity(&doc_id, UNIVERSITY_XML).unwrap();
+    assert!(report.data_preserved(), "{mode}: {:?}", report.losses);
+}
+
+#[test]
+fn oracle9_end_to_end() {
+    full_pipeline(DbMode::Oracle9);
+}
+
+#[test]
+fn oracle8_end_to_end() {
+    full_pipeline(DbMode::Oracle8);
+}
+
+#[test]
+fn oracle9_document_is_one_insert_oracle8_is_many() {
+    // The §4.1/§4.2 statement-count contrast via engine statistics.
+    let mut sys9 = Xml2OrDb::new(DbMode::Oracle9);
+    sys9.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let before = sys9.stats();
+    sys9.store_document("uni", UNIVERSITY_XML).unwrap();
+    let inserts9 = sys9.stats().since(&before).inserts;
+    assert_eq!(inserts9, 2); // document + metadata
+
+    let mut sys8 = Xml2OrDb::new(DbMode::Oracle8);
+    sys8.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let before = sys8.stats();
+    sys8.store_document("uni", UNIVERSITY_XML).unwrap();
+    let inserts8 = sys8.stats().since(&before).inserts;
+    // 1 university + 2 students + 2 courses + 2 professors + 1 metadata.
+    assert_eq!(inserts8, 8);
+}
+
+#[test]
+fn generated_script_matches_paper_shapes() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    let registered = system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let script = &registered.create_script;
+    for expected in [
+        "CREATE TYPE TypeVA_Subject AS VARRAY(100) OF VARCHAR(4000);",
+        "CREATE TYPE Type_Professor AS OBJECT (",
+        "CREATE TYPE TypeVA_Professor AS VARRAY(100) OF Type_Professor;",
+        "CREATE TYPE Type_Course AS OBJECT (",
+        "CREATE TYPE Type_Student AS OBJECT (",
+        "CREATE TABLE TabUniversity OF Type_University",
+    ] {
+        assert!(script.contains(expected), "missing {expected:?} in\n{script}");
+    }
+}
+
+#[test]
+fn validation_is_enforced_before_storage() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    // Course without Name violates (Name,Professor*,CreditPts?).
+    let invalid = "<University><StudyCourse>CS</StudyCourse>\
+        <Student StudNr=\"1\"><LName>a</LName><FName>b</FName>\
+        <Course><CreditPts>4</CreditPts></Course></Student></University>";
+    assert!(system.store_document("uni", invalid).is_err());
+    // Nothing was stored.
+    assert_eq!(system.database().row_count("TabUniversity"), 0);
+}
+
+#[test]
+fn many_documents_scale_and_stay_separate() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        let xml = format!(
+            "<University><StudyCourse>Course{i}</StudyCourse></University>"
+        );
+        ids.push((i, system.store_document("uni", &xml).unwrap()));
+    }
+    assert_eq!(system.database().row_count("TabUniversity"), 20);
+    for (i, id) in ids {
+        let restored = system.retrieve_document(&id).unwrap();
+        assert!(restored.contains(&format!("Course{i}")), "{restored}");
+    }
+}

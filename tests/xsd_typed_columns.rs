@@ -1,0 +1,223 @@
+//! The §7 future-work extensions, end to end: XML Schema analysis with real
+//! column types (NUMBER/DATE/bounded VARCHAR) and CLOB text storage.
+
+use xml_ordb::mapping::model::{MappingOptions, ScalarType, TextStorage};
+use xml_ordb::mapping::Xml2OrDb;
+use xml_ordb::ordb::{DbError, DbMode, Value};
+
+const INVOICE_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Invoice">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Customer" type="xs:string"/>
+        <xs:element name="Issued" type="xs:date"/>
+        <xs:element name="Line" minOccurs="1" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Item" type="SkuType"/>
+              <xs:element name="Quantity" type="xs:positiveInteger"/>
+              <xs:element name="Price" type="xs:decimal"/>
+            </xs:sequence>
+            <xs:attribute name="Pos" type="xs:integer" use="required"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="Number" type="xs:string" use="required"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:simpleType name="SkuType">
+    <xs:restriction base="xs:string"><xs:maxLength value="12"/></xs:restriction>
+  </xs:simpleType>
+</xs:schema>"#;
+
+const INVOICE_XML: &str = r#"<Invoice Number="2002-042"><Customer>HTWK Leipzig</Customer>
+<Issued>2002-03-25</Issued>
+<Line Pos="1"><Item>SKU-1</Item><Quantity>3</Quantity><Price>19.99</Price></Line>
+<Line Pos="2"><Item>SKU-2</Item><Quantity>1</Quantity><Price>5</Price></Line>
+</Invoice>"#;
+
+fn invoice_system() -> Xml2OrDb {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_xsd("invoice", INVOICE_XSD, "Invoice").unwrap();
+    system
+}
+
+#[test]
+fn xsd_schema_generates_typed_columns() {
+    let system = invoice_system();
+    let script = &system.schema("invoice").unwrap().create_script;
+    assert!(script.contains("attrQuantity NUMBER"), "{script}");
+    assert!(script.contains("attrPrice NUMBER"), "{script}");
+    assert!(script.contains("attrIssued DATE"), "{script}");
+    assert!(script.contains("attrItem VARCHAR(12)"), "{script}");
+    assert!(script.contains("attrPos NUMBER"), "{script}");
+    assert!(script.contains("attrCustomer VARCHAR(4000)"), "{script}");
+}
+
+#[test]
+fn typed_documents_store_query_and_round_trip() {
+    let mut system = invoice_system();
+    let doc_id = system.store_document("invoice", INVOICE_XML).unwrap();
+    // Numeric comparisons now work natively — a DTD-based mapping would
+    // compare strings ('5' > '19.99' lexically!).
+    let rows = system
+        .database()
+        .query(
+            "SELECT l.attrItem FROM TabInvoice i, TABLE(i.attrLine) l \
+             WHERE l.attrPrice > 10",
+        )
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("SKU-1")]]);
+    // Aggregate-ish check through ORDER BY on a NUMBER column.
+    let rows = system
+        .database()
+        .query(
+            "SELECT l.attrPrice FROM TabInvoice i, TABLE(i.attrLine) l ORDER BY l.attrPrice DESC",
+        )
+        .unwrap();
+    assert_eq!(rows.rows[0][0], Value::Num(19.99));
+    // Round trip: numbers render back canonically.
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains("<Quantity>3</Quantity>"), "{restored}");
+    assert!(restored.contains("<Price>19.99</Price>"), "{restored}");
+    assert!(restored.contains("<Issued>2002-03-25</Issued>"), "{restored}");
+    assert!(restored.contains("Pos=\"1\""), "{restored}");
+}
+
+#[test]
+fn non_numeric_text_in_a_number_column_is_rejected() {
+    let mut system = invoice_system();
+    let bad = INVOICE_XML.replace("<Quantity>3</Quantity>", "<Quantity>three</Quantity>");
+    let err = system.store_document("invoice", &bad).unwrap_err();
+    assert!(matches!(
+        err,
+        xml_ordb::mapping::MappingError::Db(DbError::TypeMismatch { .. })
+    ), "{err:?}");
+}
+
+#[test]
+fn maxlength_restriction_is_enforced() {
+    let mut system = invoice_system();
+    let bad = INVOICE_XML.replace("SKU-1", "SKU-1-far-too-long-for-twelve");
+    let err = system.store_document("invoice", &bad).unwrap_err();
+    assert!(matches!(
+        err,
+        xml_ordb::mapping::MappingError::Db(DbError::ValueTooLarge { max: 12, .. })
+    ), "{err:?}");
+}
+
+#[test]
+fn clob_text_storage_lifts_the_varchar_limit() {
+    // §7: "Large text elements should be assigned the CLOB type."
+    let options = MappingOptions { text_storage: TextStorage::Clob, ..Default::default() };
+    let mut system = Xml2OrDb::with_options(DbMode::Oracle9, options);
+    system.register_dtd("doc", "<!ELEMENT doc (#PCDATA)>", "doc").unwrap();
+    let script = &system.schema("doc").unwrap().create_script;
+    assert!(script.contains("attrdoc CLOB"), "{script}");
+    // 100 000 characters — far beyond VARCHAR(4000) — store and retrieve.
+    let long = "lorem ipsum ".repeat(9000);
+    let doc_id = system.store_document("doc", &format!("<doc>{long}</doc>")).unwrap();
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains(&long));
+}
+
+#[test]
+fn clob_collections_fall_back_to_varchar_on_oracle8() {
+    // §2.2: Oracle 8 forbids LOB collection elements; the mapper degrades
+    // set-valued text to VARCHAR there instead of generating invalid DDL.
+    let options = MappingOptions { text_storage: TextStorage::Clob, ..Default::default() };
+    let mut system = Xml2OrDb::with_options(DbMode::Oracle8, options);
+    system
+        .register_dtd("notes", "<!ELEMENT notes (note*)><!ELEMENT note (#PCDATA)>", "notes")
+        .unwrap();
+    let script = &system.schema("notes").unwrap().create_script;
+    assert!(
+        script.contains("CREATE TYPE TypeVA_note AS VARRAY(100) OF VARCHAR(4000);"),
+        "{script}"
+    );
+    // On Oracle 9 the same options produce a CLOB collection.
+    let options9 = MappingOptions { text_storage: TextStorage::Clob, ..Default::default() };
+    let mut system9 = Xml2OrDb::with_options(DbMode::Oracle9, options9);
+    system9
+        .register_dtd("notes", "<!ELEMENT notes (note*)><!ELEMENT note (#PCDATA)>", "notes")
+        .unwrap();
+    let script9 = &system9.schema("notes").unwrap().create_script;
+    assert!(script9.contains("CREATE TYPE TypeVA_note AS VARRAY(100) OF CLOB;"), "{script9}");
+}
+
+#[test]
+fn manual_type_hints_work_without_an_xsd() {
+    let mut options = MappingOptions::default();
+    options.type_hints.elements.insert("CreditPts".into(), ScalarType::Number);
+    let mut system = Xml2OrDb::with_options(DbMode::Oracle9, options);
+    system
+        .register_dtd(
+            "c",
+            "<!ELEMENT course (name,CreditPts)><!ELEMENT name (#PCDATA)><!ELEMENT CreditPts (#PCDATA)>",
+            "course",
+        )
+        .unwrap();
+    let script = &system.schema("c").unwrap().create_script;
+    assert!(script.contains("attrCreditPts NUMBER"), "{script}");
+}
+
+#[test]
+fn forward_idref_references_resolve_via_deferred_updates() {
+    // p2's boss appears LATER in the document — resolvable only because the
+    // loader wires IDREFs with post-INSERT UPDATE statements.
+    let dtd_text = r#"
+        <!ELEMENT db (person*)>
+        <!ELEMENT person (#PCDATA)>
+        <!ATTLIST person id ID #REQUIRED boss IDREF #IMPLIED>"#;
+    let xml = r#"<db><person id="p2" boss="p3">Conrad</person><person id="p3">Kudrass</person></db>"#;
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd_with_sample("org", dtd_text, "db", xml).unwrap();
+    let doc_id = system.store_document("org", xml).unwrap();
+    // The REF is wired despite the forward reference.
+    let boss = system
+        .database()
+        .query_scalar(
+            "SELECT p.attrListperson.attrboss.attrperson FROM Tabperson p              WHERE p.attrListperson.attrid = 'p2'",
+        )
+        .unwrap();
+    assert_eq!(boss, Value::str("Kudrass"));
+    // And retrieval restores the attribute.
+    let restored = system.retrieve_document(&doc_id).unwrap();
+    assert!(restored.contains("boss=\"p3\""), "{restored}");
+}
+
+#[test]
+fn mutual_idref_references_resolve() {
+    let dtd_text = r#"
+        <!ELEMENT db (person*)>
+        <!ELEMENT person (#PCDATA)>
+        <!ATTLIST person id ID #REQUIRED peer IDREF #IMPLIED>"#;
+    let xml = r#"<db><person id="a" peer="b">A</person><person id="b" peer="a">B</person></db>"#;
+    let mut system = Xml2OrDb::new(DbMode::Oracle9);
+    system.register_dtd_with_sample("pair", dtd_text, "db", xml).unwrap();
+    system.store_document("pair", xml).unwrap();
+    let rows = system
+        .database()
+        .query("SELECT p.attrListperson.attrid, p.attrListperson.attrpeer.attrperson FROM Tabperson p")
+        .unwrap();
+    assert_eq!(rows.rows.len(), 2);
+    for row in &rows.rows {
+        assert!(!row[1].is_null(), "peer unresolved for {:?}", row[0]);
+    }
+}
+
+#[test]
+fn xsd_and_dtd_schemas_coexist() {
+    let mut system = Xml2OrDb::new(DbMode::Oracle9).with_auto_schema_ids();
+    system.register_xsd("invoice", INVOICE_XSD, "Invoice").unwrap();
+    system
+        .register_dtd("uni", include_str!("../assets/university.dtd"), "University")
+        .unwrap();
+    let a = system.store_document("invoice", INVOICE_XML).unwrap();
+    let b = system
+        .store_document("uni", include_str!("../assets/university.xml"))
+        .unwrap();
+    assert!(system.retrieve_document(&a).unwrap().contains("SKU-1"));
+    assert!(system.retrieve_document(&b).unwrap().contains("&cs;"));
+}

@@ -1,0 +1,43 @@
+//! Bench for the engine fast paths: indexed OID resolution on REF-chain
+//! navigation, and hash equi-joins on the edge-table baseline's multi-way
+//! self-joins (the paper query on the edge mapping is a 7-table FROM).
+//!
+//! The hash-join benches run the identical SQL twice — fast path on, then
+//! forced nested loops — so the printed table is its own ablation.
+
+use xmlord_bench::harness::Harness;
+use xmlord_bench::{ref_chain_db, setup, university_doc, Strategy};
+
+fn main() {
+    let mut h = Harness::new("fastpath", 10);
+
+    // REF-chain navigation: every deref is one OID-directory lookup.
+    let mut db = ref_chain_db(500);
+    h.bench("ref_chain", "deref_500", || {
+        db.query("SELECT c.prof.subject FROM TabCourse c").unwrap()
+    });
+    h.bench("ref_chain", "boss_hop2_500", || {
+        db.query("SELECT p.boss.boss.pname FROM TabProf p WHERE p.boss IS NOT NULL").unwrap()
+    });
+
+    // The edge-table paper query: a multi-way self-join over the edge table
+    // (7 FROM items for Student/Course/Professor/PName plus the predicate
+    // branch). This is where hash equi-joins replace O(n²) pairings.
+    let mut instance = setup(Strategy::Edge);
+    let (_, doc) = university_doc(25);
+    instance.load(&doc);
+    let sql = instance.paper_query();
+    let joins = sql.matches("Edge").count();
+    let before = instance.db.stats();
+    instance.run_query(&sql);
+    let delta = instance.db.stats().since(&before);
+    println!(
+        "edge paper query: {} edge-table occurrences, hash builds {}, join pairs {}",
+        joins, delta.hash_join_builds, delta.join_pairs
+    );
+    h.bench("edge_join", "hash", || instance.run_query(&sql));
+    instance.db.set_hash_joins(false);
+    h.bench("edge_join", "nested_loop", || instance.run_query(&sql));
+    instance.db.set_hash_joins(true);
+    h.finish();
+}

@@ -1,49 +1,33 @@
 //! Bench E6 — document load wall time per storage strategy.
 //!
 //! The paper's §4.1 claim ("a single INSERT query for one document" vs.
-//! "a large number of relational insert operations") as a Criterion
-//! comparison. Each iteration sets up a fresh schema and loads one
-//! generated university document.
+//! "a large number of relational insert operations") as a wall-time
+//! comparison. Each sample sets up a fresh schema and loads one generated
+//! university document.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlord_bench::harness::Harness;
 use xmlord_bench::{setup, university_doc, Strategy};
 
-fn bench_load(c: &mut Criterion) {
-    let mut group = c.benchmark_group("load_university");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("load", 10);
     for students in [10usize, 50] {
         let (_, doc) = university_doc(students);
         for strategy in Strategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), students),
-                &doc,
-                |b, doc| {
-                    b.iter_batched(
-                        || setup(strategy),
-                        |mut instance| instance.load(doc),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
+            h.bench_batched(
+                "load_university",
+                &format!("{}/{students}", strategy.name()),
+                || setup(strategy),
+                |mut instance| instance.load(&doc),
             );
         }
     }
-    group.finish();
-}
 
-/// Statement *generation* only (no execution) — isolates the mapping cost
-/// from the engine cost.
-fn bench_statement_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_inserts");
-    group.sample_size(20);
+    // Statement *generation* only (no execution) — isolates the mapping
+    // cost from the engine cost.
     let (_, doc) = university_doc(50);
     for strategy in Strategy::ALL {
         let instance = setup(strategy);
-        group.bench_function(strategy.name(), |b| {
-            b.iter(|| instance.load_statements(&doc))
-        });
+        h.bench("generate_inserts", strategy.name(), || instance.load_statements(&doc));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_load, bench_statement_generation);
-criterion_main!(benches);

@@ -1,44 +1,30 @@
 //! Bench E10 — the §4.2 mode ablation: Oracle 9 nested collections vs. the
 //! Oracle 8 REF workaround, on identical documents.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlord_bench::harness::Harness;
 use xmlord_bench::{setup, university_doc, Strategy};
 
-fn bench_mode_load(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mode_load");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("modes", 10);
     for students in [10usize, 50] {
         let (_, doc) = university_doc(students);
         for strategy in [Strategy::Or9, Strategy::Or8] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), students),
-                &doc,
-                |b, doc| {
-                    b.iter_batched(
-                        || setup(strategy),
-                        |mut instance| instance.load(doc),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
+            h.bench_batched(
+                "mode_load",
+                &format!("{}/{students}", strategy.name()),
+                || setup(strategy),
+                |mut instance| instance.load(&doc),
             );
         }
     }
-    group.finish();
-}
 
-fn bench_mode_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mode_query");
-    group.sample_size(10);
     let students = 25;
     for strategy in [Strategy::Or9, Strategy::Or8] {
         let mut instance = setup(strategy);
         let (_, doc) = university_doc(students);
         instance.load(&doc);
         let sql = instance.paper_query();
-        group.bench_function(strategy.name(), |b| b.iter(|| instance.run_query(&sql)));
+        h.bench("mode_query", strategy.name(), || instance.run_query(&sql));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_mode_load, bench_mode_query);
-criterion_main!(benches);

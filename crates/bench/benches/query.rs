@@ -3,7 +3,7 @@
 //! §4.1: dot notation "without executing join operations" vs. the join
 //! chains of the generic mappings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlord_bench::harness::Harness;
 use xmlord_bench::{setup, university_doc, Instance, Strategy};
 
 fn loaded(strategy: Strategy, students: usize) -> Instance {
@@ -13,24 +13,17 @@ fn loaded(strategy: Strategy, students: usize) -> Instance {
     instance
 }
 
-fn bench_paper_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_query");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("query", 10);
     let students = 25;
     for strategy in Strategy::ALL {
         let mut instance = loaded(strategy, students);
         let sql = instance.paper_query();
-        group.bench_function(BenchmarkId::new(strategy.name(), students), |b| {
-            b.iter(|| instance.run_query(&sql))
+        h.bench("paper_query", &format!("{}/{students}", strategy.name()), || {
+            instance.run_query(&sql)
         });
     }
-    group.finish();
-}
 
-fn bench_depth_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("query_depth");
-    group.sample_size(10);
-    let students = 25;
     let paths: Vec<(&str, Vec<&str>)> = vec![
         ("d1", vec!["StudyCourse"]),
         ("d2", vec!["Student", "LName"]),
@@ -41,14 +34,10 @@ fn bench_depth_sweep(c: &mut Criterion) {
         let mut instance = loaded(strategy, students);
         for (label, steps) in &paths {
             let sql = instance.path_query(steps, None);
-            group.bench_function(
-                BenchmarkId::new(strategy.name(), label),
-                |b| b.iter(|| instance.run_query(&sql)),
-            );
+            h.bench("query_depth", &format!("{}/{label}", strategy.name()), || {
+                instance.run_query(&sql)
+            });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_paper_query, bench_depth_sweep);
-criterion_main!(benches);

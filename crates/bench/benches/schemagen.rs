@@ -1,31 +1,29 @@
 //! Bench E13 — schema-generation cost as the DTD grows (the contribution's
 //! own scaling, Fig. 2 algorithm + DDL rendering).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xml2ordb::ddlgen::create_script;
 use xml2ordb::model::MappingOptions;
 use xml2ordb::schemagen::{generate_schema, IdrefTargets};
+use xmlord_bench::harness::Harness;
 use xmlord_dtd::parse_dtd;
 use xmlord_ordb::DbMode;
 use xmlord_workload::dtdgen::{generate_dtd, DtdConfig};
 
-fn bench_schemagen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schema_generation");
+fn main() {
+    let mut h = Harness::new("schemagen", 20);
     for (depth, fanout) in [(2usize, 2usize), (3, 3), (4, 3)] {
         let generated = generate_dtd(&DtdConfig { depth, fanout, ..Default::default() });
         let dtd = parse_dtd(&generated.dtd_text).unwrap();
         let label = format!("d{depth}f{fanout}_{}el", generated.element_count());
-        group.bench_function(BenchmarkId::new("map", &label), |b| {
-            b.iter(|| {
-                generate_schema(
-                    &dtd,
-                    &generated.root,
-                    DbMode::Oracle9,
-                    MappingOptions::default(),
-                    &IdrefTargets::new(),
-                )
-                .unwrap()
-            })
+        h.bench("schema_generation", &format!("map/{label}"), || {
+            generate_schema(
+                &dtd,
+                &generated.root,
+                DbMode::Oracle9,
+                MappingOptions::default(),
+                &IdrefTargets::new(),
+            )
+            .unwrap()
         });
         let schema = generate_schema(
             &dtd,
@@ -35,12 +33,9 @@ fn bench_schemagen(c: &mut Criterion) {
             &IdrefTargets::new(),
         )
         .unwrap();
-        group.bench_function(BenchmarkId::new("render_ddl", &label), |b| {
-            b.iter(|| create_script(&schema))
+        h.bench("schema_generation", &format!("render_ddl/{label}"), || {
+            create_script(&schema)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_schemagen);
-criterion_main!(benches);

@@ -2,61 +2,48 @@
 //! parsing, validation) and the engine's INSERT/SELECT primitives. Not a
 //! paper artifact, but the baseline costs every experiment builds on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xmlord_bench::harness::Harness;
 use xmlord_dtd::{parse_dtd, validate};
 use xmlord_ordb::{Database, DbMode};
 use xmlord_workload::university::{university_dtd, university_xml, UniversityConfig};
 
-fn bench_xml_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xml_parse");
+fn main() {
+    let mut h = Harness::new("substrates", 20);
     for students in [10usize, 100] {
         let xml = university_xml(&UniversityConfig { students, ..Default::default() });
-        group.throughput(Throughput::Bytes(xml.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(students), &xml, |b, xml| {
-            b.iter(|| xmlord_xml::parse(xml).unwrap())
+        h.bench("xml_parse", &format!("{students} ({} bytes)", xml.len()), || {
+            xmlord_xml::parse(&xml).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_dtd_parse_and_validate(c: &mut Criterion) {
-    c.bench_function("dtd_parse_university", |b| {
-        b.iter(|| parse_dtd(university_dtd()).unwrap())
-    });
+    h.bench("dtd", "parse_university", || parse_dtd(university_dtd()).unwrap());
     let dtd = parse_dtd(university_dtd()).unwrap();
     let xml = university_xml(&UniversityConfig { students: 100, ..Default::default() });
     let doc = xmlord_xml::parse(&xml).unwrap();
-    c.bench_function("validate_university_100", |b| {
-        b.iter(|| {
-            let report = validate(&doc, &dtd);
-            assert!(report.is_valid());
-            report
-        })
+    h.bench("dtd", "validate_university_100", || {
+        let report = validate(&doc, &dtd);
+        assert!(report.is_valid());
+        report
     });
-}
 
-fn bench_engine_primitives(c: &mut Criterion) {
-    c.bench_function("engine_insert_select", |b| {
-        b.iter_batched(
-            || {
-                let mut db = Database::new(DbMode::Oracle9);
-                db.execute_script(
-                    "CREATE TYPE T AS OBJECT(a VARCHAR(100), b NUMBER);
-                     CREATE TABLE Tab OF T;",
-                )
-                .unwrap();
-                db
-            },
-            |mut db| {
-                for i in 0..100 {
-                    db.execute(&format!("INSERT INTO Tab VALUES (T('row{i}', {i}))")).unwrap();
-                }
-                db.query("SELECT COUNT(*) FROM Tab t WHERE t.b >= 50").unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    h.bench_batched(
+        "engine",
+        "insert_select",
+        || {
+            let mut db = Database::new(DbMode::Oracle9);
+            db.execute_script(
+                "CREATE TYPE T AS OBJECT(a VARCHAR(100), b NUMBER);
+                 CREATE TABLE Tab OF T;",
+            )
+            .unwrap();
+            db
+        },
+        |mut db| {
+            for i in 0..100 {
+                db.execute(&format!("INSERT INTO Tab VALUES (T('row{i}', {i}))")).unwrap();
+            }
+            db.query("SELECT COUNT(*) FROM Tab t WHERE t.b >= 50").unwrap()
+        },
+    );
+    h.finish();
 }
-
-criterion_group!(benches, bench_xml_parse, bench_dtd_parse_and_validate, bench_engine_primitives);
-criterion_main!(benches);

@@ -2,7 +2,10 @@
 //! quantified versions of its qualitative claims). See EXPERIMENTS.md for
 //! the experiment index.
 //!
-//! Usage: `experiments [table1|fig2|load|query|shredding|roundtrip|modes|schemagen|drawbacks|all]`
+//! Usage: `experiments [table1|fig2|load|query|shredding|roundtrip|modes|schemagen|drawbacks|fastpath|all]`
+//!
+//! `fastpath` writes JSON to stdout (narration goes to stderr), so
+//! `experiments fastpath > BENCH_PR1.json` captures the counter deltas.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -19,8 +22,26 @@ use xmlord_ordb::DbMode;
 use xmlord_workload::catalog::{catalog_xml, CatalogConfig, CATALOG_DTD};
 use xmlord_workload::dtdgen::{generate_dtd, DtdConfig};
 
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig2",
+    "load",
+    "query",
+    "shredding",
+    "roundtrip",
+    "modes",
+    "schemagen",
+    "drawbacks",
+    "fastpath",
+];
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which != "all" && !EXPERIMENTS.contains(&which.as_str()) {
+        eprintln!("unknown experiment '{which}'");
+        eprintln!("usage: experiments [{}|all]", EXPERIMENTS.join("|"));
+        std::process::exit(2);
+    }
     let all = which == "all";
     if all || which == "table1" {
         table1();
@@ -48,6 +69,9 @@ fn main() {
     }
     if all || which == "drawbacks" {
         drawbacks();
+    }
+    if all || which == "fastpath" {
+        fastpath();
     }
 }
 
@@ -350,6 +374,102 @@ fn schemagen_scaling() {
             script.len()
         );
     }
+}
+
+/// E14 — PR-1 fast-path counter deltas: plan-cache hit ratio on the bulk
+/// load, hash-join work on the multi-way baselines (with a nested-loop
+/// ablation), and OID-index hits on REF-chain navigation. JSON on stdout.
+fn fastpath() {
+    eprintln!("E14 — fast-path counter deltas (JSON on stdout)");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR1 fast path: OID index, hash equi-joins, plan cache\",\n",
+    );
+
+    // Plan cache across the full bulk load of a 100-student document. The
+    // shredded strategies emit thousands of INSERTs that differ only in
+    // literals; the parameterized cache turns all but the first of each
+    // shape into hits.
+    let students = 100;
+    out.push_str(&format!("  \"bulk_load_students\": {students},\n"));
+    out.push_str("  \"bulk_load\": [\n");
+    let (_, doc) = xmlord_bench::university_doc(students);
+    for (i, strategy) in Strategy::ALL.iter().enumerate() {
+        let mut instance = setup(*strategy);
+        let before = instance.db.stats();
+        let m = instance.load(&doc);
+        let d = instance.db.stats().since(&before);
+        let lookups = d.plan_cache_hits + d.plan_cache_misses;
+        let ratio =
+            if lookups == 0 { 0.0 } else { d.plan_cache_hits as f64 / lookups as f64 };
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"statements\": {}, \"plan_cache_hits\": {}, \
+             \"plan_cache_misses\": {}, \"hit_ratio\": {:.3}, \"load_ms\": {:.2}}}{}\n",
+            strategy.name(),
+            m.statements,
+            d.plan_cache_hits,
+            d.plan_cache_misses,
+            ratio,
+            m.micros as f64 / 1000.0,
+            if i + 1 == Strategy::ALL.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // The paper query on the generic-shredding baselines: hash equi-joins
+    // on, then the same SQL with nested loops forced.
+    let q_students = 25;
+    out.push_str(&format!("  \"paper_query_students\": {q_students},\n"));
+    out.push_str("  \"paper_query\": [\n");
+    let (_, qdoc) = xmlord_bench::university_doc(q_students);
+    let baselines =
+        [Strategy::Edge, Strategy::AttributeTables, Strategy::Relational, Strategy::Inline];
+    for (i, strategy) in baselines.iter().enumerate() {
+        let mut instance = setup(*strategy);
+        instance.load(&qdoc);
+        let sql = instance.paper_query();
+        let before = instance.db.stats();
+        let (rows, hash_pairs, hash_micros) = instance.run_query(&sql);
+        let d = instance.db.stats().since(&before);
+        instance.db.set_hash_joins(false);
+        let (_, nested_pairs, nested_micros) = instance.run_query(&sql);
+        instance.db.set_hash_joins(true);
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"rows\": {rows}, \"hash_join_builds\": {}, \
+             \"hash_join_probes\": {}, \"join_pairs_hash\": {hash_pairs}, \
+             \"join_pairs_nested\": {nested_pairs}, \"hash_ms\": {:.2}, \
+             \"nested_loop_ms\": {:.2}}}{}\n",
+            strategy.name(),
+            d.hash_join_builds,
+            d.hash_join_probes,
+            hash_micros as f64 / 1000.0,
+            nested_micros as f64 / 1000.0,
+            if i + 1 == baselines.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // REF-chain navigation: 500 derefs answered by the OID directory while
+    // the scan counter stays at the driving table's row count.
+    let chain = 500;
+    let mut db = xmlord_bench::ref_chain_db(chain);
+    let before = db.stats();
+    let start = Instant::now();
+    let result = db.query("SELECT c.prof.subject FROM TabCourse c").unwrap();
+    let micros = start.elapsed().as_micros();
+    let d = db.stats().since(&before);
+    out.push_str(&format!(
+        "  \"ref_chain\": {{\"courses\": {chain}, \"rows\": {}, \"rows_scanned\": {}, \
+         \"derefs\": {}, \"oid_index_hits\": {}, \"query_ms\": {:.2}}}\n",
+        result.rows.len(),
+        d.rows_scanned,
+        d.derefs,
+        d.oid_index_hits,
+        micros as f64 / 1000.0
+    ));
+    out.push_str("}\n");
+    print!("{out}");
 }
 
 /// E12 — the §7 drawbacks, demonstrated mechanically.

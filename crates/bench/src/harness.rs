@@ -1,0 +1,170 @@
+//! Minimal benchmark harness used by the `benches/` targets.
+//!
+//! The build environment has no access to crates.io, so the Criterion-style
+//! targets run on this self-contained runner instead: fixed sample counts,
+//! per-iteration wall times, and a median/mean/min summary table on stdout.
+//! That is all the experiments need — the paper's comparisons are about
+//! orders of magnitude (statement counts, join work), not microseconds.
+//!
+//! Set `BENCH_SAMPLES` to override the per-benchmark sample count (e.g.
+//! `BENCH_SAMPLES=3` for a smoke run in CI).
+
+use std::time::Instant;
+
+/// Summary of one benchmark: nanosecond statistics over its samples.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub group: String,
+    pub name: String,
+    pub samples: usize,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub mean_ns: u128,
+    pub max_ns: u128,
+}
+
+/// Collects benchmark results and prints them as a table on `finish`.
+pub struct Harness {
+    title: String,
+    samples: usize,
+    results: Vec<Summary>,
+}
+
+impl Harness {
+    /// `default_samples` applies unless `BENCH_SAMPLES` overrides it.
+    pub fn new(title: &str, default_samples: usize) -> Harness {
+        let samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(default_samples);
+        Harness { title: title.to_string(), samples, results: Vec::new() }
+    }
+
+    /// Time `routine` directly: one untimed warmup, then `samples` timed
+    /// runs.
+    pub fn bench<O>(&mut self, group: &str, name: &str, mut routine: impl FnMut() -> O) {
+        let mut durations = Vec::with_capacity(self.samples);
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            durations.push(start.elapsed().as_nanos());
+        }
+        self.push(group, name, durations);
+    }
+
+    /// Time `routine` on a fresh `setup()` product per sample; only the
+    /// routine is on the clock (Criterion's `iter_batched`).
+    pub fn bench_batched<S, O>(
+        &mut self,
+        group: &str,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        let mut durations = Vec::with_capacity(self.samples);
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            durations.push(start.elapsed().as_nanos());
+        }
+        self.push(group, name, durations);
+    }
+
+    fn push(&mut self, group: &str, name: &str, mut durations: Vec<u128>) {
+        durations.sort_unstable();
+        let samples = durations.len();
+        let sum: u128 = durations.iter().sum();
+        self.results.push(Summary {
+            group: group.to_string(),
+            name: name.to_string(),
+            samples,
+            min_ns: durations[0],
+            median_ns: durations[samples / 2],
+            mean_ns: sum / samples as u128,
+            max_ns: durations[samples - 1],
+        });
+    }
+
+    /// Print the result table and hand back the raw summaries.
+    pub fn finish(self) -> Vec<Summary> {
+        println!("\n== {} ({} samples each) ==", self.title, self.samples);
+        println!(
+            "{:<24} {:<24} {:>12} {:>12} {:>12}",
+            "group", "bench", "min", "median", "mean"
+        );
+        for r in &self.results {
+            println!(
+                "{:<24} {:<24} {:>12} {:>12} {:>12}",
+                r.group,
+                r.name,
+                format_ns(r.min_ns),
+                format_ns(r.median_ns),
+                format_ns(r.mean_ns)
+            );
+        }
+        self.results
+    }
+}
+
+/// Human-readable nanoseconds: `412ns`, `3.1µs`, `27ms`, `1.4s`.
+pub fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_are_ordered_and_formatted() {
+        let mut h = Harness::new("t", 5);
+        let mut n = 0u64;
+        h.bench("g", "count", || {
+            n += 1;
+            n
+        });
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(n >= 6, "warmup + samples ran");
+    }
+
+    #[test]
+    fn batched_runs_setup_per_sample() {
+        let mut h = Harness::new("t", 4);
+        let mut setups = 0u64;
+        h.bench_batched(
+            "g",
+            "b",
+            || {
+                setups += 1;
+                setups
+            },
+            |s| s * 2,
+        );
+        assert_eq!(setups, 5); // warmup + 4 samples
+        h.finish();
+    }
+
+    #[test]
+    fn format_spans_units() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_000_000), "2.0ms");
+        assert_eq!(format_ns(1_400_000_000), "1.40s");
+    }
+}

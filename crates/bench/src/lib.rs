@@ -1,7 +1,8 @@
 //! # xmlord-bench — shared experiment harness
 //!
-//! Substrate **S7**: the code both the Criterion benches and the
-//! `experiments` binary run. Each function sets up one storage strategy for
+//! Substrate **S7**: the code both the `benches/` targets (running on the
+//! local [`harness`]) and the `experiments` binary run. Each function sets
+//! up one storage strategy for
 //! the scaled university workload and measures the quantities the paper
 //! argues about qualitatively: INSERT-statement counts, table/row
 //! fragmentation, join work and wall time.
@@ -16,6 +17,8 @@
 //! | `edge` | edge table | Florescu/Kossmann \[5\] |
 //! | `attr` | attribute tables | Florescu/Kossmann \[5\] |
 //! | `inline` | hybrid inlining | Shanmugasundaram et al. \[9\] |
+
+pub mod harness;
 
 use std::time::Instant;
 
@@ -373,6 +376,41 @@ impl<'a> RelBuilder<'a> {
         }
         cursor.0
     }
+}
+
+/// An object table of `n` professors forming a boss REF chain, plus one
+/// course per professor holding a REF to it — the deref-heavy workload for
+/// the OID-directory experiments (every navigation step is one OID lookup).
+pub fn ref_chain_db(n: usize) -> Database {
+    let mut db = Database::new(DbMode::Oracle9);
+    db.execute_script(
+        "CREATE TYPE T_Prof AS OBJECT(pname VARCHAR(30), subject VARCHAR(30), boss REF T_Prof);
+         CREATE TYPE T_Course AS OBJECT(cname VARCHAR(30), prof REF T_Prof);
+         CREATE TABLE TabProf OF T_Prof;
+         CREATE TABLE TabCourse OF T_Course;",
+    )
+    .unwrap();
+    for i in 0..n {
+        db.execute(&format!(
+            "INSERT INTO TabProf VALUES (T_Prof('prof{i}', 'subj{}', NULL))",
+            i % 7
+        ))
+        .unwrap();
+        if i > 0 {
+            db.execute(&format!(
+                "UPDATE TabProf SET boss = (SELECT REF(b) FROM TabProf b WHERE b.pname = 'prof{}') \
+                 WHERE pname = 'prof{i}'",
+                i - 1
+            ))
+            .unwrap();
+        }
+        db.execute(&format!(
+            "INSERT INTO TabCourse VALUES (T_Course('course{i}',
+               (SELECT REF(p) FROM TabProf p WHERE p.pname = 'prof{i}')))"
+        ))
+        .unwrap();
+    }
+    db
 }
 
 /// One (strategy × document size) measurement row for the E6/E8 tables.

@@ -4,10 +4,10 @@
 //! backtracking regex interpreter on random content models and random child
 //! sequences — the two must always agree.
 
-use proptest::prelude::*;
 use xmlord_dtd::ast::{ContentParticle, Occurrence};
 use xmlord_dtd::matcher::ContentMatcher;
 use xmlord_dtd::parse_dtd;
+use xmlord_prng::Prng;
 
 /// A naive, obviously-correct backtracking matcher: returns the set of
 /// input positions reachable after matching `cp` starting at `from`.
@@ -92,55 +92,56 @@ fn oracle_accepts(cp: &ContentParticle, input: &[&str]) -> bool {
     oracle_match(cp, input, 0).contains(&input.len())
 }
 
-/// Strip operators so the oracle's occurrence wrapper is the only one
-/// applied at the top level of each recursive call. (The oracle applies
-/// cp.occurrence() itself, so nothing to strip — identity.)
-fn arb_particle() -> impl Strategy<Value = ContentParticle> {
-    let occ = prop_oneof![
-        Just(Occurrence::One),
-        Just(Occurrence::Optional),
-        Just(Occurrence::ZeroOrMore),
-        Just(Occurrence::OneOrMore),
-    ];
-    let name = prop_oneof![Just("a"), Just("b"), Just("c")];
-    let leaf = (name, occ.clone())
-        .prop_map(|(n, o)| ContentParticle::Name(n.to_string(), o));
-    leaf.prop_recursive(3, 16, 3, move |inner| {
-        let occ2 = prop_oneof![
-            Just(Occurrence::One),
-            Just(Occurrence::Optional),
-            Just(Occurrence::ZeroOrMore),
-            Just(Occurrence::OneOrMore),
-        ];
-        prop_oneof![
-            (proptest::collection::vec(inner.clone(), 1..3), occ2.clone())
-                .prop_map(|(cs, o)| ContentParticle::Seq(cs, o)),
-            (proptest::collection::vec(inner, 1..3), occ2)
-                .prop_map(|(cs, o)| ContentParticle::Choice(cs, o)),
-        ]
-    })
+fn arb_occurrence(rng: &mut Prng) -> Occurrence {
+    match rng.gen_range(0u32..4) {
+        0 => Occurrence::One,
+        1 => Occurrence::Optional,
+        2 => Occurrence::ZeroOrMore,
+        _ => Occurrence::OneOrMore,
+    }
 }
 
-fn arb_input() -> impl Strategy<Value = Vec<&'static str>> {
-    proptest::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 0..7)
+const NAMES: [&str; 3] = ["a", "b", "c"];
+
+/// Random content particle, depth-bounded like the old proptest
+/// `prop_recursive(3, ..)` strategy.
+fn arb_particle(rng: &mut Prng, depth: u32) -> ContentParticle {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return ContentParticle::Name(rng.choose(&NAMES).to_string(), arb_occurrence(rng));
+    }
+    let children: Vec<ContentParticle> =
+        (0..rng.gen_range(1usize..3)).map(|_| arb_particle(rng, depth - 1)).collect();
+    if rng.gen_bool(0.5) {
+        ContentParticle::Seq(children, arb_occurrence(rng))
+    } else {
+        ContentParticle::Choice(children, arb_occurrence(rng))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_input(rng: &mut Prng) -> Vec<&'static str> {
+    (0..rng.gen_range(0usize..7)).map(|_| *rng.choose(&NAMES)).collect()
+}
 
-    #[test]
-    fn glushkov_matches_oracle(cp in arb_particle(), input in arb_input()) {
+#[test]
+fn glushkov_matches_oracle() {
+    for case in 0..512u64 {
+        let mut rng = Prng::seed_from_u64(0x61A + case);
+        let cp = arb_particle(&mut rng, 3);
+        let input = arb_input(&mut rng);
         let matcher = ContentMatcher::from_particle(&cp);
-        let refs: Vec<&str> = input.clone();
-        prop_assert_eq!(
-            matcher.matches(&refs),
-            oracle_accepts(&cp, &refs),
-            "model: {} input: {:?}", cp, input
+        assert_eq!(
+            matcher.matches(&input),
+            oracle_accepts(&cp, &input),
+            "case {case} model: {cp} input: {input:?}"
         );
     }
+}
 
-    #[test]
-    fn parsed_model_display_reparses_identically(cp in arb_particle()) {
+#[test]
+fn parsed_model_display_reparses_identically() {
+    for case in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(0xD7D + case);
+        let cp = arb_particle(&mut rng, 3);
         // Display of a particle is valid DTD syntax that parses back to an
         // equivalent matcher.
         let text = format!("<!ELEMENT root {}>", wrap_group(&cp));
@@ -153,10 +154,10 @@ proptest! {
         };
         // Compare on a fixed battery of inputs.
         for input in battery() {
-            prop_assert_eq!(
+            assert_eq!(
                 m1.matches(&input),
                 m2.matches(&input),
-                "model: {} input: {:?}", text, input
+                "case {case} model: {text} input: {input:?}"
             );
         }
     }

@@ -35,7 +35,7 @@ pub fn execute_insert(
     // Evaluate the VALUES expressions (read-only phase: subqueries may scan).
     let mut provided = Vec::with_capacity(value_exprs.len());
     {
-        let mut ctx = ExecCtx { catalog, storage, stats, mode };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
         for expr in value_exprs {
             provided.push(eval_expr(&mut ctx, &Env::EMPTY, expr)?);
         }
@@ -107,7 +107,7 @@ fn finish_insert(
 ) -> Result<(), DbError> {
     // Coerce to the declared column types.
     {
-        let mut ctx = ExecCtx { catalog, storage, stats, mode };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
         for (value, (col_name, col_type)) in row_values.iter_mut().zip(table_columns) {
             let taken = std::mem::replace(value, Value::Null);
             *value = coerce(&mut ctx, taken, col_type, col_name.as_str())?;
@@ -210,7 +210,7 @@ fn enforce_constraints(
                 };
                 let frames = [std::rc::Rc::new(frame)];
                 let env = Env::new(&frames);
-                let mut ctx = ExecCtx { catalog, storage, stats, mode };
+                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
                 // Oracle semantics: the row is rejected only when the
                 // condition is definitely FALSE (UNKNOWN passes).
                 if eval_bool(&mut ctx, &env, expr)? == Some(false) {
@@ -250,15 +250,17 @@ pub fn execute_update(
     };
 
     // Phase 1 (read-only): compute the new values of every affected row.
+    // The table is read in place — no up-front clone of every row; each
+    // row's values are copied once into the evaluation frame, and only
+    // matching rows pay for a second, writable copy.
     let mut updated: Vec<(usize, Vec<Value>)> = Vec::new();
     {
         let data = storage
             .table(table_name)
             .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
-        let rows: Vec<(usize, crate::storage::Row)> =
-            data.rows.iter().cloned().enumerate().collect();
-        let mut ctx = ExecCtx { catalog, storage, stats, mode };
-        for (idx, row) in rows {
+        let mut ctx =
+            ExecCtx { catalog, storage: &*storage, stats: &mut *stats, mode, hash_joins: true };
+        for (idx, row) in data.rows.iter().enumerate() {
             let frame = Frame {
                 binding: table_name.clone(),
                 columns: columns.clone(),
@@ -399,7 +401,7 @@ fn enforce_non_key_constraints(
                 };
                 let frames = [std::rc::Rc::new(frame)];
                 let env = Env::new(&frames);
-                let mut ctx = ExecCtx { catalog, storage, stats, mode };
+                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
                 if eval_bool(&mut ctx, &env, expr)? == Some(false) {
                     return Err(DbError::CheckViolation {
                         constraint: format!("CHECK on {}", table.name().as_str()),
@@ -439,7 +441,7 @@ pub fn execute_delete(
         let data = storage
             .table(table_name)
             .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
-        let mut ctx = ExecCtx { catalog, storage, stats, mode };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
         for (idx, row) in data.rows.iter().enumerate() {
             let keep = match where_clause {
                 None => false,

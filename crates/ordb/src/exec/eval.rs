@@ -19,6 +19,10 @@ pub struct ExecCtx<'a> {
     pub storage: &'a Storage,
     pub stats: &'a mut ExecStats,
     pub mode: DbMode,
+    /// Whether equi-join FROM items may use the hash path. On by default;
+    /// [`crate::Database::set_hash_joins`] turns it off so differential
+    /// tests can compare both join strategies on identical queries.
+    pub hash_joins: bool,
 }
 
 /// Evaluate an expression to a value.
@@ -245,10 +249,14 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     rec(&p, &t)
 }
 
-/// Follow an OID to the full row object value.
+/// Follow an OID to the full row object value. Resolution goes through the
+/// storage layer's OID index (a map lookup plus a slot access), so REF
+/// navigation never scans table rows — the engine-level version of the
+/// paper's "without executing join operations" claim (§5).
 pub fn deref_oid(ctx: &mut ExecCtx, oid: Oid) -> Result<Value, DbError> {
     ctx.stats.derefs += 1;
     let (table_name, row) = ctx.storage.resolve_oid(oid).ok_or(DbError::DanglingRef)?;
+    ctx.stats.oid_index_hits += 1;
     let table = ctx
         .catalog
         .get_table(table_name)

@@ -1,14 +1,37 @@
-//! SELECT execution: nested-loop FROM evaluation (with lateral visibility
-//! for `TABLE(...)` un-nesting), WHERE filtering, projection, DISTINCT and
-//! ORDER BY. Views — object views included (§6.3) — expand inline.
+//! SELECT execution: FROM evaluation with hash equi-joins and a nested-loop
+//! fallback (with lateral visibility for `TABLE(...)` un-nesting), WHERE
+//! filtering, projection, DISTINCT and ORDER BY. Views — object views
+//! included (§6.3) — expand inline.
+//!
+//! ## Join strategy selection
+//!
+//! Each FROM item beyond the first is joined to the accumulated row
+//! combinations one of two ways:
+//!
+//! * **Hash equi-join** — when the first WHERE conjunct scheduled at this
+//!   item is an equality whose one side references only this item's binding
+//!   and whose other side is bound by earlier items (or constant), the
+//!   item's rows are hashed once on the join key ([`Value::join_key`]) and
+//!   each combination probes the table. Because SQL's numeric string
+//!   coercion makes `sql_eq` non-transitive (`'04' = 4` but `'04' <> '4'`),
+//!   the hash is a *prefilter*: every candidate is re-checked with the real
+//!   predicate, so results are identical to the nested loop — the
+//!   edge-table baseline's 7-way self-joins just stop being O(n²) per step.
+//! * **Nested loop** — everything else, including all lateral
+//!   `TABLE(expr)` items (their rows depend on the current combination).
+//!
+//! Non-lateral items are expanded exactly once and their frames shared via
+//! `Rc` across all combinations, so a table joined against a thousand
+//! combos no longer clones its rows a thousand times.
 
 use crate::catalog::TableDef;
 use crate::error::DbError;
 use crate::exec::eval::{eval_bool, eval_expr, ExecCtx};
 use crate::exec::{Env, Frame};
 use crate::ident::Ident;
-use crate::sql::ast::{Expr, FromItem, SelectStmt};
-use crate::value::Value;
+use crate::sql::ast::{BinOp, Expr, FromItem, SelectStmt};
+use crate::value::{JoinKey, Value};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A query result: column names and rows.
@@ -55,39 +78,108 @@ pub fn execute_select(
         scheduled.push((position, conjunct));
     }
 
-    // 1. FROM: build row combinations left to right (nested loops). Later
-    //    items see earlier bindings (needed by TABLE(t.attr) un-nesting),
-    //    and conjuncts filter as soon as their inputs are bound.
+    // 1. FROM: build row combinations left to right. Later items see
+    //    earlier bindings (needed by TABLE(t.attr) un-nesting), and
+    //    conjuncts filter as soon as their inputs are bound.
     let mut combos: Vec<Vec<Rc<Frame>>> = vec![Vec::new()];
     if stmt.from.len() > 1 {
         ctx.stats.join_queries += 1;
     }
     for (item_idx, item) in stmt.from.iter().enumerate() {
+        if combos.is_empty() {
+            // An earlier item produced no combinations; nothing to extend
+            // (and nothing further should be scanned).
+            break;
+        }
         let applicable: Vec<&Expr> = scheduled
             .iter()
             .filter(|(pos, _)| *pos == item_idx)
             .map(|(_, e)| e)
             .collect();
-        let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
-        for combo in &combos {
-            let frames = expand_from_item(ctx, item, combo, outer)?;
-            ctx.stats.rows_scanned += frames.len() as u64;
-            if item_idx > 0 {
-                ctx.stats.join_pairs += frames.len() as u64;
-            }
-            for frame in frames {
-                let mut extended = combo.clone();
-                extended.push(Rc::new(frame));
-                let mut keep = true;
-                for conjunct in &applicable {
-                    let env = make_env(&extended, outer);
-                    if eval_bool(ctx, &env, conjunct)? != Some(true) {
-                        keep = false;
-                        break;
-                    }
+
+        // Lateral items depend on the current combination and must be
+        // re-expanded per combo; everything else (tables, views) expands
+        // once and shares its frames across combos via Rc.
+        if matches!(item, FromItem::CollectionTable { .. }) {
+            let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
+            for combo in &combos {
+                let frames = expand_from_item(ctx, item, combo, outer)?;
+                ctx.stats.rows_scanned += frames.len() as u64;
+                if item_idx > 0 {
+                    ctx.stats.join_pairs += frames.len() as u64;
                 }
-                if keep {
-                    next.push(extended);
+                for frame in frames {
+                    extend_combo(ctx, combo, Rc::new(frame), &applicable, outer, &mut next)?;
+                }
+            }
+            combos = next;
+            continue;
+        }
+
+        let frames: Vec<Rc<Frame>> = expand_from_item(ctx, item, &[], outer)?
+            .into_iter()
+            .map(Rc::new)
+            .collect();
+        ctx.stats.rows_scanned += frames.len() as u64;
+
+        // Hash path only for the *first* applicable conjunct: the nested
+        // loop evaluates conjuncts in scheduled order, so hashing the first
+        // one preserves which expression gets evaluated against every row.
+        let hash_plan = if ctx.hash_joins && item_idx > 0 {
+            applicable
+                .first()
+                .and_then(|c| plan_hash_join(c, &bindings, item_idx))
+        } else {
+            None
+        };
+
+        let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
+        if let Some((probe_expr, build_expr)) = hash_plan {
+            // Build: hash the new item's frames on the join key. NULL keys
+            // can never satisfy the equality and are dropped; values
+            // without a hashable key (objects, collections) fall into a
+            // linear bucket probed only by composite probe values.
+            ctx.stats.hash_join_builds += 1;
+            let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+            let mut composites: Vec<usize> = Vec::new();
+            for (i, frame) in frames.iter().enumerate() {
+                let env = make_env(std::slice::from_ref(frame), outer);
+                let value = eval_expr(ctx, &env, build_expr)?;
+                if value.is_null() {
+                    continue;
+                }
+                match value.join_key() {
+                    Some(key) => table.entry(key).or_default().push(i),
+                    None => composites.push(i),
+                }
+            }
+            // Probe: one lookup per combination; candidates re-verified
+            // with the full conjunct list (hash equality is a prefilter).
+            for combo in &combos {
+                ctx.stats.hash_join_probes += 1;
+                let env = make_env(combo, outer);
+                let probe = eval_expr(ctx, &env, probe_expr)?;
+                if probe.is_null() {
+                    continue;
+                }
+                let candidates: &[usize] = match probe.join_key() {
+                    Some(key) => table.get(&key).map(Vec::as_slice).unwrap_or(&[]),
+                    // A composite probe value can only equal composite
+                    // build values (scalars compare false against them).
+                    None => &composites,
+                };
+                ctx.stats.join_pairs += candidates.len() as u64;
+                for &i in candidates {
+                    extend_combo(ctx, combo, frames[i].clone(), &applicable, outer, &mut next)?;
+                }
+            }
+        } else {
+            for combo in &combos {
+                if item_idx > 0 {
+                    ctx.stats.join_pairs += frames.len() as u64;
+                }
+                for frame in &frames {
+                    extend_combo(ctx, combo, frame.clone(), &applicable, outer, &mut next)?;
                 }
             }
         }
@@ -196,7 +288,8 @@ pub fn execute_select(
             }
             std::cmp::Ordering::Equal
         });
-        rows = indexed.into_iter().map(|i| rows[i].clone()).collect();
+        // `indexed` is a permutation, so each row is taken exactly once.
+        rows = indexed.into_iter().map(|i| std::mem::take(&mut rows[i])).collect();
     }
 
     // 6. DISTINCT.
@@ -213,6 +306,78 @@ pub fn execute_select(
     }
 
     Ok(QueryResult { columns, rows })
+}
+
+/// Append `frame` to `combo` and keep the result in `next` iff every
+/// applicable conjunct evaluates to TRUE. Shared by the nested-loop and
+/// hash-probe paths so filtering (and error surfacing) is identical.
+fn extend_combo(
+    ctx: &mut ExecCtx,
+    combo: &[Rc<Frame>],
+    frame: Rc<Frame>,
+    applicable: &[&Expr],
+    outer: Option<&Env>,
+    next: &mut Vec<Vec<Rc<Frame>>>,
+) -> Result<(), DbError> {
+    let mut extended = combo.to_vec();
+    extended.push(frame);
+    for conjunct in applicable {
+        let env = make_env(&extended, outer);
+        if eval_bool(ctx, &env, conjunct)? != Some(true) {
+            return Ok(());
+        }
+    }
+    next.push(extended);
+    Ok(())
+}
+
+/// If `conjunct` is an equality between an expression bound solely by the
+/// FROM item at `item_idx` and an expression bound only by earlier items
+/// (or constant), return `(probe_expr, build_expr)`: probe is evaluated
+/// against each accumulated combination, build against the new item's rows.
+fn plan_hash_join<'a>(
+    conjunct: &'a Expr,
+    bindings: &[Ident],
+    item_idx: usize,
+) -> Option<(&'a Expr, &'a Expr)> {
+    let Expr::Binary { op: BinOp::Eq, lhs, rhs } = conjunct else {
+        return None;
+    };
+    let lhs_pos = side_positions(lhs, bindings)?;
+    let rhs_pos = side_positions(rhs, bindings)?;
+    let is_build = |pos: &[usize]| pos == [item_idx];
+    let is_probe = |pos: &[usize]| pos.iter().all(|&p| p < item_idx);
+    if is_build(&lhs_pos) && is_probe(&rhs_pos) {
+        Some((rhs, lhs))
+    } else if is_build(&rhs_pos) && is_probe(&lhs_pos) {
+        Some((lhs, rhs))
+    } else {
+        None
+    }
+}
+
+/// FROM positions one side of a conjunct references, or `None` when it
+/// references anything not attributable to a binding (unqualified columns,
+/// outer scopes) or contains a subquery.
+fn side_positions(expr: &Expr, bindings: &[Ident]) -> Option<Vec<usize>> {
+    if has_subquery(expr) {
+        return None;
+    }
+    let mut positions: Vec<usize> = Vec::new();
+    let mut unresolved = false;
+    visit_refs(expr, &mut |head| match bindings.iter().position(|b| b == head) {
+        Some(pos) => {
+            if !positions.contains(&pos) {
+                positions.push(pos);
+            }
+        }
+        None => unresolved = true,
+    });
+    if unresolved {
+        None
+    } else {
+        Some(positions)
+    }
 }
 
 /// Flatten nested ANDs into a conjunct list.

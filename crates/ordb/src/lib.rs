@@ -28,6 +28,43 @@
 //! statements, rows and join work so the benchmark harness can report the
 //! paper's qualitative comparisons as numbers.
 //!
+//! ## Engine internals & performance counters
+//!
+//! Three fast paths keep the execution substrate from dominating the
+//! storage-strategy comparisons (experiment E14 reports their counters):
+//!
+//! * **OID directory** — [`storage::Storage`] maintains a hash index
+//!   `Oid → (table, row slot)` incrementally across inserts, deletes (the
+//!   index is re-slotted when `delete_rows` compacts a table) and
+//!   `DROP TABLE`, so a REF dereference is an O(1) slot access instead of a
+//!   scan over every object table. Dangling REFs still surface as
+//!   [`DbError::DanglingRef`]. Counter: `oid_index_hits`; the invariant is
+//!   checkable via `Storage::check_oid_directory`.
+//! * **Hash equi-joins** — when a scheduled WHERE conjunct equates columns
+//!   of already-bound FROM items with the item being joined,
+//!   [`exec::select`] builds a hash table over the new item's rows keyed by
+//!   [`Value::join_key`] and probes it once per outer combination;
+//!   non-equi conjuncts and `TABLE(…)` lateral un-nesting keep the nested
+//!   loop. Join keys are a conservative prefilter (SQL equality coerces
+//!   numeric strings, so candidates are re-verified with the full
+//!   predicate), which makes the hash and nested-loop paths return
+//!   identical rows in identical order — [`Database::set_hash_joins`]
+//!   switches strategies for the differential tests. Counters:
+//!   `hash_join_builds`, `hash_join_probes`, and `join_pairs` counts only
+//!   the pairings actually formed.
+//! * **Plan cache** — [`Database`] parses through a small LRU statement
+//!   cache. Non-INSERT texts hit on the verbatim string; INSERT texts hit
+//!   on a literal-normalized *shape* whose cached template is re-bound with
+//!   each text's own literals ([`sql::param`]), so a generated load
+//!   script's thousands of near-identical INSERTs pay the parser once.
+//!   Parsing is context-free (constructors resolve at execution time), so
+//!   entries survive DDL. Counters: `plan_cache_hits`, `plan_cache_misses`.
+//!
+//! None of this changes Oracle 8 vs Oracle 9 semantics: [`DbMode`] gates
+//! DDL validation and value construction, while the fast paths only change
+//! how rows are located, paired, and parsed texts reused — the mode test
+//! suites run identically with the fast paths on or off.
+//!
 //! ```
 //! use xmlord_ordb::{Database, DbMode, Value};
 //!

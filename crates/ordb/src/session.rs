@@ -10,10 +10,65 @@ pub use crate::exec::select::QueryResult;
 use crate::ident::Ident;
 use crate::mode::DbMode;
 use crate::sql::ast::Stmt;
+use crate::sql::param::{parameterize, rebind, slots_match};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
 use crate::value::Value;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Statements kept in the plan cache before the least-recently-used entry
+/// is evicted. Loaders issue the same handful of statement shapes over and
+/// over, so a small cache captures them; eviction is an O(capacity) scan,
+/// irrelevant at this size.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// SQL text → parsed statements. Parsing is context-free here (object
+/// constructors parse as generic calls, resolved at execution time), so
+/// entries never need invalidation on DDL. INSERT texts are additionally
+/// cached by literal-normalized *shape* (see [`crate::sql::param`]), so a
+/// loader's thousands of near-identical INSERTs share one parsed template.
+#[derive(Debug, Clone, Default)]
+struct PlanCache {
+    entries: HashMap<String, CacheEntry>,
+    tick: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    plan: Plan,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Verbatim text → parsed form, shared by reference.
+    Exact(Rc<Vec<Stmt>>),
+    /// Literal-parameterized INSERT shape → template whose literal slots
+    /// are rebound with each text's own literals.
+    Template(Rc<Vec<Stmt>>),
+    /// Shape that failed slot verification (e.g. folded negative literals)
+    /// — recorded so it is never re-verified, and cached verbatim instead.
+    Opaque,
+}
+
+impl PlanCache {
+    /// Insert with LRU eviction (O(capacity) scan — irrelevant at 256).
+    fn insert(&mut self, key: String, plan: Plan, tick: u64) {
+        if self.entries.len() >= PLAN_CACHE_CAPACITY {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, CacheEntry { plan, last_used: tick });
+    }
+}
 
 /// An embedded object-relational database instance.
 #[derive(Debug, Clone)]
@@ -22,11 +77,78 @@ pub struct Database {
     storage: Storage,
     stats: ExecStats,
     mode: DbMode,
+    plan_cache: PlanCache,
+    hash_joins: bool,
 }
 
 impl Database {
     pub fn new(mode: DbMode) -> Database {
-        Database { catalog: Catalog::new(), storage: Storage::new(), stats: ExecStats::default(), mode }
+        Database {
+            catalog: Catalog::new(),
+            storage: Storage::new(),
+            stats: ExecStats::default(),
+            mode,
+            plan_cache: PlanCache::default(),
+            hash_joins: true,
+        }
+    }
+
+    /// Enable or disable the hash equi-join fast path (on by default).
+    /// Turning it off forces nested loops everywhere — used by the
+    /// differential tests that check both strategies agree.
+    pub fn set_hash_joins(&mut self, enabled: bool) {
+        self.hash_joins = enabled;
+    }
+
+    /// Parse `sql` through the statement cache. Non-INSERT texts hit on the
+    /// verbatim string; INSERT texts hit on their literal-normalized shape,
+    /// with the template's literal slots rebound per text. Parse errors are
+    /// not cached.
+    fn cached_parse(&mut self, sql: &str) -> Result<Rc<Vec<Stmt>>, DbError> {
+        self.plan_cache.tick += 1;
+        let tick = self.plan_cache.tick;
+        let param = parameterize(sql);
+        if let Some((key, lits)) = &param {
+            if let Some(entry) = self.plan_cache.entries.get_mut(key) {
+                entry.last_used = tick;
+                if let Plan::Template(template) = &entry.plan {
+                    let mut stmts: Vec<Stmt> = (**template).clone();
+                    if rebind(&mut stmts, lits) {
+                        self.stats.plan_cache_hits += 1;
+                        return Ok(Rc::new(stmts));
+                    }
+                }
+                // Opaque shape: fall through to the verbatim path.
+            }
+        }
+        if let Some(entry) = self.plan_cache.entries.get_mut(sql) {
+            if let Plan::Exact(stmts) = &entry.plan {
+                let stmts = stmts.clone();
+                entry.last_used = tick;
+                self.stats.plan_cache_hits += 1;
+                return Ok(stmts);
+            }
+        }
+        self.stats.plan_cache_misses += 1;
+        let mut parsed = parse_script(sql)?;
+        match param {
+            Some((key, lits)) if slots_match(&mut parsed, &lits) => {
+                let stmts = Rc::new(parsed);
+                self.plan_cache.insert(key, Plan::Template(stmts.clone()), tick);
+                Ok(stmts)
+            }
+            Some((key, _)) => {
+                self.plan_cache.insert(key, Plan::Opaque, tick);
+                let stmts = Rc::new(parsed);
+                self.plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
+                Ok(stmts)
+            }
+            None => {
+                let stmts = Rc::new(parsed);
+                self.plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
+                Ok(stmts)
+            }
+        }
     }
 
     pub fn mode(&self) -> DbMode {
@@ -48,9 +170,9 @@ impl Database {
     /// Execute a script of `;`-separated statements. Results of SELECTs are
     /// returned in order (DDL/DML contribute nothing to the result list).
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, DbError> {
-        let stmts = parse_script(sql)?;
+        let stmts = self.cached_parse(sql)?;
         let mut results = Vec::new();
-        for stmt in &stmts {
+        for stmt in stmts.iter() {
             if let Some(result) = self.execute_stmt(stmt)? {
                 results.push(result);
             }
@@ -60,6 +182,12 @@ impl Database {
 
     /// Execute a single statement.
     pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>, DbError> {
+        let stmts = self.cached_parse(sql)?;
+        if stmts.len() == 1 {
+            return self.execute_stmt(&stmts[0]);
+        }
+        // Not exactly one statement: surface the single-statement parser's
+        // error (e.g. "trailing input") rather than guessing.
         let stmt = parse_statement(sql)?;
         self.execute_stmt(&stmt)
     }
@@ -121,6 +249,7 @@ impl Database {
                     storage: &self.storage,
                     stats: &mut self.stats,
                     mode: self.mode,
+                    hash_joins: self.hash_joins,
                 };
                 let result = execute_select(&mut ctx, select, None)?;
                 Ok(Some(result))
@@ -651,6 +780,100 @@ mod tests {
             d.query_scalar("SELECT p.boss.name FROM TabP p WHERE p.name = 'Conrad'").unwrap(),
             Value::str("Kudrass")
         );
+    }
+
+    #[test]
+    fn plan_cache_reuses_parsed_statements() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        for _ in 0..10 {
+            d.execute("INSERT INTO T VALUES (1)").unwrap();
+        }
+        // The CREATE and the first INSERT miss; the nine repeats hit.
+        assert_eq!(d.stats().plan_cache_misses, 2);
+        assert_eq!(d.stats().plan_cache_hits, 9);
+        assert_eq!(d.row_count("T"), 10);
+
+        // Scripts are cached whole, and cached plans survive DDL because
+        // parsing is context-free.
+        d.execute_script("INSERT INTO T VALUES (2); SELECT COUNT(*) FROM T;").unwrap();
+        let results = d.execute_script("INSERT INTO T VALUES (2); SELECT COUNT(*) FROM T;").unwrap();
+        assert_eq!(d.stats().plan_cache_hits, 10);
+        assert_eq!(results[0].rows[0][0], Value::Num(12.0));
+    }
+
+    #[test]
+    fn plan_cache_rebinds_insert_literals() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER, b VARCHAR(10))").unwrap();
+        for i in 0..20 {
+            d.execute(&format!("INSERT INTO T VALUES ({i}, 'v{i}')")).unwrap();
+        }
+        // Every text is distinct, but the shape is one: a single template
+        // miss, nineteen rebind hits.
+        assert_eq!(d.stats().plan_cache_misses, 2);
+        assert_eq!(d.stats().plan_cache_hits, 19);
+        // The literals were rebound per text, not replayed from the first.
+        assert_eq!(
+            d.query_scalar("SELECT COUNT(*) FROM T t WHERE t.a = 17 AND t.b = 'v17'").unwrap(),
+            Value::Num(1.0)
+        );
+        assert_eq!(d.query_scalar("SELECT COUNT(*) FROM T").unwrap(), Value::Num(20.0));
+    }
+
+    #[test]
+    fn plan_cache_rebinds_constructor_and_subquery_inserts() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20), subject VARCHAR(20));
+             CREATE TYPE Type_C AS OBJECT(name VARCHAR(20), prof REF Type_P);
+             CREATE TABLE TabP OF Type_P;
+             CREATE TABLE TabC OF Type_C;",
+        )
+        .unwrap();
+        for (prof, subject) in [("Kudrass", "DB"), ("Jaeger", "CAD")] {
+            d.execute(&format!("INSERT INTO TabP VALUES (Type_P('{prof}', '{subject}'))"))
+                .unwrap();
+            d.execute(&format!(
+                "INSERT INTO TabC VALUES (Type_C('{subject} Intro',
+                   (SELECT REF(p) FROM TabP p WHERE p.name = '{prof}')))"
+            ))
+            .unwrap();
+        }
+        // Second round of each shape rebinds through the cache, and the
+        // subquery literal is rebound too: each course REFs its own prof.
+        assert_eq!(d.stats().plan_cache_hits, 2);
+        assert_eq!(
+            d.query_scalar("SELECT c.prof.name FROM TabC c WHERE c.name = 'CAD Intro'").unwrap(),
+            Value::str("Jaeger")
+        );
+    }
+
+    #[test]
+    fn plan_cache_leaves_folded_negative_shapes_verbatim() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        d.execute("INSERT INTO T VALUES (-1)").unwrap();
+        // Same shape, different literal: the `-` fold makes it
+        // untemplatable, so this is a miss …
+        d.execute("INSERT INTO T VALUES (-2)").unwrap();
+        // … but the verbatim repeat still hits the exact entry.
+        d.execute("INSERT INTO T VALUES (-2)").unwrap();
+        assert_eq!(d.stats().plan_cache_hits, 1);
+        let rows = d.query("SELECT t.a FROM T t ORDER BY t.a").unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![vec![Value::Num(-2.0)], vec![Value::Num(-2.0)], vec![Value::Num(-1.0)]]
+        );
+    }
+
+    #[test]
+    fn plan_cache_does_not_cache_parse_errors() {
+        let mut d = db();
+        assert!(d.execute("SELEKT nonsense").is_err());
+        assert!(d.execute("SELEKT nonsense").is_err());
+        assert_eq!(d.stats().plan_cache_hits, 0);
+        assert_eq!(d.stats().plan_cache_misses, 2);
     }
 
     #[test]

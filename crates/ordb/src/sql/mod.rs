@@ -5,6 +5,7 @@
 
 pub mod ast;
 pub mod lexer;
+pub mod param;
 pub mod parser;
 pub mod printer;
 

@@ -2,7 +2,10 @@
 //!
 //! The paper argues qualitatively ("a large number of relational insert
 //! operations", "without executing join operations"); these counters turn
-//! those claims into measurements for the E6–E8 experiments.
+//! those claims into measurements for the E6–E8 experiments. The fast-path
+//! counters (`plan_cache_hits`, `hash_join_builds`, `oid_index_hits`) report
+//! how often the engine's PR-1 optimizations fire, so the experiments can
+//! separate mapping-strategy cost from execution-substrate cost.
 
 /// Cumulative counters for one [`crate::Database`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,7 +19,9 @@ pub struct ExecStats {
     /// Rows scanned while evaluating FROM clauses.
     pub rows_scanned: u64,
     /// Join pairings formed (each row combination beyond a single-table
-    /// FROM counts once) — the paper's "join operations" metric.
+    /// FROM counts once) — the paper's "join operations" metric. Hash
+    /// equi-joins count only the pairings they actually emit, which is the
+    /// point of the measurement.
     pub join_pairs: u64,
     /// FROM clauses with more than one item (join queries).
     pub join_queries: u64,
@@ -26,6 +31,17 @@ pub struct ExecStats {
     pub types_created: u64,
     /// REF dereferences performed during path navigation.
     pub derefs: u64,
+    /// OID lookups answered by the OID directory's index (O(1) slot access
+    /// instead of a table scan).
+    pub oid_index_hits: u64,
+    /// Hash tables built for equi-join FROM items.
+    pub hash_join_builds: u64,
+    /// Probe operations into equi-join hash tables (one per outer combo).
+    pub hash_join_probes: u64,
+    /// Statements answered from the parse/plan cache without re-parsing.
+    pub plan_cache_hits: u64,
+    /// Statements that had to be parsed and were then cached.
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -41,6 +57,11 @@ impl ExecStats {
             tables_created: self.tables_created - earlier.tables_created,
             types_created: self.types_created - earlier.types_created,
             derefs: self.derefs - earlier.derefs,
+            oid_index_hits: self.oid_index_hits - earlier.oid_index_hits,
+            hash_join_builds: self.hash_join_builds - earlier.hash_join_builds,
+            hash_join_probes: self.hash_join_probes - earlier.hash_join_probes,
+            plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
         }
     }
 }
@@ -51,11 +72,28 @@ mod tests {
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let a = ExecStats { statements: 10, inserts: 4, ..Default::default() };
-        let b = ExecStats { statements: 3, inserts: 1, ..Default::default() };
+        let a = ExecStats {
+            statements: 10,
+            inserts: 4,
+            plan_cache_hits: 6,
+            hash_join_builds: 3,
+            oid_index_hits: 9,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            statements: 3,
+            inserts: 1,
+            plan_cache_hits: 2,
+            hash_join_builds: 1,
+            oid_index_hits: 4,
+            ..Default::default()
+        };
         let d = a.since(&b);
         assert_eq!(d.statements, 7);
         assert_eq!(d.inserts, 3);
         assert_eq!(d.rows_inserted, 0);
+        assert_eq!(d.plan_cache_hits, 4);
+        assert_eq!(d.hash_join_builds, 2);
+        assert_eq!(d.oid_index_hits, 5);
     }
 }

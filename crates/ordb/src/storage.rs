@@ -1,6 +1,6 @@
-//! In-memory row storage with OID management for row objects.
+//! In-memory row storage with an indexed OID directory for row objects.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::DbError;
 use crate::ident::Ident;
@@ -20,14 +20,24 @@ pub struct TableData {
     pub rows: Vec<Row>,
 }
 
+/// Where an OID lives: its owning table and the row's current slot in that
+/// table's heap. Slots are kept current by [`Storage::delete_rows`]
+/// compaction, so [`Storage::resolve_oid`] is a map lookup plus a direct
+/// index — never a row scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OidEntry {
+    table: Ident,
+    slot: usize,
+}
+
 /// The storage layer: table heaps plus the OID directory.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
     tables: BTreeMap<Ident, TableData>,
-    /// OID → owning table (rows embed their own OIDs; lookup scans the
-    /// table, which is fine at simulation scale and stays correct across
-    /// deletes).
-    oid_directory: BTreeMap<Oid, Ident>,
+    /// OID → (table, row slot). Maintained incrementally: inserts append,
+    /// deletes re-slot the compacted table, `drop_table` removes the
+    /// table's entries wholesale.
+    oid_directory: HashMap<Oid, OidEntry>,
     next_oid: u64,
 }
 
@@ -54,6 +64,12 @@ impl Storage {
         self.tables.get(name)
     }
 
+    /// Mutable access to a table's rows, for in-place value updates.
+    ///
+    /// Callers must not add or remove rows through this handle — row
+    /// *slots* back the OID directory; structural changes go through
+    /// [`Storage::insert_row`] / [`Storage::delete_rows`], which keep the
+    /// directory consistent.
     pub fn table_mut(&mut self, name: &Ident) -> Option<&mut TableData> {
         self.tables.get_mut(name)
     }
@@ -65,31 +81,42 @@ impl Storage {
         values: Vec<Value>,
         with_oid: bool,
     ) -> Result<Option<Oid>, DbError> {
-        let oid = if with_oid {
-            self.next_oid += 1;
-            let oid = Oid(self.next_oid);
-            self.oid_directory.insert(oid, table.clone());
-            Some(oid)
-        } else {
-            None
-        };
         let data = self
             .tables
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        let oid = if with_oid {
+            self.next_oid += 1;
+            let oid = Oid(self.next_oid);
+            self.oid_directory
+                .insert(oid, OidEntry { table: table.clone(), slot: data.rows.len() });
+            Some(oid)
+        } else {
+            None
+        };
         data.rows.push(Row { oid, values });
         Ok(oid)
     }
 
-    /// Find the row object behind an OID.
+    /// Find the row object behind an OID — an O(1) directory lookup plus a
+    /// direct slot access (no table scan).
     pub fn resolve_oid(&self, oid: Oid) -> Option<(&Ident, &Row)> {
-        let table = self.oid_directory.get(&oid)?;
-        let data = self.tables.get(table)?;
-        let row = data.rows.iter().find(|r| r.oid == Some(oid))?;
-        Some((table, row))
+        let entry = self.oid_directory.get(&oid)?;
+        let data = self.tables.get(&entry.table)?;
+        let row = data.rows.get(entry.slot)?;
+        debug_assert_eq!(row.oid, Some(oid), "OID directory slot out of sync");
+        if row.oid != Some(oid) {
+            // Defensive fallback: a caller mutated rows structurally through
+            // `table_mut` (forbidden, but cheap to survive) — scan once.
+            let row = data.rows.iter().find(|r| r.oid == Some(oid))?;
+            return Some((&entry.table, row));
+        }
+        Some((&entry.table, row))
     }
 
-    /// Remove rows matching `pred`; returns how many were removed.
+    /// Remove rows matching `pred`; returns how many were removed. The OID
+    /// directory is repaired in the same pass: removed OIDs are dropped and
+    /// the surviving rows of the compacted table are re-slotted.
     pub fn delete_rows(&mut self, table: &Ident, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let Some(data) = self.tables.get_mut(table) else { return 0 };
         let mut removed_oids = Vec::new();
@@ -103,10 +130,21 @@ impl Storage {
             }
             keep
         });
-        for oid in removed_oids {
-            self.oid_directory.remove(&oid);
+        let removed = before - data.rows.len();
+        if removed > 0 {
+            for oid in removed_oids {
+                self.oid_directory.remove(&oid);
+            }
+            // Compaction shifted the survivors; restore slot invariants.
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(oid) = row.oid {
+                    if let Some(entry) = self.oid_directory.get_mut(&oid) {
+                        entry.slot = slot;
+                    }
+                }
+            }
         }
-        before - data.rows.len()
+        removed
     }
 
     pub fn row_count(&self, table: &Ident) -> usize {
@@ -120,6 +158,47 @@ impl Storage {
 
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Number of live entries in the OID directory (tests and experiments).
+    pub fn oid_directory_len(&self) -> usize {
+        self.oid_directory.len()
+    }
+
+    /// Check every directory entry against the heap it points into: the
+    /// slot must exist and hold the row carrying that OID, and every row
+    /// OID must appear in the directory. Used by invariant tests; O(total
+    /// rows).
+    pub fn check_oid_directory(&self) -> Result<(), String> {
+        for (oid, entry) in &self.oid_directory {
+            let data = self
+                .tables
+                .get(&entry.table)
+                .ok_or_else(|| format!("{oid} points at dropped table {}", entry.table))?;
+            let row = data
+                .rows
+                .get(entry.slot)
+                .ok_or_else(|| format!("{oid} points at stale slot {}", entry.slot))?;
+            if row.oid != Some(*oid) {
+                return Err(format!(
+                    "{oid} slot {} holds {:?} instead",
+                    entry.slot, row.oid
+                ));
+            }
+        }
+        let live_rows: usize = self
+            .tables
+            .values()
+            .map(|d| d.rows.iter().filter(|r| r.oid.is_some()).count())
+            .sum();
+        if live_rows != self.oid_directory.len() {
+            return Err(format!(
+                "{} rows carry OIDs but the directory has {} entries",
+                live_rows,
+                self.oid_directory.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -173,6 +252,32 @@ mod tests {
         assert_eq!(removed, 1);
         assert!(st.resolve_oid(oid).is_none());
         assert_eq!(st.row_count(&id("T")), 0);
+        st.check_oid_directory().unwrap();
+    }
+
+    #[test]
+    fn delete_compaction_reslots_survivors() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let oids: Vec<Oid> = (0..6)
+            .map(|i| st.insert_row(&id("T"), vec![Value::Num(i as f64)], true).unwrap().unwrap())
+            .collect();
+        // Remove the even-valued rows; surviving rows shift down.
+        let removed = st.delete_rows(&id("T"), |r| match &r.values[0] {
+            Value::Num(n) => (*n as i64) % 2 == 0,
+            _ => false,
+        });
+        assert_eq!(removed, 3);
+        st.check_oid_directory().unwrap();
+        for (i, oid) in oids.iter().enumerate() {
+            let resolved = st.resolve_oid(*oid);
+            if i % 2 == 0 {
+                assert!(resolved.is_none(), "row {i} was deleted");
+            } else {
+                let (_, row) = resolved.expect("surviving row resolves");
+                assert_eq!(row.values[0], Value::Num(i as f64));
+            }
+        }
     }
 
     #[test]
@@ -183,6 +288,7 @@ mod tests {
         st.drop_table(&id("T"));
         assert!(st.resolve_oid(oid).is_none());
         assert_eq!(st.table_count(), 0);
+        assert_eq!(st.oid_directory_len(), 0);
     }
 
     #[test]

@@ -108,6 +108,31 @@ impl Value {
         }
     }
 
+    /// The bucket this value hashes into for equi-joins, or `None` when
+    /// the value cannot be hashed (NULL never matches anything; objects and
+    /// collections compare structurally and fall back to the nested loop).
+    ///
+    /// The key respects [`Value::sql_eq`]'s numeric coercion: any value
+    /// that *parses* as a number buckets by its numeric value, so
+    /// `Num(4)`, `Str("4")` and `Str("04")` land together. `sql_eq` is not
+    /// transitive across those (`'04' = 4` but `'04' <> '4'`), so the hash
+    /// is a prefilter only — probers must re-verify candidates with the
+    /// real predicate. The guarantee this key gives is *no false
+    /// negatives*: `sql_eq(a, b) == Some(true)` implies equal keys.
+    pub fn join_key(&self) -> Option<JoinKey> {
+        match self {
+            Value::Null => None,
+            Value::Num(n) => Some(JoinKey::Num(canonical_num_bits(*n))),
+            Value::Str(s) => match self.as_num() {
+                Some(n) => Some(JoinKey::Num(canonical_num_bits(n))),
+                None => Some(JoinKey::Str(s.clone())),
+            },
+            Value::Date(s) => Some(JoinKey::Date(s.clone())),
+            Value::Ref(oid) => Some(JoinKey::Ref(oid.0)),
+            Value::Obj { .. } | Value::Coll { .. } => None,
+        }
+    }
+
     /// Render as a SQL literal (for script/debug output).
     pub fn to_sql_literal(&self) -> String {
         match self {
@@ -131,6 +156,24 @@ impl Value {
             }
             Value::Ref(oid) => format!("{oid}"),
         }
+    }
+}
+
+/// Hashable equality bucket for equi-join keys — see [`Value::join_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    Num(u64),
+    Str(String),
+    Date(String),
+    Ref(u64),
+}
+
+/// Bit pattern of a float with `-0.0` folded into `0.0` so both hash alike.
+fn canonical_num_bits(n: f64) -> u64 {
+    if n == 0.0 {
+        0f64.to_bits()
+    } else {
+        n.to_bits()
     }
 }
 
@@ -210,5 +253,32 @@ mod tests {
         assert_eq!(Value::str(" 42 ").as_num(), Some(42.0));
         assert_eq!(Value::str("x").as_num(), None);
         assert_eq!(Value::Null.as_num(), None);
+    }
+
+    /// `sql_eq == Some(true)` must imply equal join keys (no false
+    /// negatives in the hash-join prefilter).
+    #[test]
+    fn join_keys_never_split_sql_equal_values() {
+        let equal_pairs = [
+            (Value::Num(4.0), Value::str("4")),
+            (Value::str("04"), Value::Num(4.0)),
+            (Value::str("x"), Value::str("x")),
+            (Value::Num(0.0), Value::Num(-0.0)),
+            (Value::Date("2002-01-01".into()), Value::Date("2002-01-01".into())),
+            (Value::Ref(Oid(7)), Value::Ref(Oid(7))),
+        ];
+        for (a, b) in equal_pairs {
+            assert_eq!(a.sql_eq(&b), Some(true), "{a:?} vs {b:?}");
+            assert_eq!(a.join_key(), b.join_key(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn null_and_composites_have_no_join_key() {
+        assert_eq!(Value::Null.join_key(), None);
+        let obj = Value::Obj { type_name: id("T"), attrs: vec![] };
+        assert_eq!(obj.join_key(), None);
+        let coll = Value::Coll { type_name: id("T"), elements: vec![] };
+        assert_eq!(coll.join_key(), None);
     }
 }

@@ -1,0 +1,134 @@
+//! Invariant tests for the OID directory that backs O(1) REF resolution:
+//! interleaved inserts, predicate deletes, and table drops must keep every
+//! directory entry pointing at the row that carries its OID, and
+//! deref-heavy queries must resolve REFs without any extra row scans.
+
+use xmlord_ordb::{Database, DbMode, Value};
+use xmlord_prng::Prng;
+
+/// Random churn over two object tables: inserts, deletes on a key range,
+/// and full drop/recreate cycles. After every operation the directory is
+/// validated slot by slot.
+#[test]
+fn directory_survives_interleaved_insert_delete_drop() {
+    for case in 0..40u64 {
+        let mut rng = Prng::seed_from_u64(0x01D + case);
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute("CREATE TYPE T_Obj AS OBJECT(k NUMBER, v VARCHAR(20))").unwrap();
+        for t in ["Tab0", "Tab1"] {
+            db.execute(&format!("CREATE TABLE {t} OF T_Obj")).unwrap();
+        }
+
+        for _ in 0..rng.gen_range(10usize..60) {
+            let table = if rng.gen_bool(0.5) { "Tab0" } else { "Tab1" };
+            match rng.gen_range(0u32..10) {
+                // Inserts dominate so the tables keep refilling.
+                0..=5 => {
+                    let k = rng.gen_range(0i64..20);
+                    db.execute(&format!(
+                        "INSERT INTO {table} VALUES (T_Obj({k}, 'v{k}'))"
+                    ))
+                    .unwrap();
+                }
+                // Predicate delete: removes an interior slice of the heap,
+                // forcing compaction to re-slot the survivors.
+                6..=8 => {
+                    let lo = rng.gen_range(0i64..20);
+                    db.execute(&format!(
+                        "DELETE FROM {table} WHERE k > {lo} AND k < {}",
+                        lo + rng.gen_range(1i64..8)
+                    ))
+                    .unwrap();
+                }
+                // Drop and recreate: every OID of the table must vanish.
+                _ => {
+                    db.execute(&format!("DROP TABLE {table}")).unwrap();
+                    db.execute(&format!("CREATE TABLE {table} OF T_Obj")).unwrap();
+                }
+            }
+            db.storage().check_oid_directory().unwrap_or_else(|e| {
+                panic!("case {case}: directory corrupt: {e}");
+            });
+        }
+
+        // Every surviving row must still be reachable through a REF.
+        let live = db.storage().oid_directory_len();
+        let rows0 = db.row_count("Tab0");
+        let rows1 = db.row_count("Tab1");
+        assert_eq!(live, rows0 + rows1, "case {case}");
+    }
+}
+
+/// REFs stored before a delete must dangle afterwards, while survivors keep
+/// resolving to their (re-slotted) rows.
+#[test]
+fn refs_track_rows_across_compaction() {
+    let mut db = Database::new(DbMode::Oracle9);
+    db.execute_script(
+        "CREATE TYPE T_P AS OBJECT(name VARCHAR(20));
+         CREATE TABLE TabP OF T_P;
+         CREATE TABLE Holder (who VARCHAR(20), r REF T_P);",
+    )
+    .unwrap();
+    for name in ["a", "b", "c", "d", "e"] {
+        db.execute(&format!("INSERT INTO TabP VALUES (T_P('{name}'))")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO Holder VALUES ('{name}', (SELECT REF(p) FROM TabP p WHERE p.name = '{name}'))"
+        ))
+        .unwrap();
+    }
+    // Delete the interior rows; 'a' and 'e' shift slots.
+    db.execute("DELETE FROM TabP WHERE name = 'b' OR name = 'c' OR name = 'd'").unwrap();
+    db.storage().check_oid_directory().unwrap();
+
+    for (name, alive) in [("a", true), ("b", false), ("c", false), ("d", false), ("e", true)] {
+        let result = db.query(&format!(
+            "SELECT h.r.name FROM Holder h WHERE h.who = '{name}'"
+        ));
+        if alive {
+            assert_eq!(result.unwrap().rows, vec![vec![Value::str(name)]]);
+        } else {
+            // The deleted rows' REFs dangle, and navigation says so.
+            assert!(
+                matches!(result, Err(xmlord_ordb::DbError::DanglingRef)),
+                "{name} should dangle"
+            );
+        }
+    }
+}
+
+/// The acceptance check from the fast-path work: a deref-heavy query scans
+/// each table exactly once — REF resolution itself adds no row scans — and
+/// every successful deref goes through the directory index.
+#[test]
+fn deref_heavy_query_does_not_rescan() {
+    const N: usize = 50;
+    let mut db = Database::new(DbMode::Oracle9);
+    db.execute_script(
+        "CREATE TYPE T_Prof AS OBJECT(pname VARCHAR(30), subject VARCHAR(30));
+         CREATE TYPE T_Course AS OBJECT(cname VARCHAR(30), prof REF T_Prof);
+         CREATE TABLE TabProf OF T_Prof;
+         CREATE TABLE TabCourse OF T_Course;",
+    )
+    .unwrap();
+    for i in 0..N {
+        db.execute(&format!(
+            "INSERT INTO TabProf VALUES (T_Prof('prof{i}', 'subj{i}'))"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO TabCourse VALUES (T_Course('course{i}',
+               (SELECT REF(p) FROM TabProf p WHERE p.pname = 'prof{i}')))"
+        ))
+        .unwrap();
+    }
+
+    let before = db.stats();
+    let rows = db.query("SELECT c.prof.subject FROM TabCourse c").unwrap();
+    let delta = db.stats().since(&before);
+    assert_eq!(rows.rows.len(), N);
+    // One scan of TabCourse; the N REF hops hit the directory instead.
+    assert_eq!(delta.rows_scanned, N as u64);
+    assert_eq!(delta.oid_index_hits, N as u64);
+    assert_eq!(delta.derefs, N as u64);
+}

@@ -3,8 +3,7 @@
 //! entity references and mixed content. Used by the round-trip fidelity
 //! experiment (E9).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xmlord_prng::Prng;
 
 /// The catalog DTD. `Blurb` is mixed content; `vendor` is an entity.
 pub const CATALOG_DTD: &str = r#"<!ELEMENT Catalog (Title,Product*)>
@@ -52,7 +51,7 @@ const PRODUCT_NAMES: &[&str] =
 /// Generate a catalog document with the configured document-centric
 /// features.
 pub fn catalog_xml(config: &CatalogConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let mut out = String::new();
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     if config.with_pis {

@@ -5,8 +5,7 @@
 //! documents for them. The generated DTDs are trees (no recursion, no
 //! sharing) so every mapping strategy accepts them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xmlord_prng::Prng;
 
 /// Shape knobs for a generated DTD.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +48,7 @@ struct GenElement {
 
 /// Generate a DTD with the given shape.
 pub fn generate_dtd(config: &DtdConfig) -> GeneratedDtd {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let mut elements: Vec<GenElement> = Vec::new();
     let mut counter = 0usize;
     let root = build_element(config, &mut rng, config.depth, &mut elements, &mut counter);
@@ -83,7 +82,7 @@ pub fn generate_dtd(config: &DtdConfig) -> GeneratedDtd {
 
 fn build_element(
     config: &DtdConfig,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     depth: usize,
     elements: &mut Vec<GenElement>,
     counter: &mut usize,
@@ -116,13 +115,13 @@ impl GeneratedDtd {
     /// Generate a valid document; `repeat` is the instance count used for
     /// every `*`-starred child.
     pub fn document(&self, repeat: usize, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut out = String::new();
         self.write_element(&self.root, repeat, &mut rng, &mut out);
         out
     }
 
-    fn write_element(&self, name: &str, repeat: usize, rng: &mut StdRng, out: &mut String) {
+    fn write_element(&self, name: &str, repeat: usize, rng: &mut Prng, out: &mut String) {
         let element = self
             .elements
             .iter()

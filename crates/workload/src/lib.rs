@@ -14,7 +14,7 @@
 //!   valid documents (for the schema-generation scaling experiment E13 and
 //!   property tests).
 //!
-//! Everything is seeded (`rand::rngs::StdRng`) — identical inputs produce
+//! Everything is seeded (`xmlord_prng::Prng`) — identical inputs produce
 //! identical documents, as benchmarks require.
 
 pub mod catalog;

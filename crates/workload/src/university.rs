@@ -1,7 +1,6 @@
 //! Scaled instances of the paper's Appendix A university document.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xmlord_prng::Prng;
 
 /// The Appendix A DTD, verbatim (with the `CreditPts` declaration the
 /// appendix implies).
@@ -81,7 +80,7 @@ pub fn university_dtd() -> &'static str {
 
 /// Generate a valid university document with the configured sizes.
 pub fn university_xml(config: &UniversityConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let mut out = String::with_capacity(config.element_count() * 24);
     out.push_str("<University><StudyCourse>Computer Science</StudyCourse>");
     for s in 0..config.students {

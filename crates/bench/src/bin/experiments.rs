@@ -2,10 +2,14 @@
 //! quantified versions of its qualitative claims). See EXPERIMENTS.md for
 //! the experiment index.
 //!
-//! Usage: `experiments [table1|fig2|load|query|shredding|roundtrip|modes|schemagen|drawbacks|fastpath|all]`
+//! Usage: `experiments [table1|fig2|load|query|shredding|roundtrip|modes|schemagen|drawbacks|fastpath|analyze|all]`
 //!
 //! `fastpath` writes JSON to stdout (narration goes to stderr), so
 //! `experiments fastpath > BENCH_PR1.json` captures the counter deltas.
+//!
+//! `analyze [oracle8|oracle9|both]` runs the `sqlcheck` static analyzer over
+//! every strategy's generated DDL + load scripts and exits non-zero if any
+//! script draws an Error-severity diagnostic (CI runs this in both modes).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -18,7 +22,7 @@ use xml2ordb::roundtrip::{compare, Loss};
 use xml2ordb::schemagen::{generate_schema, IdrefTargets};
 use xmlord_bench::{measure_load, setup, university_doc, Strategy};
 use xmlord_dtd::parse_dtd;
-use xmlord_ordb::DbMode;
+use xmlord_ordb::{Analyzer, DbMode, Severity};
 use xmlord_workload::catalog::{catalog_xml, CatalogConfig, CATALOG_DTD};
 use xmlord_workload::dtdgen::{generate_dtd, DtdConfig};
 
@@ -33,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "schemagen",
     "drawbacks",
     "fastpath",
+    "analyze",
 ];
 
 fn main() {
@@ -72,6 +77,13 @@ fn main() {
     }
     if all || which == "fastpath" {
         fastpath();
+    }
+    if all || which == "analyze" {
+        let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
+        if !analyze(&mode_filter) {
+            eprintln!("analyze: generated scripts drew Error-severity diagnostics");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -523,4 +535,90 @@ fn drawbacks() {
     println!(
         "6. References do not preserve global element order: retriever restores\n   content-model order only (see retriever tests)."
     );
+}
+
+/// E15 — `sqlcheck`: static analysis of every generated mapping script.
+///
+/// Lints each strategy's DDL + one small document load under the mode the
+/// strategy targets (`or8` under Oracle 8, everything else under Oracle 9).
+/// Returns `false` if any of those scripts draws an Error-severity
+/// diagnostic — the differential guarantee means such a script would be
+/// rejected by the engine, i.e. the generator emitted broken SQL. Two
+/// labeled demos follow (cross-mode nested collections; the §4.3 CHECK
+/// quirk); their diagnostics are *expected* and excluded from the verdict.
+fn analyze(mode_filter: &str) -> bool {
+    heading("E15 — sqlcheck: static analysis of generated mapping scripts");
+    let mut ok = true;
+    let (_, doc) = university_doc(2);
+    for strategy in Strategy::ALL {
+        let mode = strategy.analyze_mode();
+        let wanted = match mode_filter {
+            "oracle8" => mode == DbMode::Oracle8,
+            "oracle9" => mode == DbMode::Oracle9,
+            _ => true,
+        };
+        if !wanted {
+            continue;
+        }
+        let instance = setup(strategy);
+        let load = instance.load_statements(&doc).join(";\n");
+        let script = format!("{}\n{load}", instance.ddl);
+        let file = format!("{}.sql", strategy.name());
+        let diags = Analyzer::new(mode)
+            .analyze_script(&script)
+            .unwrap_or_else(|e| panic!("{file} failed to parse: {e}"));
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = diags.len() - errors;
+        println!(
+            "{file:<12} {:<8} {:>5} statements {:>7} bytes   {errors} error(s), {warnings} warning(s)",
+            format!("{mode:?}"),
+            script.matches(';').count() + 1,
+            script.len(),
+        );
+        if errors > 0 {
+            ok = false;
+        }
+        for d in diags.iter().filter(|d| d.severity == Severity::Error).take(3) {
+            println!("{}", d.render(&script, &file));
+        }
+    }
+    if mode_filter != "oracle8" && mode_filter != "oracle9" {
+        cross_mode_demo();
+        quirk_demo();
+    }
+    ok
+}
+
+/// The §4.2 mode gate, demonstrated on the real generated schema: the
+/// Oracle 9 DDL (nested collections) linted under Oracle 8 rules.
+fn cross_mode_demo() {
+    println!("\n--- cross-mode demo (expected errors; not counted in the verdict)");
+    let or9 = setup(Strategy::Or9);
+    let diags = Analyzer::new(DbMode::Oracle8)
+        .analyze_script(&or9.ddl)
+        .expect("or9 DDL parses");
+    let nested: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error && d.code == "nested-collection")
+        .collect();
+    println!(
+        "or9.sql under Oracle8: {} nested-collection error(s) — the §4.2 gate",
+        nested.len()
+    );
+    if let Some(d) = nested.first() {
+        println!("{}", d.render(&or9.ddl, "or9-under-oracle8.sql"));
+    }
+}
+
+/// The §4.3 CHECK-on-nullable-object quirk, rendered with line/column.
+fn quirk_demo() {
+    println!("\n--- §4.3 quirk demo (expected warning; not counted in the verdict)");
+    let script = "\
+CREATE TYPE Type_Address AS OBJECT (attrStreet VARCHAR(40), attrCity VARCHAR(40));
+CREATE TYPE Type_Course AS OBJECT (attrName VARCHAR(40), attrAddress Type_Address);
+CREATE TABLE TabCourse OF Type_Course (CHECK (attrAddress.attrCity = 'Leipzig'));";
+    let diags = Analyzer::new(DbMode::Oracle9).analyze_script(script).expect("fixture parses");
+    for d in diags.iter().filter(|d| d.code == "check-null-object") {
+        println!("{}", d.render(script, "quirk.sql"));
+    }
 }

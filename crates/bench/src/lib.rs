@@ -67,6 +67,15 @@ impl Strategy {
         }
     }
 
+    /// The [`DbMode`] whose rules this strategy's generated SQL targets
+    /// (what `experiments analyze` lints it under).
+    pub fn analyze_mode(self) -> DbMode {
+        match self {
+            Strategy::Or8 => DbMode::Oracle8,
+            _ => DbMode::Oracle9,
+        }
+    }
+
     pub fn describe(self) -> &'static str {
         match self {
             Strategy::Or9 => "object-relational (Oracle 9, nested collections)",
@@ -85,6 +94,8 @@ pub struct Instance {
     pub strategy: Strategy,
     pub db: Database,
     pub dtd: Dtd,
+    /// The DDL script this instance executed at setup (for `sqlcheck`).
+    pub ddl: String,
     or_schema: Option<MappedSchema>,
     rel_schema: Option<views::RelationalSchema>,
     inline_schema: Option<xmlord_shred::inline::InlineSchema>,
@@ -123,11 +134,13 @@ pub fn setup(strategy: Strategy) -> Instance {
             )
             .expect("university schema generates");
             let mut db = Database::new(mode);
-            db.execute_script(&create_script(&schema)).expect("generated DDL executes");
+            let ddl = create_script(&schema);
+            db.execute_script(&ddl).expect("generated DDL executes");
             Instance {
                 strategy,
                 db,
                 dtd,
+                ddl,
                 or_schema: Some(schema),
                 rel_schema: None,
                 inline_schema: None,
@@ -146,12 +159,13 @@ pub fn setup(strategy: Strategy) -> Instance {
             .expect("university schema generates");
             let rel = views::relational_schema(&schema);
             let mut db = Database::new(DbMode::Oracle9);
-            db.execute_script(&types_script(&schema)).expect("types execute");
-            db.execute_script(&views::relational_ddl(&rel, 4000)).expect("relational DDL");
+            let ddl = format!("{}\n{}", types_script(&schema), views::relational_ddl(&rel, 4000));
+            db.execute_script(&ddl).expect("relational DDL");
             Instance {
                 strategy,
                 db,
                 dtd,
+                ddl,
                 or_schema: Some(schema),
                 rel_schema: Some(rel),
                 inline_schema: None,
@@ -164,17 +178,20 @@ pub fn setup(strategy: Strategy) -> Instance {
                 Baseline::AttributeTables
             };
             let mut db = Database::new(DbMode::Oracle9);
-            db.execute_script(&baseline.ddl(&dtd, root).unwrap()).expect("baseline DDL");
-            Instance { strategy, db, dtd, or_schema: None, rel_schema: None, inline_schema: None }
+            let ddl = baseline.ddl(&dtd, root).unwrap();
+            db.execute_script(&ddl).expect("baseline DDL");
+            Instance { strategy, db, dtd, ddl, or_schema: None, rel_schema: None, inline_schema: None }
         }
         Strategy::Inline => {
             let schema = xmlord_shred::inline::InlineSchema::build(&dtd, root);
             let mut db = Database::new(DbMode::Oracle9);
-            db.execute_script(&schema.ddl()).expect("inline DDL");
+            let ddl = schema.ddl();
+            db.execute_script(&ddl).expect("inline DDL");
             Instance {
                 strategy,
                 db,
                 dtd,
+                ddl,
                 or_schema: None,
                 rel_schema: None,
                 inline_schema: Some(schema),

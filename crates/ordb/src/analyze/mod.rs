@@ -1,0 +1,631 @@
+//! `sqlcheck`: a pre-execution semantic analyzer and lint pass for
+//! generated SQL scripts.
+//!
+//! The XML→ORDB mapping strategies (§3) emit whole DDL/DML scripts; this
+//! module checks such a script *without executing it*. The analyzer binds
+//! each parsed statement against a **shadow catalog** — DDL statements
+//! evolve the shadow catalog through [`crate::exec::ddl::apply_ddl_catalog`],
+//! the *same* function the executor uses, so the two can never disagree
+//! about what a script's DDL means — and runs these passes per statement:
+//!
+//! 1. **Name resolution** — tables, views, types, FROM aliases and
+//!    dot-notation paths (`alias.attr.sub`, §4.1) resolve against the
+//!    shadow catalog and the statement's scope frames.
+//! 2. **Type checking** — constructor arity and argument coercion,
+//!    `CAST(MULTISET …)` targets must be collection types, `DEREF` only on
+//!    possibly-REF expressions, INSERT column/value arity and coercion.
+//! 3. **Mode gating** — nested collection DDL is an [`Severity::Error`]
+//!    under [`DbMode::Oracle8`] and clean under `Oracle9` (§2.2), because
+//!    the shared DDL path enforces it on the shadow catalog.
+//! 4. **Lints** — unscoped REF columns, REF targets with no object table in
+//!    the script (dangling risk), the §4.3 CHECK-on-nullable-object quirk,
+//!    dead and shadowed aliases.
+//!
+//! ## The differential guarantee
+//!
+//! [`Severity`] encodes a contract, checked end-to-end by the
+//! `analyze_prop` differential test:
+//!
+//! * statement executes successfully ⇒ the analyzer emitted **no `Error`**
+//!   for it (no false positives), and
+//! * the analyzer emitted an `Error` ⇒ the executor **rejects** the
+//!   statement.
+//!
+//! To uphold it, `Error` is reserved for findings that mirror an *eager,
+//! data-independent* executor check (unknown INSERT target, constructor
+//! arity, literal coercion failures, DDL the catalog rejects, …); anything
+//! evaluated per-row, behind a short-circuit, or dependent on stored data
+//! stays a `Warning`. The `eager` flag threaded through the expression
+//! walker tracks exactly which positions the executor evaluates
+//! unconditionally.
+
+pub mod diag;
+mod expr;
+mod lints;
+mod select;
+
+pub use diag::{Diagnostic, Severity};
+
+use crate::catalog::{Catalog, TableDef};
+use crate::error::DbError;
+use crate::exec::ddl::apply_ddl_catalog;
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::{Expr, Stmt};
+use crate::sql::lexer::{tokenize, Token};
+use crate::sql::parser::parse_script_spanned;
+use crate::sql::span::{Span, SpannedStmt};
+use crate::value::Value;
+
+use expr::{analyze_expr, static_coerce_error, STy, Scopes};
+use select::{analyze_select, table_scope};
+
+/// Per-statement analysis context: the pre-statement shadow catalog, the
+/// script source (for span anchoring) and the diagnostic sink.
+pub(crate) struct StmtCx<'a> {
+    pub catalog: &'a Catalog,
+    pub source: &'a str,
+    /// Span of the whole statement — the fallback anchor.
+    pub span: Span,
+    pub diags: &'a mut Vec<Diagnostic>,
+}
+
+impl StmtCx<'_> {
+    pub fn push(&mut self, severity: Severity, code: &'static str, message: String, span: Span) {
+        self.diags.push(Diagnostic { severity, code, message, span });
+    }
+
+    pub fn error(&mut self, code: &'static str, message: String, span: Span) {
+        self.push(Severity::Error, code, message, span);
+    }
+
+    pub fn warn(&mut self, code: &'static str, message: String, span: Span) {
+        self.push(Severity::Warning, code, message, span);
+    }
+
+    /// `Error` when the executor runs the corresponding check eagerly,
+    /// `Warning` otherwise — the single gate of the differential guarantee.
+    pub fn report(&mut self, eager: bool, code: &'static str, message: String, span: Span) {
+        self.push(if eager { Severity::Error } else { Severity::Warning }, code, message, span);
+    }
+
+    /// Span of the first occurrence of `ident` inside this statement
+    /// (re-tokenizes the statement slice); falls back to the statement span.
+    pub fn anchor_ident(&self, ident: &Ident) -> Span {
+        find_token(self.source, self.span, |t| matches!(t, Token::Ident(s) if ident.eq_str(s)))
+            .unwrap_or(self.span)
+    }
+
+    /// Span of the first keyword `kw` inside this statement.
+    pub fn anchor_kw(&self, kw: &str) -> Span {
+        find_token(self.source, self.span, |t| t.is_kw(kw)).unwrap_or(self.span)
+    }
+}
+
+/// Re-tokenize the statement slice and find the first token matching `pred`,
+/// translating its offsets back into whole-script coordinates.
+fn find_token(source: &str, within: Span, pred: impl Fn(&Token) -> bool) -> Option<Span> {
+    let slice: String = source.chars().skip(within.start).take(within.len()).collect();
+    let tokens = tokenize(&slice).ok()?;
+    tokens
+        .iter()
+        .find(|t| pred(&t.token))
+        .map(|t| Span::new(t.offset + within.start, t.end + within.start))
+}
+
+/// The script analyzer. Holds the shadow catalog (evolved by the script's
+/// own DDL) and the REF targets seen so far.
+pub struct Analyzer {
+    mode: DbMode,
+    catalog: Catalog,
+    /// REF target types declared by the script, with the span of the first
+    /// declaring column — checked against the final catalog at end of script.
+    ref_targets: Vec<(Ident, Span)>,
+}
+
+impl Analyzer {
+    /// Analyzer over an empty shadow catalog (self-contained scripts).
+    pub fn new(mode: DbMode) -> Analyzer {
+        Analyzer::with_catalog(Catalog::new(), mode)
+    }
+
+    /// Analyzer whose shadow catalog starts from an existing catalog — e.g.
+    /// a clone of a live session's, to lint statements against current state.
+    pub fn with_catalog(catalog: Catalog, mode: DbMode) -> Analyzer {
+        Analyzer { mode, catalog, ref_targets: Vec::new() }
+    }
+
+    pub fn mode(&self) -> DbMode {
+        self.mode
+    }
+
+    /// The shadow catalog in its current (post-analysis) state.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Analyze a whole script. `Err` only on scan/parse failure; all
+    /// semantic findings come back as [`Diagnostic`]s in statement order.
+    pub fn analyze_script(&mut self, source: &str) -> Result<Vec<Diagnostic>, DbError> {
+        let stmts = parse_script_spanned(source)?;
+        let mut diags = Vec::new();
+        for ss in &stmts {
+            self.analyze_stmt(source, ss, &mut diags);
+        }
+        self.lint_dangling_refs(&mut diags);
+        Ok(diags)
+    }
+
+    fn analyze_stmt(&mut self, source: &str, ss: &SpannedStmt, diags: &mut Vec<Diagnostic>) {
+        let stmt = &ss.stmt;
+        {
+            let mut cx = StmtCx { catalog: &self.catalog, source, span: ss.span, diags };
+            match stmt {
+                Stmt::Insert { table, columns, values } => {
+                    analyze_insert(&mut cx, table, columns, values)
+                }
+                Stmt::Select(query) => analyze_select(&mut cx, None, query, true),
+                Stmt::Update { table, sets, where_clause } => {
+                    analyze_update(&mut cx, table, sets, where_clause.as_ref())
+                }
+                Stmt::Delete { table, where_clause } => {
+                    analyze_delete(&mut cx, table, where_clause.as_ref())
+                }
+                Stmt::CreateView { query, .. } => {
+                    // The executor stores the query unvalidated; it only runs
+                    // when the view is expanded — everything is lazy here.
+                    analyze_select(&mut cx, None, query, false)
+                }
+                ddl => lints::lint_ddl(&mut cx, ddl, &mut self.ref_targets),
+            }
+        }
+        // Evolve the shadow catalog through the executor's own DDL path.
+        // A rejected statement leaves the catalog unchanged — exactly like
+        // a failed statement in a live session — and analysis continues.
+        if let Err(err) = apply_ddl_catalog(&mut self.catalog, self.mode, stmt) {
+            let span = ddl_error_span(source, ss.span, &err);
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: code_for(&err),
+                message: err.to_string(),
+                span,
+            });
+        }
+    }
+
+    /// End-of-script pass: a REF target type with no object table OF that
+    /// type anywhere in the final catalog can never point at a live object.
+    fn lint_dangling_refs(&self, diags: &mut Vec<Diagnostic>) {
+        for (target, span) in &self.ref_targets {
+            let has_table = self.catalog.table_names().any(|n| {
+                matches!(self.catalog.get_table(n),
+                    Some(TableDef::Object { of_type, .. }) if of_type == target)
+            });
+            if !has_table {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "ref-no-target-table",
+                    message: format!(
+                        "REF {target}: the script creates no object table OF {target}, so \
+                         these references can never be populated (dangling risk)"
+                    ),
+                    span: *span,
+                });
+            }
+        }
+    }
+}
+
+/// Stable diagnostic code for a DDL error surfaced through the shadow
+/// catalog.
+fn code_for(err: &DbError) -> &'static str {
+    match err {
+        DbError::Syntax { .. } => "syntax",
+        DbError::Parse { .. } => "parse",
+        DbError::IdentifierTooLong(_) => "identifier-too-long",
+        DbError::UnknownType(_) => "unknown-type",
+        DbError::UnknownTable(_) => "unknown-table",
+        DbError::UnknownColumn(_) => "unknown-column",
+        DbError::DuplicateName(_) => "duplicate-name",
+        DbError::NestedCollectionNotSupported { .. } => "nested-collection",
+        DbError::DependentTypeExists { .. } => "dependent-type",
+        DbError::ConstructorMismatch { .. } => "constructor-mismatch",
+        DbError::TypeMismatch { .. } => "type-mismatch",
+        DbError::ValueTooLarge { .. } => "value-too-large",
+        DbError::VarrayLimitExceeded { .. } => "varray-limit",
+        DbError::NotNullViolation { .. } => "not-null",
+        DbError::CheckViolation { .. } => "check-violation",
+        DbError::UniqueViolation { .. } => "unique-violation",
+        DbError::DanglingRef => "dangling-ref",
+        DbError::Execution(_) => "execution",
+    }
+}
+
+/// Best-effort fine anchor for a DDL error: point at the named identifier
+/// if it occurs in the statement, else the whole statement.
+fn ddl_error_span(source: &str, stmt_span: Span, err: &DbError) -> Span {
+    let name: Option<&str> = match err {
+        DbError::UnknownType(n)
+        | DbError::UnknownTable(n)
+        | DbError::UnknownColumn(n)
+        | DbError::DuplicateName(n)
+        | DbError::IdentifierTooLong(n) => Some(n),
+        DbError::NestedCollectionNotSupported { element, .. } => Some(element),
+        DbError::DependentTypeExists { dropped, .. } => Some(dropped),
+        _ => None,
+    };
+    name.and_then(|n| {
+        find_token(source, stmt_span, |t| matches!(t, Token::Ident(s) if s.eq_ignore_ascii_case(n)))
+    })
+    .unwrap_or(stmt_span)
+}
+
+/// Static INSERT analysis, mirroring `exec::dml::execute_insert`'s order:
+/// table lookup (eager), VALUES evaluation against the empty environment
+/// (eager), the object-table single-constructor "explode" carve-out, then
+/// arity, per-column coercion and data-independent constraint checks.
+fn analyze_insert(cx: &mut StmtCx, table: &Ident, columns: &Option<Vec<Ident>>, values: &[Expr]) {
+    let Some(table_def) = cx.catalog.get_table(table) else {
+        let code = if cx.catalog.get_view(table).is_some() {
+            // INSERT only targets base tables; a view here fails the same
+            // lookup in the executor.
+            "insert-into-view"
+        } else {
+            "unknown-table"
+        };
+        cx.error(code, format!("table '{table}' does not exist"), cx.anchor_ident(table));
+        return;
+    };
+    let table_def = table_def.clone();
+    let table_columns = cx.catalog.table_columns(&table_def);
+
+    // VALUES run against the executor's `Env::EMPTY` — every check inside
+    // them is as eager as the statement.
+    let stys: Vec<STy> = values.iter().map(|v| analyze_expr(cx, &Scopes::EMPTY, true, v)).collect();
+
+    // Object-table carve-out: `INSERT INTO T VALUES (TypeX(…))` with no
+    // column list inserts the constructed object's attributes as the row.
+    if columns.is_none() && values.len() == 1 {
+        if let TableDef::Object { of_type, .. } = &table_def {
+            if let Expr::Call { name, args } = &values[0] {
+                if name == of_type && cx.catalog.get_type(name).is_some() {
+                    // The constructor analysis above already checked arity
+                    // and argument coercion against the attribute types;
+                    // only the data-independent constraints remain. Literal
+                    // NULL args stay visibly NULL through coercion.
+                    if args.len() == table_columns.len() {
+                        let row: Vec<STy> = args
+                            .iter()
+                            .map(|a| match a {
+                                Expr::Literal(v) => STy::Lit(v.clone()),
+                                _ => STy::Unknown,
+                            })
+                            .collect();
+                        check_constraints(cx, &table_def, &table_columns, &row);
+                    }
+                    return;
+                }
+            }
+            if matches!(stys[0], STy::Unknown) {
+                // A single opaque value may turn out to be an object of
+                // `of_type` at runtime and explode into a full row — no
+                // arity or coercion claims are safe.
+                return;
+            }
+        }
+    }
+
+    let mut row: Vec<STy> = vec![STy::Lit(Value::Null); table_columns.len()];
+    match columns {
+        Some(cols) => {
+            if cols.len() != values.len() {
+                cx.error(
+                    "insert-arity",
+                    format!(
+                        "INSERT lists {} columns but {} values",
+                        cols.len(),
+                        values.len()
+                    ),
+                    cx.span,
+                );
+                return;
+            }
+            for (col, sty) in cols.iter().zip(stys) {
+                match table_columns.iter().position(|(c, _)| c == col) {
+                    Some(idx) => row[idx] = sty,
+                    None => {
+                        cx.error(
+                            "unknown-column",
+                            format!("table '{table}' has no column '{col}'"),
+                            cx.anchor_ident(col),
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+        None => {
+            if values.len() != table_columns.len() {
+                cx.error(
+                    "insert-arity",
+                    format!(
+                        "table '{table}' has {} columns but {} values were supplied",
+                        table_columns.len(),
+                        values.len()
+                    ),
+                    cx.span,
+                );
+                return;
+            }
+            row = stys;
+        }
+    }
+    for (sty, (col_name, col_type)) in row.iter().zip(&table_columns) {
+        if let Some(msg) = static_coerce_error(sty, col_type) {
+            cx.error("type-mismatch", format!("column '{col_name}': {msg}"), cx.span);
+        }
+    }
+    check_constraints(cx, &table_def, &table_columns, &row);
+}
+
+/// Data-independent constraint checks: unknown constraint columns are
+/// definite rejections (the executor resolves indices before row checks),
+/// as is a literal NULL heading into a NOT NULL / PRIMARY KEY column.
+/// UNIQUE key comparisons and CHECK predicates depend on stored data and
+/// stay out of scope here (CHECK gets its §4.3 lint at DDL time).
+fn check_constraints(
+    cx: &mut StmtCx,
+    table_def: &TableDef,
+    table_columns: &[(Ident, crate::types::SqlType)],
+    row: &[STy],
+) {
+    let col_index = |col: &Ident| table_columns.iter().position(|(c, _)| c == col);
+    let is_null = |i: usize| matches!(&row[i], STy::Lit(v) if v.is_null());
+    let not_null = |cx: &mut StmtCx, col: &Ident| match col_index(col) {
+        None => cx.error(
+            "unknown-column",
+            format!(
+                "constraint on '{}' references unknown column '{col}'",
+                table_def.name()
+            ),
+            cx.span,
+        ),
+        Some(i) if is_null(i) => cx.error(
+            "not-null",
+            format!("cannot insert NULL into '{}.{col}'", table_def.name()),
+            cx.span,
+        ),
+        Some(_) => {}
+    };
+    for constraint in table_def.constraints() {
+        match constraint {
+            crate::catalog::Constraint::NotNull(col) => not_null(cx, col),
+            crate::catalog::Constraint::PrimaryKey(cols) => {
+                for col in cols {
+                    not_null(cx, col);
+                }
+            }
+            crate::catalog::Constraint::Unique(cols) => {
+                for col in cols {
+                    if col_index(col).is_none() {
+                        cx.error(
+                            "unknown-column",
+                            format!(
+                                "constraint on '{}' references unknown column '{col}'",
+                                table_def.name()
+                            ),
+                            cx.span,
+                        );
+                    }
+                }
+            }
+            crate::catalog::Constraint::Check(_) => {}
+        }
+    }
+}
+
+/// UPDATE: the table lookup is eager; SET targets and expressions run
+/// per matching row, so everything past the lookup is a `Warning`.
+fn analyze_update(
+    cx: &mut StmtCx,
+    table: &Ident,
+    sets: &[(Vec<Ident>, Expr)],
+    where_clause: Option<&Expr>,
+) {
+    let Some(table_def) = cx.catalog.get_table(table) else {
+        cx.error("unknown-table", format!("table '{table}' does not exist"), cx.anchor_ident(table));
+        return;
+    };
+    let table_def = table_def.clone();
+    let table_columns = cx.catalog.table_columns(&table_def);
+    let frames = [table_scope(cx.catalog, &table_def, table.clone())];
+    let scopes = Scopes { frames: &frames, parent: None };
+    for (path, rhs) in sets {
+        match table_columns.iter().find(|(c, _)| c == &path[0]) {
+            None => cx.warn(
+                "unknown-column",
+                format!("SET target '{}' is not a column of '{table}'", path[0]),
+                cx.anchor_ident(&path[0]),
+            ),
+            Some((_, col_type)) if path.len() > 1 => {
+                let full = path.iter().map(|p| p.as_str()).collect::<Vec<_>>().join(".");
+                expr::walk_attrs(cx, col_type.clone(), &path[1..], &full);
+            }
+            Some(_) => {}
+        }
+        analyze_expr(cx, &scopes, false, rhs);
+    }
+    if let Some(pred) = where_clause {
+        analyze_expr(cx, &scopes, false, pred);
+    }
+}
+
+fn analyze_delete(cx: &mut StmtCx, table: &Ident, where_clause: Option<&Expr>) {
+    let Some(table_def) = cx.catalog.get_table(table) else {
+        cx.error("unknown-table", format!("table '{table}' does not exist"), cx.anchor_ident(table));
+        return;
+    };
+    let table_def = table_def.clone();
+    let frames = [table_scope(cx.catalog, &table_def, table.clone())];
+    let scopes = Scopes { frames: &frames, parent: None };
+    if let Some(pred) = where_clause {
+        analyze_expr(cx, &scopes, false, pred);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mode: DbMode, sql: &str) -> Vec<Diagnostic> {
+        Analyzer::new(mode).analyze_script(sql).expect("script parses")
+    }
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.severity == Severity::Error).collect()
+    }
+
+    const NESTED: &str = "CREATE TYPE TypeVA_Inner AS VARRAY(4) OF VARCHAR(20);\n\
+         CREATE TYPE TypeNT_Outer AS TABLE OF TypeVA_Inner;";
+
+    #[test]
+    fn nested_collection_is_an_error_under_oracle8_only() {
+        let d8 = run(DbMode::Oracle8, NESTED);
+        let errs = errors(&d8);
+        assert_eq!(errs.len(), 1, "{d8:?}");
+        assert_eq!(errs[0].code, "nested-collection");
+        // The error anchors at the offending element type on line 2.
+        assert_eq!(errs[0].line_col(NESTED).0, 2);
+
+        let d9 = run(DbMode::Oracle9, NESTED);
+        assert!(errors(&d9).is_empty(), "{d9:?}");
+    }
+
+    #[test]
+    fn failed_ddl_leaves_the_shadow_catalog_unchanged() {
+        // Under Oracle 8 the outer type is rejected, so a table of it is
+        // also unknown — two errors, and analysis keeps going.
+        let sql = format!("{NESTED}\nCREATE TABLE TabX (Docs TypeNT_Outer);");
+        let d = run(DbMode::Oracle8, &sql);
+        let errs = errors(&d);
+        assert_eq!(errs.len(), 2, "{d:?}");
+        assert_eq!(errs[1].code, "unknown-type");
+    }
+
+    #[test]
+    fn unknown_insert_table_is_an_error_with_a_fine_span() {
+        let sql = "INSERT INTO TabMissing VALUES (1);";
+        let d = run(DbMode::Oracle9, sql);
+        let errs = errors(&d);
+        assert_eq!(errs.len(), 1, "{d:?}");
+        assert_eq!(errs[0].code, "unknown-table");
+        let (line, col) = errs[0].line_col(sql);
+        assert_eq!((line, col), (1, 13));
+    }
+
+    const SCHEMA: &str = "CREATE TYPE Type_Prof AS OBJECT (PName VARCHAR(30), Room NUMBER);\n\
+         CREATE TABLE Professor OF Type_Prof (PName NOT NULL);\n";
+
+    #[test]
+    fn insert_arity_and_literal_coercion_errors() {
+        let sql = format!(
+            "{SCHEMA}INSERT INTO Professor VALUES (Type_Prof('Kudrass'));\n\
+             INSERT INTO Professor VALUES ('A', 'B', 'C');\n\
+             INSERT INTO Professor (PName, Room) VALUES ('Conrad', 'not a number');"
+        );
+        let d = run(DbMode::Oracle9, &sql);
+        let codes: Vec<&str> = errors(&d).iter().map(|e| e.code).collect();
+        assert_eq!(codes, vec!["constructor-arity", "insert-arity", "type-mismatch"], "{d:?}");
+    }
+
+    #[test]
+    fn literal_null_into_not_null_column_is_an_error() {
+        let sql = format!("{SCHEMA}INSERT INTO Professor VALUES (Type_Prof(NULL, 42));");
+        let d = run(DbMode::Oracle9, &sql);
+        let errs = errors(&d);
+        assert_eq!(errs.len(), 1, "{d:?}");
+        assert_eq!(errs[0].code, "not-null");
+    }
+
+    #[test]
+    fn select_unknown_first_table_error_later_table_warning() {
+        let sql = "SELECT * FROM Nowhere;";
+        let d = run(DbMode::Oracle9, sql);
+        assert_eq!(errors(&d).len(), 1, "{d:?}");
+
+        let sql2 = format!("{SCHEMA}SELECT * FROM Professor p, Nowhere n;");
+        let d2 = run(DbMode::Oracle9, &sql2);
+        assert!(errors(&d2).is_empty(), "{d2:?}");
+        assert!(d2.iter().any(|x| x.code == "unknown-table"), "{d2:?}");
+    }
+
+    #[test]
+    fn check_on_nullable_object_column_warns() {
+        let sql = "CREATE TYPE Type_Addr AS OBJECT (City VARCHAR(30));\n\
+             CREATE TYPE Type_Uni AS OBJECT (UName VARCHAR(30), Addr Type_Addr);\n\
+             CREATE TABLE University OF Type_Uni (CHECK (Addr.City = 'Leipzig'));";
+        let d = run(DbMode::Oracle9, sql);
+        assert!(errors(&d).is_empty(), "{d:?}");
+        let quirk: Vec<_> = d.iter().filter(|x| x.code == "check-null-object").collect();
+        assert_eq!(quirk.len(), 1, "{d:?}");
+        assert_eq!(quirk[0].line_col(sql).0, 3);
+    }
+
+    #[test]
+    fn unscoped_ref_warns_and_missing_target_table_warns() {
+        let sql = "CREATE TYPE Type_P AS OBJECT (Name VARCHAR(10));\n\
+             CREATE TYPE Type_C AS OBJECT (Title VARCHAR(10), Held REF Type_P);";
+        let d = run(DbMode::Oracle9, sql);
+        assert!(d.iter().any(|x| x.code == "unscoped-ref"), "{d:?}");
+        assert!(d.iter().any(|x| x.code == "ref-no-target-table"), "{d:?}");
+
+        // Creating an object table of the target silences the dangling lint.
+        let sql2 = format!("{sql}\nCREATE TABLE Profs OF Type_P;");
+        let d2 = run(DbMode::Oracle9, &sql2);
+        assert!(!d2.iter().any(|x| x.code == "ref-no-target-table"), "{d2:?}");
+    }
+
+    #[test]
+    fn dead_and_shadowed_aliases_warn() {
+        let sql = format!(
+            "{SCHEMA}SELECT p.PName FROM Professor p, Professor q;\n\
+             SELECT p.PName FROM Professor p, Professor p;"
+        );
+        let d = run(DbMode::Oracle9, &sql);
+        assert!(errors(&d).is_empty(), "{d:?}");
+        assert!(d.iter().any(|x| x.code == "dead-alias"), "{d:?}");
+        assert!(d.iter().any(|x| x.code == "shadowed-alias"), "{d:?}");
+    }
+
+    #[test]
+    fn accepted_script_from_the_paper_is_error_free() {
+        // §4.1-style mapping output: types, object table, constructor
+        // insert, dot-path select.
+        let sql = "CREATE TYPE Type_Course AS OBJECT (Title VARCHAR(40), CreditHours NUMBER);\n\
+             CREATE TYPE TypeVA_Course AS VARRAY(10) OF Type_Course;\n\
+             CREATE TYPE Type_Prof AS OBJECT (PName VARCHAR(30), Courses TypeVA_Course);\n\
+             CREATE TABLE Professor OF Type_Prof;\n\
+             INSERT INTO Professor VALUES (Type_Prof('Kudrass', TypeVA_Course(Type_Course('DBS', 4))));\n\
+             SELECT p.PName FROM Professor p WHERE p.PName = 'Kudrass';\n\
+             SELECT c.Title FROM Professor p, TABLE(p.Courses) c;";
+        let d = run(DbMode::Oracle9, sql);
+        assert!(errors(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cast_multiset_target_must_be_a_collection() {
+        let sql = format!(
+            "{SCHEMA}SELECT CAST(MULTISET(SELECT p.PName FROM Professor p) AS Type_Prof) FROM Professor q;"
+        );
+        let d = run(DbMode::Oracle9, &sql);
+        assert!(d.iter().any(|x| x.code == "cast-target-not-collection"), "{d:?}");
+    }
+
+    #[test]
+    fn deref_of_a_literal_and_unknown_function_are_flagged() {
+        let sql = format!("{SCHEMA}SELECT DEREF(42) FROM Professor p;\nSELECT NVL2(p.Room) FROM Professor p;");
+        let d = run(DbMode::Oracle9, &sql);
+        assert!(d.iter().any(|x| x.code == "deref-non-ref"), "{d:?}");
+        assert!(d.iter().any(|x| x.code == "unknown-function"), "{d:?}");
+    }
+}

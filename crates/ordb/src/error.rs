@@ -2,6 +2,7 @@
 //! paper's failure scenarios (identifier too long, collection nesting in
 //! Oracle 8, constraint violations, …) surface as distinct variants.
 
+use crate::sql::span::Span;
 use std::fmt;
 
 /// Any failure raised by the engine: syntax, catalog, typing, constraint or
@@ -10,6 +11,10 @@ use std::fmt;
 pub enum DbError {
     /// SQL lexical or syntax error.
     Syntax { message: String, position: usize },
+    /// Parse error with a full source span (start/end character offsets) —
+    /// the span-carrying variant behind [`crate::analyze`] diagnostics and
+    /// the parser sites that used to panic on malformed input.
+    Parse { message: String, span: Span },
     /// Identifier longer than the 30-character Oracle limit (ORA-00972).
     IdentifierTooLong(String),
     /// Name not found in the catalog.
@@ -47,6 +52,9 @@ impl fmt::Display for DbError {
         match self {
             DbError::Syntax { message, position } => {
                 write!(f, "SQL syntax error at offset {position}: {message}")
+            }
+            DbError::Parse { message, span } => {
+                write!(f, "SQL parse error at offset {}..{}: {message}", span.start, span.end)
             }
             DbError::IdentifierTooLong(name) => {
                 write!(f, "identifier '{name}' exceeds 30 characters (ORA-00972)")

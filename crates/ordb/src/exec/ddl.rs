@@ -1,4 +1,9 @@
 //! DDL execution: CREATE/DROP of types, tables and views.
+//!
+//! The catalog half of every DDL statement lives in [`apply_ddl_catalog`] so
+//! the static analyzer's *shadow catalog* ([`crate::analyze`]) evolves through
+//! exactly the same code path as the executor's live catalog — the two can
+//! never disagree about what a script's DDL means.
 
 use crate::catalog::{Catalog, ColumnDef, Constraint, TableDef, TypeDef, ViewDef};
 use crate::error::DbError;
@@ -9,11 +14,10 @@ use crate::stats::ExecStats;
 use crate::storage::Storage;
 use crate::types::SqlType;
 
-/// Execute one DDL statement. Returns `true` if the statement was DDL.
-pub fn execute_ddl(
+/// Apply one DDL statement's catalog effects (no storage, no stats).
+/// Returns `true` if the statement was DDL.
+pub fn apply_ddl_catalog(
     catalog: &mut Catalog,
-    storage: &mut Storage,
-    stats: &mut ExecStats,
     mode: DbMode,
     stmt: &Stmt,
 ) -> Result<bool, DbError> {
@@ -23,7 +27,6 @@ pub fn execute_ddl(
                 TypeDef::Object { name: name.clone(), attrs: vec![], incomplete: true },
                 mode,
             )?;
-            stats.types_created += 1;
             Ok(true)
         }
         Stmt::CreateObjectType { name, attrs } => {
@@ -31,7 +34,6 @@ pub fn execute_ddl(
                 TypeDef::Object { name: name.clone(), attrs: attrs.clone(), incomplete: false },
                 mode,
             )?;
-            stats.types_created += 1;
             Ok(true)
         }
         Stmt::CreateVarrayType { name, max, elem } => {
@@ -39,7 +41,6 @@ pub fn execute_ddl(
                 TypeDef::Varray { name: name.clone(), elem: elem.clone(), max: *max },
                 mode,
             )?;
-            stats.types_created += 1;
             Ok(true)
         }
         Stmt::CreateNestedTableType { name, elem } => {
@@ -47,7 +48,6 @@ pub fn execute_ddl(
                 TypeDef::NestedTable { name: name.clone(), elem: elem.clone() },
                 mode,
             )?;
-            stats.types_created += 1;
             Ok(true)
         }
         Stmt::CreateObjectTable { name, of_type, constraints } => {
@@ -56,8 +56,6 @@ pub fn execute_ddl(
                 of_type: of_type.clone(),
                 constraints: constraints.clone(),
             })?;
-            storage.create_table(name.clone());
-            stats.tables_created += 1;
             Ok(true)
         }
         Stmt::CreateRelationalTable { name, columns, constraints, nested_table_stores } => {
@@ -70,8 +68,6 @@ pub fn execute_ddl(
                 constraints: all_constraints,
                 nested_table_stores: nested_table_stores.clone(),
             })?;
-            storage.create_table(name.clone());
-            stats.tables_created += 1;
             Ok(true)
         }
         Stmt::CreateView { name, query, or_replace } => {
@@ -87,7 +83,6 @@ pub fn execute_ddl(
         }
         Stmt::DropTable { name } => {
             catalog.drop_table(name)?;
-            storage.drop_table(name);
             Ok(true)
         }
         Stmt::DropView { name } => {
@@ -98,13 +93,43 @@ pub fn execute_ddl(
     }
 }
 
+/// Execute one DDL statement. Returns `true` if the statement was DDL.
+pub fn execute_ddl(
+    catalog: &mut Catalog,
+    storage: &mut Storage,
+    stats: &mut ExecStats,
+    mode: DbMode,
+    stmt: &Stmt,
+) -> Result<bool, DbError> {
+    if !apply_ddl_catalog(catalog, mode, stmt)? {
+        return Ok(false);
+    }
+    match stmt {
+        Stmt::CreateTypeForward { .. }
+        | Stmt::CreateObjectType { .. }
+        | Stmt::CreateVarrayType { .. }
+        | Stmt::CreateNestedTableType { .. } => {
+            stats.types_created += 1;
+        }
+        Stmt::CreateObjectTable { name, .. } | Stmt::CreateRelationalTable { name, .. } => {
+            storage.create_table(name.clone());
+            stats.tables_created += 1;
+        }
+        Stmt::DropTable { name } => {
+            storage.drop_table(name);
+        }
+        _ => {}
+    }
+    Ok(true)
+}
+
 fn create_view(catalog: &mut Catalog, name: &Ident, query: &SelectStmt) -> Result<(), DbError> {
     catalog.create_view(ViewDef { name: name.clone(), query: query.clone() })
 }
 
 /// Split parsed column specs into catalog column definitions plus the
 /// constraints implied by inline `NOT NULL` / `PRIMARY KEY` markers.
-fn split_column_specs(specs: &[ColumnSpec]) -> (Vec<ColumnDef>, Vec<Constraint>) {
+pub(crate) fn split_column_specs(specs: &[ColumnSpec]) -> (Vec<ColumnDef>, Vec<Constraint>) {
     let mut columns = Vec::with_capacity(specs.len());
     let mut constraints = Vec::new();
     for spec in specs {

@@ -361,6 +361,8 @@ fn set_path(
         }
         slot = &mut attrs[attr_idx];
     }
+    // invariant: the caller splits off a non-empty path, so the loop always
+    // reaches `is_leaf` and returns; this line is not reachable from user SQL.
     unreachable!("loop returns at the leaf")
 }
 

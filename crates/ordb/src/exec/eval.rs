@@ -113,6 +113,7 @@ pub fn eval_expr(ctx: &mut ExecCtx, env: &Env, expr: &Expr) -> Result<Value, DbE
                         "MULTISET subquery must select exactly one column".into(),
                     ));
                 }
+                // invariant: row.len() == 1 was just checked above.
                 elements.push(coerce(ctx, row.into_iter().next().unwrap(), &elem_type, "MULTISET")?);
             }
             if let Some(max) = max {
@@ -301,6 +302,7 @@ pub fn resolve_path(ctx: &mut ExecCtx, env: &Env, parts: &[Ident]) -> Result<Val
     }
     // Unqualified: column....
     if let Some(frame) = env.frame_with_column(&parts[0]) {
+        // invariant: frame_with_column only returns frames containing the column.
         let mut value = frame.column_value(&parts[0]).cloned().unwrap();
         for part in &parts[1..] {
             value = navigate(ctx, value, part)?;

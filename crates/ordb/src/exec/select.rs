@@ -462,6 +462,7 @@ fn item_column_name(item: &crate::sql::ast::SelectItem, index: usize) -> String 
         return alias.as_str().to_string();
     }
     match &item.expr {
+        // invariant: the parser never produces an empty dot path.
         Expr::Path(parts) => parts.last().unwrap().as_str().to_string(),
         _ => format!("COL{}", index + 1),
     }

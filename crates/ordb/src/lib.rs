@@ -19,7 +19,8 @@
 //!   `CAST(MULTISET(…) AS type)` (§6.3), object views,
 //! * `NOT NULL`, `PRIMARY KEY` and table-level `CHECK` constraints with the
 //!   §4.3 semantics (a CHECK over an attribute of a NULL object evaluates to
-//!   FALSE and rejects the row — the paper's "non-desired error message"),
+//!   UNKNOWN, and UNKNOWN *passes* — so the constraint silently admits the
+//!   NULL row; [`analyze`] flags this quirk as the `check-null-object` lint),
 //! * two compatibility modes (§2.2): [`DbMode::Oracle8`] rejects collections
 //!   whose element type is another collection or a LOB; [`DbMode::Oracle9`]
 //!   accepts arbitrary nesting.
@@ -65,6 +66,20 @@
 //! how rows are located, paired, and parsed texts reused — the mode test
 //! suites run identically with the fast paths on or off.
 //!
+//! ## Static analysis (`sqlcheck`)
+//!
+//! [`analyze`] checks a generated script *before* execution: it binds every
+//! statement against a shadow catalog (evolved by the script's own DDL
+//! through the executor's code path), resolves names and dot paths, type
+//! checks constructors and INSERTs, gates nested-collection DDL by
+//! [`DbMode`], and lints for unscoped REFs, REF types with no target table,
+//! the §4.3 CHECK quirk and dead/shadowed aliases. Diagnostics carry
+//! character spans and render rustc-style ([`analyze::Diagnostic::render`]).
+//! [`Severity::Error`](analyze::Severity) findings are guaranteed to match
+//! an executor rejection (see the module docs for the differential
+//! contract); [`Database::set_analyze`] runs the analyzer inline on every
+//! executed script and counts findings in [`stats::ExecStats`].
+//!
 //! ```
 //! use xmlord_ordb::{Database, DbMode, Value};
 //!
@@ -78,6 +93,7 @@
 //! assert_eq!(rows.rows[0][0], Value::Str("Jaeger".into()));
 //! ```
 
+pub mod analyze;
 pub mod catalog;
 pub mod error;
 pub mod exec;
@@ -90,6 +106,7 @@ pub mod storage;
 pub mod types;
 pub mod value;
 
+pub use analyze::{Analyzer, Diagnostic, Severity};
 pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
 pub use error::DbError;
 pub use ident::Ident;

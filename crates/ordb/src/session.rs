@@ -1,5 +1,6 @@
 //! The [`Database`] façade: parse → execute, statistics, introspection.
 
+use crate::analyze::{Analyzer, Diagnostic, Severity};
 use crate::catalog::Catalog;
 use crate::error::DbError;
 use crate::exec::ddl::execute_ddl;
@@ -79,6 +80,7 @@ pub struct Database {
     mode: DbMode,
     plan_cache: PlanCache,
     hash_joins: bool,
+    analyze: bool,
 }
 
 impl Database {
@@ -90,6 +92,42 @@ impl Database {
             mode,
             plan_cache: PlanCache::default(),
             hash_joins: true,
+            analyze: false,
+        }
+    }
+
+    /// Enable or disable the inline static analyzer (off by default). When
+    /// on, every SQL text handed to [`execute`](Self::execute) /
+    /// [`execute_script`](Self::execute_script) is first checked by
+    /// [`crate::analyze::Analyzer`] against a clone of the live catalog, and
+    /// findings are counted into [`ExecStats::analyzer_errors`] /
+    /// [`ExecStats::analyzer_warnings`]. Analysis is advisory: execution
+    /// proceeds regardless — the differential guarantee means every
+    /// `Error`-severity finding is rejected by the executor anyway, and
+    /// counting both lets tests assert the two agree.
+    pub fn set_analyze(&mut self, enabled: bool) {
+        self.analyze = enabled;
+    }
+
+    /// Statically check a script against the current catalog without
+    /// executing anything (the analyzer works on a clone).
+    pub fn check(&self, sql: &str) -> Result<Vec<Diagnostic>, DbError> {
+        Analyzer::with_catalog(self.catalog.clone(), self.mode).analyze_script(sql)
+    }
+
+    /// Inline analysis for [`set_analyze`](Self::set_analyze). Parse errors
+    /// are ignored here — execution surfaces them to the caller.
+    fn analyze_inline(&mut self, sql: &str) {
+        if !self.analyze {
+            return;
+        }
+        if let Ok(diags) = self.check(sql) {
+            for d in &diags {
+                match d.severity {
+                    Severity::Error => self.stats.analyzer_errors += 1,
+                    Severity::Warning => self.stats.analyzer_warnings += 1,
+                }
+            }
         }
     }
 
@@ -170,6 +208,7 @@ impl Database {
     /// Execute a script of `;`-separated statements. Results of SELECTs are
     /// returned in order (DDL/DML contribute nothing to the result list).
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, DbError> {
+        self.analyze_inline(sql);
         let stmts = self.cached_parse(sql)?;
         let mut results = Vec::new();
         for stmt in stmts.iter() {
@@ -182,6 +221,7 @@ impl Database {
 
     /// Execute a single statement.
     pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>, DbError> {
+        self.analyze_inline(sql);
         let stmts = self.cached_parse(sql)?;
         if stmts.len() == 1 {
             return self.execute_stmt(&stmts[0]);
@@ -254,7 +294,13 @@ impl Database {
                 let result = execute_select(&mut ctx, select, None)?;
                 Ok(Some(result))
             }
-            _ => unreachable!("DDL handled above"),
+            // Every other variant is DDL, which `execute_ddl` handles and
+            // returns `true` for; reaching here would mean a new Stmt
+            // variant was added without a dispatch arm.
+            other => Err(DbError::Execution(format!(
+                "statement kind {} fell through execution dispatch",
+                other.kind()
+            ))),
         }
     }
 
@@ -874,6 +920,41 @@ mod tests {
         assert!(d.execute("SELEKT nonsense").is_err());
         assert_eq!(d.stats().plan_cache_hits, 0);
         assert_eq!(d.stats().plan_cache_misses, 2);
+    }
+
+    #[test]
+    fn inline_analyzer_counts_findings_without_blocking_execution() {
+        let mut d = db();
+        d.set_analyze(true);
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT(name VARCHAR(10), boss REF Type_P);
+             CREATE TABLE TabP OF Type_P;
+             INSERT INTO TabP VALUES (Type_P('x', NULL));",
+        )
+        .unwrap();
+        // The REF column draws an unscoped-ref warning; nothing is an error,
+        // and execution went through untouched.
+        assert_eq!(d.stats().analyzer_errors, 0);
+        assert!(d.stats().analyzer_warnings >= 1);
+        assert_eq!(d.row_count("TabP"), 1);
+        // A statement the executor rejects is also an analyzer error, and
+        // the rejection still reaches the caller.
+        let err = d.execute("INSERT INTO Nope VALUES (1)").unwrap_err();
+        assert!(matches!(err, DbError::UnknownTable(_)));
+        assert_eq!(d.stats().analyzer_errors, 1);
+    }
+
+    #[test]
+    fn check_reports_against_the_live_catalog_without_executing() {
+        let mut d = db();
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        let diags = d.check("INSERT INTO T VALUES (1, 2);").unwrap();
+        assert!(diags.iter().any(|x| x.code == "insert-arity"), "{diags:?}");
+        assert_eq!(d.row_count("T"), 0);
+        // A script extending the catalog checks against its own DDL.
+        let diags = d.check("CREATE TABLE U (b NUMBER); INSERT INTO U VALUES (3);").unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(d.catalog().get_table(&Ident::internal("U")).is_none());
     }
 
     #[test]

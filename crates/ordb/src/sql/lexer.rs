@@ -38,11 +38,21 @@ impl Token {
     }
 }
 
-/// A token plus its byte offset in the source.
+/// A token plus its character offsets in the source (`offset..end`, half
+/// open). Offsets are char indices — the lexer walks `char`s, and
+/// [`crate::sql::span`] converts them to line/column the same way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedToken {
     pub token: Token,
     pub offset: usize,
+    /// One past the last character of the token.
+    pub end: usize,
+}
+
+impl SpannedToken {
+    pub fn span(&self) -> crate::sql::span::Span {
+        crate::sql::span::Span::new(self.offset, self.end)
+    }
 }
 
 /// Tokenize a complete SQL text (possibly multiple statements).
@@ -65,7 +75,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
             continue;
         }
         if ch == '-' {
-            out.push(SpannedToken { token: Token::Minus, offset: i });
+            out.push(SpannedToken { token: Token::Minus, offset: i, end: i + 1 });
             i += 1;
             continue;
         }
@@ -110,7 +120,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
                     }
                 }
             }
-            out.push(SpannedToken { token: Token::StringLit(lit), offset: start });
+            out.push(SpannedToken { token: Token::StringLit(lit), offset: start, end: i });
             continue;
         }
         // Number literal.
@@ -135,7 +145,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
                 message: format!("invalid number '{text}'"),
                 position: start,
             })?;
-            out.push(SpannedToken { token: Token::NumberLit(value), offset: start });
+            out.push(SpannedToken { token: Token::NumberLit(value), offset: start, end: i });
             continue;
         }
         // Identifier / keyword. `#` appears in no identifier; `_`, `$` do.
@@ -158,7 +168,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
                     });
                 }
                 i += 1;
-                out.push(SpannedToken { token: Token::Ident(name), offset: start });
+                out.push(SpannedToken { token: Token::Ident(name), offset: start, end: i });
                 continue;
             }
             let mut name = String::new();
@@ -170,7 +180,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
                     break;
                 }
             }
-            out.push(SpannedToken { token: Token::Ident(name), offset: start });
+            out.push(SpannedToken { token: Token::Ident(name), offset: start, end: i });
             continue;
         }
         // Operators and punctuation.
@@ -217,7 +227,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, DbError> {
                 })
             }
         };
-        out.push(SpannedToken { token, offset: start });
+        out.push(SpannedToken { token, offset: start, end: start + len });
         i += len;
     }
     Ok(out)
@@ -309,7 +319,18 @@ mod tests {
     fn offsets_point_into_source() {
         let spanned = tokenize("AB 'x'").unwrap();
         assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[0].end, 2);
         assert_eq!(spanned[1].offset, 3);
+        assert_eq!(spanned[1].end, 6); // includes both quotes
+    }
+
+    #[test]
+    fn end_offsets_cover_the_token_text() {
+        let spanned = tokenize("CREATE <= 3.25 \"Q\"").unwrap();
+        let slices: Vec<(usize, usize)> =
+            spanned.iter().map(|t| (t.offset, t.end)).collect();
+        assert_eq!(slices, vec![(0, 6), (7, 9), (10, 14), (15, 18)]);
+        assert_eq!(spanned[2].span().len(), 4);
     }
 
     #[test]

@@ -8,7 +8,9 @@ pub mod lexer;
 pub mod param;
 pub mod parser;
 pub mod printer;
+pub mod span;
 
 pub use ast::{Expr, FromItem, SelectItem, SelectStmt, Stmt};
-pub use parser::{parse_script, parse_statement};
+pub use parser::{parse_script, parse_script_spanned, parse_statement};
 pub use printer::{print_expr, print_select, print_stmt};
+pub use span::{Span, SpannedStmt};

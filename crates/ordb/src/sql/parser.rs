@@ -12,11 +12,18 @@ use crate::sql::ast::{
     BinOp, ColumnSpec, Expr, FromItem, SelectItem, SelectStmt, Stmt,
 };
 use crate::sql::lexer::{tokenize, SpannedToken, Token};
+use crate::sql::span::{Span, SpannedStmt};
 use crate::types::SqlType;
 use crate::value::Value;
 
 /// Parse a script of one or more `;`-separated statements.
 pub fn parse_script(input: &str) -> Result<Vec<Stmt>, DbError> {
+    Ok(parse_script_spanned(input)?.into_iter().map(|s| s.stmt).collect())
+}
+
+/// Parse a script, keeping the character span of every statement — the
+/// entry point for [`crate::analyze`] diagnostics.
+pub fn parse_script_spanned(input: &str) -> Result<Vec<SpannedStmt>, DbError> {
     let tokens = tokenize(input)?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut stmts = Vec::new();
@@ -25,7 +32,9 @@ pub fn parse_script(input: &str) -> Result<Vec<Stmt>, DbError> {
         if parser.at_end() {
             break;
         }
-        stmts.push(parser.statement()?);
+        let start = parser.offset();
+        let stmt = parser.statement()?;
+        stmts.push(SpannedStmt { stmt, span: Span::new(start, parser.prev_end()) });
     }
     Ok(stmts)
 }
@@ -70,6 +79,23 @@ impl Parser {
 
     fn offset(&self) -> usize {
         self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX)
+    }
+
+    /// End offset of the most recently consumed token (0 before any).
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens[self.pos - 1].end
+        }
+    }
+
+    /// Span of the token at the cursor (zero-length at end of input).
+    fn current_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span())
+            .unwrap_or_else(|| Span::at(self.prev_end()))
     }
 
     fn bump(&mut self) -> Option<&Token> {
@@ -638,18 +664,27 @@ impl Parser {
                     }
                 }
             }
+            // The peek just matched, so bump returns the same token — but
+            // rather than assert that with `unreachable!()`, surface any
+            // disagreement as a typed, span-carrying parse error.
             Some(Token::StringLit(_)) => {
-                if let Some(Token::StringLit(s)) = self.bump() {
-                    Ok(Expr::Literal(Value::Str(s.clone())))
-                } else {
-                    unreachable!()
+                let span = self.current_span();
+                match self.bump() {
+                    Some(Token::StringLit(s)) => Ok(Expr::Literal(Value::Str(s.clone()))),
+                    _ => Err(DbError::Parse {
+                        message: "expected string literal".into(),
+                        span,
+                    }),
                 }
             }
             Some(Token::NumberLit(_)) => {
-                if let Some(Token::NumberLit(n)) = self.bump() {
-                    Ok(Expr::Literal(Value::Num(*n)))
-                } else {
-                    unreachable!()
+                let span = self.current_span();
+                match self.bump() {
+                    Some(Token::NumberLit(n)) => Ok(Expr::Literal(Value::Num(*n))),
+                    _ => Err(DbError::Parse {
+                        message: "expected number literal".into(),
+                        span,
+                    }),
                 }
             }
             Some(Token::LParen) => {
@@ -1028,6 +1063,19 @@ mod tests {
     fn syntax_errors_have_positions() {
         let err = parse_script("SELECT FROM").unwrap_err();
         assert!(matches!(err, DbError::Syntax { .. }));
+    }
+
+    #[test]
+    fn statement_spans_cover_the_statement_text() {
+        let src = "CREATE TABLE T OF A;\n  INSERT INTO T VALUES (1);";
+        let spanned = parse_script_spanned(src).unwrap();
+        assert_eq!(spanned.len(), 2);
+        let text = |s: &crate::sql::span::Span| -> String {
+            src.chars().skip(s.start).take(s.len()).collect()
+        };
+        assert_eq!(text(&spanned[0].span), "CREATE TABLE T OF A");
+        assert_eq!(text(&spanned[1].span), "INSERT INTO T VALUES (1)");
+        assert_eq!(spanned[1].span.line_col(src), (2, 3));
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct ExecStats {
     pub plan_cache_hits: u64,
     /// Statements that had to be parsed and were then cached.
     pub plan_cache_misses: u64,
+    /// Error-severity findings from the inline static analyzer
+    /// ([`crate::Database::set_analyze`]).
+    pub analyzer_errors: u64,
+    /// Warning-severity findings from the inline static analyzer.
+    pub analyzer_warnings: u64,
 }
 
 impl ExecStats {
@@ -62,6 +67,8 @@ impl ExecStats {
             hash_join_probes: self.hash_join_probes - earlier.hash_join_probes,
             plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
+            analyzer_errors: self.analyzer_errors - earlier.analyzer_errors,
+            analyzer_warnings: self.analyzer_warnings - earlier.analyzer_warnings,
         }
     }
 }

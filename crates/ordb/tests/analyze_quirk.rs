@@ -1,0 +1,71 @@
+//! The §4.3 CHECK quirk, end to end: a CHECK constraint over an attribute
+//! of a *nullable* object column executes fine in both modes and rejects
+//! rows whose attribute is definitely wrong — but a row whose whole object
+//! column is NULL makes the condition UNKNOWN, and UNKNOWN passes, so the
+//! row slips in silently. The static analyzer flags exactly this gap as the
+//! `check-null-object` warning, with a line/column anchored at the CHECK.
+
+use xmlord_ordb::{Database, DbError, DbMode, Severity};
+
+const SCRIPT: &str = "\
+CREATE TYPE Type_Address AS OBJECT (attrStreet VARCHAR(40), attrCity VARCHAR(40));
+CREATE TYPE Type_Course AS OBJECT (attrName VARCHAR(40), attrAddress Type_Address);
+CREATE TABLE TabCourse OF Type_Course (CHECK (attrAddress.attrCity = 'Leipzig'));";
+
+#[test]
+fn null_object_row_slips_past_the_check_in_both_modes() {
+    for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+        let mut db = Database::new(mode);
+        db.set_analyze(true);
+        db.execute_script(SCRIPT).unwrap();
+
+        // A definitely-wrong city is rejected — the CHECK works as written …
+        let err = db
+            .execute(
+                "INSERT INTO TabCourse VALUES \
+                 (Type_Course('CAD', Type_Address('Main St', 'Dresden')))",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::CheckViolation { .. }), "{mode:?}: {err}");
+
+        // … but a NULL address makes the condition UNKNOWN, which passes:
+        // the fixture row the constraint author thought impossible.
+        db.execute("INSERT INTO TabCourse VALUES (Type_Course('DBS', NULL))").unwrap();
+        assert_eq!(db.row_count("TabCourse"), 1, "{mode:?}: NULL row should have slipped past");
+
+        // The inline analyzer saw the quirk (warning, never an error).
+        assert!(db.stats().analyzer_warnings >= 1, "{mode:?}");
+        assert_eq!(db.stats().analyzer_errors, 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn analyzer_pins_the_quirk_to_the_check_keyword() {
+    let db = Database::new(DbMode::Oracle9);
+    let diags = db.check(SCRIPT).unwrap();
+    let quirk: Vec<_> = diags.iter().filter(|d| d.code == "check-null-object").collect();
+    assert_eq!(quirk.len(), 1, "{diags:?}");
+    assert_eq!(quirk[0].severity, Severity::Warning);
+    // Line 3, column of the CHECK keyword inside the table definition.
+    assert_eq!(quirk[0].line_col(SCRIPT), (3, 40));
+    let rendered = quirk[0].render(SCRIPT, "mapping.sql");
+    assert!(rendered.contains("--> mapping.sql:3:40"), "{rendered}");
+    assert!(rendered.contains("CREATE TABLE TabCourse"), "{rendered}");
+    assert!(rendered.contains("^^^^^"), "{rendered}");
+}
+
+#[test]
+fn not_null_on_the_object_column_silences_the_quirk() {
+    let script = format!(
+        "{}\n{}",
+        &SCRIPT[..SCRIPT.rfind("CREATE TABLE").unwrap()],
+        "CREATE TABLE TabCourse OF Type_Course \
+         (attrAddress NOT NULL, CHECK (attrAddress.attrCity = 'Leipzig'));"
+    );
+    let db = Database::new(DbMode::Oracle9);
+    let diags = db.check(&script).unwrap();
+    assert!(
+        !diags.iter().any(|d| d.code == "check-null-object"),
+        "NOT NULL closes the gap, no warning expected: {diags:?}"
+    );
+}

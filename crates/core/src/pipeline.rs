@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use xmlord_dtd::ast::Dtd;
 use xmlord_dtd::{parse_dtd, validate};
-use xmlord_ordb::{Database, DbMode, ExecStats};
+use xmlord_ordb::{Database, DbMode, ExecStats, RecoveryPolicy};
 use xmlord_xml::serializer::{serialize, SerializeOptions};
 use xmlord_xml::{Document, QName};
 
@@ -176,7 +176,7 @@ impl Xml2OrDb {
             generate_schema(&xsd.dtd, root, self.db.mode(), options, &IdrefTargets::new())?;
         let script = create_script(&schema);
         self.ensure_meta_schema()?;
-        self.db.execute_script(&script)?;
+        self.run_atomic(&script)?;
         let registered = RegisteredSchema {
             name: name.to_string(),
             dtd: xsd.dtd,
@@ -212,7 +212,7 @@ impl Xml2OrDb {
         let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
         let script = create_script(&schema);
         self.ensure_meta_schema()?;
-        self.db.execute_script(&script)?;
+        self.run_atomic(&script)?;
         let registered = RegisteredSchema {
             name: name.to_string(),
             dtd,
@@ -226,10 +226,25 @@ impl Xml2OrDb {
 
     fn ensure_meta_schema(&mut self) -> Result<(), MappingError> {
         if !self.meta_ready {
-            self.db.execute_script(metadata_ddl())?;
+            self.run_atomic(metadata_ddl())?;
             self.meta_ready = true;
         }
         Ok(())
+    }
+
+    /// Execute a generated script all-or-nothing: a failure anywhere rolls
+    /// the whole script back, so a half-created schema never leaks into the
+    /// database (the paper's CreateSchema step either fully succeeds or
+    /// leaves no trace).
+    fn run_atomic(&mut self, sql: &str) -> Result<(), MappingError> {
+        let outcome = self
+            .db
+            .execute_script_with(sql, RecoveryPolicy::Atomic)
+            .map_err(MappingError::Db)?;
+        match outcome.errors.into_iter().next() {
+            Some(e) => Err(MappingError::Db(e.error)),
+            None => Ok(()),
+        }
     }
 
     /// Store a document under the named schema: well-formedness check,
@@ -270,9 +285,6 @@ impl Xml2OrDb {
         *counter += 1;
         let doc_id = format!("{schema_name}-{counter}");
         let statements = load_script(&registered.schema, &registered.dtd, &doc, &doc_id)?;
-        for stmt in &statements {
-            self.db.execute(stmt)?;
-        }
         let meta = metadata_insert(
             &registered.schema,
             &registered.dtd,
@@ -282,7 +294,28 @@ impl Xml2OrDb {
             url,
             "2002-03-25", // the workshop's date — deterministic by design
         );
-        self.db.execute(&meta)?;
+
+        // The whole load — content rows plus the meta-table row — is one
+        // transaction: a failure mid-script rolls everything back, so a
+        // document is either fully stored or absent (never a torn load
+        // with content rows but no XML_DOCUMENTS entry, or vice versa).
+        let mark = self.db.txn_mark();
+        let mut failure = None;
+        for stmt in statements.iter().chain(std::iter::once(&meta)) {
+            if let Err(e) = self.db.execute(stmt) {
+                failure = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = failure {
+            self.db.rollback_to_mark(mark);
+            // The DocID is not consumed by a failed load.
+            if let Some(c) = self.doc_counters.get_mut(schema_name) {
+                *c -= 1;
+            }
+            return Err(MappingError::Db(e));
+        }
+        self.db.commit();
         self.documents.insert(doc_id.clone(), schema_name.to_string());
         Ok(doc_id)
     }
@@ -526,6 +559,41 @@ mod tests {
         let delta = sys.stats().since(&before);
         // One document INSERT plus one metadata INSERT.
         assert_eq!(delta.inserts, 2);
+    }
+
+    #[test]
+    fn failed_store_leaves_no_torn_state() {
+        for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+            let mut sys = Xml2OrDb::new(mode);
+            sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+            // Sabotage the meta-table so the *last* statement of the load
+            // fails, after all the content INSERTs have succeeded.
+            sys.database().execute("DROP TABLE TabMetadata").unwrap();
+            sys.database().commit();
+            let before = sys.database().state_dump();
+
+            let err = sys.store_document("uni", UNIVERSITY_XML).unwrap_err();
+            assert!(matches!(err, MappingError::Db(_)), "{mode:?}: {err}");
+            // Atomic load: the content rows rolled back with the failure.
+            assert_eq!(
+                sys.database().state_dump(),
+                before,
+                "{mode:?}: failed load left residue"
+            );
+            assert!(sys.retrieve_document("uni-1").is_err());
+
+            // Restore the meta-table (its types survived the DROP): the
+            // next store succeeds and reuses the DocID the failed load
+            // gave back.
+            let tab_ddl = metadata_ddl()
+                .split_once("CREATE TABLE TabMetadata")
+                .map(|(_, tail)| format!("CREATE TABLE TabMetadata{tail}"))
+                .unwrap();
+            sys.database().execute_script(&tab_ddl).unwrap();
+            let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+            assert_eq!(doc_id, "uni-1", "{mode:?}");
+            assert!(sys.retrieve_document(&doc_id).unwrap().contains("Conrad"));
+        }
     }
 
     #[test]

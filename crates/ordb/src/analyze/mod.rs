@@ -121,6 +121,11 @@ pub struct Analyzer {
     /// REF target types declared by the script, with the span of the first
     /// declaring column — checked against the final catalog at end of script.
     ref_targets: Vec<(Ident, Span)>,
+    /// Savepoint names established so far by the script. `ROLLBACK TO` a
+    /// name outside this set is only a *warning*: the savepoint may have
+    /// been established by an earlier script in the same session, which the
+    /// analyzer cannot see.
+    savepoints: std::collections::BTreeSet<Ident>,
 }
 
 impl Analyzer {
@@ -132,7 +137,12 @@ impl Analyzer {
     /// Analyzer whose shadow catalog starts from an existing catalog — e.g.
     /// a clone of a live session's, to lint statements against current state.
     pub fn with_catalog(catalog: Catalog, mode: DbMode) -> Analyzer {
-        Analyzer { mode, catalog, ref_targets: Vec::new() }
+        Analyzer {
+            mode,
+            catalog,
+            ref_targets: Vec::new(),
+            savepoints: std::collections::BTreeSet::new(),
+        }
     }
 
     pub fn mode(&self) -> DbMode {
@@ -175,6 +185,25 @@ impl Analyzer {
                     // The executor stores the query unvalidated; it only runs
                     // when the view is expanded — everything is lazy here.
                     analyze_select(&mut cx, None, query, false)
+                }
+                Stmt::Savepoint { name } => {
+                    self.savepoints.insert(name.clone());
+                }
+                // COMMIT and full ROLLBACK discard every savepoint.
+                Stmt::Commit | Stmt::Rollback { to: None } => self.savepoints.clear(),
+                Stmt::Rollback { to: Some(name) } => {
+                    if !self.savepoints.contains(name) {
+                        let span = cx.anchor_ident(name);
+                        cx.warn(
+                            "unknown-savepoint",
+                            format!(
+                                "savepoint '{name}' is not established earlier in this script; \
+                                 ROLLBACK TO will fail unless the session already holds it \
+                                 (ORA-01086)"
+                            ),
+                            span,
+                        );
+                    }
                 }
                 ddl => lints::lint_ddl(&mut cx, ddl, &mut self.ref_targets),
             }
@@ -237,6 +266,7 @@ fn code_for(err: &DbError) -> &'static str {
         DbError::CheckViolation { .. } => "check-violation",
         DbError::UniqueViolation { .. } => "unique-violation",
         DbError::DanglingRef => "dangling-ref",
+        DbError::UnknownSavepoint(_) => "unknown-savepoint",
         DbError::Execution(_) => "execution",
     }
 }

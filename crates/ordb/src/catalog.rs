@@ -133,12 +133,29 @@ pub struct ViewDef {
     pub query: SelectStmt,
 }
 
+/// Inverse of one catalog mutation; see [`Catalog::rollback_to`]. A
+/// `CreatedType` that replaced an incomplete forward declaration carries
+/// that prior declaration so rollback restores it rather than erasing the
+/// name.
+#[derive(Debug, Clone)]
+enum CatalogUndo {
+    CreatedType { name: Ident, prev: Option<TypeDef> },
+    DroppedType { def: TypeDef },
+    CreatedTable { name: Ident },
+    DroppedTable { def: TableDef },
+    CreatedView { name: Ident },
+    DroppedView { def: ViewDef },
+}
+
 /// The complete schema catalog.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     types: BTreeMap<Ident, TypeDef>,
     tables: BTreeMap<Ident, TableDef>,
     views: BTreeMap<Ident, ViewDef>,
+    /// Undo log since the last commit; every successful mutation pushes
+    /// its inverse.
+    undo: Vec<CatalogUndo>,
 }
 
 impl Catalog {
@@ -184,8 +201,64 @@ impl Catalog {
                 return Err(DbError::UnknownType(dep.as_str().to_string()));
             }
         }
-        self.types.insert(name, def);
+        let prev = self.types.insert(name.clone(), def);
+        self.undo.push(CatalogUndo::CreatedType { name, prev });
         Ok(())
+    }
+
+    // -- transactions ---------------------------------------------------------
+
+    /// Position in the undo log; pass it back to [`Catalog::rollback_to`].
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Make all schema changes since the last commit permanent.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    /// Undo every mutation logged after `mark`, newest first. A mark at or
+    /// beyond the current log length is a no-op.
+    pub fn rollback_to(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            match self.undo.pop().expect("len > mark ≥ 0") {
+                CatalogUndo::CreatedType { name, prev } => match prev {
+                    Some(decl) => {
+                        self.types.insert(name, decl);
+                    }
+                    None => {
+                        self.types.remove(&name);
+                    }
+                },
+                CatalogUndo::DroppedType { def } => {
+                    self.types.insert(def.name().clone(), def);
+                }
+                CatalogUndo::CreatedTable { name } => {
+                    self.tables.remove(&name);
+                }
+                CatalogUndo::DroppedTable { def } => {
+                    self.tables.insert(def.name().clone(), def);
+                }
+                CatalogUndo::CreatedView { name } => {
+                    self.views.remove(&name);
+                }
+                CatalogUndo::DroppedView { def } => {
+                    self.views.insert(def.name.clone(), def);
+                }
+            }
+        }
+    }
+
+    /// Deterministic rendering of the schema state (the three namespaces in
+    /// `BTreeMap` order; the undo log is excluded). Counterpart of
+    /// [`crate::storage::Storage::state_dump`] for rollback equivalence
+    /// checks.
+    pub fn state_dump(&self) -> String {
+        format!(
+            "types: {:?}\ntables: {:?}\nviews: {:?}",
+            self.types, self.tables, self.views
+        )
     }
 
     /// Does `t` transitively involve a collection type or LOB? (The Oracle 8
@@ -277,7 +350,8 @@ impl Catalog {
                 });
             }
         }
-        self.types.remove(name);
+        let def = self.types.remove(name).expect("existence checked above");
+        self.undo.push(CatalogUndo::DroppedType { def });
         Ok(())
     }
 
@@ -353,7 +427,8 @@ impl Catalog {
             }
             object => object,
         };
-        self.tables.insert(name, def);
+        self.tables.insert(name.clone(), def);
+        self.undo.push(CatalogUndo::CreatedTable { name });
         Ok(())
     }
 
@@ -370,10 +445,13 @@ impl Catalog {
     }
 
     pub fn drop_table(&mut self, name: &Ident) -> Result<(), DbError> {
-        self.tables
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))
+        match self.tables.remove(name) {
+            Some(def) => {
+                self.undo.push(CatalogUndo::DroppedTable { def });
+                Ok(())
+            }
+            None => Err(DbError::UnknownTable(name.as_str().to_string())),
+        }
     }
 
     /// Columns of a table as (name, type) pairs — for object tables, the
@@ -401,7 +479,8 @@ impl Catalog {
         {
             return Err(DbError::DuplicateName(name.as_str().to_string()));
         }
-        self.views.insert(name, def);
+        self.views.insert(name.clone(), def);
+        self.undo.push(CatalogUndo::CreatedView { name });
         Ok(())
     }
 
@@ -410,10 +489,13 @@ impl Catalog {
     }
 
     pub fn drop_view(&mut self, name: &Ident) -> Result<(), DbError> {
-        self.views
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))
+        match self.views.remove(name) {
+            Some(def) => {
+                self.undo.push(CatalogUndo::DroppedView { def });
+                Ok(())
+            }
+            None => Err(DbError::UnknownTable(name.as_str().to_string())),
+        }
     }
 
     pub fn view_count(&self) -> usize {
@@ -595,6 +677,46 @@ mod tests {
         let cols = cat.table_columns(&table);
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[0].0.as_str(), "a");
+    }
+
+    #[test]
+    fn rollback_restores_schema_and_replaced_forward_declarations() {
+        let mut cat = Catalog::new();
+        cat.create_type(
+            TypeDef::Object { name: id("Fwd"), attrs: vec![], incomplete: true },
+            DbMode::Oracle9,
+        )
+        .unwrap();
+        cat.create_type(obj("Keep", &[]), DbMode::Oracle9).unwrap();
+        cat.commit();
+        let dump = cat.state_dump();
+        let mark = cat.undo_len();
+        // Complete the forward declaration, add a table + view, drop a type.
+        cat.create_type(obj("Fwd", &[("a", SqlType::Number)]), DbMode::Oracle9).unwrap();
+        cat.create_table(TableDef::Object {
+            name: id("Tab"),
+            of_type: id("Fwd"),
+            constraints: vec![],
+        })
+        .unwrap();
+        cat.create_view(ViewDef {
+            name: id("V"),
+            query: SelectStmt {
+                distinct: false,
+                items: vec![],
+                star: true,
+                from: vec![],
+                where_clause: None,
+                order_by: vec![],
+            },
+        })
+        .unwrap();
+        cat.drop_table(&id("Tab")).unwrap();
+        cat.drop_type(&id("Keep"), false).unwrap();
+        cat.rollback_to(mark);
+        assert_eq!(cat.state_dump(), dump);
+        assert!(cat.get_type(&id("Fwd")).unwrap().is_incomplete());
+        assert!(cat.get_type(&id("Keep")).is_some());
     }
 
     #[test]

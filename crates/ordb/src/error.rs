@@ -43,6 +43,9 @@ pub enum DbError {
     UniqueViolation { constraint: String },
     /// REF points to no live row object.
     DanglingRef,
+    /// `ROLLBACK TO name` names a savepoint that was never established, or
+    /// was discarded by a COMMIT/ROLLBACK (ORA-01086).
+    UnknownSavepoint(String),
     /// Arbitrary execution failure with context.
     Execution(String),
 }
@@ -98,6 +101,9 @@ impl fmt::Display for DbError {
                 write!(f, "unique constraint ({constraint}) violated (ORA-00001)")
             }
             DbError::DanglingRef => write!(f, "REF does not point to a live row object"),
+            DbError::UnknownSavepoint(name) => {
+                write!(f, "savepoint '{name}' never established (ORA-01086)")
+            }
             DbError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }

@@ -294,13 +294,10 @@ pub fn execute_update(
         }
     }
 
-    // Phase 2: write.
+    // Phase 2: write (undo-logged, so a rollback restores the old values).
     let count = updated.len();
-    let data = storage
-        .table_mut(table_name)
-        .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
     for (idx, new_values) in updated {
-        data.rows[idx].values = new_values;
+        storage.write_row_values(table_name, idx, new_values)?;
     }
     Ok(count)
 }
@@ -361,9 +358,13 @@ fn set_path(
         }
         slot = &mut attrs[attr_idx];
     }
-    // invariant: the caller splits off a non-empty path, so the loop always
-    // reaches `is_leaf` and returns; this line is not reachable from user SQL.
-    unreachable!("loop returns at the leaf")
+    // The caller splits off a non-empty path, so the loop always reaches
+    // `is_leaf` and returns; surface a typed error rather than panicking
+    // if that invariant is ever broken.
+    Err(DbError::Execution(format!(
+        "SET path '{}' ended without reaching a leaf attribute",
+        path.iter().map(|p| p.as_str()).collect::<Vec<_>>().join(".")
+    )))
 }
 
 /// NOT NULL and CHECK constraints only (used by UPDATE, which does not

@@ -66,6 +66,22 @@
 //! how rows are located, paired, and parsed texts reused — the mode test
 //! suites run identically with the fast paths on or off.
 //!
+//! ## Transactions & recovery
+//!
+//! Every mutation in [`storage`] and [`catalog`] logs its inverse, which
+//! gives the engine Oracle-style transaction control: each statement runs
+//! under an implicit savepoint (a failing statement rolls back exactly its
+//! own effects — statement-level atomicity), and `COMMIT`, `ROLLBACK`,
+//! `SAVEPOINT name` and `ROLLBACK TO name` are real statements. Script
+//! execution takes an explicit [`RecoveryPolicy`]: `Atomic` (the whole
+//! script rolls back on any error), `AbortOnError` (stop at the first
+//! error, reported with its statement index), or `ContinueOnError`
+//! (SQL*Plus-style error collection). Rollback restores storage
+//! byte-identically — heaps, the OID directory *and* the OID allocator —
+//! so `Storage::check_oid_directory` holds across arbitrary
+//! rollback/replay sequences. Counters: `txn_rollbacks`, `undo_records`,
+//! `savepoints`.
+//!
 //! ## Static analysis (`sqlcheck`)
 //!
 //! [`analyze`] checks a generated script *before* execution: it binds every
@@ -111,7 +127,7 @@ pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
 pub use error::DbError;
 pub use ident::Ident;
 pub use mode::DbMode;
-pub use session::{Database, QueryResult};
+pub use session::{Database, QueryResult, RecoveryPolicy, ScriptError, ScriptOutcome, TxnMark};
 pub use stats::ExecStats;
 pub use types::SqlType;
 pub use value::{Oid, Value};

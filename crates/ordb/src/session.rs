@@ -71,6 +71,56 @@ impl PlanCache {
     }
 }
 
+/// A position in the undo logs of both layers. Obtained from
+/// [`Database::txn_mark`]; passing it back to
+/// [`Database::rollback_to_mark`] undoes everything logged after it. Marks
+/// taken before an intervening [`Database::commit`] are stale and roll
+/// back nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnMark {
+    storage: usize,
+    catalog: usize,
+}
+
+/// How [`Database::execute_script_with`] reacts to a failing statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// The whole script is one unit: any error rolls back every statement
+    /// of the script and stops.
+    Atomic,
+    /// Stop at the first error. Earlier statements stay applied; the
+    /// failing statement itself is cleanly rolled back (statement-level
+    /// atomicity), and the error is reported with its statement index.
+    AbortOnError,
+    /// SQL*Plus-style: keep going, collecting one [`ScriptError`] per
+    /// failing statement; each failure is rolled back in isolation.
+    ContinueOnError,
+}
+
+/// One failing statement of a script run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// Zero-based index of the statement within the script.
+    pub statement: usize,
+    /// The statement's [`Stmt::kind`] tag (e.g. `"INSERT"`).
+    pub kind: &'static str,
+    pub error: DbError,
+}
+
+/// Result of [`Database::execute_script_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScriptOutcome {
+    /// SELECT results, in script order (cleared when an `Atomic` run rolls
+    /// back — the script produced nothing).
+    pub results: Vec<QueryResult>,
+    /// Statements that completed successfully.
+    pub executed: usize,
+    /// Per-statement failures; empty means the whole script succeeded.
+    pub errors: Vec<ScriptError>,
+    /// True when the `Atomic` policy undid the whole script.
+    pub rolled_back: bool,
+}
+
 /// An embedded object-relational database instance.
 #[derive(Debug, Clone)]
 pub struct Database {
@@ -81,6 +131,10 @@ pub struct Database {
     plan_cache: PlanCache,
     hash_joins: bool,
     analyze: bool,
+    /// Explicit `SAVEPOINT name` marks, oldest first. COMMIT and full
+    /// ROLLBACK discard them; `ROLLBACK TO name` discards only the ones
+    /// established after `name` (Oracle semantics — the target survives).
+    savepoints: Vec<(Ident, TxnMark)>,
 }
 
 impl Database {
@@ -93,6 +147,7 @@ impl Database {
             plan_cache: PlanCache::default(),
             hash_joins: true,
             analyze: false,
+            savepoints: Vec::new(),
         }
     }
 
@@ -207,16 +262,118 @@ impl Database {
 
     /// Execute a script of `;`-separated statements. Results of SELECTs are
     /// returned in order (DDL/DML contribute nothing to the result list).
+    /// Equivalent to [`execute_script_with`](Self::execute_script_with)
+    /// under [`RecoveryPolicy::AbortOnError`], surfacing the first failure
+    /// as the script's error.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, DbError> {
+        let outcome = self.execute_script_with(sql, RecoveryPolicy::AbortOnError)?;
+        match outcome.errors.into_iter().next() {
+            Some(e) => Err(e.error),
+            None => Ok(outcome.results),
+        }
+    }
+
+    /// Execute a script under an explicit [`RecoveryPolicy`]. The outer
+    /// `Err` is reserved for parse failures (no statement ran); execution
+    /// failures are reported per statement in [`ScriptOutcome::errors`].
+    ///
+    /// A `COMMIT` inside the script makes the statements before it
+    /// permanent even under [`RecoveryPolicy::Atomic`] — exactly as it
+    /// would in Oracle — so atomic loads should not embed commits.
+    pub fn execute_script_with(
+        &mut self,
+        sql: &str,
+        policy: RecoveryPolicy,
+    ) -> Result<ScriptOutcome, DbError> {
         self.analyze_inline(sql);
         let stmts = self.cached_parse(sql)?;
-        let mut results = Vec::new();
-        for stmt in stmts.iter() {
-            if let Some(result) = self.execute_stmt(stmt)? {
-                results.push(result);
+        let script_mark = self.txn_mark();
+        let mut outcome = ScriptOutcome::default();
+        for (index, stmt) in stmts.iter().enumerate() {
+            match self.execute_stmt(stmt) {
+                Ok(Some(result)) => {
+                    outcome.results.push(result);
+                    outcome.executed += 1;
+                }
+                Ok(None) => outcome.executed += 1,
+                Err(error) => {
+                    outcome.errors.push(ScriptError { statement: index, kind: stmt.kind(), error });
+                    match policy {
+                        RecoveryPolicy::ContinueOnError => continue,
+                        RecoveryPolicy::AbortOnError => break,
+                        RecoveryPolicy::Atomic => {
+                            self.rollback_to_mark(script_mark);
+                            outcome.rolled_back = true;
+                            outcome.results.clear();
+                            break;
+                        }
+                    }
+                }
             }
         }
-        Ok(results)
+        Ok(outcome)
+    }
+
+    // -- transactions ---------------------------------------------------------
+
+    /// Current undo-log position, for [`rollback_to_mark`](Self::rollback_to_mark).
+    pub fn txn_mark(&self) -> TxnMark {
+        TxnMark { storage: self.storage.undo_len(), catalog: self.catalog.undo_len() }
+    }
+
+    /// Undo every data and schema mutation logged after `mark` (newest
+    /// first). Counts one [`ExecStats::txn_rollbacks`].
+    pub fn rollback_to_mark(&mut self, mark: TxnMark) {
+        self.storage.rollback_to(mark.storage);
+        self.catalog.rollback_to(mark.catalog);
+        self.stats.txn_rollbacks += 1;
+    }
+
+    /// Make everything since the last commit permanent: truncate both undo
+    /// logs and discard all savepoints (`COMMIT`).
+    pub fn commit(&mut self) {
+        self.storage.commit();
+        self.catalog.commit();
+        self.savepoints.clear();
+    }
+
+    /// Undo everything since the last commit (`ROLLBACK`).
+    pub fn rollback(&mut self) {
+        self.rollback_to_mark(TxnMark { storage: 0, catalog: 0 });
+        self.savepoints.clear();
+    }
+
+    /// Establish (or move) the named savepoint at the current undo
+    /// position (`SAVEPOINT name`).
+    pub fn savepoint(&mut self, name: Ident) {
+        let mark = self.txn_mark();
+        self.savepoints.retain(|(n, _)| *n != name);
+        self.savepoints.push((name, mark));
+        self.stats.savepoints += 1;
+    }
+
+    /// Undo back to the named savepoint (`ROLLBACK TO name`). The target
+    /// savepoint survives and can be rolled back to again; savepoints
+    /// established after it are discarded.
+    pub fn rollback_to_savepoint(&mut self, name: &Ident) -> Result<(), DbError> {
+        let index = self
+            .savepoints
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| DbError::UnknownSavepoint(name.as_str().to_string()))?;
+        let mark = self.savepoints[index].1;
+        self.rollback_to_mark(mark);
+        self.savepoints.truncate(index + 1);
+        Ok(())
+    }
+
+    /// Deterministic rendering of the committed + uncommitted database
+    /// state — schema and data, excluding statistics and caches. Two
+    /// databases with identical dumps hold identical catalogs, heaps, OID
+    /// directories and OID allocator positions; the fault-injection tests
+    /// compare rollback outcomes this way.
+    pub fn state_dump(&self) -> String {
+        format!("{}\n{}", self.catalog.state_dump(), self.storage.state_dump())
     }
 
     /// Execute a single statement.
@@ -240,9 +397,43 @@ impl Database {
         }
     }
 
-    /// Execute a parsed statement.
+    /// Execute a parsed statement. Each statement runs under an implicit
+    /// savepoint: if it fails, every mutation it already made is rolled
+    /// back, so a failing statement has no effect at all (Oracle's
+    /// statement-level atomicity).
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
         self.stats.statements += 1;
+        match stmt {
+            Stmt::Commit => {
+                self.commit();
+                return Ok(None);
+            }
+            Stmt::Rollback { to: None } => {
+                self.rollback();
+                return Ok(None);
+            }
+            Stmt::Rollback { to: Some(name) } => {
+                self.rollback_to_savepoint(name)?;
+                return Ok(None);
+            }
+            Stmt::Savepoint { name } => {
+                self.savepoint(name.clone());
+                return Ok(None);
+            }
+            _ => {}
+        }
+        let mark = self.txn_mark();
+        let result = self.dispatch_stmt(stmt);
+        let produced = (self.storage.undo_len() - mark.storage)
+            + (self.catalog.undo_len() - mark.catalog);
+        self.stats.undo_records += produced as u64;
+        if result.is_err() {
+            self.rollback_to_mark(mark);
+        }
+        result
+    }
+
+    fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
         if execute_ddl(&mut self.catalog, &mut self.storage, &mut self.stats, self.mode, stmt)? {
             return Ok(None);
         }
@@ -967,5 +1158,176 @@ mod tests {
         assert_eq!(d.stats().statements, 3);
         assert_eq!(d.stats().inserts, 1);
         assert_eq!(d.stats().tables_created, 1);
+    }
+
+    #[test]
+    fn rollback_undoes_everything_since_the_last_commit() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER); INSERT INTO T VALUES (1); COMMIT;").unwrap();
+        let committed = d.state_dump();
+        d.execute_script(
+            "INSERT INTO T VALUES (2);
+             CREATE TYPE Type_X AS OBJECT (a NUMBER);
+             DELETE FROM T WHERE a = 1;",
+        )
+        .unwrap();
+        assert_eq!(d.row_count("T"), 1);
+        d.execute("ROLLBACK").unwrap();
+        assert_eq!(d.state_dump(), committed);
+        assert_eq!(d.row_count("T"), 1);
+        assert!(d.catalog().get_type(&Ident::internal("Type_X")).is_none());
+        assert_eq!(d.query_scalar("SELECT t.a FROM T t").unwrap(), Value::Num(1.0));
+    }
+
+    #[test]
+    fn savepoints_nest_and_survive_partial_rollback() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER); COMMIT").unwrap();
+        d.execute_script(
+            "INSERT INTO T VALUES (1);
+             SAVEPOINT one;
+             INSERT INTO T VALUES (2);
+             SAVEPOINT two;
+             INSERT INTO T VALUES (3);",
+        )
+        .unwrap();
+        d.execute("ROLLBACK TO two").unwrap();
+        assert_eq!(d.row_count("T"), 2);
+        // `two` survives the rollback and can be targeted again (Oracle).
+        d.execute("INSERT INTO T VALUES (30)").unwrap();
+        d.execute("ROLLBACK TO two").unwrap();
+        assert_eq!(d.row_count("T"), 2);
+        d.execute("ROLLBACK TO one").unwrap();
+        assert_eq!(d.row_count("T"), 1);
+        // `two` was discarded by rolling back past it.
+        let err = d.execute("ROLLBACK TO two").unwrap_err();
+        assert!(matches!(err, DbError::UnknownSavepoint(name) if name == "two"));
+        assert_eq!(d.stats().savepoints, 2);
+    }
+
+    #[test]
+    fn commit_discards_savepoints_and_seals_changes() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER); SAVEPOINT sp; INSERT INTO T VALUES (1); COMMIT")
+            .unwrap();
+        assert!(matches!(
+            d.execute("ROLLBACK TO sp").unwrap_err(),
+            DbError::UnknownSavepoint(_)
+        ));
+        d.execute("ROLLBACK").unwrap();
+        assert_eq!(d.row_count("T"), 1, "committed work survives ROLLBACK");
+    }
+
+    #[test]
+    fn failing_statement_rolls_back_only_itself() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER NOT NULL); INSERT INTO T VALUES (1)").unwrap();
+        let before = d.state_dump();
+        let rollbacks = d.stats().txn_rollbacks;
+        let err = d.execute("INSERT INTO T VALUES (NULL)").unwrap_err();
+        assert!(matches!(err, DbError::NotNullViolation { .. }));
+        assert_eq!(d.state_dump(), before);
+        assert_eq!(d.stats().txn_rollbacks, rollbacks + 1);
+        d.storage().check_oid_directory().unwrap();
+    }
+
+    #[test]
+    fn atomic_policy_rolls_back_the_whole_script() {
+        let mut d = db();
+        d.execute("CREATE TABLE Keep (a NUMBER)").unwrap();
+        d.commit();
+        let initial = d.state_dump();
+        let outcome = d
+            .execute_script_with(
+                "CREATE TYPE Type_P AS OBJECT (a VARCHAR(5));
+                 CREATE TABLE TabP OF Type_P;
+                 INSERT INTO TabP VALUES (Type_P('ok'));
+                 INSERT INTO TabP VALUES (Type_P('way too long'));",
+                RecoveryPolicy::Atomic,
+            )
+            .unwrap();
+        assert!(outcome.rolled_back);
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.errors[0].statement, 3);
+        assert_eq!(outcome.errors[0].kind, "INSERT");
+        assert_eq!(outcome.executed, 3);
+        assert_eq!(d.state_dump(), initial, "atomic failure leaves no trace");
+        d.storage().check_oid_directory().unwrap();
+    }
+
+    #[test]
+    fn abort_on_error_keeps_the_prefix_and_reports_the_index() {
+        let mut d = db();
+        let outcome = d
+            .execute_script_with(
+                "CREATE TABLE T (a NUMBER);
+                 INSERT INTO T VALUES (1);
+                 INSERT INTO Missing VALUES (2);
+                 INSERT INTO T VALUES (3);",
+                RecoveryPolicy::AbortOnError,
+            )
+            .unwrap();
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.errors[0].statement, 2);
+        assert_eq!(outcome.executed, 2);
+        assert!(!outcome.rolled_back);
+        assert_eq!(d.row_count("T"), 1, "statement 3 never ran");
+    }
+
+    #[test]
+    fn continue_on_error_collects_every_failure() {
+        let mut d = db();
+        let outcome = d
+            .execute_script_with(
+                "CREATE TABLE T (a NUMBER);
+                 INSERT INTO Missing VALUES (1);
+                 INSERT INTO T VALUES (2);
+                 INSERT INTO Missing2 VALUES (3);
+                 INSERT INTO T VALUES (4);",
+                RecoveryPolicy::ContinueOnError,
+            )
+            .unwrap();
+        assert_eq!(outcome.errors.len(), 2);
+        assert_eq!(
+            outcome.errors.iter().map(|e| e.statement).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(outcome.executed, 3);
+        assert_eq!(d.row_count("T"), 2, "good statements all applied");
+    }
+
+    #[test]
+    fn rollback_restores_updates_and_drops() {
+        let mut d = db();
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT (PName VARCHAR(80));
+             CREATE TABLE TabP OF Type_P (PName PRIMARY KEY);
+             INSERT INTO TabP VALUES (Type_P('Jaeger'));
+             COMMIT;",
+        )
+        .unwrap();
+        let committed = d.state_dump();
+        d.execute("UPDATE TabP SET PName = 'Kudrass'").unwrap();
+        assert_eq!(
+            d.query_scalar("SELECT p.PName FROM TabP p").unwrap(),
+            Value::str("Kudrass")
+        );
+        d.execute("DROP TABLE TabP").unwrap();
+        d.execute("DROP TYPE Type_P").unwrap();
+        d.execute("ROLLBACK").unwrap();
+        assert_eq!(d.state_dump(), committed);
+        assert_eq!(
+            d.query_scalar("SELECT p.PName FROM TabP p").unwrap(),
+            Value::str("Jaeger")
+        );
+        d.storage().check_oid_directory().unwrap();
+    }
+
+    #[test]
+    fn undo_records_are_counted() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER); INSERT INTO T VALUES (1)").unwrap();
+        // CREATE TABLE logs a catalog + a storage record, INSERT one more.
+        assert!(d.stats().undo_records >= 3, "{}", d.stats().undo_records);
     }
 }

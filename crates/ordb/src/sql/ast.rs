@@ -145,6 +145,16 @@ pub enum Stmt {
     /// `UPDATE table SET path = expr, … [WHERE pred]`. SET paths may
     /// navigate into embedded object attributes (`attrList.attrBoss`).
     Update { table: Ident, sets: Vec<(Vec<Ident>, Expr)>, where_clause: Option<Expr> },
+    /// `COMMIT [WORK]` — make all changes since the last commit permanent
+    /// and discard the undo log.
+    Commit,
+    /// `ROLLBACK [WORK]` (undo everything since the last commit) or
+    /// `ROLLBACK [WORK] TO [SAVEPOINT] name` (undo back to a savepoint,
+    /// which stays usable — Oracle semantics).
+    Rollback { to: Option<Ident> },
+    /// `SAVEPOINT name` — mark the current undo position; re-using a name
+    /// moves the savepoint.
+    Savepoint { name: Ident },
 }
 
 impl Stmt {
@@ -164,6 +174,9 @@ impl Stmt {
             Stmt::Select(_) => "SELECT",
             Stmt::Delete { .. } => "DELETE",
             Stmt::Update { .. } => "UPDATE",
+            Stmt::Commit => "COMMIT",
+            Stmt::Rollback { .. } => "ROLLBACK",
+            Stmt::Savepoint { .. } => "SAVEPOINT",
         }
     }
 }

@@ -237,7 +237,27 @@ impl Parser {
         if self.peek_kw("UPDATE") {
             return self.update_statement();
         }
-        Err(self.error("expected CREATE, DROP, INSERT, SELECT, DELETE or UPDATE"))
+        if self.eat_kw("COMMIT") {
+            self.eat_kw("WORK");
+            return Ok(Stmt::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            self.eat_kw("WORK");
+            let to = if self.eat_kw("TO") {
+                self.eat_kw("SAVEPOINT");
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Rollback { to });
+        }
+        if self.eat_kw("SAVEPOINT") {
+            let name = self.ident()?;
+            return Ok(Stmt::Savepoint { name });
+        }
+        Err(self.error(
+            "expected CREATE, DROP, INSERT, SELECT, DELETE, UPDATE, COMMIT, ROLLBACK or SAVEPOINT",
+        ))
     }
 
     fn create_statement(&mut self) -> Result<Stmt, DbError> {

@@ -113,6 +113,10 @@ pub fn print_stmt(stmt: &Stmt) -> String {
             }
             out
         }
+        Stmt::Commit => "COMMIT".to_string(),
+        Stmt::Rollback { to: None } => "ROLLBACK".to_string(),
+        Stmt::Rollback { to: Some(name) } => format!("ROLLBACK TO {name}"),
+        Stmt::Savepoint { name } => format!("SAVEPOINT {name}"),
     }
 }
 
@@ -295,6 +299,17 @@ mod tests {
         );
         round_trip("SELECT x FROM T WHERE EXISTS (SELECT y FROM U u WHERE u.y = x)");
         round_trip("SELECT DEREF(c.r) FROM C c WHERE NOT c.x = 1 OR c.y <> 2");
+    }
+
+    #[test]
+    fn transaction_control_round_trips() {
+        round_trip("COMMIT");
+        round_trip("COMMIT WORK");
+        round_trip("ROLLBACK");
+        round_trip("ROLLBACK WORK");
+        round_trip("SAVEPOINT before_load");
+        round_trip("ROLLBACK TO before_load");
+        round_trip("ROLLBACK TO SAVEPOINT before_load");
     }
 
     #[test]

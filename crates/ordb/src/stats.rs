@@ -47,6 +47,15 @@ pub struct ExecStats {
     pub analyzer_errors: u64,
     /// Warning-severity findings from the inline static analyzer.
     pub analyzer_warnings: u64,
+    /// Rollbacks performed: explicit `ROLLBACK [TO name]`, the implicit
+    /// per-statement rollback of a failing statement, and `Atomic`-policy
+    /// script rollbacks.
+    pub txn_rollbacks: u64,
+    /// Undo-log records written by statements (inverse operations logged
+    /// by storage and catalog mutations).
+    pub undo_records: u64,
+    /// Explicit `SAVEPOINT name` statements executed.
+    pub savepoints: u64,
 }
 
 impl ExecStats {
@@ -69,6 +78,9 @@ impl ExecStats {
             plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
             analyzer_errors: self.analyzer_errors - earlier.analyzer_errors,
             analyzer_warnings: self.analyzer_warnings - earlier.analyzer_warnings,
+            txn_rollbacks: self.txn_rollbacks - earlier.txn_rollbacks,
+            undo_records: self.undo_records - earlier.undo_records,
+            savepoints: self.savepoints - earlier.savepoints,
         }
     }
 }

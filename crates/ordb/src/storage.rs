@@ -30,6 +30,27 @@ struct OidEntry {
     slot: usize,
 }
 
+/// Inverse of one storage mutation. Every mutating method pushes one of
+/// these; [`Storage::rollback_to`] pops and applies them in reverse, which
+/// restores the heaps, the OID directory, *and* the OID allocator to the
+/// pre-mutation state (rollback is byte-identical, not merely equivalent).
+#[derive(Debug, Clone)]
+enum StorageUndo {
+    /// Inverse of [`Storage::insert_row`]: pop the appended row and restore
+    /// the OID allocator position.
+    Inserted { table: Ident, prev_next_oid: u64 },
+    /// Inverse of [`Storage::delete_rows`]: re-insert the removed rows at
+    /// their original slots (ascending order), then re-slot the directory.
+    Deleted { table: Ident, removed: Vec<(usize, Row)> },
+    /// Inverse of [`Storage::write_row_values`]: restore the old values.
+    Wrote { table: Ident, slot: usize, values: Vec<Value> },
+    /// Inverse of [`Storage::create_table`]: remove the (empty) heap.
+    Created { table: Ident },
+    /// Inverse of [`Storage::drop_table`]: restore the heap and re-register
+    /// its rows' OIDs.
+    Dropped { table: Ident, data: TableData },
+}
+
 /// The storage layer: table heaps plus the OID directory.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
@@ -39,6 +60,9 @@ pub struct Storage {
     /// table's entries wholesale.
     oid_directory: HashMap<Oid, OidEntry>,
     next_oid: u64,
+    /// Undo log since the last commit. Truncated by [`Storage::commit`],
+    /// replayed backwards by [`Storage::rollback_to`].
+    undo: Vec<StorageUndo>,
 }
 
 impl Storage {
@@ -47,7 +71,10 @@ impl Storage {
     }
 
     pub fn create_table(&mut self, name: Ident) {
-        self.tables.entry(name).or_default();
+        if !self.tables.contains_key(&name) {
+            self.undo.push(StorageUndo::Created { table: name.clone() });
+            self.tables.insert(name, TableData::default());
+        }
     }
 
     pub fn drop_table(&mut self, name: &Ident) {
@@ -57,6 +84,7 @@ impl Storage {
                     self.oid_directory.remove(&oid);
                 }
             }
+            self.undo.push(StorageUndo::Dropped { table: name.clone(), data });
         }
     }
 
@@ -85,6 +113,7 @@ impl Storage {
             .tables
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        let prev_next_oid = self.next_oid;
         let oid = if with_oid {
             self.next_oid += 1;
             let oid = Oid(self.next_oid);
@@ -95,7 +124,29 @@ impl Storage {
             None
         };
         data.rows.push(Row { oid, values });
+        self.undo.push(StorageUndo::Inserted { table: table.clone(), prev_next_oid });
         Ok(oid)
+    }
+
+    /// Overwrite one row's values in place, logging the old values for
+    /// rollback. UPDATE's write phase goes through here rather than
+    /// [`Storage::table_mut`] so the mutation is undoable.
+    pub fn write_row_values(
+        &mut self,
+        table: &Ident,
+        slot: usize,
+        values: Vec<Value>,
+    ) -> Result<(), DbError> {
+        let data = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        let row = data.rows.get_mut(slot).ok_or_else(|| {
+            DbError::Execution(format!("row slot {slot} out of range for table {table}"))
+        })?;
+        let old = std::mem::replace(&mut row.values, values);
+        self.undo.push(StorageUndo::Wrote { table: table.clone(), slot, values: old });
+        Ok(())
     }
 
     /// Find the row object behind an OID — an O(1) directory lookup plus a
@@ -119,21 +170,21 @@ impl Storage {
     /// the surviving rows of the compacted table are re-slotted.
     pub fn delete_rows(&mut self, table: &Ident, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let Some(data) = self.tables.get_mut(table) else { return 0 };
-        let mut removed_oids = Vec::new();
-        let before = data.rows.len();
-        data.rows.retain(|row| {
-            let keep = !pred(row);
-            if !keep {
-                if let Some(oid) = row.oid {
-                    removed_oids.push(oid);
-                }
+        let before = std::mem::take(&mut data.rows);
+        let mut removed_rows = Vec::new();
+        for (slot, row) in before.into_iter().enumerate() {
+            if pred(&row) {
+                removed_rows.push((slot, row));
+            } else {
+                data.rows.push(row);
             }
-            keep
-        });
-        let removed = before - data.rows.len();
+        }
+        let removed = removed_rows.len();
         if removed > 0 {
-            for oid in removed_oids {
-                self.oid_directory.remove(&oid);
+            for (_, row) in &removed_rows {
+                if let Some(oid) = row.oid {
+                    self.oid_directory.remove(&oid);
+                }
             }
             // Compaction shifted the survivors; restore slot invariants.
             for (slot, row) in data.rows.iter().enumerate() {
@@ -143,8 +194,99 @@ impl Storage {
                     }
                 }
             }
+            self.undo
+                .push(StorageUndo::Deleted { table: table.clone(), removed: removed_rows });
         }
         removed
+    }
+
+    /// Position in the undo log; pass it back to [`Storage::rollback_to`].
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Make everything since the last commit permanent by discarding the
+    /// undo log.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    /// Undo every mutation logged after `mark` (in reverse order). A mark
+    /// at or beyond the current log length — e.g. one taken before an
+    /// intervening [`Storage::commit`] — is a no-op.
+    pub fn rollback_to(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let op = self.undo.pop().expect("len > mark ≥ 0");
+            self.apply_undo(op);
+        }
+    }
+
+    fn apply_undo(&mut self, op: StorageUndo) {
+        match op {
+            StorageUndo::Inserted { table, prev_next_oid } => {
+                if let Some(data) = self.tables.get_mut(&table) {
+                    if let Some(row) = data.rows.pop() {
+                        if let Some(oid) = row.oid {
+                            self.oid_directory.remove(&oid);
+                        }
+                    }
+                }
+                self.next_oid = prev_next_oid;
+            }
+            StorageUndo::Deleted { table, removed } => {
+                if let Some(data) = self.tables.get_mut(&table) {
+                    // Ascending original slots: each insert lands exactly
+                    // where the row used to live.
+                    for (slot, row) in removed {
+                        let at = slot.min(data.rows.len());
+                        data.rows.insert(at, row);
+                    }
+                    for (slot, row) in data.rows.iter().enumerate() {
+                        if let Some(oid) = row.oid {
+                            self.oid_directory
+                                .insert(oid, OidEntry { table: table.clone(), slot });
+                        }
+                    }
+                }
+            }
+            StorageUndo::Wrote { table, slot, values } => {
+                if let Some(row) =
+                    self.tables.get_mut(&table).and_then(|d| d.rows.get_mut(slot))
+                {
+                    row.values = values;
+                }
+            }
+            StorageUndo::Created { table } => {
+                if let Some(data) = self.tables.remove(&table) {
+                    for row in &data.rows {
+                        if let Some(oid) = row.oid {
+                            self.oid_directory.remove(&oid);
+                        }
+                    }
+                }
+            }
+            StorageUndo::Dropped { table, data } => {
+                for (slot, row) in data.rows.iter().enumerate() {
+                    if let Some(oid) = row.oid {
+                        self.oid_directory.insert(oid, OidEntry { table: table.clone(), slot });
+                    }
+                }
+                self.tables.insert(table, data);
+            }
+        }
+    }
+
+    /// Deterministic rendering of the full storage state — heaps in table
+    /// order, the OID directory sorted by OID, and the allocator position.
+    /// Two storages with byte-identical dumps hold identical data; the
+    /// fault-injection tests compare rollback results this way.
+    pub fn state_dump(&self) -> String {
+        let mut oids: Vec<_> = self.oid_directory.iter().collect();
+        oids.sort_by_key(|(oid, _)| oid.0);
+        format!(
+            "tables: {:?}\noids: {:?}\nnext_oid: {}",
+            self.tables, oids, self.next_oid
+        )
     }
 
     pub fn row_count(&self, table: &Ident) -> usize {
@@ -289,6 +431,60 @@ mod tests {
         assert!(st.resolve_oid(oid).is_none());
         assert_eq!(st.table_count(), 0);
         assert_eq!(st.oid_directory_len(), 0);
+    }
+
+    #[test]
+    fn rollback_of_insert_restores_allocator_and_directory() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        st.commit();
+        let dump = st.state_dump();
+        let mark = st.undo_len();
+        let oid = st.insert_row(&id("T"), vec![Value::Num(1.0)], true).unwrap().unwrap();
+        st.rollback_to(mark);
+        assert!(st.resolve_oid(oid).is_none());
+        assert_eq!(st.state_dump(), dump, "rollback is byte-identical");
+        st.check_oid_directory().unwrap();
+        // The allocator was rewound, so the next insert reuses the OID.
+        let again = st.insert_row(&id("T"), vec![Value::Num(2.0)], true).unwrap().unwrap();
+        assert_eq!(again, oid);
+    }
+
+    #[test]
+    fn rollback_of_delete_restores_original_slots() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        let oids: Vec<Oid> = (0..6)
+            .map(|i| st.insert_row(&id("T"), vec![Value::Num(i as f64)], true).unwrap().unwrap())
+            .collect();
+        st.commit();
+        let dump = st.state_dump();
+        let mark = st.undo_len();
+        st.delete_rows(&id("T"), |r| matches!(&r.values[0], Value::Num(n) if (*n as i64) % 2 == 0));
+        st.check_oid_directory().unwrap();
+        st.rollback_to(mark);
+        assert_eq!(st.state_dump(), dump);
+        st.check_oid_directory().unwrap();
+        for (i, oid) in oids.iter().enumerate() {
+            let (_, row) = st.resolve_oid(*oid).expect("revived row resolves");
+            assert_eq!(row.values[0], Value::Num(i as f64));
+        }
+    }
+
+    #[test]
+    fn rollback_of_drop_and_write_restores_everything() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        st.insert_row(&id("T"), vec![Value::str("old")], true).unwrap();
+        st.commit();
+        let dump = st.state_dump();
+        let mark = st.undo_len();
+        st.write_row_values(&id("T"), 0, vec![Value::str("new")]).unwrap();
+        st.drop_table(&id("T"));
+        st.create_table(id("T"));
+        st.rollback_to(mark);
+        assert_eq!(st.state_dump(), dump);
+        st.check_oid_directory().unwrap();
     }
 
     #[test]

@@ -141,13 +141,17 @@ fn write_node(
             }
         }
         NodeKind::CData(text) => {
+            // A CDATA section cannot contain its own terminator. Split the
+            // content into adjacent sections at every `]]>`: the first
+            // section ends after `]]` and the next one reopens before `>`,
+            // so the character data reparses unchanged.
             out.push_str("<![CDATA[");
-            out.push_str(text);
+            out.push_str(&text.replace("]]>", "]]]]><![CDATA[>"));
             out.push_str("]]>");
         }
         NodeKind::Comment(text) => {
             out.push_str("<!--");
-            out.push_str(text);
+            out.push_str(&escape_comment(text));
             out.push_str("-->");
         }
         NodeKind::ProcessingInstruction { target, data } => {
@@ -155,11 +159,32 @@ fn write_node(
             out.push_str(target);
             if !data.is_empty() {
                 out.push(' ');
-                out.push_str(data);
+                // PI data cannot contain the `?>` terminator; break the
+                // pair with a space so the PI still parses.
+                out.push_str(&data.replace("?>", "? >"));
             }
             out.push_str("?>");
         }
     }
+}
+
+/// Make comment text well-formed: XML 1.0 §2.5 forbids `--` inside a
+/// comment and a trailing `-` (which would glue onto the closing `-->`).
+/// A space is inserted between consecutive dashes and after a final dash;
+/// the result contains neither pattern, so serialization stays infallible
+/// and the output reparses as a comment.
+fn escape_comment(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if c == '-' && out.ends_with('-') {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    if out.ends_with('-') {
+        out.push(' ');
+    }
+    out
 }
 
 fn push_indent(opts: &SerializeOptions, depth: usize, out: &mut String) {
@@ -225,6 +250,49 @@ mod tests {
         let src = "<a><![CDATA[<not & markup>]]></a>";
         let doc = parse(src).unwrap();
         assert_eq!(serialize(&doc, &SerializeOptions::compact()), src);
+    }
+
+    #[test]
+    fn cdata_containing_terminator_splits_into_sections() {
+        let mut doc = Document::new();
+        let root = doc.create_root(crate::QName::local("a"));
+        let cd = doc.push_node(NodeKind::CData("x]]>y".into()));
+        doc.append_child(root, cd);
+        let out = serialize(&doc, &SerializeOptions::compact());
+        assert_eq!(out, "<a><![CDATA[x]]]]><![CDATA[>y]]></a>");
+        // Reparses to the same character data, and a second serialization
+        // is a fixpoint.
+        let doc2 = parse(&out).unwrap();
+        let r2 = doc2.root_element().unwrap();
+        assert_eq!(doc2.text_content(r2), "x]]>y");
+        assert_eq!(serialize(&doc2, &SerializeOptions::compact()), out);
+    }
+
+    #[test]
+    fn comment_with_double_dash_is_escaped() {
+        let mut doc = Document::new();
+        let root = doc.create_root(crate::QName::local("a"));
+        for text in ["a--b", "a---b", "ends-", "--", "-"] {
+            let c = doc.create_comment(text);
+            doc.append_child(root, c);
+        }
+        let out = serialize(&doc, &SerializeOptions::compact());
+        assert_eq!(out, "<a><!--a- -b--><!--a- - -b--><!--ends- --><!--- - --><!--- --></a>");
+        // Well-formed: it must reparse, and reserialize to the same bytes.
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(serialize(&doc2, &SerializeOptions::compact()), out);
+    }
+
+    #[test]
+    fn pi_with_terminator_in_data_is_escaped() {
+        let mut doc = Document::new();
+        let root = doc.create_root(crate::QName::local("a"));
+        let pi = doc.create_pi("target", "data ?> more");
+        doc.append_child(root, pi);
+        let out = serialize(&doc, &SerializeOptions::compact());
+        assert_eq!(out, "<a><?target data ? > more?></a>");
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(serialize(&doc2, &SerializeOptions::compact()), out);
     }
 
     #[test]

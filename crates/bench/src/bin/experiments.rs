@@ -10,6 +10,10 @@
 //! `analyze [oracle8|oracle9|both]` runs the `sqlcheck` static analyzer over
 //! every strategy's generated DDL + load scripts and exits non-zero if any
 //! script draws an Error-severity diagnostic (CI runs this in both modes).
+//!
+//! `trace` writes JSON to stdout (`experiments trace > BENCH_PR4.json`): the
+//! per-phase wall-time breakdown of a store + retrieve captured through the
+//! structured tracing layer, plus the measured cost of tracing itself.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -39,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "fastpath",
     "analyze",
     "faults",
+    "trace",
 ];
 
 fn main() {
@@ -81,6 +86,9 @@ fn main() {
     }
     if all || which == "faults" {
         faults();
+    }
+    if all || which == "trace" {
+        trace_experiment();
     }
     if all || which == "analyze" {
         let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
@@ -681,4 +689,164 @@ CREATE TABLE TabCourse OF Type_Course (CHECK (attrAddress.attrCity = 'Leipzig'))
     for d in diags.iter().filter(|d| d.code == "check-null-object") {
         println!("{}", d.render(script, "quirk.sql"));
     }
+}
+
+/// E17 — the observability layer measuring itself: a full register + store +
+/// retrieve pass over the university workload, traced through a ring-buffer
+/// sink, broken down per pipeline phase and per statement kind. The same
+/// pass runs with tracing disabled to price the instrumentation; the
+/// state dumps and counters of both runs are compared to show tracing is
+/// observation-only. JSON on stdout.
+fn trace_experiment() {
+    use xmlord_ordb::{TraceEvent, TraceHandle};
+    use xmlord_workload::university::UNIVERSITY_DTD;
+
+    eprintln!("E17 — per-phase trace breakdown and tracing overhead (JSON on stdout)");
+    let students = 100;
+    let repeats = 15;
+    let (xml, _) = xmlord_bench::university_doc(students);
+
+    // One full pipeline pass; returns wall micros, state dump, counters
+    // (as their Debug rendering, for equality checks) and drained events.
+    let run = |traced: bool| -> (u128, String, String, Vec<TraceEvent>, u64) {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        let ring = if traced {
+            let (handle, ring) = TraceHandle::ring(1 << 16);
+            sys.database().set_trace_sink(Some(handle));
+            Some(ring)
+        } else {
+            None
+        };
+        let start = Instant::now();
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let doc_id = sys.store_document("uni", &xml).unwrap();
+        let restored = sys.retrieve_document(&doc_id).unwrap();
+        let micros = start.elapsed().as_micros();
+        assert!(restored.contains("University"));
+        let dump = sys.database().state_dump();
+        let stats = format!("{:?}", sys.stats());
+        let (events, dropped) = match ring {
+            Some(r) => {
+                let mut r = r.borrow_mut();
+                let dropped = r.dropped();
+                (r.drain(), dropped)
+            }
+            None => (Vec::new(), 0),
+        };
+        (micros, dump, stats, events, dropped)
+    };
+
+    fn median(mut xs: Vec<u128>) -> f64 {
+        xs.sort_unstable();
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2] as f64
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) as f64 / 2.0
+        }
+    }
+
+    // Warm up both configurations, then interleave the timed repeats so
+    // drift hits every series equally. Two independent disabled series act
+    // as the noise floor: the disabled path *is* the product path (tracing
+    // off = one Option check per statement), so the spread between two
+    // disabled medians bounds what the instrumentation can possibly cost
+    // when no sink is installed.
+    run(false);
+    run(true);
+    let mut disabled_a_us = Vec::new();
+    let mut disabled_b_us = Vec::new();
+    let mut traced_us = Vec::new();
+    let mut last_disabled = None;
+    let mut last_traced = None;
+    for _ in 0..repeats {
+        disabled_a_us.push(run(false).0);
+        let t = run(true);
+        traced_us.push(t.0);
+        last_traced = Some(t);
+        let d = run(false);
+        disabled_b_us.push(d.0);
+        last_disabled = Some(d);
+    }
+    let (_, d_dump, d_stats, _, _) = last_disabled.unwrap();
+    let (_, t_dump, t_stats, events, dropped) = last_traced.unwrap();
+
+    let disabled_a_ms = median(disabled_a_us) / 1000.0;
+    let disabled_b_ms = median(disabled_b_us) / 1000.0;
+    let disabled_ms = disabled_a_ms.min(disabled_b_ms);
+    let traced_ms = median(traced_us) / 1000.0;
+    let disabled_noise_pct = (disabled_a_ms - disabled_b_ms).abs() / disabled_ms * 100.0;
+    let overhead_pct = (traced_ms - disabled_ms) / disabled_ms * 100.0;
+
+    // Aggregate the event stream: wall time per phase, and per statement
+    // kind within the execute phase.
+    let mut phases: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    let mut kinds: std::collections::BTreeMap<String, (u64, u64, u64)> = Default::default();
+    for e in &events {
+        let p = phases.entry(e.phase).or_default();
+        p.0 += 1;
+        p.1 += e.nanos;
+        if e.phase == "execute" {
+            let k = kinds.entry(e.detail.clone()).or_default();
+            k.0 += 1;
+            k.1 += e.nanos;
+            k.2 = k.2.max(e.nanos);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR4 observability: EXPLAIN, structured tracing, \
+         per-statement timing\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"students\": {students}, \"mode\": \"Oracle9\", \
+         \"repeats\": {repeats}, \"pass\": \"register_dtd + store_document + \
+         retrieve_document\"}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"wall_ms\": {{\"tracing_disabled_a\": {disabled_a_ms:.2}, \
+         \"tracing_disabled_b\": {disabled_b_ms:.2}, \"ring_sink\": {traced_ms:.2}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"overhead_when_disabled_pct\": {disabled_noise_pct:.2},\n  \
+         \"overhead_ring_sink_pct\": {overhead_pct:.2},\n  \
+         \"overhead_budget_pct\": 5.0,\n"
+    ));
+    out.push_str(&format!(
+        "  \"state_dump_identical\": {},\n  \"exec_counters_identical\": {},\n",
+        d_dump == t_dump,
+        d_stats == t_stats
+    ));
+    out.push_str(&format!(
+        "  \"trace_events\": {},\n  \"ring_dropped\": {dropped},\n",
+        events.len()
+    ));
+
+    out.push_str("  \"phases\": [\n");
+    let order = ["shred", "generate", "load", "retrieve", "parse", "analyze", "execute"];
+    let named: Vec<&str> = order.iter().copied().filter(|p| phases.contains_key(p)).collect();
+    for (i, name) in named.iter().enumerate() {
+        let (count, nanos) = phases[name];
+        out.push_str(&format!(
+            "    {{\"phase\": \"{name}\", \"events\": {count}, \"total_ms\": {:.2}}}{}\n",
+            nanos as f64 / 1e6,
+            if i + 1 == named.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"statement_kinds\": [\n");
+    for (i, (kind, (n, total, max))) in kinds.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{kind}\", \"n\": {n}, \"mean_us\": {:.1}, \
+             \"max_us\": {:.1}}}{}\n",
+            *total as f64 / *n as f64 / 1000.0,
+            *max as f64 / 1000.0,
+            if i + 1 == kinds.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
 }

@@ -1,0 +1,101 @@
+//! Golden-file snapshots of EXPLAIN output.
+//!
+//! The plan renderer promises a *stable*, data-independent plan tree; these
+//! snapshots pin the concrete text for the two headline query shapes — the
+//! E14 REF-chain navigation and the edge-table 7-way self-join — in both
+//! engine modes. Any change to plan rendering must update the goldens
+//! deliberately: `UPDATE_GOLDEN=1 cargo test -p xmlord-bench --test
+//! explain_golden`.
+
+use xmlord_bench::{ref_chain_db, setup, Strategy};
+use xmlord_ordb::{Database, DbMode};
+
+/// Render `EXPLAIN <sql>` to one newline-joined string.
+fn plan_text(db: &mut Database, sql: &str) -> String {
+    let result = db.query(&format!("EXPLAIN {sql}")).unwrap();
+    assert_eq!(result.columns, vec!["PLAN"]);
+    let mut out = String::new();
+    for row in &result.rows {
+        out.push_str(row[0].as_str().expect("plan rows are text"));
+        out.push('\n');
+    }
+    out
+}
+
+fn check(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {path}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(actual, expected, "EXPLAIN output drifted from {name}");
+}
+
+/// The E14 fixture's schema without its data — plans are data-independent,
+/// which `plans_match_with_and_without_rows` below demonstrates.
+fn ref_chain_schema(mode: DbMode) -> Database {
+    let mut db = Database::new(mode);
+    db.execute_script(
+        "CREATE TYPE T_Prof AS OBJECT(pname VARCHAR(30), subject VARCHAR(30), boss REF T_Prof);
+         CREATE TYPE T_Course AS OBJECT(cname VARCHAR(30), prof REF T_Prof);
+         CREATE TABLE TabProf OF T_Prof;
+         CREATE TABLE TabCourse OF T_Course;",
+    )
+    .unwrap();
+    db
+}
+
+const REF_CHAIN_QUERY: &str = "SELECT c.prof.subject FROM TabCourse c";
+
+#[test]
+fn ref_chain_plan_oracle9() {
+    let mut db = ref_chain_schema(DbMode::Oracle9);
+    check("refchain_oracle9.txt", &plan_text(&mut db, REF_CHAIN_QUERY));
+}
+
+#[test]
+fn ref_chain_plan_oracle8() {
+    let mut db = ref_chain_schema(DbMode::Oracle8);
+    check("refchain_oracle8.txt", &plan_text(&mut db, REF_CHAIN_QUERY));
+}
+
+#[test]
+fn plans_match_with_and_without_rows() {
+    let mut empty = ref_chain_schema(DbMode::Oracle9);
+    let mut loaded = ref_chain_db(5);
+    assert_eq!(
+        plan_text(&mut empty, REF_CHAIN_QUERY),
+        plan_text(&mut loaded, REF_CHAIN_QUERY)
+    );
+}
+
+#[test]
+fn paper_query_edge_join_plan_oracle9() {
+    let mut instance = setup(Strategy::Edge);
+    let sql = instance.paper_query();
+    check("paperq_edge_oracle9.txt", &plan_text(&mut instance.db, &sql));
+}
+
+#[test]
+fn paper_query_edge_join_plan_oracle8() {
+    // Same edge-table DDL and query text under Oracle 8 rules.
+    let instance = setup(Strategy::Edge);
+    let mut db = Database::new(DbMode::Oracle8);
+    db.execute_script(&instance.ddl).unwrap();
+    let sql = instance.paper_query();
+    check("paperq_edge_oracle8.txt", &plan_text(&mut db, &sql));
+}
+
+#[test]
+fn nested_loop_ablation_changes_the_plan() {
+    let mut instance = setup(Strategy::Edge);
+    let sql = instance.paper_query();
+    let hash = plan_text(&mut instance.db, &sql);
+    instance.db.set_hash_joins(false);
+    let nested = plan_text(&mut instance.db, &sql);
+    assert!(hash.contains("hash join"), "{hash}");
+    assert!(!nested.contains("hash join"), "{nested}");
+    assert!(nested.contains("nested-loop join"), "{nested}");
+}

@@ -26,6 +26,10 @@ pub enum MappingError {
     Unsupported(String),
     /// Requested document does not exist in the database.
     NoSuchDocument(String),
+    /// Stored rows disagree with the registered mapping — the schema
+    /// changed underneath the data (e.g. a row carries an attribute-list
+    /// object but the mapping no longer declares one).
+    InconsistentMapping(String),
 }
 
 impl fmt::Display for MappingError {
@@ -49,6 +53,9 @@ impl fmt::Display for MappingError {
             MappingError::Db(e) => write!(f, "database error: {e}"),
             MappingError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             MappingError::NoSuchDocument(id) => write!(f, "no document with id '{id}'"),
+            MappingError::InconsistentMapping(msg) => {
+                write!(f, "stored data is inconsistent with the mapping: {msg}")
+            }
         }
     }
 }

@@ -273,18 +273,27 @@ impl Xml2OrDb {
                 MappingError::Unsupported(format!("schema '{schema_name}' is not registered"))
             })?
             .clone();
-        let mut doc = xmlord_xml::parse_with_catalog(xml_text, registered.dtd.entity_catalog())
-            .map_err(MappingError::Xml)?;
-        let report = validate(&doc, &registered.dtd);
-        if !report.is_valid() {
-            return Err(MappingError::Invalid(report.errors));
-        }
-        apply_attribute_defaults(&mut doc, &registered.dtd);
+        let span = self.db.trace_begin("shred", format!("{schema_name}: parse + validate"));
+        let parsed = xmlord_xml::parse_with_catalog(xml_text, registered.dtd.entity_catalog())
+            .map_err(MappingError::Xml);
+        let checked = parsed.and_then(|mut doc| {
+            let report = validate(&doc, &registered.dtd);
+            if !report.is_valid() {
+                return Err(MappingError::Invalid(report.errors));
+            }
+            apply_attribute_defaults(&mut doc, &registered.dtd);
+            Ok(doc)
+        });
+        self.db.trace_end(span);
+        let doc = checked?;
 
         let counter = self.doc_counters.entry(schema_name.to_string()).or_insert(0);
         *counter += 1;
         let doc_id = format!("{schema_name}-{counter}");
-        let statements = load_script(&registered.schema, &registered.dtd, &doc, &doc_id)?;
+        let span = self.db.trace_begin("generate", format!("{doc_id}: INSERT script"));
+        let generated = load_script(&registered.schema, &registered.dtd, &doc, &doc_id);
+        self.db.trace_end(span);
+        let statements = generated?;
         let meta = metadata_insert(
             &registered.schema,
             &registered.dtd,
@@ -299,6 +308,7 @@ impl Xml2OrDb {
         // transaction: a failure mid-script rolls everything back, so a
         // document is either fully stored or absent (never a torn load
         // with content rows but no XML_DOCUMENTS entry, or vice versa).
+        let span = self.db.trace_begin("load", doc_id.clone());
         let mark = self.db.txn_mark();
         let mut failure = None;
         for stmt in statements.iter().chain(std::iter::once(&meta)) {
@@ -309,6 +319,7 @@ impl Xml2OrDb {
         }
         if let Some(e) = failure {
             self.db.rollback_to_mark(mark);
+            self.db.trace_end(span);
             // The DocID is not consumed by a failed load.
             if let Some(c) = self.doc_counters.get_mut(schema_name) {
                 *c -= 1;
@@ -316,6 +327,7 @@ impl Xml2OrDb {
             return Err(MappingError::Db(e));
         }
         self.db.commit();
+        self.db.trace_end(span);
         self.documents.insert(doc_id.clone(), schema_name.to_string());
         Ok(doc_id)
     }
@@ -328,9 +340,14 @@ impl Xml2OrDb {
             .cloned()
             .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
         let registered = self.schemas.get(&schema_name).expect("registered").clone();
-        let meta = read_metadata(&mut self.db, doc_id)?;
-        let doc = retrieve_document(&self.db, &registered.schema, &meta)?;
-        Ok((doc, meta))
+        let span = self.db.trace_begin("retrieve", doc_id.to_string());
+        let result = (|| {
+            let meta = read_metadata(&mut self.db, doc_id)?;
+            let doc = retrieve_document(&self.db, &registered.schema, &meta)?;
+            Ok((doc, meta))
+        })();
+        self.db.trace_end(span);
+        result
     }
 
     /// Reconstruct a stored document as XML text, re-substituting the
@@ -607,6 +624,28 @@ mod tests {
             sys.retrieve_document("ghost"),
             Err(MappingError::NoSuchDocument(_))
         ));
+    }
+
+    #[test]
+    fn traced_pipeline_emits_shred_generate_load_retrieve_spans() {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        let (handle, ring) = xmlord_ordb::TraceHandle::ring(4096);
+        sys.database().set_trace_sink(Some(handle));
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        sys.retrieve_document(&doc_id).unwrap();
+        let ring = ring.borrow();
+        let phases: Vec<&str> = ring.events().map(|e| e.phase).collect();
+        for phase in ["shred", "generate", "load", "retrieve"] {
+            assert!(phases.contains(&phase), "missing {phase} in {phases:?}");
+        }
+        // The load span accounts for the content + metadata INSERTs.
+        let load = ring.events().find(|e| e.phase == "load").unwrap();
+        assert_eq!(load.detail, "uni-1");
+        assert_eq!(load.delta.inserts, 2);
+        // The retrieve span covers only reads: no undo-log records.
+        let retrieve = ring.events().find(|e| e.phase == "retrieve").unwrap();
+        assert_eq!(retrieve.delta.undo_records, 0);
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl<'a> Retriever<'a> {
                 },
                 FieldSource::AttrList => {
                     if let Value::Obj { attrs, .. } = value {
-                        let attr_list = mapping.attr_list.as_ref().expect("mapped");
+                        let Some(attr_list) = mapping.attr_list.as_ref() else {
+                            return Err(MappingError::InconsistentMapping(format!(
+                                "<{element}> row carries an attribute-list object but the \
+                                 mapping declares no attribute list"
+                            )));
+                        };
                         for (f, v) in attr_list.fields.iter().zip(attrs) {
                             match v {
                                 Value::Null => {}
@@ -330,27 +335,30 @@ impl<'a> Retriever<'a> {
     }
 }
 
-/// Stable-sort an element's children by their name's position in the
-/// content-model child order (non-elements and unknown names keep their
-/// relative positions at the front).
+/// Restore content-model order among an element's children: only element
+/// children whose name appears in `child_order` are sorted (stably, by
+/// their position in the content model), and they are written back into the
+/// slots those same children occupied — text nodes and elements with
+/// unknown names keep their exact document positions instead of being
+/// clustered together.
 fn reorder_children(doc: &mut Document, node: NodeId, child_order: &[String]) {
-    let children: Vec<NodeId> = doc.children(node).to_vec();
-    let mut keyed: Vec<(usize, NodeId)> = children
-        .iter()
-        .map(|&c| {
-            let key = match doc.kind(c) {
-                xmlord_xml::NodeKind::Element(el) => child_order
-                    .iter()
-                    .position(|n| *n == el.name.local)
-                    .map(|i| i + 1)
-                    .unwrap_or(0),
-                _ => 0,
-            };
-            (key, c)
-        })
+    let mut children: Vec<NodeId> = doc.children(node).to_vec();
+    let order_of = |doc: &Document, c: NodeId| match doc.kind(c) {
+        xmlord_xml::NodeKind::Element(el) => {
+            child_order.iter().position(|n| *n == el.name.local)
+        }
+        _ => None,
+    };
+    let slots: Vec<usize> = (0..children.len())
+        .filter(|&i| order_of(doc, children[i]).is_some())
         .collect();
-    keyed.sort_by_key(|(key, _)| *key);
-    doc.replace_children(node, keyed.into_iter().map(|(_, c)| c).collect());
+    let mut ordered: Vec<NodeId> = slots.iter().map(|&i| children[i]).collect();
+    // Stable sort: equal content-model positions keep document order.
+    ordered.sort_by_key(|&c| order_of(doc, c));
+    for (&slot, &child) in slots.iter().zip(&ordered) {
+        children[slot] = child;
+    }
+    doc.replace_children(node, children);
 }
 
 /// Text rendering of a stored scalar value (typed columns render through
@@ -530,6 +538,106 @@ mod tests {
         let restored = retrieve_document(&db, &schema, &meta).unwrap();
         let text = serialize(&restored, &SerializeOptions::compact());
         assert_eq!(text, "<r>x</r>"); // §7: comments and PIs are gone
+    }
+
+    /// Regression: a stored row carrying an attribute-list object while the
+    /// mapping declares none must surface as a typed error, not a panic.
+    #[test]
+    fn attr_list_mismatch_is_a_typed_error_not_a_panic() {
+        let dtd_text = r#"
+            <!ELEMENT r EMPTY>
+            <!ATTLIST r a CDATA #IMPLIED b CDATA #IMPLIED>"#;
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse(r#"<r a="1" b="2"/>"#).unwrap();
+        let mut schema = generate_schema(
+            &dtd,
+            "r",
+            DbMode::Oracle9,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        assert!(schema.mapping("r").unwrap().attr_list.is_some());
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(&create_script(&schema)).unwrap();
+        for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
+            db.execute(&stmt).unwrap();
+        }
+        // The schema drifts after the rows were stored.
+        schema.elements.get_mut("r").unwrap().attr_list = None;
+        let meta = DocMetadata { doc_id: "d".into(), ..Default::default() };
+        let err = retrieve_document(&db, &schema, &meta).unwrap_err();
+        assert!(
+            matches!(err, MappingError::InconsistentMapping(_)),
+            "expected InconsistentMapping, got {err:?}"
+        );
+    }
+
+    /// Regression: children whose element name is absent from the content
+    /// model (and non-element children) must keep their document positions;
+    /// the old implementation clustered them all at the front.
+    #[test]
+    fn reorder_preserves_slots_of_unknown_and_text_children() {
+        let mut doc = Document::new();
+        let root = doc.create_element(QName::local("r"));
+        let tx = doc.create_text("x");
+        let b = doc.create_element(QName::local("b"));
+        let a = doc.create_element(QName::local("a"));
+        let ty = doc.create_text("y");
+        let c = doc.create_element(QName::local("c")); // not in the model
+        for n in [tx, b, a, ty, c] {
+            doc.append_child(root, n);
+        }
+        reorder_children(&mut doc, root, &["a".to_string(), "b".to_string()]);
+        let rendered: Vec<String> = doc
+            .children(root)
+            .iter()
+            .map(|&n| match doc.kind(n) {
+                xmlord_xml::NodeKind::Element(el) => format!("<{}>", el.name.local),
+                _ => "text".to_string(),
+            })
+            .collect();
+        // a and b swap into each other's slots; x, y and <c> stay put.
+        assert_eq!(rendered, vec!["text", "<a>", "<b>", "text", "<c>"]);
+    }
+
+    /// Oracle 8 stores repeated complex children inverted (child table with
+    /// a parent REF) and restores order afterwards — mixed content around
+    /// them must survive the reordering.
+    #[test]
+    fn oracle8_mixed_content_round_trips_around_inverted_children() {
+        let dtd_text = r#"
+            <!ELEMENT article (#PCDATA|section)*>
+            <!ELEMENT section (para*)>
+            <!ELEMENT para (#PCDATA)>"#;
+        let xml = "<article>intro<section><para>a1</para></section>\
+<section><para>b1</para><para>b2</para></section></article>";
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let doc = xmlord_xml::parse(xml).unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "article",
+            DbMode::Oracle8,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let mut db = Database::new(DbMode::Oracle8);
+        db.execute_script(&create_script(&schema)).unwrap();
+        for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
+            db.execute(&stmt).unwrap();
+        }
+        let meta = DocMetadata { doc_id: "d".into(), ..Default::default() };
+        let restored = retrieve_document(&db, &schema, &meta).unwrap();
+        let text = serialize(&restored, &SerializeOptions::compact());
+        // The text keeps its leading position and the sections their
+        // document order (interleaving within mixed content is the paper's
+        // admitted loss, so the text is concatenated up front).
+        assert!(text.starts_with("<article>intro<section>"), "{text}");
+        let one = text.find("a1").unwrap();
+        let b1 = text.find("b1").unwrap();
+        let b2 = text.find("b2").unwrap();
+        assert!(one < b1 && b1 < b2, "{text}");
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! `EXPLAIN <stmt>`: render a stable, data-independent plan tree.
+//!
+//! The renderer mirrors the planner decisions in [`crate::exec::select`]
+//! (conjunct scheduling, hash-join eligibility, lateral re-expansion) by
+//! calling the *same* helper functions, so the printed plan can never
+//! disagree with what execution would do. No storage is touched and no row
+//! counts appear in the output: a plan depends only on the catalog, the
+//! mode and the statement text — which keeps golden-file snapshots
+//! deterministic across data sets.
+//!
+//! The result is an ordinary [`QueryResult`] with a single `PLAN` column,
+//! one string row per plan line, indented two spaces per tree level.
+
+use crate::catalog::{Catalog, TableDef};
+use crate::error::DbError;
+use crate::exec::select::{conjunct_position, plan_hash_join, split_and, QueryResult};
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::sql::ast::{Expr, FromItem, SelectStmt, Stmt};
+use crate::sql::printer::print_expr;
+use crate::types::SqlType;
+use crate::value::Value;
+
+/// Views expanding views stop here — a self-referencing view must not
+/// recurse the renderer forever.
+const MAX_VIEW_DEPTH: usize = 4;
+
+/// Render the plan of `stmt` (the statement *inside* the EXPLAIN).
+pub fn explain_stmt(
+    catalog: &Catalog,
+    mode: DbMode,
+    hash_joins: bool,
+    stmt: &Stmt,
+) -> Result<QueryResult, DbError> {
+    let mut plan = Plan { catalog, hash_joins, lines: Vec::new() };
+    plan.line(0, format!("EXPLAIN ({mode})"));
+    plan.stmt(0, stmt)?;
+    Ok(QueryResult {
+        columns: vec!["PLAN".to_string()],
+        rows: plan.lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+    })
+}
+
+/// A per-binding attribute scope for static path resolution; `None` when
+/// the binding's shape is not statically known (view expansions).
+type Scope = (Ident, Option<Vec<(Ident, SqlType)>>);
+
+struct Plan<'a> {
+    catalog: &'a Catalog,
+    hash_joins: bool,
+    lines: Vec<String>,
+}
+
+impl Plan<'_> {
+    fn line(&mut self, indent: usize, text: impl Into<String>) {
+        self.lines.push(format!("{}{}", "  ".repeat(indent), text.into()));
+    }
+
+    fn stmt(&mut self, ind: usize, stmt: &Stmt) -> Result<(), DbError> {
+        match stmt {
+            Stmt::Select(query) => self.select(ind, query, 0)?,
+            Stmt::Insert { table, columns, values } => {
+                self.insert(ind, table, columns.as_deref(), values)?
+            }
+            Stmt::Update { table, sets, where_clause } => {
+                self.line(ind, format!("UPDATE {table}"));
+                self.table_access(ind + 1, table)?;
+                for (path, rhs) in sets {
+                    let lhs: Vec<&str> = path.iter().map(Ident::as_str).collect();
+                    self.line(ind + 1, format!("set {} = {}", lhs.join("."), print_expr(rhs)));
+                }
+                self.filter_or_all(ind + 1, where_clause.as_ref());
+                self.line(ind + 1, "undo: one pre-image record per modified row");
+            }
+            Stmt::Delete { table, where_clause } => {
+                self.line(ind, format!("DELETE FROM {table}"));
+                self.table_access(ind + 1, table)?;
+                self.filter_or_all(ind + 1, where_clause.as_ref());
+                self.line(ind + 1, "undo: one row-removal record per matching row");
+            }
+            Stmt::Commit => {
+                self.line(ind, "COMMIT");
+                self.line(ind + 1, "transaction control: makes changes permanent, discards the undo log");
+            }
+            Stmt::Rollback { to: None } => {
+                self.line(ind, "ROLLBACK");
+                self.line(ind + 1, "transaction control: applies and discards the undo log");
+            }
+            Stmt::Rollback { to: Some(name) } => {
+                self.line(ind, format!("ROLLBACK TO {name}"));
+                self.line(ind + 1, format!("transaction control: applies the undo log back to savepoint '{name}'"));
+            }
+            Stmt::Savepoint { name } => {
+                self.line(ind, format!("SAVEPOINT {name}"));
+                self.line(ind + 1, "transaction control: marks the current undo position");
+            }
+            Stmt::Explain(inner) => {
+                self.line(ind, "EXPLAIN");
+                self.stmt(ind + 1, inner)?;
+            }
+            ddl => {
+                match ddl_target(ddl) {
+                    Some(name) => self.line(ind, format!("{} {name}", ddl.kind())),
+                    None => self.line(ind, ddl.kind()),
+                }
+                self.line(ind + 1, "undo: catalog change logged (statement-atomic)");
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(
+        &mut self,
+        ind: usize,
+        table: &Ident,
+        columns: Option<&[Ident]>,
+        values: &[Expr],
+    ) -> Result<(), DbError> {
+        let table_def = self
+            .catalog
+            .get_table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        match table_def {
+            TableDef::Object { of_type, .. } => {
+                self.line(ind, format!("INSERT INTO {table} (object table OF {of_type})"))
+            }
+            TableDef::Relational { .. } => self.line(ind, format!("INSERT INTO {table}")),
+        }
+        if let Some(cols) = columns {
+            let names: Vec<&str> = cols.iter().map(Ident::as_str).collect();
+            self.line(ind + 1, format!("columns: {}", names.join(", ")));
+        }
+        self.line(ind + 1, format!("values: {} expression(s)", values.len()));
+        if columns.is_none() && values.len() == 1 {
+            if let (TableDef::Object { of_type, .. }, Expr::Call { name, .. }) =
+                (table_def, &values[0])
+            {
+                if name == of_type {
+                    self.line(
+                        ind + 1,
+                        format!("constructor {name}(…) explodes into the object row"),
+                    );
+                }
+            }
+        }
+        self.line(ind + 1, "undo: row-insert record (rolled back on statement failure)");
+        Ok(())
+    }
+
+    /// One access line for a DML target table.
+    fn table_access(&mut self, ind: usize, table: &Ident) -> Result<(), DbError> {
+        match self.catalog.get_table(table) {
+            Some(TableDef::Object { of_type, .. }) => {
+                self.line(ind, format!("scan object table {table} OF {of_type}"));
+                Ok(())
+            }
+            Some(TableDef::Relational { .. }) => {
+                self.line(ind, format!("scan table {table}"));
+                Ok(())
+            }
+            None => Err(DbError::UnknownTable(table.as_str().to_string())),
+        }
+    }
+
+    fn filter_or_all(&mut self, ind: usize, pred: Option<&Expr>) {
+        match pred {
+            Some(pred) => self.line(ind, format!("filter: {}", print_expr(pred))),
+            None => self.line(ind, "filter: none (all rows)"),
+        }
+    }
+
+    fn select(&mut self, ind: usize, query: &SelectStmt, depth: usize) -> Result<(), DbError> {
+        self.line(ind, if query.distinct { "SELECT DISTINCT" } else { "SELECT" });
+
+        // The exact scheduling the executor performs: conjuncts attach to
+        // the earliest FROM item binding all their references.
+        let bindings: Vec<Ident> = query.from.iter().map(FromItem::binding).collect();
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        if let Some(pred) = &query.where_clause {
+            split_and(pred, &mut conjuncts);
+        }
+        let scheduled: Vec<(usize, Expr)> = conjuncts
+            .into_iter()
+            .map(|c| (conjunct_position(&c, &bindings), c))
+            .collect();
+
+        let catalog = self.catalog;
+        let mut scopes: Vec<Scope> = Vec::new();
+        for (idx, item) in query.from.iter().enumerate() {
+            let applicable: Vec<&Expr> =
+                scheduled.iter().filter(|(pos, _)| *pos == idx).map(|(_, e)| e).collect();
+            let binding = item.binding();
+            match item {
+                FromItem::Table { name, .. } => {
+                    if let Some(table) = catalog.get_table(name) {
+                        let access = match table {
+                            TableDef::Object { of_type, .. } => {
+                                format!("scan object table {name} OF {of_type}")
+                            }
+                            TableDef::Relational { .. } => format!("scan table {name}"),
+                        };
+                        let join = self.join_note(idx, &applicable, &bindings);
+                        self.line(ind + 1, format!("from[{idx}] {binding}: {access}{join}"));
+                        self.filters(ind + 2, &applicable);
+                        scopes.push((binding, Some(catalog.table_columns(table))));
+                    } else if let Some(view) = catalog.get_view(name) {
+                        let join = self.join_note(idx, &applicable, &bindings);
+                        self.line(ind + 1, format!("from[{idx}] {binding}: expand view {name}{join}"));
+                        if depth < MAX_VIEW_DEPTH {
+                            self.select(ind + 2, &view.query, depth + 1)?;
+                        } else {
+                            self.line(ind + 2, "… (view nesting truncated)");
+                        }
+                        self.filters(ind + 2, &applicable);
+                        scopes.push((binding, None));
+                    } else {
+                        return Err(DbError::UnknownTable(name.as_str().to_string()));
+                    }
+                }
+                FromItem::CollectionTable { expr, .. } => {
+                    self.line(
+                        ind + 1,
+                        format!(
+                            "from[{idx}] {binding}: lateral TABLE({}) — nested loop, re-expanded per combination",
+                            print_expr(expr)
+                        ),
+                    );
+                    for note in self.path_notes(expr, &scopes) {
+                        self.line(ind + 2, note);
+                    }
+                    self.filters(ind + 2, &applicable);
+                    let elem_scope = self.collection_scope(&scopes, expr);
+                    scopes.push((binding, elem_scope));
+                }
+            }
+        }
+
+        // Conjuncts the executor defers past the last item (subqueries,
+        // unresolvable references).
+        let final_pos = query.from.len().saturating_sub(1);
+        for (pos, conjunct) in &scheduled {
+            if *pos > final_pos {
+                self.line(ind + 1, format!("residual filter: {}", print_expr(conjunct)));
+            }
+        }
+
+        if query.star {
+            self.line(ind + 1, "project *");
+        } else {
+            for item in &query.items {
+                self.line(ind + 1, format!("project {}", print_expr(&item.expr)));
+                for note in self.path_notes(&item.expr, &scopes) {
+                    self.line(ind + 2, note);
+                }
+            }
+        }
+        for (expr, asc) in &query.order_by {
+            self.line(
+                ind + 1,
+                format!("order by {}{}", print_expr(expr), if *asc { "" } else { " DESC" }),
+            );
+        }
+        if depth == 0 {
+            self.line(ind + 1, "read-only: no undo-log records");
+        }
+        Ok(())
+    }
+
+    /// How the FROM item at `idx` joins the accumulated combinations —
+    /// computed with the executor's own [`plan_hash_join`].
+    fn join_note(&self, idx: usize, applicable: &[&Expr], bindings: &[Ident]) -> String {
+        if idx == 0 {
+            return String::new();
+        }
+        if self.hash_joins {
+            if let Some(first) = applicable.first() {
+                if let Some((probe, build)) = plan_hash_join(first, bindings, idx) {
+                    return format!(
+                        " — hash join (build: {}, probe: {})",
+                        print_expr(build),
+                        print_expr(probe)
+                    );
+                }
+            }
+        }
+        " — nested-loop join".to_string()
+    }
+
+    fn filters(&mut self, ind: usize, applicable: &[&Expr]) {
+        for conjunct in applicable {
+            self.line(ind, format!("filter: {}", print_expr(conjunct)));
+        }
+    }
+
+    /// REF-deref / embedded-object navigation notes for every dot path
+    /// inside `expr`, resolved statically against the catalog.
+    fn path_notes(&self, expr: &Expr, scopes: &[Scope]) -> Vec<String> {
+        let mut notes = Vec::new();
+        collect_note_exprs(expr, &mut |e| match e {
+            Expr::Path(parts) => {
+                let (path_notes, _) = self.walk_path(scopes, parts);
+                notes.extend(path_notes);
+            }
+            Expr::Deref(_) => notes.push("DEREF: OID-index lookup".to_string()),
+            _ => {}
+        });
+        notes
+    }
+
+    /// Walk a dot path through the scopes, describing each step that
+    /// crosses a REF (OID-index lookup) or an embedded object (no join).
+    /// Returns the notes and the final attribute type when resolvable.
+    fn walk_path(&self, scopes: &[Scope], parts: &[Ident]) -> (Vec<String>, Option<SqlType>) {
+        let mut notes = Vec::new();
+        let Some((_, Some(attrs))) = scopes.iter().find(|(b, _)| b == &parts[0]) else {
+            return (notes, None);
+        };
+        let mut attrs = attrs.clone();
+        let mut last_ty = None;
+        for (i, seg) in parts[1..].iter().enumerate() {
+            let Some((_, ty)) = attrs.iter().find(|(a, _)| a == seg) else {
+                return (notes, None);
+            };
+            let ty = self.catalog.resolve_sql_type(ty.clone());
+            let is_last = i + 2 == parts.len();
+            match &ty {
+                SqlType::Ref(target) => {
+                    if !is_last {
+                        notes.push(format!("deref {seg}: REF {target} — OID-index lookup"));
+                        match self.catalog.get_type(target) {
+                            Some(def) => attrs = def.object_attrs().to_vec(),
+                            None => return (notes, None),
+                        }
+                    }
+                }
+                SqlType::Object(target) => {
+                    if !is_last {
+                        notes.push(format!("into {seg}: embedded {target} (no join)"));
+                        match self.catalog.get_type(target) {
+                            Some(def) => attrs = def.object_attrs().to_vec(),
+                            None => return (notes, None),
+                        }
+                    }
+                }
+                _ => {
+                    if !is_last {
+                        return (notes, Some(ty));
+                    }
+                }
+            }
+            last_ty = Some(ty);
+        }
+        (notes, last_ty)
+    }
+
+    /// The attribute scope a `TABLE(expr)` item exposes: the element type's
+    /// attributes for object collections, `COLUMN_VALUE` for scalars.
+    fn collection_scope(
+        &self,
+        scopes: &[Scope],
+        expr: &Expr,
+    ) -> Option<Vec<(Ident, SqlType)>> {
+        let Expr::Path(parts) = expr else { return None };
+        let (_, ty) = self.walk_path(scopes, parts);
+        let name = match ty? {
+            SqlType::Varray(n) | SqlType::NestedTable(n) => n,
+            _ => return None,
+        };
+        let elem = self.catalog.resolve_sql_type(self.catalog.get_type(&name)?.element_type()?.clone());
+        match elem {
+            SqlType::Object(obj) => {
+                self.catalog.get_type(&obj).map(|d| d.object_attrs().to_vec())
+            }
+            scalar => Some(vec![(Ident::internal("COLUMN_VALUE"), scalar)]),
+        }
+    }
+}
+
+/// Visit `expr` and every nested expression that can carry a path worth a
+/// plan note (skipping subqueries: their plans are not this statement's).
+fn collect_note_exprs(expr: &Expr, visit: &mut impl FnMut(&Expr)) {
+    visit(expr);
+    match expr {
+        Expr::Call { args, .. } => {
+            for arg in args {
+                collect_note_exprs(arg, visit);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_note_exprs(lhs, visit);
+            collect_note_exprs(rhs, visit);
+        }
+        Expr::Not(inner) | Expr::Deref(inner) => collect_note_exprs(inner, visit),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => collect_note_exprs(expr, visit),
+        _ => {}
+    }
+}
+
+/// The object a DDL statement targets, for the one-line plan header.
+fn ddl_target(stmt: &Stmt) -> Option<&Ident> {
+    match stmt {
+        Stmt::CreateTypeForward { name }
+        | Stmt::CreateObjectType { name, .. }
+        | Stmt::CreateVarrayType { name, .. }
+        | Stmt::CreateNestedTableType { name, .. }
+        | Stmt::CreateObjectTable { name, .. }
+        | Stmt::CreateRelationalTable { name, .. }
+        | Stmt::CreateView { name, .. }
+        | Stmt::DropType { name, .. }
+        | Stmt::DropTable { name }
+        | Stmt::DropView { name } => Some(name),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Database;
+    use crate::sql::parser::parse_statement;
+
+    fn plan_of(db: &Database, sql: &str) -> Vec<String> {
+        let stmt = parse_statement(sql).unwrap();
+        let inner = match stmt {
+            Stmt::Explain(inner) => *inner,
+            other => other,
+        };
+        explain_stmt(db.catalog(), db.mode(), true, &inner)
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|mut r| match r.remove(0) {
+                Value::Str(s) => s,
+                other => panic!("non-string plan row {other:?}"),
+            })
+            .collect()
+    }
+
+    fn ref_schema() -> Database {
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(
+            "CREATE TYPE T_P AS OBJECT (PName VARCHAR(30), Subject VARCHAR(20));\n\
+             CREATE TYPE T_C AS OBJECT (CName VARCHAR(30), Prof REF T_P);\n\
+             CREATE TABLE TabP OF T_P;\n\
+             CREATE TABLE TabC OF T_C;",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ref_chain_projection_notes_the_oid_index_lookup() {
+        let db = ref_schema();
+        let plan = plan_of(&db, "SELECT c.Prof.Subject FROM TabC c");
+        assert!(plan.iter().any(|l| l.contains("scan object table TabC OF T_C")), "{plan:#?}");
+        assert!(
+            plan.iter().any(|l| l.contains("deref Prof: REF T_P — OID-index lookup")),
+            "{plan:#?}"
+        );
+        assert!(plan.iter().any(|l| l.contains("read-only")), "{plan:#?}");
+    }
+
+    #[test]
+    fn hash_join_and_nested_loop_render_differently() {
+        let db = ref_schema();
+        let hash = plan_of(&db, "SELECT p.PName FROM TabP p, TabC c WHERE c.CName = p.PName");
+        assert!(hash.iter().any(|l| l.contains("hash join (build: c.CName, probe: p.PName)")), "{hash:#?}");
+
+        // Same statement with the hash path disabled.
+        let stmt = parse_statement("SELECT p.PName FROM TabP p, TabC c WHERE c.CName = p.PName").unwrap();
+        let plan = explain_stmt(db.catalog(), db.mode(), false, &stmt).unwrap();
+        let lines: Vec<String> = plan
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        assert!(lines.iter().any(|l| l.contains("nested-loop join")), "{lines:#?}");
+        assert!(!lines.iter().any(|l| l.contains("hash join")), "{lines:#?}");
+    }
+
+    #[test]
+    fn unknown_table_is_rejected_like_execution_would() {
+        let db = ref_schema();
+        let stmt = parse_statement("SELECT x.a FROM Nowhere x").unwrap();
+        let err = explain_stmt(db.catalog(), db.mode(), true, &stmt).unwrap_err();
+        assert!(matches!(err, DbError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn plans_are_data_independent() {
+        let mut db = ref_schema();
+        let before = plan_of(&db, "SELECT c.CName FROM TabC c");
+        db.execute("INSERT INTO TabC VALUES (T_C('DBS', NULL))").unwrap();
+        assert_eq!(before, plan_of(&db, "SELECT c.CName FROM TabC c"));
+    }
+}

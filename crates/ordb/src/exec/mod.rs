@@ -7,6 +7,7 @@
 pub mod ddl;
 pub mod dml;
 pub mod eval;
+pub mod explain;
 pub mod select;
 
 use std::rc::Rc;

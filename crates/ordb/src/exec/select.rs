@@ -335,7 +335,7 @@ fn extend_combo(
 /// FROM item at `item_idx` and an expression bound only by earlier items
 /// (or constant), return `(probe_expr, build_expr)`: probe is evaluated
 /// against each accumulated combination, build against the new item's rows.
-fn plan_hash_join<'a>(
+pub(crate) fn plan_hash_join<'a>(
     conjunct: &'a Expr,
     bindings: &[Ident],
     item_idx: usize,
@@ -381,7 +381,7 @@ fn side_positions(expr: &Expr, bindings: &[Ident]) -> Option<Vec<usize>> {
 }
 
 /// Flatten nested ANDs into a conjunct list.
-fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
+pub(crate) fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
         Expr::Binary { op: crate::sql::ast::BinOp::And, lhs, rhs } => {
             split_and(lhs, out);
@@ -395,7 +395,7 @@ fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
 /// position of any binding it references. Conjuncts referencing anything we
 /// cannot attribute to a binding (unqualified columns, subqueries, outer
 /// scopes) are deferred (`usize::MAX`).
-fn conjunct_position(expr: &Expr, bindings: &[Ident]) -> usize {
+pub(crate) fn conjunct_position(expr: &Expr, bindings: &[Ident]) -> usize {
     let mut max_pos = 0usize;
     let mut deferred = false;
     visit_refs(expr, &mut |head| {

@@ -119,6 +119,7 @@ pub mod session;
 pub mod sql;
 pub mod stats;
 pub mod storage;
+pub mod trace;
 pub mod types;
 pub mod value;
 
@@ -127,7 +128,10 @@ pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
 pub use error::DbError;
 pub use ident::Ident;
 pub use mode::DbMode;
-pub use session::{Database, QueryResult, RecoveryPolicy, ScriptError, ScriptOutcome, TxnMark};
+pub use session::{
+    Database, QueryResult, RecoveryPolicy, ScriptError, ScriptOutcome, SpanToken, TxnMark,
+};
 pub use stats::ExecStats;
+pub use trace::{CallbackSink, RingBufferSink, TraceEvent, TraceHandle, TraceSink};
 pub use types::SqlType;
 pub use value::{Oid, Value};

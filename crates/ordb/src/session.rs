@@ -15,9 +15,12 @@ use crate::sql::param::{parameterize, rebind, slots_match};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
+use crate::trace::{TraceHandle, Tracer};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Statements kept in the plan cache before the least-recently-used entry
 /// is evicted. Loaders issue the same handful of statement shapes over and
@@ -135,6 +138,20 @@ pub struct Database {
     /// ROLLBACK discard them; `ROLLBACK TO name` discards only the ones
     /// established after `name` (Oracle semantics — the target survives).
     savepoints: Vec<(Ident, TxnMark)>,
+    /// Structured tracing ([`crate::trace`]): `None` (the default) costs a
+    /// single check per phase — no clocks, no events, no counter changes.
+    trace: Option<Tracer>,
+}
+
+/// In-flight span from [`Database::trace_begin`]; hand it back to
+/// [`Database::trace_end`] to emit the event. Carries the stats snapshot so
+/// the event reports the span's counter delta.
+#[derive(Debug)]
+pub struct SpanToken {
+    phase: &'static str,
+    detail: String,
+    start: Instant,
+    before: ExecStats,
 }
 
 impl Database {
@@ -148,7 +165,45 @@ impl Database {
             hash_joins: true,
             analyze: false,
             savepoints: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Install (or remove) a trace sink. While one is installed, every
+    /// parse / analyze / execute phase emits a [`crate::trace::TraceEvent`]
+    /// carrying wall time and the counter delta, and per-statement wall
+    /// times are folded into the histograms that
+    /// [`stats_report`](Self::stats_report) renders. Cloning a traced
+    /// database shares the sink (tracing is an observation channel, not
+    /// database state).
+    pub fn set_trace_sink(&mut self, handle: Option<TraceHandle>) {
+        self.trace = handle.map(Tracer::new);
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a pipeline-level span (e.g. the mapping layer's `shred` /
+    /// `generate` / `load` / `retrieve` phases). Returns `None` instantly
+    /// when tracing is disabled; otherwise pass the token to
+    /// [`trace_end`](Self::trace_end) when the phase completes.
+    pub fn trace_begin(&self, phase: &'static str, detail: impl Into<String>) -> Option<SpanToken> {
+        self.trace.as_ref()?;
+        Some(SpanToken { phase, detail: detail.into(), start: Instant::now(), before: self.stats })
+    }
+
+    /// Close a span from [`trace_begin`](Self::trace_begin): emits the
+    /// event and folds the duration into the phase's histogram. A `None`
+    /// token (tracing was off at begin) is a no-op.
+    pub fn trace_end(&mut self, token: Option<SpanToken>) {
+        let (Some(token), Some(tracer)) = (token, self.trace.as_mut()) else {
+            return;
+        };
+        let nanos = token.start.elapsed().as_nanos() as u64;
+        let delta = self.stats.since(&token.before);
+        tracer.emit(token.phase, token.detail, nanos, delta);
+        tracer.time(token.phase, nanos);
     }
 
     /// Enable or disable the inline static analyzer (off by default). When
@@ -176,6 +231,7 @@ impl Database {
         if !self.analyze {
             return;
         }
+        let span = self.trace_begin("analyze", "inline script check");
         if let Ok(diags) = self.check(sql) {
             for d in &diags {
                 match d.severity {
@@ -184,6 +240,7 @@ impl Database {
                 }
             }
         }
+        self.trace_end(span);
     }
 
     /// Enable or disable the hash equi-join fast path (on by default).
@@ -198,6 +255,29 @@ impl Database {
     /// with the template's literal slots rebound per text. Parse errors are
     /// not cached.
     fn cached_parse(&mut self, sql: &str) -> Result<Rc<Vec<Stmt>>, DbError> {
+        if self.trace.is_none() {
+            return self.cached_parse_inner(sql);
+        }
+        let before = self.stats;
+        let start = Instant::now();
+        let result = self.cached_parse_inner(sql);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let delta = self.stats.since(&before);
+        let detail = if result.is_err() {
+            "parse error"
+        } else if delta.plan_cache_hits > 0 {
+            "plan-cache hit"
+        } else {
+            "plan-cache miss — parsed"
+        };
+        if let Some(tracer) = self.trace.as_mut() {
+            tracer.emit("parse", detail.to_string(), nanos, delta);
+            tracer.time("parse", nanos);
+        }
+        result
+    }
+
+    fn cached_parse_inner(&mut self, sql: &str) -> Result<Rc<Vec<Stmt>>, DbError> {
         self.plan_cache.tick += 1;
         let tick = self.plan_cache.tick;
         let param = parameterize(sql);
@@ -258,6 +338,55 @@ impl Database {
 
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Human-readable statistics: every [`ExecStats`] counter, and — when a
+    /// trace sink is installed — the per-statement-kind wall-time
+    /// histograms collected so far.
+    pub fn stats_report(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        for (name, v) in [
+            ("statements", s.statements),
+            ("inserts", s.inserts),
+            ("rows_inserted", s.rows_inserted),
+            ("rows_scanned", s.rows_scanned),
+            ("join_pairs", s.join_pairs),
+            ("join_queries", s.join_queries),
+            ("tables_created", s.tables_created),
+            ("types_created", s.types_created),
+            ("derefs", s.derefs),
+            ("oid_index_hits", s.oid_index_hits),
+            ("hash_join_builds", s.hash_join_builds),
+            ("hash_join_probes", s.hash_join_probes),
+            ("plan_cache_hits", s.plan_cache_hits),
+            ("plan_cache_misses", s.plan_cache_misses),
+            ("analyzer_errors", s.analyzer_errors),
+            ("analyzer_warnings", s.analyzer_warnings),
+            ("txn_rollbacks", s.txn_rollbacks),
+            ("undo_records", s.undo_records),
+            ("savepoints", s.savepoints),
+        ] {
+            let _ = writeln!(out, "{name:<20} {v}");
+        }
+        if let Some(tracer) = &self.trace {
+            out.push_str("== wall-time histograms (per statement kind / phase) ==\n");
+            for (kind, h) in tracer.timings() {
+                let _ = writeln!(
+                    out,
+                    "{kind:<12} n={} total={} mean={} max={}",
+                    h.samples(),
+                    fmt_nanos(h.total_nanos()),
+                    fmt_nanos(h.mean_nanos()),
+                    fmt_nanos(h.max_nanos()),
+                );
+                for (lower, count) in h.buckets() {
+                    let _ = writeln!(out, "  >= {:<10} x{count}", fmt_nanos(lower));
+                }
+            }
+        }
+        out
     }
 
     /// Execute a script of `;`-separated statements. Results of SELECTs are
@@ -402,6 +531,27 @@ impl Database {
     /// back, so a failing statement has no effect at all (Oracle's
     /// statement-level atomicity).
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
+        if self.trace.is_none() {
+            return self.execute_stmt_inner(stmt);
+        }
+        let kind = stmt.kind();
+        let before = self.stats;
+        let start = Instant::now();
+        let result = self.execute_stmt_inner(stmt);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let delta = self.stats.since(&before);
+        if let Some(tracer) = self.trace.as_mut() {
+            let detail = match &result {
+                Ok(_) => kind.to_string(),
+                Err(e) => format!("{kind} — error: {e}"),
+            };
+            tracer.emit("execute", detail, nanos, delta);
+            tracer.time(kind, nanos);
+        }
+        result
+    }
+
+    fn execute_stmt_inner(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
         self.stats.statements += 1;
         match stmt {
             Stmt::Commit => {
@@ -485,6 +635,15 @@ impl Database {
                 let result = execute_select(&mut ctx, select, None)?;
                 Ok(Some(result))
             }
+            Stmt::Explain(inner) => {
+                let result = crate::exec::explain::explain_stmt(
+                    &self.catalog,
+                    self.mode,
+                    self.hash_joins,
+                    inner,
+                )?;
+                Ok(Some(result))
+            }
             // Every other variant is DDL, which `execute_ddl` handles and
             // returns `true` for; reaching here would mean a new Stmt
             // variant was added without a dispatch arm.
@@ -508,6 +667,19 @@ impl Database {
             .scalar()
             .cloned()
             .ok_or_else(|| DbError::Execution("query did not return a single scalar".into()))
+    }
+}
+
+/// Render nanoseconds with a unit that keeps the mantissa short.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
     }
 }
 
@@ -1329,5 +1501,111 @@ mod tests {
         d.execute_script("CREATE TABLE T (a NUMBER); INSERT INTO T VALUES (1)").unwrap();
         // CREATE TABLE logs a catalog + a storage record, INSERT one more.
         assert!(d.stats().undo_records >= 3, "{}", d.stats().undo_records);
+    }
+
+    #[test]
+    fn explain_renders_a_plan_without_executing() {
+        let mut d = db();
+        d.execute_script("CREATE TABLE T (a NUMBER); INSERT INTO T VALUES (1)").unwrap();
+        let before = d.state_dump();
+        let plan = d.query("EXPLAIN INSERT INTO T VALUES (2)").unwrap();
+        assert_eq!(plan.columns, vec!["PLAN"]);
+        assert!(plan.rows[0][0].as_str().unwrap().starts_with("EXPLAIN (Oracle9)"));
+        // EXPLAIN never runs its target.
+        assert_eq!(d.state_dump(), before);
+        assert_eq!(d.row_count("T"), 1);
+        // The Oracle spelling parses too.
+        d.query("EXPLAIN PLAN FOR SELECT * FROM T").unwrap();
+    }
+
+    #[test]
+    fn tracing_emits_parse_and_execute_events_with_deltas() {
+        use crate::trace::TraceHandle;
+        let mut d = db();
+        let (handle, ring) = TraceHandle::ring(64);
+        d.set_trace_sink(Some(handle));
+        assert!(d.trace_enabled());
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        d.execute("INSERT INTO T VALUES (1)").unwrap();
+        d.execute("INSERT INTO T VALUES (2)").unwrap();
+        let ring = ring.borrow();
+        let events: Vec<_> = ring.events().collect();
+        // Each statement contributes one parse and one execute event.
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().map(|e| e.seq).eq(0..6));
+        assert_eq!(events[0].phase, "parse");
+        assert_eq!(events[0].detail, "plan-cache miss — parsed");
+        assert_eq!(events[1].phase, "execute");
+        assert_eq!(events[1].detail, "CREATE TABLE");
+        // The second INSERT's text rebinds through the plan cache.
+        assert_eq!(events[4].detail, "plan-cache hit");
+        assert_eq!(events[4].delta.plan_cache_hits, 1);
+        // Execute events carry the statement's counter delta.
+        assert_eq!(events[3].delta.inserts, 1);
+        assert_eq!(events[3].delta.rows_inserted, 1);
+    }
+
+    #[test]
+    fn pipeline_spans_bracket_counter_deltas() {
+        use crate::trace::TraceHandle;
+        let mut d = db();
+        let (handle, ring) = TraceHandle::ring(16);
+        d.set_trace_sink(Some(handle));
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        let span = d.trace_begin("load", "doc.xml");
+        d.execute("INSERT INTO T VALUES (1)").unwrap();
+        d.execute("INSERT INTO T VALUES (2)").unwrap();
+        d.trace_end(span);
+        let ring = ring.borrow();
+        let load = ring.events().find(|e| e.phase == "load").unwrap();
+        assert_eq!(load.detail, "doc.xml");
+        assert_eq!(load.delta.inserts, 2);
+        assert_eq!(load.delta.statements, 2);
+    }
+
+    #[test]
+    fn stats_report_renders_counters_and_timings() {
+        use crate::trace::TraceHandle;
+        let mut d = db();
+        // Without tracing: counters only.
+        d.execute("CREATE TABLE T (a NUMBER)").unwrap();
+        let report = d.stats_report();
+        assert!(
+            report.lines().any(|l| l.starts_with("statements") && l.ends_with(" 1")),
+            "{report}"
+        );
+        assert!(!report.contains("histograms"), "{report}");
+        // With tracing: per-kind histograms appear.
+        let (handle, _ring) = TraceHandle::ring(4);
+        d.set_trace_sink(Some(handle));
+        d.execute("INSERT INTO T VALUES (1)").unwrap();
+        let report = d.stats_report();
+        assert!(report.contains("histograms"), "{report}");
+        assert!(report.contains("INSERT"), "{report}");
+        assert!(report.contains("parse"), "{report}");
+    }
+
+    /// Satellite guarantee: with no sink installed, the traced code paths
+    /// leave both the observable state and every counter byte-identical to
+    /// the seed behaviour — tracing is free when off.
+    #[test]
+    fn disabled_tracing_is_invisible_to_state_and_counters() {
+        let script = "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20), boss REF Type_P);
+             CREATE TABLE TabP OF Type_P;
+             INSERT INTO TabP VALUES (Type_P('Kudrass', NULL));
+             INSERT INTO TabP VALUES (Type_P('Conrad', NULL));
+             SELECT p.name FROM TabP p WHERE p.name = 'Conrad';";
+        let mut plain = db();
+        plain.execute_script(script).unwrap();
+        let mut touched = db();
+        // Install a sink, then remove it: the wrapper paths were compiled
+        // in either way, and must not leave a residue.
+        let (handle, _ring) = crate::trace::TraceHandle::ring(4);
+        touched.set_trace_sink(Some(handle));
+        touched.set_trace_sink(None);
+        assert!(!touched.trace_enabled());
+        touched.execute_script(script).unwrap();
+        assert_eq!(plain.state_dump(), touched.state_dump());
+        assert_eq!(plain.stats(), touched.stats());
     }
 }

@@ -155,6 +155,9 @@ pub enum Stmt {
     /// `SAVEPOINT name` — mark the current undo position; re-using a name
     /// moves the savepoint.
     Savepoint { name: Ident },
+    /// `EXPLAIN [PLAN FOR] stmt` — render the execution plan of `stmt`
+    /// without running it.
+    Explain(Box<Stmt>),
 }
 
 impl Stmt {
@@ -177,6 +180,7 @@ impl Stmt {
             Stmt::Commit => "COMMIT",
             Stmt::Rollback { .. } => "ROLLBACK",
             Stmt::Savepoint { .. } => "SAVEPOINT",
+            Stmt::Explain(_) => "EXPLAIN",
         }
     }
 }

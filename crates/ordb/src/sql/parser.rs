@@ -219,6 +219,13 @@ impl Parser {
     // -- statements -----------------------------------------------------------
 
     fn statement(&mut self) -> Result<Stmt, DbError> {
+        if self.eat_kw("EXPLAIN") {
+            // Accept the Oracle spelling `EXPLAIN PLAN FOR stmt` too.
+            if self.eat_kw("PLAN") {
+                self.expect_kw("FOR")?;
+            }
+            return Ok(Stmt::Explain(Box::new(self.statement()?)));
+        }
         if self.peek_kw("CREATE") {
             return self.create_statement();
         }
@@ -256,7 +263,7 @@ impl Parser {
             return Ok(Stmt::Savepoint { name });
         }
         Err(self.error(
-            "expected CREATE, DROP, INSERT, SELECT, DELETE, UPDATE, COMMIT, ROLLBACK or SAVEPOINT",
+            "expected EXPLAIN, CREATE, DROP, INSERT, SELECT, DELETE, UPDATE, COMMIT, ROLLBACK or SAVEPOINT",
         ))
     }
 

@@ -138,13 +138,7 @@ impl Value {
         match self {
             Value::Null => "NULL".to_string(),
             Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
-            Value::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    format!("{}", *n as i64)
-                } else {
-                    format!("{n}")
-                }
-            }
+            Value::Num(n) => num_sql_literal(*n),
             Value::Date(s) => format!("DATE '{s}'"),
             Value::Obj { type_name, attrs } => {
                 let inner: Vec<String> = attrs.iter().map(Value::to_sql_literal).collect();
@@ -168,6 +162,29 @@ pub enum JoinKey {
     Ref(u64),
 }
 
+/// Render an f64 as a SQL numeric literal the lexer reads back to an
+/// `sql_eq`-equal value. The default float formatting would print `inf` /
+/// `NaN`, which lex as identifiers and corrupt re-generated scripts (a
+/// NUMBER column can overflow to infinity when a load script carries a
+/// digit string beyond f64 range). Infinities print as an overflowing
+/// digit literal that parses straight back to the same infinity; NaN — not
+/// producible by the lexer at all — degrades to `NULL`.
+fn num_sql_literal(n: f64) -> String {
+    if n.is_nan() {
+        return "NULL".to_string();
+    }
+    if n.is_infinite() {
+        // 1 followed by 309 zeros overflows f64 (max ~1.8e308).
+        let digits = format!("1{}", "0".repeat(309));
+        return if n < 0.0 { format!("-{digits}") } else { digits };
+    }
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
 /// Bit pattern of a float with `-0.0` folded into `0.0` so both hash alike.
 fn canonical_num_bits(n: f64) -> u64 {
     if n == 0.0 {
@@ -184,13 +201,7 @@ impl fmt::Display for Value {
         match self {
             Value::Null => f.pad("NULL"),
             Value::Str(s) | Value::Date(s) => f.pad(s),
-            Value::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    f.pad(&format!("{}", *n as i64))
-                } else {
-                    f.pad(&format!("{n}"))
-                }
-            }
+            Value::Num(n) => f.pad(&num_sql_literal(*n)),
             other => f.pad(&other.to_sql_literal()),
         }
     }

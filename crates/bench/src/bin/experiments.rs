@@ -14,6 +14,12 @@
 //! `trace` writes JSON to stdout (`experiments trace > BENCH_PR4.json`): the
 //! per-phase wall-time breakdown of a store + retrieve captured through the
 //! structured tracing layer, plus the measured cost of tracing itself.
+//!
+//! `bulk` writes JSON to stdout (`experiments bulk > BENCH_PR5.json`): the
+//! bulk-ingest comparison — per-statement SQL text vs prepared statements
+//! vs batched inserts at the engine tier, and 1/2/4-worker parallel
+//! shredding at the pipeline tier, with byte-identical state verified
+//! across every delivery.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -44,6 +50,7 @@ const EXPERIMENTS: &[&str] = &[
     "analyze",
     "faults",
     "trace",
+    "bulk",
 ];
 
 fn main() {
@@ -89,6 +96,9 @@ fn main() {
     }
     if all || which == "trace" {
         trace_experiment();
+    }
+    if all || which == "bulk" {
+        bulk();
     }
     if all || which == "analyze" {
         let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
@@ -848,5 +858,297 @@ fn trace_experiment() {
         ));
     }
     out.push_str("  ]\n}\n");
+    print!("{out}");
+}
+
+/// E18 — the bulk-ingest engine: one corpus, four deliveries.
+///
+/// Engine tier: the same generated load, executed as per-statement SQL
+/// text, as prepared statements (template bound per row), and as
+/// consecutive-run batches — the three paths must leave byte-identical
+/// state. Pipeline tier: `store_documents` with 1/2/4 shredding workers,
+/// which must also agree byte-for-byte. JSON on stdout.
+fn bulk() {
+    use std::collections::HashMap;
+    use xml2ordb::loader::{load_ops, plan_batches, LoadOp, LoadUnit};
+    use xmlord_ordb::sql::param::{parameterize, Lit};
+    use xmlord_ordb::{Database, PreparedStmt, Value};
+
+    eprintln!("E18 — bulk ingest: text vs prepared vs batched vs parallel (JSON on stdout)");
+
+    // A flat corpus — `db (rec*)` — stored under Oracle 8 rules, where
+    // every set-valued complex child is table-rooted: each record is its
+    // own INSERT carrying the same parent-REF subquery, the workload §4.2
+    // calls "a large number of relational insert operations".
+    const FLAT_DTD: &str = "<!ELEMENT db (rec*)>\n\
+        <!ELEMENT rec (name, qty, note)>\n\
+        <!ELEMENT name (#PCDATA)>\n\
+        <!ELEMENT qty (#PCDATA)>\n\
+        <!ELEMENT note (#PCDATA)>";
+    let documents = 48;
+    let records = 128;
+    let repeats = 5;
+    let corpus: Vec<(String, String)> = (0..documents)
+        .map(|d| {
+            let mut xml = String::with_capacity(records * 96);
+            xml.push_str("<db>");
+            for r in 0..records {
+                xml.push_str(&format!(
+                    "<rec><name>item-{d}-{r}</name><qty>{}</qty>\
+                     <note>record {r} of document {d}, batch-ingest corpus</note></rec>",
+                    (r * 7 + d) % 100
+                ));
+            }
+            xml.push_str("</db>");
+            (format!("doc{d}"), xml)
+        })
+        .collect();
+
+    fn median(mut xs: Vec<u128>) -> f64 {
+        xs.sort_unstable();
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2] as f64
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) as f64 / 2.0
+        }
+    }
+
+    // Shared front half for the engine tier: parse + shred once, keep the
+    // ops (for batching) and their printed SQL (for text/prepared).
+    let dtd = parse_dtd(FLAT_DTD).unwrap();
+    let schema = generate_schema(
+        &dtd,
+        "db",
+        DbMode::Oracle8,
+        MappingOptions::default(),
+        &IdrefTargets::new(),
+    )
+    .unwrap();
+    let ddl = create_script(&schema);
+    let per_doc_ops: Vec<Vec<LoadOp>> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, (_, xml))| {
+            let doc = xmlord_xml::parse(xml).unwrap();
+            load_ops(&schema, &dtd, &doc, &format!("bulk-{}", i + 1)).unwrap()
+        })
+        .collect();
+    let per_doc_sql: Vec<Vec<String>> =
+        per_doc_ops.iter().map(|ops| ops.iter().map(LoadOp::to_sql).collect()).collect();
+    let per_doc_units: Vec<Vec<LoadUnit>> =
+        per_doc_ops.into_iter().map(plan_batches).collect();
+    let total_rows: usize = per_doc_sql.iter().map(Vec::len).sum();
+
+    let fresh = |ddl: &str| -> Database {
+        let mut db = Database::new(DbMode::Oracle8);
+        db.execute_script(ddl).unwrap();
+        db.commit();
+        db
+    };
+
+    let run_text = || -> (Database, u128) {
+        let mut db = fresh(&ddl);
+        let start = Instant::now();
+        for doc in &per_doc_sql {
+            for sql in doc {
+                db.execute(sql).unwrap();
+            }
+        }
+        (db, start.elapsed().as_micros())
+    };
+    let run_prepared = || -> (Database, u128) {
+        let mut db = fresh(&ddl);
+        let start = Instant::now();
+        let mut cache: HashMap<String, PreparedStmt> = HashMap::new();
+        for doc in &per_doc_sql {
+            for sql in doc {
+                let Some((key, lits)) = parameterize(sql) else {
+                    db.execute(sql).unwrap();
+                    continue;
+                };
+                if !cache.contains_key(&key) {
+                    cache.insert(key.clone(), db.prepare(sql).unwrap());
+                }
+                let prep = &cache[&key];
+                if prep.param_count() == lits.len() {
+                    let params: Vec<Value> = lits
+                        .iter()
+                        .map(|l| match l {
+                            Lit::Str(s) => Value::Str(s.clone()),
+                            Lit::Num(n) => Value::Num(*n),
+                        })
+                        .collect();
+                    db.execute_prepared(prep, &params).unwrap();
+                } else {
+                    let solo = db.prepare(sql).unwrap();
+                    db.execute_prepared(&solo, &[]).unwrap();
+                }
+            }
+        }
+        (db, start.elapsed().as_micros())
+    };
+    let run_batched = || -> (Database, u128) {
+        let mut db = fresh(&ddl);
+        let start = Instant::now();
+        for units in &per_doc_units {
+            for unit in units {
+                match unit {
+                    LoadUnit::Batch(b) => {
+                        db.execute_batch(b).unwrap();
+                    }
+                    LoadUnit::Stmt(s) => {
+                        db.execute_stmt(s).unwrap();
+                    }
+                }
+            }
+        }
+        (db, start.elapsed().as_micros())
+    };
+
+    let time_engine = |run: &dyn Fn() -> (Database, u128)| -> (Database, f64) {
+        run(); // warm-up
+        let mut times = Vec::new();
+        let mut last = None;
+        for _ in 0..repeats {
+            let (db, us) = run();
+            times.push(us);
+            last = Some(db);
+        }
+        (last.unwrap(), median(times))
+    };
+
+    let (text_db, text_us) = time_engine(&run_text);
+    let (prep_db, prep_us) = time_engine(&run_prepared);
+    let (batch_db, batch_us) = time_engine(&run_batched);
+    let text_dump = text_db.state_dump();
+    let engine_identical =
+        text_dump == prep_db.state_dump() && text_dump == batch_db.state_dump();
+    assert!(engine_identical, "engine deliveries diverged");
+
+    // Pipeline tier: full store (parse + validate + shred + bind + apply +
+    // meta-tables) through `store_documents` with 1, 2 and 4 workers.
+    let docs_ref: Vec<(&str, &str)> =
+        corpus.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+    let run_pipeline = |workers: usize| -> (String, u128) {
+        let mut sys = Xml2OrDb::new(DbMode::Oracle8);
+        sys.register_dtd("bulk", FLAT_DTD, "db").unwrap();
+        sys.set_load_workers(workers);
+        let start = Instant::now();
+        let ids = sys.store_documents("bulk", &docs_ref).unwrap();
+        let us = start.elapsed().as_micros();
+        assert_eq!(ids.len(), corpus.len());
+        (sys.database().state_dump(), us)
+    };
+    let mut pipeline_ms = Vec::new();
+    let mut pipeline_dumps = Vec::new();
+    for workers in [1usize, 2, 4] {
+        run_pipeline(workers); // warm-up
+        let mut times = Vec::new();
+        let mut dump = String::new();
+        for _ in 0..repeats {
+            let (d, us) = run_pipeline(workers);
+            times.push(us);
+            dump = d;
+        }
+        pipeline_ms.push((workers, median(times) / 1000.0));
+        pipeline_dumps.push(dump);
+    }
+    let pipeline_identical = pipeline_dumps.windows(2).all(|w| w[0] == w[1]);
+    assert!(pipeline_identical, "worker counts diverged");
+
+    // Phase split: how much of a sequential store is parallelizable
+    // shredding (parse + validate + bind — what the workers do) versus the
+    // serial single-writer apply. The overlap bound is the best any worker
+    // count can do; on a single-CPU host the measured wall-clock speedup
+    // is overhead-bound regardless of this split.
+    let shred_phase = || -> u128 {
+        let start = Instant::now();
+        for (i, (_, xml)) in corpus.iter().enumerate() {
+            let doc = xmlord_xml::parse(xml).unwrap();
+            assert!(xmlord_dtd::validate(&doc, &dtd).is_valid());
+            let ops = load_ops(&schema, &dtd, &doc, &format!("split-{}", i + 1)).unwrap();
+            std::hint::black_box(plan_batches(ops));
+        }
+        start.elapsed().as_micros()
+    };
+    shred_phase(); // warm-up
+    let shred_ms = median((0..repeats).map(|_| shred_phase()).collect()) / 1000.0;
+    let seq_ms = pipeline_ms[0].1;
+    let apply_ms = (seq_ms - shred_ms).max(0.0);
+    let parallel_fraction = shred_ms / seq_ms;
+    let overlap_bound =
+        |workers: f64| -> f64 { seq_ms / apply_ms.max(shred_ms / workers).max(f64::EPSILON) };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let stats = batch_db.stats();
+    let (intern_hits, intern_misses) = xmlord_ordb::ident::intern_counters();
+    let text_ms = text_us / 1000.0;
+    let prep_ms = prep_us / 1000.0;
+    let batch_ms = batch_us / 1000.0;
+    let rate = |ms: f64| -> (f64, f64) {
+        (documents as f64 / (ms / 1000.0), total_rows as f64 / (ms / 1000.0))
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR5 bulk ingest: prepared statements, batched inserts, \
+         parallel shredding\",\n",
+    );
+    out.push_str(&format!(
+        "  \"corpus\": {{\"documents\": {documents}, \"records_per_doc\": {records}, \
+         \"rows\": {total_rows}, \"mode\": \"Oracle8\", \"repeats\": {repeats}}},\n"
+    ));
+    out.push_str("  \"engine_tier\": [\n");
+    for (i, (name, ms)) in
+        [("text", text_ms), ("prepared", prep_ms), ("batched", batch_ms)].iter().enumerate()
+    {
+        let (dps, rps) = rate(*ms);
+        out.push_str(&format!(
+            "    {{\"delivery\": \"{name}\", \"ms\": {ms:.2}, \"docs_per_sec\": {dps:.0}, \
+             \"rows_per_sec\": {rps:.0}}}{}\n",
+            if i == 2 { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"engine_speedup\": {{\"prepared_vs_text\": {:.2}, \"batched_vs_text\": {:.2}}},\n",
+        text_ms / prep_ms,
+        text_ms / batch_ms
+    ));
+    out.push_str(&format!(
+        "  \"engine_counters\": {{\"batched_rows\": {}, \"batch_subquery_hits\": {}, \
+         \"prepared_execs\": {}, \"ident_intern_hits\": {intern_hits}, \
+         \"ident_intern_misses\": {intern_misses}}},\n",
+        stats.batched_rows,
+        stats.batch_subquery_hits,
+        prep_db.stats().prepared_execs
+    ));
+    out.push_str(&format!("  \"engine_state_identical\": {engine_identical},\n"));
+    out.push_str("  \"pipeline_tier\": [\n");
+    for (i, (workers, ms)) in pipeline_ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {workers}, \"ms\": {ms:.2}, \"docs_per_sec\": {:.0}}}{}\n",
+            documents as f64 / (ms / 1000.0),
+            if i + 1 == pipeline_ms.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"parallel_speedup\": {{\"two_workers\": {:.2}, \"four_workers\": {:.2}}},\n",
+        pipeline_ms[0].1 / pipeline_ms[1].1,
+        pipeline_ms[0].1 / pipeline_ms[2].1
+    ));
+    out.push_str(&format!(
+        "  \"phase_split\": {{\"shred_ms\": {shred_ms:.2}, \"apply_ms\": {apply_ms:.2}, \
+         \"parallel_fraction\": {parallel_fraction:.2}, \
+         \"overlap_bound\": {{\"two_workers\": {:.2}, \"four_workers\": {:.2}}}}},\n",
+        overlap_bound(2.0),
+        overlap_bound(4.0)
+    ));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"pipeline_state_identical\": {pipeline_identical}\n"));
+    out.push_str("}\n");
     print!("{out}");
 }

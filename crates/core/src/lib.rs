@@ -56,6 +56,7 @@ pub mod schemagen;
 pub mod views;
 
 pub use error::MappingError;
-pub use pipeline::Xml2OrDb;
+pub use loader::{load_ops, load_script, plan_batches, LoadOp, LoadUnit};
+pub use pipeline::{LoadStrategy, Xml2OrDb};
 pub use model::{MappedSchema, MappingOptions};
 pub use schemagen::generate_schema;

@@ -5,13 +5,15 @@
 //! CHECK over an inner attribute of a NULL object attribute evaluates to
 //! FALSE and rejects the row — the paper's "non-desired error message".
 
+use std::collections::HashMap;
+
 use crate::catalog::{Catalog, Constraint, TableDef};
 use crate::error::DbError;
 use crate::exec::eval::{coerce, eval_bool, eval_expr, ExecCtx};
 use crate::exec::{Env, Frame};
 use crate::ident::Ident;
 use crate::mode::DbMode;
-use crate::sql::ast::Expr;
+use crate::sql::ast::{Expr, SelectStmt};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
 use crate::value::Value;
@@ -41,24 +43,32 @@ pub fn execute_insert(
         }
     }
 
-    // Object tables accept `VALUES (Type_T(...))` — one constructor for the
-    // whole row object (the form §2.1's examples use). Explode it into the
-    // attribute values.
+    let row_values = shape_row(table_name, &table, &table_columns, columns, provided)?;
+    finish_insert(catalog, storage, stats, table_name, &table, &table_columns, row_values, mode)
+}
+
+/// Map the evaluated VALUES onto the table's full column list. Object
+/// tables accept `VALUES (Type_T(...))` — one constructor for the whole row
+/// object (the form §2.1's examples use) — which is exploded into the
+/// attribute values; otherwise values are matched positionally or through
+/// the explicit column list.
+fn shape_row(
+    table_name: &Ident,
+    table: &TableDef,
+    table_columns: &[(Ident, crate::types::SqlType)],
+    columns: &Option<Vec<Ident>>,
+    provided: Vec<Value>,
+) -> Result<Vec<Value>, DbError> {
     if columns.is_none() && provided.len() == 1 {
-        if let TableDef::Object { of_type, .. } = &table {
+        if let TableDef::Object { of_type, .. } = table {
             if let Value::Obj { type_name, attrs } = &provided[0] {
                 if type_name == of_type {
-                    let attrs = attrs.clone();
-                    return finish_insert(
-                        catalog, storage, stats, table_name, &table, &table_columns, attrs,
-                        mode,
-                    );
+                    return Ok(attrs.clone());
                 }
             }
         }
     }
 
-    // Map provided values onto the full column list.
     let mut row_values: Vec<Value> = vec![Value::Null; table_columns.len()];
     match columns {
         Some(cols) => {
@@ -89,8 +99,7 @@ pub fn execute_insert(
             row_values = provided;
         }
     }
-
-    finish_insert(catalog, storage, stats, table_name, &table, &table_columns, row_values, mode)
+    Ok(row_values)
 }
 
 /// Shared tail of INSERT: coercion, constraint checks, materialization.
@@ -115,7 +124,7 @@ fn finish_insert(
     }
 
     // Enforce constraints.
-    enforce_constraints(catalog, storage, stats, mode, table, table_columns, &row_values)?;
+    enforce_constraints(catalog, storage, stats, mode, table, table_columns, &row_values, None)?;
 
     // Materialize. Rows of object tables receive OIDs.
     let with_oid = table.is_object_table();
@@ -124,6 +133,339 @@ fn finish_insert(
     Ok(())
 }
 
+/// A batch of bound single-row INSERTs targeting one table: the per-row
+/// VALUES expressions of statements that all read
+/// `INSERT INTO table [cols] VALUES (…)`. Built by the bulk loader
+/// (`xml2ordb`) or by hand; executed by
+/// [`crate::Database::execute_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertBatch {
+    pub table: Ident,
+    /// Shared explicit column list (`None` = positional / constructor form).
+    pub columns: Option<Vec<Ident>>,
+    /// One entry per row: the VALUES expressions of that row's INSERT.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// Uniqueness accelerator for batched inserts: one hash prefilter per
+/// PRIMARY KEY / UNIQUE constraint, covering the stored rows and extended
+/// with every validated batch row, so checking n batch rows costs
+/// O(stored + n) probes instead of n full-table scans. Buckets are keyed
+/// by a hash of the row's [`Value::join_key`] identity (computed without
+/// materializing the key), whose contract has no false negatives
+/// (`sql_eq == Some(true)` implies equal keys), so an empty bucket proves
+/// uniqueness; probe hits are re-verified with the real [`Value::sql_eq`].
+///
+/// After a successful batch the index is promoted into the session's
+/// [`UniqueIndexCache`], tagged with the table's
+/// [`Storage::table_version`]; the next batch against an untouched table
+/// reuses it and only hashes its own rows, making a multi-batch bulk load
+/// O(total rows) instead of O(batches × stored rows).
+#[derive(Debug, Clone)]
+struct UniqueIndex {
+    /// [`Storage::table_version`] at which `rows_covered` was valid.
+    version: u64,
+    /// Prefix of the table's row heap covered by `Stored` refs.
+    rows_covered: usize,
+    /// One entry per PK/UNIQUE constraint, in `table.constraints()` order.
+    constraints: Vec<ConstraintIndex>,
+}
+
+/// Where a bucket entry's key values live.
+#[derive(Debug, Copy, Clone)]
+enum KeyRef {
+    /// Row slot in the table heap.
+    Stored(usize),
+    /// Index into [`ConstraintIndex::pending`] (a not-yet-inserted batch
+    /// row).
+    Batch(usize),
+}
+
+/// A validated batch row's key, held until the batch lands and the entry
+/// can be re-pointed at the row's final heap slot.
+#[derive(Debug, Clone)]
+struct PendingKey {
+    hash: u64,
+    bucket_pos: usize,
+    /// Position of the owning row within the batch's validated rows.
+    ordinal: usize,
+    key: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct ConstraintIndex {
+    /// join-key hash → entries sharing it (collisions are re-verified).
+    buckets: HashMap<u64, Vec<KeyRef>>,
+    pending: Vec<PendingKey>,
+    /// Validated batch keys without a join key (object-valued key
+    /// columns); scanned on every probe and practically always empty. A
+    /// batch that produces any of these is not promoted into the cache.
+    slow: Vec<Vec<Value>>,
+}
+
+/// Session-lived cache of promoted [`UniqueIndex`]es, keyed by table. An
+/// entry is only reused while the table's version still matches — any
+/// intervening mutation (single-row insert, update, delete, rollback)
+/// invalidates it and the next batch rebuilds from the heap.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueIndexCache {
+    entries: HashMap<Ident, UniqueIndex>,
+}
+
+/// Hash a candidate key's join-key identity; `None` when any component is
+/// NULL or has no join key.
+fn key_hash(key: &[&Value]) -> Option<u64> {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in key {
+        if v.is_null() || !v.hash_join_key(&mut h) {
+            return None;
+        }
+    }
+    Some(h.finish())
+}
+
+/// Build the uniqueness index over the rows already in storage. Returns
+/// `None` — meaning "fall back to per-row scans" — when a stored non-NULL
+/// key value has no join key (object/collection-typed key columns) or a
+/// constraint names an unknown column (the per-row path then raises the
+/// proper error).
+fn build_unique_index(
+    table: &TableDef,
+    table_columns: &[(Ident, crate::types::SqlType)],
+    storage: &Storage,
+) -> Option<UniqueIndex> {
+    use std::hash::Hasher;
+    let version = storage.table_version(table.name());
+    let data = storage.table(table.name());
+    let rows_covered = data.map_or(0, |d| d.rows.len());
+    let mut constraints = Vec::new();
+    for constraint in table.constraints() {
+        let (Constraint::PrimaryKey(cols) | Constraint::Unique(cols)) = constraint else {
+            continue;
+        };
+        let indices: Vec<usize> = cols
+            .iter()
+            .map(|col| table_columns.iter().position(|(name, _)| name == col))
+            .collect::<Option<_>>()?;
+        let mut buckets: HashMap<u64, Vec<KeyRef>> = HashMap::new();
+        if let Some(data) = data {
+            'rows: for (slot, row) in data.rows.iter().enumerate() {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                for &i in &indices {
+                    let v = &row.values[i];
+                    // NULLs never collide for UNIQUE — leave the row out.
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    if !v.hash_join_key(&mut h) {
+                        return None;
+                    }
+                }
+                buckets.entry(h.finish()).or_default().push(KeyRef::Stored(slot));
+            }
+        }
+        constraints.push(ConstraintIndex { buckets, pending: Vec::new(), slow: Vec::new() });
+    }
+    Some(UniqueIndex { version, rows_covered, constraints })
+}
+
+/// One row's view into the batch uniqueness index: which index to probe
+/// and the row's ordinal within the batch (its eventual heap slot offset).
+struct BatchProbe<'a> {
+    index: &'a mut UniqueIndex,
+    ordinal: usize,
+}
+
+/// Execute a whole [`InsertBatch`]: resolve the catalog once, evaluate and
+/// validate every row against the pre-batch storage snapshot, then append
+/// all rows in one [`Storage::insert_rows`] call (one undo record, block
+/// OID reservation). Returns the number of rows inserted.
+///
+/// Semantics vs. running the statements one at a time:
+///
+/// * Storage is frozen during evaluation, so scalar subqueries see the
+///   *pre-batch* state. Callers must not batch a row together with rows it
+///   reads (the loader's batcher splits batches on such dependencies); in
+///   exchange, identical subqueries within a batch are evaluated once and
+///   memoized (`batch_subquery_hits`).
+/// * PRIMARY KEY / UNIQUE checks run against stored rows *and* the earlier
+///   rows of the same batch, so duplicates inside one batch are still
+///   rejected — through a hash index built once per batch ([`UniqueIndex`]),
+///   not a per-row table scan.
+/// * Any row failing evaluation or a constraint fails the whole batch
+///   before anything is written — the batch is all-or-nothing even without
+///   an enclosing transaction bracket.
+pub fn execute_insert_batch(
+    catalog: &Catalog,
+    storage: &mut Storage,
+    stats: &mut ExecStats,
+    mode: DbMode,
+    batch: &InsertBatch,
+    cache: &mut UniqueIndexCache,
+) -> Result<usize, DbError> {
+    let table = catalog
+        .get_table(&batch.table)
+        .ok_or_else(|| DbError::UnknownTable(batch.table.as_str().to_string()))?
+        .clone();
+    let table_columns = catalog.table_columns(&table);
+    // Reuse the cached index if the table is untouched since it was built;
+    // otherwise build it fresh from the heap. (A failed batch never puts
+    // its index back, so an entry found here has no pending state.)
+    let mut unique_index: Option<UniqueIndex> = match cache.entries.remove(&batch.table) {
+        Some(ix) if ix.version == storage.table_version(&batch.table) => {
+            debug_assert_eq!(
+                ix.rows_covered,
+                storage.table(&batch.table).map_or(0, |d| d.rows.len()),
+                "unchanged version implies unchanged heap"
+            );
+            Some(ix)
+        }
+        _ => build_unique_index(&table, &table_columns, storage),
+    };
+
+    let mut memo: Vec<(SelectStmt, Value)> = Vec::new();
+    let mut validated: Vec<Vec<Value>> = Vec::with_capacity(batch.rows.len());
+    for value_exprs in &batch.rows {
+        let mut provided = Vec::with_capacity(value_exprs.len());
+        {
+            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+            for expr in value_exprs {
+                provided.push(eval_batch_expr(&mut ctx, expr, &mut memo)?);
+            }
+        }
+        let mut row_values =
+            shape_row(&batch.table, &table, &table_columns, &batch.columns, provided)?;
+        {
+            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+            for (value, (col_name, col_type)) in row_values.iter_mut().zip(&table_columns) {
+                let taken = std::mem::replace(value, Value::Null);
+                *value = coerce(&mut ctx, taken, col_type, col_name.as_str())?;
+            }
+        }
+        // The index absorbs each validated row, so this also rejects key
+        // collisions with the earlier rows of this same batch.
+        let probe = unique_index
+            .as_mut()
+            .map(|index| BatchProbe { index, ordinal: validated.len() });
+        enforce_constraints(
+            catalog,
+            storage,
+            stats,
+            mode,
+            &table,
+            &table_columns,
+            &row_values,
+            probe,
+        )?;
+        validated.push(row_values);
+    }
+
+    let with_oid = table.is_object_table();
+    let base_slot = unique_index.as_ref().map_or(0, |ix| ix.rows_covered);
+    let count = storage.insert_rows(&batch.table, validated, with_oid)?;
+    stats.rows_inserted += count as u64;
+    stats.batched_rows += count as u64;
+
+    // Promote the index for the next batch: re-point the batch rows' bucket
+    // entries at their now-final heap slots and tag with the post-insert
+    // version. Keys without a join key (`slow`) cannot be found by later
+    // hash probes, so such an index is discarded instead of promoted.
+    if let Some(mut ix) = unique_index {
+        if ix.constraints.iter().all(|ci| ci.slow.is_empty()) {
+            for ci in &mut ix.constraints {
+                for p in std::mem::take(&mut ci.pending) {
+                    let bucket = ci.buckets.get_mut(&p.hash).expect("pending entry has bucket");
+                    bucket[p.bucket_pos] = KeyRef::Stored(base_slot + p.ordinal);
+                }
+            }
+            ix.rows_covered = base_slot + count;
+            ix.version = storage.table_version(&batch.table);
+            cache.entries.insert(batch.table.clone(), ix);
+        }
+    }
+    Ok(count)
+}
+
+/// Evaluate one VALUES expression during batch execution, answering scalar
+/// subqueries from `memo` when the identical subquery was already run in
+/// this batch (sound because storage does not change mid-batch).
+fn eval_batch_expr(
+    ctx: &mut ExecCtx,
+    expr: &Expr,
+    memo: &mut Vec<(SelectStmt, Value)>,
+) -> Result<Value, DbError> {
+    if !contains_subquery(expr) {
+        return eval_expr(ctx, &Env::EMPTY, expr);
+    }
+    let resolved = resolve_subqueries(ctx, expr, memo)?;
+    eval_expr(ctx, &Env::EMPTY, &resolved)
+}
+
+/// Does the expression contain a scalar `(SELECT …)` node? (The memo only
+/// targets `Expr::Subquery`; `EXISTS` / `CAST(MULTISET …)` run normally.)
+fn contains_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Subquery(_) => true,
+        Expr::Call { args, .. } => args.iter().any(contains_subquery),
+        Expr::Binary { lhs, rhs, .. } => contains_subquery(lhs) || contains_subquery(rhs),
+        Expr::Not(e) | Expr::Deref(e) => contains_subquery(e),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => contains_subquery(expr),
+        _ => false,
+    }
+}
+
+/// Clone `expr` with every scalar subquery replaced by its (memoized)
+/// value as a literal.
+fn resolve_subqueries(
+    ctx: &mut ExecCtx,
+    expr: &Expr,
+    memo: &mut Vec<(SelectStmt, Value)>,
+) -> Result<Expr, DbError> {
+    Ok(match expr {
+        Expr::Subquery(query) => {
+            if let Some((_, value)) = memo.iter().find(|(q, _)| q == query.as_ref()) {
+                ctx.stats.batch_subquery_hits += 1;
+                Expr::Literal(value.clone())
+            } else {
+                let value = eval_expr(ctx, &Env::EMPTY, expr)?;
+                memo.push((query.as_ref().clone(), value.clone()));
+                Expr::Literal(value)
+            }
+        }
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| resolve_subqueries(ctx, a, memo))
+                .collect::<Result<_, _>>()?,
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(resolve_subqueries(ctx, lhs, memo)?),
+            rhs: Box::new(resolve_subqueries(ctx, rhs, memo)?),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(resolve_subqueries(ctx, e, memo)?)),
+        Expr::Deref(e) => Expr::Deref(Box::new(resolve_subqueries(ctx, e, memo)?)),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(resolve_subqueries(ctx, expr, memo)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(resolve_subqueries(ctx, expr, memo)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+/// Check every table constraint against a candidate row. With
+/// `unique_probe: None` (single-row INSERT), PRIMARY KEY / UNIQUE scan the
+/// stored rows directly; with a probe (batch path) the scan becomes a hash
+/// probe, and the validated key is added to the index so later rows of the
+/// same batch see it.
+#[allow(clippy::too_many_arguments)]
 fn enforce_constraints(
     catalog: &Catalog,
     storage: &Storage,
@@ -132,7 +474,9 @@ fn enforce_constraints(
     table: &TableDef,
     table_columns: &[(Ident, crate::types::SqlType)],
     row_values: &[Value],
+    mut unique_probe: Option<BatchProbe<'_>>,
 ) -> Result<(), DbError> {
+    let mut uc_idx = 0usize;
     let col_index = |name: &Ident| -> Result<usize, DbError> {
         table_columns
             .iter()
@@ -168,32 +512,94 @@ fn enforce_constraints(
                     }
                 }
                 let key: Vec<&Value> = indices.iter().map(|&i| &row_values[i]).collect();
+                let violation = || DbError::UniqueViolation {
+                    constraint: format!(
+                        "{}({})",
+                        table.name().as_str(),
+                        cols.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(",")
+                    ),
+                };
                 // NULLs never collide for UNIQUE.
                 if key.iter().any(|v| v.is_null()) {
+                    uc_idx += 1;
                     continue;
                 }
-                if let Some(data) = storage.table(table.name()) {
-                    for row in &data.rows {
-                        let existing: Vec<&Value> =
-                            indices.iter().map(|&i| &row.values[i]).collect();
-                        let all_equal = key
-                            .iter()
-                            .zip(&existing)
-                            .all(|(a, b)| a.sql_eq(b) == Some(true));
-                        if all_equal {
-                            return Err(DbError::UniqueViolation {
-                                constraint: format!(
-                                    "{}({})",
-                                    table.name().as_str(),
-                                    cols.iter()
-                                        .map(|c| c.as_str())
-                                        .collect::<Vec<_>>()
-                                        .join(",")
-                                ),
-                            });
+                match unique_probe.as_mut() {
+                    Some(probe) => {
+                        let ordinal = probe.ordinal;
+                        let ci = &mut probe.index.constraints[uc_idx];
+                        let stored = storage.table(table.name());
+                        let collides_with = |kr: KeyRef, pending: &[PendingKey]| -> bool {
+                            match kr {
+                                KeyRef::Stored(slot) => stored.is_some_and(|data| {
+                                    let row = &data.rows[slot];
+                                    key.iter()
+                                        .zip(&indices)
+                                        .all(|(a, &i)| a.sql_eq(&row.values[i]) == Some(true))
+                                }),
+                                KeyRef::Batch(p) => key
+                                    .iter()
+                                    .zip(&pending[p].key)
+                                    .all(|(a, b)| a.sql_eq(b) == Some(true)),
+                            }
+                        };
+                        if ci.slow.iter().any(|existing| {
+                            key.iter().zip(existing).all(|(a, b)| a.sql_eq(b) == Some(true))
+                        }) {
+                            return Err(violation());
+                        }
+                        let owned = || key.iter().map(|&v| v.clone()).collect::<Vec<Value>>();
+                        match key_hash(&key) {
+                            Some(hash) => {
+                                if let Some(bucket) = ci.buckets.get(&hash) {
+                                    if bucket.iter().any(|&kr| collides_with(kr, &ci.pending))
+                                    {
+                                        return Err(violation());
+                                    }
+                                }
+                                let pending_idx = ci.pending.len();
+                                let bucket = ci.buckets.entry(hash).or_default();
+                                let bucket_pos = bucket.len();
+                                bucket.push(KeyRef::Batch(pending_idx));
+                                ci.pending.push(PendingKey {
+                                    hash,
+                                    bucket_pos,
+                                    ordinal,
+                                    key: owned(),
+                                });
+                            }
+                            None => {
+                                // No join key (object-valued column): linear
+                                // check against everything seen so far.
+                                if ci
+                                    .buckets
+                                    .values()
+                                    .flatten()
+                                    .any(|&kr| collides_with(kr, &ci.pending))
+                                {
+                                    return Err(violation());
+                                }
+                                ci.slow.push(owned());
+                            }
+                        }
+                    }
+                    None => {
+                        if let Some(data) = storage.table(table.name()) {
+                            for row in &data.rows {
+                                let existing: Vec<&Value> =
+                                    indices.iter().map(|&i| &row.values[i]).collect();
+                                let all_equal = key
+                                    .iter()
+                                    .zip(&existing)
+                                    .all(|(a, b)| a.sql_eq(b) == Some(true));
+                                if all_equal {
+                                    return Err(violation());
+                                }
+                            }
                         }
                     }
                 }
+                uc_idx += 1;
             }
             Constraint::Check(expr) => {
                 // The candidate row is visible both under the table name and

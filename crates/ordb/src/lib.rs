@@ -82,6 +82,36 @@
 //! rollback/replay sequences. Counters: `txn_rollbacks`, `undo_records`,
 //! `savepoints`.
 //!
+//! ## Bulk loading
+//!
+//! A generated load script is thousands of near-identical single-row
+//! INSERTs; executing them as SQL text pays the parser, catalog resolution
+//! and a full-table constraint scan per row. Three escalating fast paths
+//! remove that cost (PR 5; experiment E18 prices them):
+//!
+//! * **Prepared statements** — [`Database::prepare`] parses and
+//!   shape-normalizes once, returning a [`PreparedStmt`];
+//!   [`Database::execute_prepared`] re-binds it with a `&[Value]` parameter
+//!   slice, skipping the lexer entirely. Counter: `prepared_execs`.
+//! * **Batched inserts** — [`Database::execute_batch`] takes an
+//!   [`InsertBatch`] (one table, many rows): the catalog is resolved once,
+//!   OIDs are reserved in one block, repeated scalar subqueries inside the
+//!   batch are memoized (`batch_subquery_hits`), rows are appended in a
+//!   single storage call under one undo bracket (all-or-nothing, same
+//!   semantics as `RecoveryPolicy::Atomic`), and PRIMARY KEY / UNIQUE
+//!   checks probe an incremental hash index instead of scanning the heap
+//!   per row. The index is promoted into a per-table cache validated by a
+//!   storage version counter, so consecutive batches skip the rebuild;
+//!   any out-of-band mutation (single-row DML, UPDATE, rollback) bumps
+//!   the version and invalidates it. Counter: `batched_rows`.
+//! * **Deterministic parallel front end** — the `xml2ordb` pipeline
+//!   shreds documents on a worker pool and feeds the resulting batches to
+//!   a single writer in submission order, so any worker count produces a
+//!   byte-identical database.
+//!
+//! All three deliveries are differentially tested against plain SQL text
+//! (`tests/bulk_prop.rs`): same rows, same state dump, same errors.
+//!
 //! ## Static analysis (`sqlcheck`)
 //!
 //! [`analyze`] checks a generated script *before* execution: it binds every
@@ -126,10 +156,12 @@ pub mod value;
 pub use analyze::{Analyzer, Diagnostic, Severity};
 pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
 pub use error::DbError;
+pub use exec::dml::InsertBatch;
 pub use ident::Ident;
 pub use mode::DbMode;
 pub use session::{
-    Database, QueryResult, RecoveryPolicy, ScriptError, ScriptOutcome, SpanToken, TxnMark,
+    Database, PreparedStmt, QueryResult, RecoveryPolicy, ResultMode, ScriptError, ScriptOutcome,
+    SpanToken, TxnMark,
 };
 pub use stats::ExecStats;
 pub use trace::{CallbackSink, RingBufferSink, TraceEvent, TraceHandle, TraceSink};

@@ -4,14 +4,16 @@ use crate::analyze::{Analyzer, Diagnostic, Severity};
 use crate::catalog::Catalog;
 use crate::error::DbError;
 use crate::exec::ddl::execute_ddl;
-use crate::exec::dml::{execute_delete, execute_insert};
+use crate::exec::dml::{
+    execute_delete, execute_insert, execute_insert_batch, InsertBatch, UniqueIndexCache,
+};
 use crate::exec::eval::ExecCtx;
 use crate::exec::select::execute_select;
 pub use crate::exec::select::QueryResult;
 use crate::ident::Ident;
 use crate::mode::DbMode;
 use crate::sql::ast::Stmt;
-use crate::sql::param::{parameterize, rebind, slots_match};
+use crate::sql::param::{bind_values, parameterize, rebind, slots_match};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
@@ -110,6 +112,53 @@ pub struct ScriptError {
     pub error: DbError,
 }
 
+/// How script execution materializes SELECT results
+/// ([`Database::execute_script_opts`]). A generated load script is almost
+/// entirely DML, but the historical API collected every `QueryResult` into
+/// a `Vec` — for a 100k-statement load with interspersed queries that holds
+/// every row set in memory for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResultMode {
+    /// Keep every SELECT's result, in script order (the historical
+    /// behaviour; what [`Database::execute_script_with`] does).
+    #[default]
+    Collect,
+    /// Keep only the most recent SELECT's result — earlier results are
+    /// dropped as soon as they are superseded.
+    LastOnly,
+    /// Drop every result. Bulk loads use this: nothing is materialized, so
+    /// memory stays flat regardless of script length.
+    Discard,
+}
+
+/// A statement compiled once for repeated bound execution
+/// ([`Database::prepare`]). The template is the parsed AST with its
+/// literal positions acting as parameter slots (in lexical order), so an
+/// execution is template-clone → bind → execute — no lexer, parser or
+/// analyzer on the hot path. Independent of the database it was prepared
+/// on: any [`Database`] can execute it (names resolve at execution time,
+/// exactly like the plan cache's templates).
+#[derive(Debug, Clone)]
+pub struct PreparedStmt {
+    /// The literal-normalized shape key (or the verbatim text when the
+    /// statement is not parameterizable) — diagnostics only.
+    key: String,
+    template: Vec<Stmt>,
+    slots: usize,
+}
+
+impl PreparedStmt {
+    /// Number of parameters [`Database::execute_prepared`] expects.
+    pub fn param_count(&self) -> usize {
+        self.slots
+    }
+
+    /// The normalized shape this statement was compiled from.
+    pub fn shape(&self) -> &str {
+        &self.key
+    }
+}
+
 /// Result of [`Database::execute_script_with`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScriptOutcome {
@@ -141,6 +190,9 @@ pub struct Database {
     /// Structured tracing ([`crate::trace`]): `None` (the default) costs a
     /// single check per phase — no clocks, no events, no counter changes.
     trace: Option<Tracer>,
+    /// Promoted per-table uniqueness indexes for [`Self::execute_batch`],
+    /// validated against [`Storage::table_version`] before reuse.
+    unique_cache: UniqueIndexCache,
 }
 
 /// In-flight span from [`Database::trace_begin`]; hand it back to
@@ -166,6 +218,7 @@ impl Database {
             analyze: false,
             savepoints: Vec::new(),
             trace: None,
+            unique_cache: UniqueIndexCache::default(),
         }
     }
 
@@ -367,6 +420,9 @@ impl Database {
             ("txn_rollbacks", s.txn_rollbacks),
             ("undo_records", s.undo_records),
             ("savepoints", s.savepoints),
+            ("prepared_execs", s.prepared_execs),
+            ("batched_rows", s.batched_rows),
+            ("batch_subquery_hits", s.batch_subquery_hits),
         ] {
             let _ = writeln!(out, "{name:<20} {v}");
         }
@@ -414,6 +470,18 @@ impl Database {
         sql: &str,
         policy: RecoveryPolicy,
     ) -> Result<ScriptOutcome, DbError> {
+        self.execute_script_opts(sql, policy, ResultMode::Collect)
+    }
+
+    /// [`execute_script_with`](Self::execute_script_with) plus an explicit
+    /// [`ResultMode`]: bulk loads pass [`ResultMode::Discard`] so a script
+    /// of any length holds no query results in memory.
+    pub fn execute_script_opts(
+        &mut self,
+        sql: &str,
+        policy: RecoveryPolicy,
+        results: ResultMode,
+    ) -> Result<ScriptOutcome, DbError> {
         self.analyze_inline(sql);
         let stmts = self.cached_parse(sql)?;
         let script_mark = self.txn_mark();
@@ -421,7 +489,14 @@ impl Database {
         for (index, stmt) in stmts.iter().enumerate() {
             match self.execute_stmt(stmt) {
                 Ok(Some(result)) => {
-                    outcome.results.push(result);
+                    match results {
+                        ResultMode::Collect => outcome.results.push(result),
+                        ResultMode::LastOnly => {
+                            outcome.results.clear();
+                            outcome.results.push(result);
+                        }
+                        ResultMode::Discard => {}
+                    }
                     outcome.executed += 1;
                 }
                 Ok(None) => outcome.executed += 1,
@@ -667,6 +742,109 @@ impl Database {
             .scalar()
             .cloned()
             .ok_or_else(|| DbError::Execution("query did not return a single scalar".into()))
+    }
+
+    // -- bulk ingest ----------------------------------------------------------
+
+    /// Compile one statement for repeated bound execution. For an INSERT
+    /// whose shape passes slot verification (the same check the plan cache
+    /// runs), every string/number literal becomes a parameter slot in
+    /// lexical order; other statements prepare with zero slots (still
+    /// skipping the parse on each execution).
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedStmt, DbError> {
+        let mut parsed = parse_script(sql)?;
+        if parsed.len() != 1 {
+            return Err(DbError::Execution(format!(
+                "prepare expects exactly one statement, got {}",
+                parsed.len()
+            )));
+        }
+        Ok(match parameterize(sql) {
+            Some((key, lits)) if slots_match(&mut parsed, &lits) => {
+                PreparedStmt { key, template: parsed, slots: lits.len() }
+            }
+            _ => PreparedStmt { key: sql.to_string(), template: parsed, slots: 0 },
+        })
+    }
+
+    /// Execute a prepared statement with `params` bound to its literal
+    /// slots in order — template → bound AST → executor, with no lexing or
+    /// parsing. Parameters replace slots wholesale, so NULLs and dates
+    /// bind fine into what was lexed as a string slot. Counts one
+    /// [`ExecStats::prepared_execs`]; emits a `prepared` trace span.
+    pub fn execute_prepared(
+        &mut self,
+        prep: &PreparedStmt,
+        params: &[Value],
+    ) -> Result<Option<QueryResult>, DbError> {
+        let span = self.trace_begin("prepared", format!("{} params", params.len()));
+        let result = self.execute_prepared_inner(prep, params);
+        self.trace_end(span);
+        result
+    }
+
+    fn execute_prepared_inner(
+        &mut self,
+        prep: &PreparedStmt,
+        params: &[Value],
+    ) -> Result<Option<QueryResult>, DbError> {
+        if params.len() != prep.slots {
+            return Err(DbError::Execution(format!(
+                "prepared statement has {} parameter slots but {} values were bound",
+                prep.slots,
+                params.len()
+            )));
+        }
+        self.stats.prepared_execs += 1;
+        if prep.slots == 0 {
+            return self.execute_stmt(&prep.template[0]);
+        }
+        let mut stmts = prep.template.clone();
+        if !bind_values(&mut stmts, params) {
+            return Err(DbError::Execution(
+                "prepared parameter binding failed (slot/value mismatch)".into(),
+            ));
+        }
+        let stmt = stmts.remove(0);
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute an [`InsertBatch`] as one unit: the catalog is resolved
+    /// once, every row is validated against the pre-batch snapshot, rows
+    /// are appended in one storage call with a block OID reservation, and a
+    /// single undo record brackets the batch (so enclosing
+    /// [`RecoveryPolicy::Atomic`] marks roll it back exactly like the
+    /// equivalent statement sequence). The resulting database state is
+    /// byte-identical to executing the rows as individual INSERTs — see
+    /// [`execute_insert_batch`] for the subquery-visibility contract.
+    /// Returns the number of rows inserted; emits a `batch` trace span.
+    pub fn execute_batch(&mut self, batch: &InsertBatch) -> Result<usize, DbError> {
+        let span = self
+            .trace_begin("batch", format!("{} rows into {}", batch.rows.len(), batch.table));
+        let result = self.execute_batch_inner(batch);
+        self.trace_end(span);
+        result
+    }
+
+    fn execute_batch_inner(&mut self, batch: &InsertBatch) -> Result<usize, DbError> {
+        self.stats.statements += 1;
+        self.stats.inserts += batch.rows.len() as u64;
+        let mark = self.txn_mark();
+        let result = execute_insert_batch(
+            &self.catalog,
+            &mut self.storage,
+            &mut self.stats,
+            self.mode,
+            batch,
+            &mut self.unique_cache,
+        );
+        let produced = (self.storage.undo_len() - mark.storage)
+            + (self.catalog.undo_len() - mark.catalog);
+        self.stats.undo_records += produced as u64;
+        if result.is_err() {
+            self.rollback_to_mark(mark);
+        }
+        result
     }
 }
 

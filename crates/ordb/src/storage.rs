@@ -39,6 +39,10 @@ enum StorageUndo {
     /// Inverse of [`Storage::insert_row`]: pop the appended row and restore
     /// the OID allocator position.
     Inserted { table: Ident, prev_next_oid: u64 },
+    /// Inverse of [`Storage::insert_rows`]: pop the appended block of rows
+    /// and restore the OID allocator position. One record brackets the
+    /// whole batch, so a batched load writes O(1) undo instead of O(rows).
+    BulkInserted { table: Ident, count: usize, prev_next_oid: u64 },
     /// Inverse of [`Storage::delete_rows`]: re-insert the removed rows at
     /// their original slots (ascending order), then re-slot the directory.
     Deleted { table: Ident, removed: Vec<(usize, Row)> },
@@ -63,6 +67,14 @@ pub struct Storage {
     /// Undo log since the last commit. Truncated by [`Storage::commit`],
     /// replayed backwards by [`Storage::rollback_to`].
     undo: Vec<StorageUndo>,
+    /// Monotonic per-table mutation counters. Every path that can change a
+    /// table's rows or existence bumps its counter (including undo replay
+    /// and `table_mut` handouts), so "version unchanged" proves the table's
+    /// rows are bit-identical — the batch unique-index cache relies on
+    /// this. Entries are never removed: a dropped-and-recreated table
+    /// continues its old counter rather than restarting at a value a stale
+    /// reader might still hold.
+    versions: HashMap<Ident, u64>,
 }
 
 impl Storage {
@@ -70,8 +82,18 @@ impl Storage {
         Self::default()
     }
 
+    fn touch(&mut self, table: &Ident) {
+        *self.versions.entry(table.clone()).or_insert(0) += 1;
+    }
+
+    /// Mutation counter for one table — see the `versions` field.
+    pub fn table_version(&self, table: &Ident) -> u64 {
+        self.versions.get(table).copied().unwrap_or(0)
+    }
+
     pub fn create_table(&mut self, name: Ident) {
         if !self.tables.contains_key(&name) {
+            self.touch(&name);
             self.undo.push(StorageUndo::Created { table: name.clone() });
             self.tables.insert(name, TableData::default());
         }
@@ -84,6 +106,7 @@ impl Storage {
                     self.oid_directory.remove(&oid);
                 }
             }
+            self.touch(name);
             self.undo.push(StorageUndo::Dropped { table: name.clone(), data });
         }
     }
@@ -99,6 +122,10 @@ impl Storage {
     /// [`Storage::insert_row`] / [`Storage::delete_rows`], which keep the
     /// directory consistent.
     pub fn table_mut(&mut self, name: &Ident) -> Option<&mut TableData> {
+        if self.tables.contains_key(name) {
+            // The handle may be used to rewrite values; assume it will be.
+            self.touch(name);
+        }
         self.tables.get_mut(name)
     }
 
@@ -124,8 +151,51 @@ impl Storage {
             None
         };
         data.rows.push(Row { oid, values });
+        self.touch(table);
         self.undo.push(StorageUndo::Inserted { table: table.clone(), prev_next_oid });
         Ok(oid)
+    }
+
+    /// Append a block of rows in one call; if `with_oid`, reserve an OID
+    /// block from the allocator and assign OIDs in row order. The result is
+    /// byte-identical to calling [`Storage::insert_row`] once per row (same
+    /// OIDs, same heap order, same allocator position) but logs a single
+    /// undo record for the whole block.
+    pub fn insert_rows(
+        &mut self,
+        table: &Ident,
+        rows: Vec<Vec<Value>>,
+        with_oid: bool,
+    ) -> Result<usize, DbError> {
+        let data = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.as_str().to_string()))?;
+        let count = rows.len();
+        if count == 0 {
+            return Ok(0);
+        }
+        let prev_next_oid = self.next_oid;
+        let base_slot = data.rows.len();
+        for (i, values) in rows.into_iter().enumerate() {
+            let oid = if with_oid {
+                self.next_oid += 1;
+                let oid = Oid(self.next_oid);
+                self.oid_directory
+                    .insert(oid, OidEntry { table: table.clone(), slot: base_slot + i });
+                Some(oid)
+            } else {
+                None
+            };
+            data.rows.push(Row { oid, values });
+        }
+        self.touch(table);
+        self.undo.push(StorageUndo::BulkInserted {
+            table: table.clone(),
+            count,
+            prev_next_oid,
+        });
+        Ok(count)
     }
 
     /// Overwrite one row's values in place, logging the old values for
@@ -145,6 +215,7 @@ impl Storage {
             DbError::Execution(format!("row slot {slot} out of range for table {table}"))
         })?;
         let old = std::mem::replace(&mut row.values, values);
+        self.touch(table);
         self.undo.push(StorageUndo::Wrote { table: table.clone(), slot, values: old });
         Ok(())
     }
@@ -194,6 +265,7 @@ impl Storage {
                     }
                 }
             }
+            self.touch(table);
             self.undo
                 .push(StorageUndo::Deleted { table: table.clone(), removed: removed_rows });
         }
@@ -222,12 +294,35 @@ impl Storage {
     }
 
     fn apply_undo(&mut self, op: StorageUndo) {
+        match &op {
+            StorageUndo::Inserted { table, .. }
+            | StorageUndo::BulkInserted { table, .. }
+            | StorageUndo::Deleted { table, .. }
+            | StorageUndo::Wrote { table, .. }
+            | StorageUndo::Created { table }
+            | StorageUndo::Dropped { table, .. } => {
+                let table = table.clone();
+                self.touch(&table);
+            }
+        }
         match op {
             StorageUndo::Inserted { table, prev_next_oid } => {
                 if let Some(data) = self.tables.get_mut(&table) {
                     if let Some(row) = data.rows.pop() {
                         if let Some(oid) = row.oid {
                             self.oid_directory.remove(&oid);
+                        }
+                    }
+                }
+                self.next_oid = prev_next_oid;
+            }
+            StorageUndo::BulkInserted { table, count, prev_next_oid } => {
+                if let Some(data) = self.tables.get_mut(&table) {
+                    for _ in 0..count {
+                        if let Some(row) = data.rows.pop() {
+                            if let Some(oid) = row.oid {
+                                self.oid_directory.remove(&oid);
+                            }
                         }
                     }
                 }
@@ -485,6 +580,36 @@ mod tests {
         st.rollback_to(mark);
         assert_eq!(st.state_dump(), dump);
         st.check_oid_directory().unwrap();
+    }
+
+    #[test]
+    fn bulk_insert_matches_sequential_inserts_byte_for_byte() {
+        let rows = || vec![vec![Value::Num(1.0)], vec![Value::str("a")], vec![Value::Null]];
+        let mut seq = Storage::new();
+        seq.create_table(id("T"));
+        for values in rows() {
+            seq.insert_row(&id("T"), values, true).unwrap();
+        }
+        let mut bulk = Storage::new();
+        bulk.create_table(id("T"));
+        assert_eq!(bulk.insert_rows(&id("T"), rows(), true).unwrap(), 3);
+        assert_eq!(bulk.state_dump(), seq.state_dump());
+        bulk.check_oid_directory().unwrap();
+        // One undo record brackets the whole block…
+        assert_eq!(bulk.undo_len(), seq.undo_len() - 2);
+        // …and rolling it back restores the pre-batch state exactly.
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        st.commit();
+        let dump = st.state_dump();
+        let mark = st.undo_len();
+        st.insert_rows(&id("T"), rows(), true).unwrap();
+        st.rollback_to(mark);
+        assert_eq!(st.state_dump(), dump);
+        st.check_oid_directory().unwrap();
+        // Empty batches are free: no rows, no undo record.
+        assert_eq!(st.insert_rows(&id("T"), Vec::new(), true).unwrap(), 0);
+        assert_eq!(st.undo_len(), mark);
     }
 
     #[test]

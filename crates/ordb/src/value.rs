@@ -133,6 +133,46 @@ impl Value {
         }
     }
 
+    /// Feed this value's [`Value::join_key`] identity into `h` without
+    /// materializing the key (no clone, no allocation); returns `false`
+    /// when the value has no join key (NULL / object / collection). Kept
+    /// in sync with `join_key` — equal join keys must produce equal hash
+    /// input, variant by variant.
+    pub fn hash_join_key<H: std::hash::Hasher>(&self, h: &mut H) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Num(n) => {
+                h.write_u8(0);
+                h.write_u64(canonical_num_bits(*n));
+                true
+            }
+            Value::Str(s) => {
+                match self.as_num() {
+                    Some(n) => {
+                        h.write_u8(0);
+                        h.write_u64(canonical_num_bits(n));
+                    }
+                    None => {
+                        h.write_u8(1);
+                        h.write(s.as_bytes());
+                    }
+                }
+                true
+            }
+            Value::Date(s) => {
+                h.write_u8(2);
+                h.write(s.as_bytes());
+                true
+            }
+            Value::Ref(oid) => {
+                h.write_u8(3);
+                h.write_u64(oid.0);
+                true
+            }
+            Value::Obj { .. } | Value::Coll { .. } => false,
+        }
+    }
+
     /// Render as a SQL literal (for script/debug output).
     pub fn to_sql_literal(&self) -> String {
         match self {

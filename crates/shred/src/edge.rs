@@ -61,14 +61,14 @@ impl<'a> EdgeLoader<'a> {
         let name = self.doc.name(node).as_raw();
         self.out.push(format!(
             "INSERT INTO TabEdge VALUES ({parent}, {ordinal}, {}, 'ref', {my_id})",
-            sql_str(&name)
+            crate::intern::name_literal(&name)
         ));
         // Attributes.
         for (i, attr) in self.doc.attributes(node).iter().enumerate() {
             let vid = self.fresh();
             self.out.push(format!(
                 "INSERT INTO TabEdge VALUES ({my_id}, {i}, {}, 'val', {vid})",
-                sql_str(&format!("@{}", attr.name.as_raw()))
+                crate::intern::name_literal(&format!("@{}", attr.name.as_raw()))
             ));
             self.out
                 .push(format!("INSERT INTO TabValue VALUES ({vid}, {})", sql_str(&attr.value)));

@@ -25,6 +25,7 @@
 pub mod attrtab;
 pub mod edge;
 pub mod inline;
+pub mod intern;
 
 use xmlord_dtd::ast::Dtd;
 use xmlord_xml::Document;

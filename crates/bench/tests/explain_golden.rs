@@ -7,7 +7,7 @@
 //! deliberately: `UPDATE_GOLDEN=1 cargo test -p xmlord-bench --test
 //! explain_golden`.
 
-use xmlord_bench::{ref_chain_db, setup, Strategy};
+use xmlord_bench::{ref_chain_db, setup, university_doc, Strategy};
 use xmlord_ordb::{Database, DbMode};
 
 /// Render `EXPLAIN <sql>` to one newline-joined string.
@@ -86,6 +86,60 @@ fn paper_query_edge_join_plan_oracle8() {
     db.execute_script(&instance.ddl).unwrap();
     let sql = instance.paper_query();
     check("paperq_edge_oracle8.txt", &plan_text(&mut db, &sql));
+}
+
+/// The REF-chain navigation rewritten as its explicit relational join —
+/// the shape secondary indexes accelerate. Pinned twice: scan/hash-join
+/// without indexes, index probes + cost-based order with them.
+const REF_CHAIN_JOIN_QUERY: &str = "SELECT p.subject FROM TabProf p, TabCourse c \
+                                    WHERE c.prof = REF(p) AND p.pname = 'prof3'";
+
+#[test]
+fn ref_chain_join_plan_without_indexes() {
+    let mut db = ref_chain_db(5);
+    check("refchain_join_noindex.txt", &plan_text(&mut db, REF_CHAIN_JOIN_QUERY));
+}
+
+#[test]
+fn ref_chain_join_plan_with_indexes() {
+    let mut db = ref_chain_db(5);
+    db.execute_script(
+        "CREATE INDEX IxCourseProf ON TabCourse (prof);
+         CREATE INDEX IxProfPname ON TabProf (pname);
+         ANALYZE TABLE TabProf COMPUTE STATISTICS;
+         ANALYZE TABLE TabCourse COMPUTE STATISTICS;",
+    )
+    .unwrap();
+    let plan = plan_text(&mut db, REF_CHAIN_JOIN_QUERY);
+    assert!(plan.contains("index probe"), "{plan}");
+    check("refchain_join_indexed.txt", &plan);
+}
+
+/// The 7-way edge self-join with the secondary indexes and statistics the
+/// planner experiment installs: every join edge becomes an index probe and
+/// the join order is cost-based. (Statistics live in the catalog, so the
+/// plan stays a pure function of DDL + ANALYZE — the fixture document is
+/// deterministic.)
+#[test]
+fn paper_query_edge_join_plan_indexed() {
+    let mut instance = setup(Strategy::Edge);
+    let (_, doc) = university_doc(10);
+    instance.load(&doc);
+    instance
+        .db
+        .execute_script(
+            "CREATE INDEX IxEdgeSource ON TabEdge (Source);
+             CREATE INDEX IxEdgeName ON TabEdge (Name);
+             CREATE INDEX IxValueVID ON TabValue (VID);
+             ANALYZE TABLE TabEdge COMPUTE STATISTICS;
+             ANALYZE TABLE TabValue COMPUTE STATISTICS;",
+        )
+        .unwrap();
+    let sql = instance.paper_query();
+    let plan = plan_text(&mut instance.db, &sql);
+    assert!(plan.contains("index probe"), "{plan}");
+    assert!(plan.contains("cost-based"), "{plan}");
+    check("paperq_edge_indexed.txt", &plan);
 }
 
 #[test]

@@ -274,6 +274,7 @@ fn code_for(err: &DbError) -> &'static str {
         DbError::UnknownType(_) => "unknown-type",
         DbError::UnknownTable(_) => "unknown-table",
         DbError::UnknownColumn(_) => "unknown-column",
+        DbError::UnknownIndex(_) => "unknown-index",
         DbError::DuplicateName(_) => "duplicate-name",
         DbError::NestedCollectionNotSupported { .. } => "nested-collection",
         DbError::DependentTypeExists { .. } => "dependent-type",

@@ -133,6 +133,44 @@ pub struct ViewDef {
     pub query: SelectStmt,
 }
 
+/// `CREATE [UNIQUE] INDEX name ON table (columns)` — metadata for a
+/// persistent secondary index. The key→slot structure itself lives in
+/// [`crate::storage::Storage`]; the catalog owns the definition so the
+/// analyzer's shadow catalog and the planner see the same inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDef {
+    pub name: Ident,
+    pub table: Ident,
+    pub columns: Vec<Ident>,
+    /// Declared UNIQUE — a planner cardinality hint (an equality probe on
+    /// all key columns yields at most one row); not enforced as a
+    /// constraint, so index presence can never change statement outcomes.
+    pub unique: bool,
+}
+
+/// Cardinality statistics collected by `ANALYZE TABLE … COMPUTE STATISTICS`.
+/// A snapshot: the planner costs plans from the last ANALYZE, never from
+/// live heap sizes, which keeps EXPLAIN output data-independent between
+/// ANALYZE runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count at ANALYZE time.
+    pub rows: u64,
+    /// Number of distinct values per column at ANALYZE time.
+    pub distinct: BTreeMap<Ident, u64>,
+}
+
+impl TableStats {
+    /// Distinct-value count for `column`, defaulting to the row count
+    /// (pessimistic for selectivity: assume unique) when the column was not
+    /// captured.
+    pub fn ndv(&self, column: &Ident) -> u64 {
+        // Never 0: an ANALYZE over an empty table records 0 distinct
+        // values, and estimates divide by this.
+        self.distinct.get(column).copied().unwrap_or(self.rows).max(1)
+    }
+}
+
 /// Inverse of one catalog mutation; see [`Catalog::rollback_to`]. A
 /// `CreatedType` that replaced an incomplete forward declaration carries
 /// that prior declaration so rollback restores it rather than erasing the
@@ -145,6 +183,9 @@ enum CatalogUndo {
     DroppedTable { def: TableDef },
     CreatedView { name: Ident },
     DroppedView { def: ViewDef },
+    CreatedIndex { name: Ident },
+    DroppedIndex { def: IndexDef },
+    SetStats { table: Ident, prev: Option<TableStats> },
 }
 
 /// The complete schema catalog.
@@ -153,6 +194,12 @@ pub struct Catalog {
     types: BTreeMap<Ident, TypeDef>,
     tables: BTreeMap<Ident, TableDef>,
     views: BTreeMap<Ident, ViewDef>,
+    /// Secondary-index definitions by index name. Excluded from
+    /// [`Catalog::state_dump`]: index presence must never change what a
+    /// rollback-equivalence check observes.
+    indexes: BTreeMap<Ident, IndexDef>,
+    /// ANALYZE statistics by table name (also excluded from `state_dump`).
+    stats: BTreeMap<Ident, TableStats>,
     /// Undo log since the last commit; every successful mutation pushes
     /// its inverse.
     undo: Vec<CatalogUndo>,
@@ -246,6 +293,20 @@ impl Catalog {
                 CatalogUndo::DroppedView { def } => {
                     self.views.insert(def.name.clone(), def);
                 }
+                CatalogUndo::CreatedIndex { name } => {
+                    self.indexes.remove(&name);
+                }
+                CatalogUndo::DroppedIndex { def } => {
+                    self.indexes.insert(def.name.clone(), def);
+                }
+                CatalogUndo::SetStats { table, prev } => match prev {
+                    Some(stats) => {
+                        self.stats.insert(table, stats);
+                    }
+                    None => {
+                        self.stats.remove(&table);
+                    }
+                },
             }
         }
     }
@@ -447,7 +508,22 @@ impl Catalog {
     pub fn drop_table(&mut self, name: &Ident) -> Result<(), DbError> {
         match self.tables.remove(name) {
             Some(def) => {
+                // Cascade: indexes and statistics die with their table (undo
+                // replays newest-first, so they are restored after the table).
+                let doomed: Vec<Ident> = self
+                    .indexes
+                    .values()
+                    .filter(|idx| &idx.table == name)
+                    .map(|idx| idx.name.clone())
+                    .collect();
                 self.undo.push(CatalogUndo::DroppedTable { def });
+                for index_name in doomed {
+                    let def = self.indexes.remove(&index_name).expect("collected above");
+                    self.undo.push(CatalogUndo::DroppedIndex { def });
+                }
+                if let Some(prev) = self.stats.remove(name) {
+                    self.undo.push(CatalogUndo::SetStats { table: name.clone(), prev: Some(prev) });
+                }
                 Ok(())
             }
             None => Err(DbError::UnknownTable(name.as_str().to_string())),
@@ -500,6 +576,95 @@ impl Catalog {
 
     pub fn view_count(&self) -> usize {
         self.views.len()
+    }
+
+    // -- secondary indexes ----------------------------------------------------
+
+    /// Register a secondary index: the target table must exist, every key
+    /// column must be a column of that table, and the name must be free
+    /// across all catalog namespaces.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<(), DbError> {
+        let name = def.name.clone();
+        if self.indexes.contains_key(&name)
+            || self.tables.contains_key(&name)
+            || self.types.contains_key(&name)
+            || self.views.contains_key(&name)
+        {
+            return Err(DbError::DuplicateName(name.as_str().to_string()));
+        }
+        let table = self
+            .tables
+            .get(&def.table)
+            .ok_or_else(|| DbError::UnknownTable(def.table.as_str().to_string()))?;
+        let columns = self.table_columns(table);
+        for col in &def.columns {
+            let Some((_, sql_type)) = columns.iter().find(|(n, _)| n == col) else {
+                return Err(DbError::UnknownColumn(format!("{}.{}", def.table, col)));
+            };
+            // Key columns must be scalar or REF: every non-NULL value then
+            // has a join-key hash, so an index probe can over-return
+            // (re-verified by the executor) but never miss a matching row.
+            let indexable = matches!(
+                sql_type,
+                SqlType::Varchar(_)
+                    | SqlType::Char(_)
+                    | SqlType::Number
+                    | SqlType::Integer
+                    | SqlType::Date
+                    | SqlType::Ref(_)
+            );
+            if !indexable {
+                return Err(DbError::Execution(format!(
+                    "column '{}.{}' ({sql_type}) cannot be an index key (scalar or REF columns only)",
+                    def.table, col
+                )));
+            }
+        }
+        if def.columns.is_empty() {
+            return Err(DbError::Execution("index needs at least one column".into()));
+        }
+        self.indexes.insert(name.clone(), def);
+        self.undo.push(CatalogUndo::CreatedIndex { name });
+        Ok(())
+    }
+
+    /// Drop an index, returning its definition so storage can retire the
+    /// matching key→slot structure.
+    pub fn drop_index(&mut self, name: &Ident) -> Result<IndexDef, DbError> {
+        match self.indexes.remove(name) {
+            Some(def) => {
+                self.undo.push(CatalogUndo::DroppedIndex { def: def.clone() });
+                Ok(def)
+            }
+            None => Err(DbError::UnknownIndex(name.as_str().to_string())),
+        }
+    }
+
+    pub fn get_index(&self, name: &Ident) -> Option<&IndexDef> {
+        self.indexes.get(name)
+    }
+
+    /// All indexes defined on `table`, in name order.
+    pub fn indexes_on<'a>(&'a self, table: &'a Ident) -> impl Iterator<Item = &'a IndexDef> {
+        self.indexes.values().filter(move |idx| &idx.table == table)
+    }
+
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    // -- statistics -----------------------------------------------------------
+
+    /// Install ANALYZE statistics for `table` (undo-logged: rollback
+    /// restores the previous snapshot, or removes it).
+    pub fn set_table_stats(&mut self, table: Ident, stats: TableStats) {
+        let prev = self.stats.insert(table.clone(), stats);
+        self.undo.push(CatalogUndo::SetStats { table, prev });
+    }
+
+    /// The last ANALYZE snapshot of `table`, if any.
+    pub fn table_stats(&self, table: &Ident) -> Option<&TableStats> {
+        self.stats.get(table)
     }
 }
 
@@ -730,5 +895,85 @@ mod tests {
             nested_table_stores: vec![],
         });
         assert!(matches!(err, Err(DbError::DuplicateName(_))));
+    }
+
+    fn rel_table(name: &str, cols: &[&str]) -> TableDef {
+        TableDef::Relational {
+            name: id(name),
+            columns: cols
+                .iter()
+                .map(|c| ColumnDef { name: id(c), sql_type: SqlType::Varchar(30) })
+                .collect(),
+            constraints: vec![],
+            nested_table_stores: vec![],
+        }
+    }
+
+    fn index(name: &str, table: &str, cols: &[&str]) -> IndexDef {
+        IndexDef {
+            name: id(name),
+            table: id(table),
+            columns: cols.iter().map(|c| id(c)).collect(),
+            unique: false,
+        }
+    }
+
+    #[test]
+    fn create_index_validates_table_and_columns() {
+        let mut cat = Catalog::new();
+        cat.create_table(rel_table("T", &["a", "b"])).unwrap();
+        cat.create_index(index("IxA", "T", &["a"])).unwrap();
+        assert_eq!(cat.index_count(), 1);
+        assert_eq!(cat.indexes_on(&id("T")).count(), 1);
+        assert!(matches!(
+            cat.create_index(index("IxA", "T", &["b"])),
+            Err(DbError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            cat.create_index(index("IxB", "Missing", &["a"])),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            cat.create_index(index("IxC", "T", &["nope"])),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(cat.drop_index(&id("Missing")), Err(DbError::UnknownIndex(_))));
+    }
+
+    #[test]
+    fn indexes_and_stats_roll_back_but_stay_out_of_state_dump() {
+        let mut cat = Catalog::new();
+        cat.create_table(rel_table("T", &["a"])).unwrap();
+        cat.commit();
+        let dump = cat.state_dump();
+        let mark = cat.undo_len();
+        cat.create_index(index("Ix", "T", &["a"])).unwrap();
+        cat.set_table_stats(
+            id("T"),
+            TableStats { rows: 7, distinct: BTreeMap::from([(id("a"), 3)]) },
+        );
+        // Index + stats presence must not perturb the rollback-equivalence dump.
+        assert_eq!(cat.state_dump(), dump);
+        cat.rollback_to(mark);
+        assert_eq!(cat.index_count(), 0);
+        assert!(cat.table_stats(&id("T")).is_none());
+        assert_eq!(cat.state_dump(), dump);
+    }
+
+    #[test]
+    fn drop_table_cascades_indexes_and_stats_and_rolls_back() {
+        let mut cat = Catalog::new();
+        cat.create_table(rel_table("T", &["a"])).unwrap();
+        cat.create_index(index("Ix", "T", &["a"])).unwrap();
+        cat.set_table_stats(id("T"), TableStats { rows: 1, distinct: BTreeMap::new() });
+        cat.commit();
+        let mark = cat.undo_len();
+        cat.drop_table(&id("T")).unwrap();
+        assert_eq!(cat.index_count(), 0);
+        assert!(cat.table_stats(&id("T")).is_none());
+        cat.rollback_to(mark);
+        assert!(cat.get_table(&id("T")).is_some());
+        assert!(cat.get_index(&id("Ix")).is_some());
+        assert_eq!(cat.table_stats(&id("T")).unwrap().rows, 1);
     }
 }

@@ -21,6 +21,8 @@ pub enum DbError {
     UnknownType(String),
     UnknownTable(String),
     UnknownColumn(String),
+    /// `DROP INDEX` names an index that does not exist.
+    UnknownIndex(String),
     /// Name already exists.
     DuplicateName(String),
     /// Oracle 8 mode: collection element type is a collection or LOB (§2.2).
@@ -65,6 +67,7 @@ impl fmt::Display for DbError {
             DbError::UnknownType(name) => write!(f, "type '{name}' does not exist"),
             DbError::UnknownTable(name) => write!(f, "table or view '{name}' does not exist"),
             DbError::UnknownColumn(name) => write!(f, "column or path '{name}' does not exist"),
+            DbError::UnknownIndex(name) => write!(f, "index '{name}' does not exist"),
             DbError::DuplicateName(name) => {
                 write!(f, "name '{name}' is already used by an existing object")
             }

@@ -5,7 +5,7 @@
 //! exactly the same code path as the executor's live catalog — the two can
 //! never disagree about what a script's DDL means.
 
-use crate::catalog::{Catalog, ColumnDef, Constraint, TableDef, TypeDef, ViewDef};
+use crate::catalog::{Catalog, ColumnDef, Constraint, IndexDef, TableDef, TableStats, TypeDef, ViewDef};
 use crate::error::DbError;
 use crate::ident::Ident;
 use crate::mode::DbMode;
@@ -89,6 +89,28 @@ pub fn apply_ddl_catalog(
             catalog.drop_view(name)?;
             Ok(true)
         }
+        Stmt::CreateIndex { name, table, columns, unique } => {
+            catalog.create_index(IndexDef {
+                name: name.clone(),
+                table: table.clone(),
+                columns: columns.clone(),
+                unique: *unique,
+            })?;
+            Ok(true)
+        }
+        Stmt::DropIndex { name } => {
+            catalog.drop_index(name)?;
+            Ok(true)
+        }
+        Stmt::AnalyzeTable { table } => {
+            // Catalog half: the table must exist. The statistics snapshot is
+            // computed from storage in [`execute_ddl`]; the analyzer's
+            // shadow catalog only validates the name.
+            if catalog.get_table(table).is_none() {
+                return Err(DbError::UnknownTable(table.as_str().to_string()));
+            }
+            Ok(true)
+        }
         _ => Ok(false),
     }
 }
@@ -118,9 +140,57 @@ pub fn execute_ddl(
         Stmt::DropTable { name } => {
             storage.drop_table(name);
         }
+        Stmt::CreateIndex { name, table, columns, .. } => {
+            // Resolve key columns to row positions (validated by the
+            // catalog half above) and build the storage structure.
+            let table_def = catalog.get_table(table).expect("validated by apply_ddl_catalog");
+            let table_cols = catalog.table_columns(table_def);
+            let positions: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    table_cols.iter().position(|(n, _)| n == c).expect("validated by catalog")
+                })
+                .collect();
+            storage.create_index(name.clone(), table.clone(), positions);
+        }
+        Stmt::DropIndex { name } => {
+            storage.drop_index(name);
+        }
+        Stmt::AnalyzeTable { table } => {
+            let table_def = catalog.get_table(table).expect("validated by apply_ddl_catalog");
+            let columns = catalog.table_columns(table_def);
+            let snapshot = compute_table_stats(storage, table, &columns);
+            catalog.set_table_stats(table.clone(), snapshot);
+            stats.analyze_runs += 1;
+        }
         _ => {}
     }
     Ok(true)
+}
+
+/// Scan a table heap once, counting rows and per-column distinct values
+/// (by join-key hash — NULLs and unhashable values count as one bucket, a
+/// fine-grained enough NDV for selectivity estimates).
+fn compute_table_stats(
+    storage: &Storage,
+    table: &Ident,
+    columns: &[(Ident, SqlType)],
+) -> TableStats {
+    use std::collections::HashSet;
+    let data = storage.table(table);
+    let rows = data.map(|d| d.rows.len()).unwrap_or(0) as u64;
+    let mut distinct = std::collections::BTreeMap::new();
+    for (ci, (col_name, _)) in columns.iter().enumerate() {
+        let mut seen: HashSet<Option<u64>> = HashSet::new();
+        if let Some(data) = data {
+            for row in &data.rows {
+                let v = row.values.get(ci).unwrap_or(&crate::value::Value::Null);
+                seen.insert(crate::storage::key_hash(&[v]));
+            }
+        }
+        distinct.insert(col_name.clone(), seen.len() as u64);
+    }
+    TableStats { rows, distinct }
 }
 
 fn create_view(catalog: &mut Catalog, name: &Ident, query: &SelectStmt) -> Result<(), DbError> {

@@ -37,7 +37,7 @@ pub fn execute_insert(
     // Evaluate the VALUES expressions (read-only phase: subqueries may scan).
     let mut provided = Vec::with_capacity(value_exprs.len());
     {
-        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
         for expr in value_exprs {
             provided.push(eval_expr(&mut ctx, &Env::EMPTY, expr)?);
         }
@@ -116,7 +116,7 @@ fn finish_insert(
 ) -> Result<(), DbError> {
     // Coerce to the declared column types.
     {
-        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
         for (value, (col_name, col_type)) in row_values.iter_mut().zip(table_columns) {
             let taken = std::mem::replace(value, Value::Null);
             *value = coerce(&mut ctx, taken, col_type, col_name.as_str())?;
@@ -213,17 +213,9 @@ pub struct UniqueIndexCache {
 }
 
 /// Hash a candidate key's join-key identity; `None` when any component is
-/// NULL or has no join key.
-fn key_hash(key: &[&Value]) -> Option<u64> {
-    use std::hash::Hasher;
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for v in key {
-        if v.is_null() || !v.hash_join_key(&mut h) {
-            return None;
-        }
-    }
-    Some(h.finish())
-}
+/// NULL or has no join key. Shared with the secondary-index machinery so
+/// constraint probes and index probes agree on key identity.
+use crate::storage::key_hash;
 
 /// Build the uniqueness index over the rows already in storage. Returns
 /// `None` — meaning "fall back to per-row scans" — when a stored non-NULL
@@ -329,7 +321,7 @@ pub fn execute_insert_batch(
     for value_exprs in &batch.rows {
         let mut provided = Vec::with_capacity(value_exprs.len());
         {
-            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
             for expr in value_exprs {
                 provided.push(eval_batch_expr(&mut ctx, expr, &mut memo)?);
             }
@@ -337,7 +329,7 @@ pub fn execute_insert_batch(
         let mut row_values =
             shape_row(&batch.table, &table, &table_columns, &batch.columns, provided)?;
         {
-            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+            let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
             for (value, (col_name, col_type)) in row_values.iter_mut().zip(&table_columns) {
                 let taken = std::mem::replace(value, Value::Null);
                 *value = coerce(&mut ctx, taken, col_type, col_name.as_str())?;
@@ -616,7 +608,7 @@ fn enforce_constraints(
                 };
                 let frames = [std::rc::Rc::new(frame)];
                 let env = Env::new(&frames);
-                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
                 // Oracle semantics: the row is rejected only when the
                 // condition is definitely FALSE (UNKNOWN passes).
                 if eval_bool(&mut ctx, &env, expr)? == Some(false) {
@@ -665,7 +657,7 @@ pub fn execute_update(
             .table(table_name)
             .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
         let mut ctx =
-            ExecCtx { catalog, storage: &*storage, stats: &mut *stats, mode, hash_joins: true };
+            ExecCtx { catalog, storage: &*storage, stats: &mut *stats, mode, hash_joins: true, cost_planner: true };
         for (idx, row) in data.rows.iter().enumerate() {
             let frame = Frame {
                 binding: table_name.clone(),
@@ -810,7 +802,7 @@ fn enforce_non_key_constraints(
                 };
                 let frames = [std::rc::Rc::new(frame)];
                 let env = Env::new(&frames);
-                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+                let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
                 if eval_bool(&mut ctx, &env, expr)? == Some(false) {
                     return Err(DbError::CheckViolation {
                         constraint: format!("CHECK on {}", table.name().as_str()),
@@ -850,7 +842,7 @@ pub fn execute_delete(
         let data = storage
             .table(table_name)
             .ok_or_else(|| DbError::UnknownTable(table_name.as_str().to_string()))?;
-        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true };
+        let mut ctx = ExecCtx { catalog, storage, stats, mode, hash_joins: true, cost_planner: true };
         for (idx, row) in data.rows.iter().enumerate() {
             let keep = match where_clause {
                 None => false,

@@ -23,6 +23,10 @@ pub struct ExecCtx<'a> {
     /// [`crate::Database::set_hash_joins`] turns it off so differential
     /// tests can compare both join strategies on identical queries.
     pub hash_joins: bool,
+    /// Whether the cost-based planner may choose secondary-index access
+    /// paths and reorder joins by estimated cardinality. Off pins the
+    /// naive plan ([`crate::Database::set_cost_planner`]).
+    pub cost_planner: bool,
 }
 
 /// Evaluate an expression to a value.

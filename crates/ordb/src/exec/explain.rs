@@ -13,7 +13,7 @@
 
 use crate::catalog::{Catalog, TableDef};
 use crate::error::DbError;
-use crate::exec::select::{conjunct_position, plan_hash_join, split_and, QueryResult};
+use crate::exec::select::{plan_select, AccessPath, QueryResult, SelectPlan};
 use crate::ident::Ident;
 use crate::mode::DbMode;
 use crate::sql::ast::{Expr, FromItem, SelectStmt, Stmt};
@@ -30,9 +30,10 @@ pub fn explain_stmt(
     catalog: &Catalog,
     mode: DbMode,
     hash_joins: bool,
+    cost_planner: bool,
     stmt: &Stmt,
 ) -> Result<QueryResult, DbError> {
-    let mut plan = Plan { catalog, hash_joins, lines: Vec::new() };
+    let mut plan = Plan { catalog, hash_joins, cost_planner, lines: Vec::new() };
     plan.line(0, format!("EXPLAIN ({mode})"));
     plan.stmt(0, stmt)?;
     Ok(QueryResult {
@@ -48,6 +49,7 @@ type Scope = (Ident, Option<Vec<(Ident, SqlType)>>);
 struct Plan<'a> {
     catalog: &'a Catalog,
     hash_joins: bool,
+    cost_planner: bool,
     lines: Vec<String>,
 }
 
@@ -102,6 +104,22 @@ impl Plan<'_> {
                 match ddl_target(ddl) {
                     Some(name) => self.line(ind, format!("{} {name}", ddl.kind())),
                     None => self.line(ind, ddl.kind()),
+                }
+                if let Stmt::CreateIndex { table, columns, .. } = ddl {
+                    let cols: Vec<&str> = columns.iter().map(Ident::as_str).collect();
+                    self.line(
+                        ind + 1,
+                        format!(
+                            "build: one full scan of {table} keyed on ({}); maintained by every mutation and undo replay",
+                            cols.join(", ")
+                        ),
+                    );
+                }
+                if let Stmt::AnalyzeTable { .. } = ddl {
+                    self.line(
+                        ind + 1,
+                        "collect: row count + per-column distinct values into catalog statistics",
+                    );
                 }
                 self.line(ind + 1, "undo: catalog change logged (statement-atomic)");
             }
@@ -172,23 +190,29 @@ impl Plan<'_> {
     fn select(&mut self, ind: usize, query: &SelectStmt, depth: usize) -> Result<(), DbError> {
         self.line(ind, if query.distinct { "SELECT DISTINCT" } else { "SELECT" });
 
-        // The exact scheduling the executor performs: conjuncts attach to
-        // the earliest FROM item binding all their references.
-        let bindings: Vec<Ident> = query.from.iter().map(FromItem::binding).collect();
-        let mut conjuncts: Vec<Expr> = Vec::new();
-        if let Some(pred) = &query.where_clause {
-            split_and(pred, &mut conjuncts);
+        // The exact plan the executor computes: conjunct scheduling, join
+        // order and per-item access paths all come from the shared
+        // `plan_select`, so this rendering can never drift from execution.
+        let plan = plan_select(self.catalog, self.hash_joins, self.cost_planner, query);
+        let scheduled = &plan.scheduled;
+        if plan.costed {
+            let exec_order: Vec<String> = plan
+                .order
+                .iter()
+                .map(|&i| query.from[i].binding().as_str().to_string())
+                .collect();
+            self.line(
+                ind + 1,
+                format!("join order: cost-based ({}) — ANALYZE statistics", exec_order.join(", ")),
+            );
         }
-        let scheduled: Vec<(usize, Expr)> = conjuncts
-            .into_iter()
-            .map(|c| (conjunct_position(&c, &bindings), c))
-            .collect();
 
         let catalog = self.catalog;
         let mut scopes: Vec<Scope> = Vec::new();
-        for (idx, item) in query.from.iter().enumerate() {
+        for (pos, &idx) in plan.order.iter().enumerate() {
+            let item = &query.from[idx];
             let applicable: Vec<&Expr> =
-                scheduled.iter().filter(|(pos, _)| *pos == idx).map(|(_, e)| e).collect();
+                scheduled.iter().filter(|(p, _)| *p == pos).map(|(_, e)| e).collect();
             let binding = item.binding();
             match item {
                 FromItem::Table { name, .. } => {
@@ -199,12 +223,13 @@ impl Plan<'_> {
                             }
                             TableDef::Relational { .. } => format!("scan table {name}"),
                         };
-                        let join = self.join_note(idx, &applicable, &bindings);
+                        let join = self.access_note(&plan, pos);
                         self.line(ind + 1, format!("from[{idx}] {binding}: {access}{join}"));
+                        self.est_note(ind + 2, &plan, pos);
                         self.filters(ind + 2, &applicable);
                         scopes.push((binding, Some(catalog.table_columns(table))));
                     } else if let Some(view) = catalog.get_view(name) {
-                        let join = self.join_note(idx, &applicable, &bindings);
+                        let join = self.access_note(&plan, pos);
                         self.line(ind + 1, format!("from[{idx}] {binding}: expand view {name}{join}"));
                         if depth < MAX_VIEW_DEPTH {
                             self.select(ind + 2, &view.query, depth + 1)?;
@@ -238,7 +263,7 @@ impl Plan<'_> {
         // Conjuncts the executor defers past the last item (subqueries,
         // unresolvable references).
         let final_pos = query.from.len().saturating_sub(1);
-        for (pos, conjunct) in &scheduled {
+        for (pos, conjunct) in scheduled {
             if *pos > final_pos {
                 self.line(ind + 1, format!("residual filter: {}", print_expr(conjunct)));
             }
@@ -266,24 +291,30 @@ impl Plan<'_> {
         Ok(())
     }
 
-    /// How the FROM item at `idx` joins the accumulated combinations —
-    /// computed with the executor's own [`plan_hash_join`].
-    fn join_note(&self, idx: usize, applicable: &[&Expr], bindings: &[Ident]) -> String {
-        if idx == 0 {
-            return String::new();
-        }
-        if self.hash_joins {
-            if let Some(first) = applicable.first() {
-                if let Some((probe, build)) = plan_hash_join(first, bindings, idx) {
-                    return format!(
-                        " — hash join (build: {}, probe: {})",
-                        print_expr(build),
-                        print_expr(probe)
-                    );
-                }
+    /// How the item at execution position `pos` joins the accumulated
+    /// combinations — rendered from the executor's own [`AccessPath`].
+    fn access_note(&self, plan: &SelectPlan, pos: usize) -> String {
+        match &plan.paths[pos] {
+            AccessPath::IndexProbe { index, keys } => {
+                let keys: Vec<String> = keys.iter().map(print_expr).collect();
+                format!(" — index probe {index} (key: {})", keys.join(", "))
             }
+            AccessPath::HashJoin { probe, build } => format!(
+                " — hash join (build: {}, probe: {})",
+                print_expr(build),
+                print_expr(probe)
+            ),
+            AccessPath::Scan if pos > 0 => " — nested-loop join".to_string(),
+            AccessPath::Scan => String::new(),
         }
-        " — nested-loop join".to_string()
+    }
+
+    /// Cardinality annotation from ANALYZE statistics, when the table has
+    /// been analyzed (catalog state, so still data-independent).
+    fn est_note(&mut self, ind: usize, plan: &SelectPlan, pos: usize) {
+        if let Some(est) = plan.est_rows[pos] {
+            self.line(ind, format!("est: ~{est} row(s) from ANALYZE statistics"));
+        }
     }
 
     fn filters(&mut self, ind: usize, applicable: &[&Expr]) {
@@ -408,7 +439,10 @@ fn ddl_target(stmt: &Stmt) -> Option<&Ident> {
         | Stmt::CreateView { name, .. }
         | Stmt::DropType { name, .. }
         | Stmt::DropTable { name }
-        | Stmt::DropView { name } => Some(name),
+        | Stmt::DropView { name }
+        | Stmt::CreateIndex { name, .. }
+        | Stmt::DropIndex { name } => Some(name),
+        Stmt::AnalyzeTable { table } => Some(table),
         _ => None,
     }
 }
@@ -425,7 +459,7 @@ mod tests {
             Stmt::Explain(inner) => *inner,
             other => other,
         };
-        explain_stmt(db.catalog(), db.mode(), true, &inner)
+        explain_stmt(db.catalog(), db.mode(), true, true, &inner)
             .unwrap()
             .rows
             .into_iter()
@@ -468,7 +502,7 @@ mod tests {
 
         // Same statement with the hash path disabled.
         let stmt = parse_statement("SELECT p.PName FROM TabP p, TabC c WHERE c.CName = p.PName").unwrap();
-        let plan = explain_stmt(db.catalog(), db.mode(), false, &stmt).unwrap();
+        let plan = explain_stmt(db.catalog(), db.mode(), false, true, &stmt).unwrap();
         let lines: Vec<String> = plan
             .rows
             .iter()
@@ -482,7 +516,7 @@ mod tests {
     fn unknown_table_is_rejected_like_execution_would() {
         let db = ref_schema();
         let stmt = parse_statement("SELECT x.a FROM Nowhere x").unwrap();
-        let err = explain_stmt(db.catalog(), db.mode(), true, &stmt).unwrap_err();
+        let err = explain_stmt(db.catalog(), db.mode(), true, true, &stmt).unwrap_err();
         assert!(matches!(err, DbError::UnknownTable(_)));
     }
 

@@ -24,12 +24,13 @@
 //! `Rc` across all combinations, so a table joined against a thousand
 //! combos no longer clones its rows a thousand times.
 
-use crate::catalog::TableDef;
+use crate::catalog::{Catalog, TableDef};
 use crate::error::DbError;
 use crate::exec::eval::{eval_bool, eval_expr, ExecCtx};
 use crate::exec::{Env, Frame};
 use crate::ident::Ident;
 use crate::sql::ast::{BinOp, Expr, FromItem, SelectStmt};
+use crate::storage::key_hash;
 use crate::value::{JoinKey, Value};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -63,29 +64,30 @@ pub fn execute_select(
     stmt: &SelectStmt,
     outer: Option<&Env>,
 ) -> Result<QueryResult, DbError> {
-    // 0. Split the WHERE clause into AND-conjuncts and schedule each at the
-    //    earliest FROM position where all bindings it references are bound —
-    //    without this pushdown, self-join chains (the edge-table baseline
-    //    runs 7-way joins) materialize the full cross product.
-    let bindings: Vec<Ident> = stmt.from.iter().map(FromItem::binding).collect();
-    let mut conjuncts: Vec<Expr> = Vec::new();
-    if let Some(pred) = &stmt.where_clause {
-        split_and(pred, &mut conjuncts);
-    }
-    let mut scheduled: Vec<(usize, Expr)> = Vec::new();
-    for conjunct in conjuncts {
-        let position = conjunct_position(&conjunct, &bindings);
-        scheduled.push((position, conjunct));
+    // 0. Plan: split + schedule WHERE conjuncts, choose the join order and
+    //    one access path per FROM item — from the catalog alone, so the
+    //    plan is exactly what EXPLAIN predicts.
+    let plan = plan_select(ctx.catalog, ctx.hash_joins, ctx.cost_planner, stmt);
+    let bindings: Vec<Ident> =
+        plan.order.iter().map(|&i| FromItem::binding(&stmt.from[i])).collect();
+    let scheduled = &plan.scheduled;
+    if plan.costed || plan.paths.iter().any(|p| matches!(p, AccessPath::IndexProbe { .. })) {
+        ctx.stats.planner_plans_costed += 1;
     }
 
-    // 1. FROM: build row combinations left to right. Later items see
+    // 1. FROM: build row combinations in execution order. Later items see
     //    earlier bindings (needed by TABLE(t.attr) un-nesting), and
-    //    conjuncts filter as soon as their inputs are bound.
+    //    conjuncts filter as soon as their inputs are bound. When the
+    //    planner reordered, each frame's heap slot is recorded so step 1b
+    //    can restore the naive enumeration order.
     let mut combos: Vec<Vec<Rc<Frame>>> = vec![Vec::new()];
     if stmt.from.len() > 1 {
         ctx.stats.join_queries += 1;
     }
-    for (item_idx, item) in stmt.from.iter().enumerate() {
+    let mut slot_maps: Vec<HashMap<usize, usize>> = Vec::new();
+    for (item_idx, &orig_idx) in plan.order.iter().enumerate() {
+        let item = &stmt.from[orig_idx];
+        let mut slot_map: HashMap<usize, usize> = HashMap::new();
         if combos.is_empty() {
             // An earlier item produced no combinations; nothing to extend
             // (and nothing further should be scanned).
@@ -113,6 +115,26 @@ pub fn execute_select(
                 }
             }
             combos = next;
+            slot_maps.push(slot_map);
+            continue;
+        }
+
+        // Index probe: no expansion at all — per combination, hash the key
+        // and fetch candidate slots. The freshness check is the safety
+        // valve: a stale index (impossible under eager maintenance, but
+        // never trusted) silently degrades to the scan/hash path below.
+        let index_path = match &plan.paths[item_idx] {
+            AccessPath::IndexProbe { index, keys } if ctx.storage.index_is_fresh(index) => {
+                Some((index, keys))
+            }
+            _ => None,
+        };
+        if let Some((index_name, key_exprs)) = index_path {
+            combos = probe_index_item(
+                ctx, item, index_name, key_exprs, &combos, &applicable, outer, item_idx,
+                &mut slot_map,
+            )?;
+            slot_maps.push(slot_map);
             continue;
         }
 
@@ -121,16 +143,24 @@ pub fn execute_select(
             .map(Rc::new)
             .collect();
         ctx.stats.rows_scanned += frames.len() as u64;
+        if plan.reordered {
+            // Plain-table frames expand in heap-slot order.
+            for (slot, frame) in frames.iter().enumerate() {
+                slot_map.insert(Rc::as_ptr(frame) as usize, slot);
+            }
+        }
 
         // Hash path only for the *first* applicable conjunct: the nested
         // loop evaluates conjuncts in scheduled order, so hashing the first
         // one preserves which expression gets evaluated against every row.
-        let hash_plan = if ctx.hash_joins && item_idx > 0 {
-            applicable
-                .first()
-                .and_then(|c| plan_hash_join(c, &bindings, item_idx))
-        } else {
-            None
+        // (A planned hash join whose index-probe sibling went stale also
+        // lands here via `AccessPath::Scan`-equivalent replanning.)
+        let hash_plan = match &plan.paths[item_idx] {
+            AccessPath::HashJoin { probe, build } => Some((probe, build)),
+            AccessPath::IndexProbe { .. } if ctx.hash_joins && item_idx > 0 => {
+                applicable.first().and_then(|c| plan_hash_join(c, &bindings, item_idx))
+            }
+            _ => None,
         };
 
         let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
@@ -184,6 +214,36 @@ pub fn execute_select(
             }
         }
         combos = next;
+        slot_maps.push(slot_map);
+    }
+
+    // 1b. Restore the naive enumeration: the original plan visits plain
+    //     tables in FROM order, which enumerates combinations in
+    //     lexicographic heap-slot order — so after a reorder, sorting by
+    //     the original-order slot tuple and un-permuting each combination's
+    //     frames makes output byte-identical to the unplanned execution.
+    if plan.reordered && !combos.is_empty() {
+        let n = stmt.from.len();
+        let mut exec_pos_of = vec![0usize; n];
+        for (pos, &orig) in plan.order.iter().enumerate() {
+            exec_pos_of[orig] = pos;
+        }
+        let mut keyed: Vec<(Vec<usize>, Vec<Rc<Frame>>)> = combos
+            .into_iter()
+            .map(|combo| {
+                let key: Vec<usize> = (0..n)
+                    .map(|i| {
+                        let pos = exec_pos_of[i];
+                        slot_maps[pos][&(Rc::as_ptr(&combo[pos]) as usize)]
+                    })
+                    .collect();
+                let restored: Vec<Rc<Frame>> =
+                    (0..n).map(|i| combo[exec_pos_of[i]].clone()).collect();
+                (key, restored)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        combos = keyed.into_iter().map(|(_, combo)| combo).collect();
     }
 
     // 2. Residual WHERE conjuncts (those deferred to the end).
@@ -306,6 +366,360 @@ pub fn execute_select(
     }
 
     Ok(QueryResult { columns, rows })
+}
+
+/// Join one FROM item to the accumulated combinations through a secondary
+/// index: per combination, evaluate the key expressions, hash, fetch
+/// candidate slots, and materialize frames only for candidates (cached per
+/// slot, shared via `Rc`). Candidates are re-verified against every
+/// applicable conjunct in [`extend_combo`], so a hash collision or SQL's
+/// non-transitive numeric-string equality can never leak a wrong row.
+#[allow(clippy::too_many_arguments)]
+fn probe_index_item(
+    ctx: &mut ExecCtx,
+    item: &FromItem,
+    index_name: &Ident,
+    key_exprs: &[Expr],
+    combos: &[Vec<Rc<Frame>>],
+    applicable: &[&Expr],
+    outer: Option<&Env>,
+    item_idx: usize,
+    slot_map: &mut HashMap<usize, usize>,
+) -> Result<Vec<Vec<Rc<Frame>>>, DbError> {
+    let FromItem::Table { name, alias } = item else {
+        return Err(DbError::Execution("index probe planned for a non-table FROM item".into()));
+    };
+    let binding = alias.clone().unwrap_or_else(|| name.clone());
+    // The planner only picks an index probe for a cataloged plain table.
+    let table = ctx
+        .catalog
+        .get_table(name)
+        .cloned()
+        .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))?;
+    let columns: Vec<Ident> =
+        ctx.catalog.table_columns(&table).into_iter().map(|(c, _)| c).collect();
+    let object_type = match &table {
+        TableDef::Object { of_type, .. } => Some(of_type.clone()),
+        _ => None,
+    };
+    // Copy the shared storage reference out of the context so probe results
+    // (borrowed from storage) stay usable while `ctx` is mutably borrowed
+    // for expression evaluation.
+    let storage = ctx.storage;
+    let data = storage
+        .table(name)
+        .ok_or_else(|| DbError::UnknownTable(name.as_str().to_string()))?;
+    ctx.stats.index_scans += 1;
+
+    let mut cache: HashMap<usize, Rc<Frame>> = HashMap::new();
+    let mut next: Vec<Vec<Rc<Frame>>> = Vec::new();
+    for combo in combos {
+        let env = make_env(combo, outer);
+        let mut key_values = Vec::with_capacity(key_exprs.len());
+        for expr in key_exprs {
+            key_values.push(eval_expr(ctx, &env, expr)?);
+        }
+        // A NULL key component can never satisfy the equality; a composite
+        // (object/collection) probe value can never equal the scalar/REF
+        // values an index is allowed to hold. Either way: no matches.
+        let key_refs: Vec<&Value> = key_values.iter().collect();
+        let Some(hash) = key_hash(&key_refs) else {
+            continue;
+        };
+        let Some(slots) = storage.index_probe(index_name, hash) else {
+            // Freshness was checked before entering; storage is immutable
+            // for the duration of the SELECT.
+            return Err(DbError::Execution(format!(
+                "index '{index_name}' disappeared mid-statement"
+            )));
+        };
+        ctx.stats.rows_scanned += slots.len() as u64;
+        if item_idx > 0 {
+            ctx.stats.join_pairs += slots.len() as u64;
+        }
+        for &slot in slots {
+            let frame = cache
+                .entry(slot)
+                .or_insert_with(|| {
+                    let row = &data.rows[slot];
+                    let frame = Rc::new(Frame {
+                        binding: binding.clone(),
+                        columns: columns.clone(),
+                        values: row.values.clone(),
+                        oid: row.oid,
+                        object_type: object_type.clone(),
+                    });
+                    slot_map.insert(Rc::as_ptr(&frame) as usize, slot);
+                    frame
+                })
+                .clone();
+            extend_combo(ctx, combo, frame, applicable, outer, &mut next)?;
+        }
+    }
+    Ok(next)
+}
+
+/// How one FROM item is matched against the accumulated combinations.
+/// Chosen by [`plan_select`] from the catalog alone (indexes + ANALYZE
+/// statistics), so EXPLAIN and execution agree on every plan.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AccessPath {
+    /// Expand every row; nested-loop against the combinations.
+    Scan,
+    /// Expand every row, hash on `build`, probe once per combination.
+    HashJoin { probe: Expr, build: Expr },
+    /// Skip expansion entirely: per combination, evaluate `keys` (in the
+    /// index's column order), hash, and fetch candidate slots from the
+    /// named secondary index. Candidates are re-verified against the real
+    /// conjuncts — the index is a prefilter, exactly like the hash join.
+    IndexProbe { index: Ident, keys: Vec<Expr> },
+}
+
+/// The cost-based plan for one SELECT: join order, per-item access paths,
+/// scheduled conjuncts — everything both the executor and EXPLAIN need.
+pub(crate) struct SelectPlan {
+    /// Execution order as original FROM indices (`order[pos]` = which
+    /// original item runs at position `pos`).
+    pub order: Vec<usize>,
+    /// True when `order` differs from FROM-clause order. The executor then
+    /// restores the original combination enumeration order afterwards, so
+    /// results stay byte-identical to the naive plan.
+    pub reordered: bool,
+    /// True when the planner priced the join order from ANALYZE statistics.
+    pub costed: bool,
+    /// WHERE conjuncts with the execution position each is scheduled at
+    /// (`usize::MAX` = deferred to the residual filter).
+    pub scheduled: Vec<(usize, Expr)>,
+    /// Access path per execution position.
+    pub paths: Vec<AccessPath>,
+    /// Estimated rows this item contributes per execution position, from
+    /// ANALYZE statistics (`None` when the table was never analyzed).
+    pub est_rows: Vec<Option<u64>>,
+}
+
+/// Plan a SELECT from the catalog alone — no storage access, so plans are
+/// data-independent (EXPLAIN's contract) and identical between EXPLAIN and
+/// execution.
+pub(crate) fn plan_select(
+    catalog: &Catalog,
+    hash_joins: bool,
+    cost_planner: bool,
+    stmt: &SelectStmt,
+) -> SelectPlan {
+    let n = stmt.from.len();
+    let orig_bindings: Vec<Ident> = stmt.from.iter().map(FromItem::binding).collect();
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(pred) = &stmt.where_clause {
+        split_and(pred, &mut conjuncts);
+    }
+
+    // Join order: System-R-style greedy — ascending local-cardinality
+    // estimate, but never introducing a cross product: after the seed item,
+    // each pick must share a join conjunct with the chosen prefix (a
+    // disconnected low-estimate item placed early multiplies every prefix
+    // combo by its full row count). Only when every FROM item is a
+    // distinct-binding plain table with ANALYZE statistics (lateral
+    // TABLE(...) items and views pin FROM order, and without statistics
+    // there is nothing to cost).
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut costed = false;
+    if cost_planner && n > 1 && reorderable(catalog, stmt, &orig_bindings) {
+        let est: Vec<u64> = (0..n)
+            .map(|i| local_estimate(catalog, stmt, &orig_bindings, i, &conjuncts))
+            .collect();
+        // Join graph: i ~ j when some conjunct references both bindings.
+        let mut adjacent = vec![vec![false; n]; n];
+        for conjunct in &conjuncts {
+            if let Some(positions) = side_positions(conjunct, &orig_bindings) {
+                for &i in &positions {
+                    for &j in &positions {
+                        adjacent[i][j] = true;
+                    }
+                }
+            }
+        }
+        let mut chosen = vec![false; n];
+        order.clear();
+        while order.len() < n {
+            let connected = |i: usize| order.iter().any(|&j| adjacent[i][j]);
+            let pick = (0..n)
+                .filter(|&i| !chosen[i] && (order.is_empty() || connected(i)))
+                .min_by_key(|&i| (est[i], i))
+                // Disconnected remainder (a genuine cross product in the
+                // query): fall back to the cheapest item.
+                .unwrap_or_else(|| {
+                    (0..n).filter(|&i| !chosen[i]).min_by_key(|&i| (est[i], i)).unwrap()
+                });
+            chosen[pick] = true;
+            order.push(pick);
+        }
+        costed = true;
+    }
+    let reordered = order.iter().enumerate().any(|(pos, &i)| pos != i);
+
+    // Schedule conjuncts at the earliest *execution* position where all
+    // their bindings are bound.
+    let bindings: Vec<Ident> = order.iter().map(|&i| orig_bindings[i].clone()).collect();
+    let mut scheduled: Vec<(usize, Expr)> = Vec::new();
+    for conjunct in conjuncts {
+        let position = conjunct_position(&conjunct, &bindings);
+        scheduled.push((position, conjunct));
+    }
+
+    let mut paths = Vec::with_capacity(n);
+    let mut est_rows = Vec::with_capacity(n);
+    for (pos, &orig) in order.iter().enumerate() {
+        let item = &stmt.from[orig];
+        let applicable: Vec<&Expr> =
+            scheduled.iter().filter(|(p, _)| *p == pos).map(|(_, e)| e).collect();
+        let (path, est) =
+            plan_item_path(catalog, hash_joins, cost_planner, &bindings, pos, item, &applicable);
+        paths.push(path);
+        est_rows.push(est);
+    }
+    SelectPlan { order, reordered, costed, scheduled, paths, est_rows }
+}
+
+/// Can this FROM clause be reordered? Requires all plain analyzed tables
+/// with pairwise-distinct bindings (enumeration-order restoration maps each
+/// frame back to its heap slot, which only plain tables make possible).
+fn reorderable(catalog: &Catalog, stmt: &SelectStmt, bindings: &[Ident]) -> bool {
+    let all_plain = stmt.from.iter().all(|item| match item {
+        FromItem::Table { name, .. } => {
+            catalog.get_table(name).is_some() && catalog.table_stats(name).is_some()
+        }
+        FromItem::CollectionTable { .. } => false,
+    });
+    let distinct = bindings.iter().all(|b| bindings.iter().filter(|o| *o == b).count() == 1);
+    all_plain && distinct
+}
+
+/// Cardinality estimate for one FROM item considering only its *local*
+/// predicates (equality against constants): `rows / ndv(col)`, or 1 for a
+/// UNIQUE-indexed key — the ordering key for the greedy join order.
+fn local_estimate(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    bindings: &[Ident],
+    item: usize,
+    conjuncts: &[Expr],
+) -> u64 {
+    let FromItem::Table { name, .. } = &stmt.from[item] else {
+        return u64::MAX;
+    };
+    let Some(stats) = catalog.table_stats(name) else {
+        return u64::MAX;
+    };
+    let mut est = stats.rows;
+    for conjunct in conjuncts {
+        let Some((col, other)) = equality_key(conjunct, bindings, item) else {
+            continue;
+        };
+        // Local predicate = constant other side (no FROM references).
+        if side_positions(other, bindings) != Some(Vec::new()) {
+            continue;
+        }
+        let unique = catalog
+            .indexes_on(name)
+            .any(|idx| idx.unique && idx.columns.len() == 1 && idx.columns[0] == col);
+        let sel = if unique { 1 } else { (stats.rows / stats.ndv(&col)).max(1) };
+        est = est.min(sel);
+    }
+    est
+}
+
+/// If `conjunct` is `binding.col = expr` (or mirrored) where `binding` is
+/// the FROM item at `item_idx` and `expr` references only earlier items or
+/// constants, return the column and the probe-side expression.
+fn equality_key<'a>(
+    conjunct: &'a Expr,
+    bindings: &[Ident],
+    item_idx: usize,
+) -> Option<(Ident, &'a Expr)> {
+    let Expr::Binary { op: BinOp::Eq, lhs, rhs } = conjunct else {
+        return None;
+    };
+    let as_key = |side: &'a Expr, other: &'a Expr| -> Option<(Ident, &'a Expr)> {
+        let Expr::Path(parts) = side else { return None };
+        let [binding, col] = parts.as_slice() else { return None };
+        if binding != &bindings[item_idx] {
+            return None;
+        }
+        let other_pos = side_positions(other, bindings)?;
+        if other_pos.iter().all(|&p| p < item_idx) {
+            Some((col.clone(), other))
+        } else {
+            None
+        }
+    };
+    as_key(lhs, rhs).or_else(|| as_key(rhs, lhs))
+}
+
+/// Choose the access path for the item at execution position `pos`:
+/// a secondary-index probe when one covers the available equality keys
+/// (cost: `rows/ndv` candidates per probe, always ≤ a scan), else the hash
+/// equi-join, else a scan.
+fn plan_item_path(
+    catalog: &Catalog,
+    hash_joins: bool,
+    cost_planner: bool,
+    bindings: &[Ident],
+    pos: usize,
+    item: &FromItem,
+    applicable: &[&Expr],
+) -> (AccessPath, Option<u64>) {
+    let table_name = match item {
+        FromItem::Table { name, .. } if catalog.get_table(name).is_some() => Some(name),
+        _ => None,
+    };
+    let stats = table_name.and_then(|t| catalog.table_stats(t));
+    let mut est = stats.map(|s| s.rows);
+    if cost_planner {
+        if let Some(table) = table_name {
+            let keyed: Vec<(Ident, &Expr)> =
+                applicable.iter().filter_map(|c| equality_key(c, bindings, pos)).collect();
+            // Widest covered index wins (name order breaks ties — the
+            // iterator is name-ordered and `>` keeps the first).
+            let mut best: Option<(&crate::catalog::IndexDef, Vec<Expr>)> = None;
+            for idx in catalog.indexes_on(table) {
+                let covered = idx
+                    .columns
+                    .iter()
+                    .all(|ic| keyed.iter().any(|(col, _)| col == ic));
+                if !covered {
+                    continue;
+                }
+                let wider = best.as_ref().is_none_or(|(b, _)| idx.columns.len() > b.columns.len());
+                if wider {
+                    let keys = idx
+                        .columns
+                        .iter()
+                        .map(|ic| keyed.iter().find(|(col, _)| col == ic).unwrap().1.clone())
+                        .collect();
+                    best = Some((idx, keys));
+                }
+            }
+            if let Some((idx, keys)) = best {
+                if let Some(s) = stats {
+                    est = Some(if idx.unique {
+                        1
+                    } else {
+                        let ndv = idx.columns.iter().map(|c| s.ndv(c)).max().unwrap_or(1).max(1);
+                        (s.rows / ndv).max(1)
+                    });
+                }
+                return (AccessPath::IndexProbe { index: idx.name.clone(), keys }, est);
+            }
+        }
+    }
+    if hash_joins && pos > 0 {
+        if let Some((probe, build)) =
+            applicable.first().and_then(|c| plan_hash_join(c, bindings, pos))
+        {
+            return (AccessPath::HashJoin { probe: probe.clone(), build: build.clone() }, est);
+        }
+    }
+    (AccessPath::Scan, est)
 }
 
 /// Append `frame` to `combo` and keep the result in `next` iff every

@@ -182,6 +182,11 @@ pub struct Database {
     mode: DbMode,
     plan_cache: PlanCache,
     hash_joins: bool,
+    /// Cost-based planning (on by default): secondary-index access paths
+    /// and statistics-driven join ordering. Turning it off pins the naive
+    /// plan — full scans, FROM-clause order — for differential tests and
+    /// ablation benchmarks ([`Self::set_cost_planner`]).
+    cost_planner: bool,
     analyze: bool,
     /// Explicit `SAVEPOINT name` marks, oldest first. COMMIT and full
     /// ROLLBACK discard them; `ROLLBACK TO name` discards only the ones
@@ -215,6 +220,7 @@ impl Database {
             mode,
             plan_cache: PlanCache::default(),
             hash_joins: true,
+            cost_planner: true,
             analyze: false,
             savepoints: Vec::new(),
             trace: None,
@@ -301,6 +307,15 @@ impl Database {
     /// differential tests that check both strategies agree.
     pub fn set_hash_joins(&mut self, enabled: bool) {
         self.hash_joins = enabled;
+    }
+
+    /// Enable or disable the cost-based planner (on by default). Turning it
+    /// off forces full scans and FROM-clause join order everywhere — the
+    /// ablation baseline for the planner benchmarks, and the oracle side of
+    /// the differential tests that check index-backed plans return exactly
+    /// the same rows as naive evaluation.
+    pub fn set_cost_planner(&mut self, enabled: bool) {
+        self.cost_planner = enabled;
     }
 
     /// Parse `sql` through the statement cache. Non-INSERT texts hit on the
@@ -423,6 +438,10 @@ impl Database {
             ("prepared_execs", s.prepared_execs),
             ("batched_rows", s.batched_rows),
             ("batch_subquery_hits", s.batch_subquery_hits),
+            ("index_scans", s.index_scans),
+            ("index_maintenance_ops", s.index_maintenance_ops),
+            ("planner_plans_costed", s.planner_plans_costed),
+            ("analyze_runs", s.analyze_runs),
         ] {
             let _ = writeln!(out, "{name:<20} {v}");
         }
@@ -635,10 +654,12 @@ impl Database {
             }
             Stmt::Rollback { to: None } => {
                 self.rollback();
+                self.drain_index_maintenance();
                 return Ok(None);
             }
             Stmt::Rollback { to: Some(name) } => {
                 self.rollback_to_savepoint(name)?;
+                self.drain_index_maintenance();
                 return Ok(None);
             }
             Stmt::Savepoint { name } => {
@@ -655,7 +676,14 @@ impl Database {
         if result.is_err() {
             self.rollback_to_mark(mark);
         }
+        self.drain_index_maintenance();
         result
+    }
+
+    /// Fold the row operations storage spent maintaining secondary indexes
+    /// (incremental updates + rebuild visits) into the session counters.
+    fn drain_index_maintenance(&mut self) {
+        self.stats.index_maintenance_ops += self.storage.take_maintenance_ops();
     }
 
     fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
@@ -706,6 +734,7 @@ impl Database {
                     stats: &mut self.stats,
                     mode: self.mode,
                     hash_joins: self.hash_joins,
+                    cost_planner: self.cost_planner,
                 };
                 let result = execute_select(&mut ctx, select, None)?;
                 Ok(Some(result))
@@ -715,6 +744,7 @@ impl Database {
                     &self.catalog,
                     self.mode,
                     self.hash_joins,
+                    self.cost_planner,
                     inner,
                 )?;
                 Ok(Some(result))
@@ -844,6 +874,7 @@ impl Database {
         if result.is_err() {
             self.rollback_to_mark(mark);
         }
+        self.drain_index_maintenance();
         result
     }
 }

@@ -136,6 +136,14 @@ pub enum Stmt {
     },
     /// `CREATE [OR REPLACE] VIEW name AS select`.
     CreateView { name: Ident, query: SelectStmt, or_replace: bool },
+    /// `CREATE [UNIQUE] INDEX name ON table (col, …)` — a persistent
+    /// secondary index maintained through every mutation and undo replay.
+    CreateIndex { name: Ident, table: Ident, columns: Vec<Ident>, unique: bool },
+    /// `DROP INDEX name`.
+    DropIndex { name: Ident },
+    /// `ANALYZE TABLE name [COMPUTE STATISTICS]` — collect row-count and
+    /// per-column cardinality statistics for the cost-based planner.
+    AnalyzeTable { table: Ident },
     DropType { name: Ident, force: bool },
     DropTable { name: Ident },
     DropView { name: Ident },
@@ -170,6 +178,9 @@ impl Stmt {
             | Stmt::CreateNestedTableType { .. } => "CREATE TYPE",
             Stmt::CreateObjectTable { .. } | Stmt::CreateRelationalTable { .. } => "CREATE TABLE",
             Stmt::CreateView { .. } => "CREATE VIEW",
+            Stmt::CreateIndex { .. } => "CREATE INDEX",
+            Stmt::DropIndex { .. } => "DROP INDEX",
+            Stmt::AnalyzeTable { .. } => "ANALYZE",
             Stmt::DropType { .. } => "DROP TYPE",
             Stmt::DropTable { .. } => "DROP TABLE",
             Stmt::DropView { .. } => "DROP VIEW",

@@ -262,8 +262,17 @@ impl Parser {
             let name = self.ident()?;
             return Ok(Stmt::Savepoint { name });
         }
+        if self.eat_kw("ANALYZE") {
+            self.expect_kw("TABLE")?;
+            let table = self.ident()?;
+            // Oracle spelling: `ANALYZE TABLE t COMPUTE STATISTICS`.
+            if self.eat_kw("COMPUTE") {
+                self.expect_kw("STATISTICS")?;
+            }
+            return Ok(Stmt::AnalyzeTable { table });
+        }
         Err(self.error(
-            "expected EXPLAIN, CREATE, DROP, INSERT, SELECT, DELETE, UPDATE, COMMIT, ROLLBACK or SAVEPOINT",
+            "expected EXPLAIN, CREATE, DROP, INSERT, SELECT, DELETE, UPDATE, ANALYZE, COMMIT, ROLLBACK or SAVEPOINT",
         ))
     }
 
@@ -287,7 +296,17 @@ impl Parser {
             let query = self.select_statement()?;
             return Ok(Stmt::CreateView { name, query, or_replace });
         }
-        Err(self.error("expected TYPE, TABLE or VIEW after CREATE"))
+        let unique = self.eat_kw("UNIQUE");
+        if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_token(&Token::LParen, "'(' before index column list")?;
+            let columns = self.ident_list()?;
+            self.expect_token(&Token::RParen, "')' closing index column list")?;
+            return Ok(Stmt::CreateIndex { name, table, columns, unique });
+        }
+        Err(self.error("expected TYPE, TABLE, VIEW or INDEX after CREATE"))
     }
 
     fn create_type(&mut self, _or_replace: bool) -> Result<Stmt, DbError> {
@@ -464,7 +483,11 @@ impl Parser {
             let name = self.ident()?;
             return Ok(Stmt::DropView { name });
         }
-        Err(self.error("expected TYPE, TABLE or VIEW after DROP"))
+        if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            return Ok(Stmt::DropIndex { name });
+        }
+        Err(self.error("expected TYPE, TABLE, VIEW or INDEX after DROP"))
     }
 
     fn insert_statement(&mut self) -> Result<Stmt, DbError> {

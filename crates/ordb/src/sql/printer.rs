@@ -75,6 +75,13 @@ pub fn print_stmt(stmt: &Stmt) -> String {
             let replace = if *or_replace { "OR REPLACE " } else { "" };
             format!("CREATE {replace}VIEW {name} AS {}", print_select(query))
         }
+        Stmt::CreateIndex { name, table, columns, unique } => {
+            let uniq = if *unique { "UNIQUE " } else { "" };
+            let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+            format!("CREATE {uniq}INDEX {name} ON {table} ({})", cols.join(", "))
+        }
+        Stmt::DropIndex { name } => format!("DROP INDEX {name}"),
+        Stmt::AnalyzeTable { table } => format!("ANALYZE TABLE {table} COMPUTE STATISTICS"),
         Stmt::DropType { name, force } => {
             format!("DROP TYPE {name}{}", if *force { " FORCE" } else { "" })
         }
@@ -342,6 +349,19 @@ mod tests {
         }
         assert!(!literal_round_trips(&Value::Num(f64::NAN)));
         assert!(literal_round_trips(&Value::Num(f64::INFINITY)));
+    }
+
+    #[test]
+    fn index_and_analyze_round_trips() {
+        round_trip("CREATE INDEX Idx_Name ON TabStudent (SName)");
+        round_trip("CREATE UNIQUE INDEX Idx_Id ON TabStudent (StudId)");
+        round_trip("CREATE INDEX Idx_Edge ON TabEdge (Target, Name)");
+        round_trip("DROP INDEX Idx_Name");
+        round_trip("ANALYZE TABLE TabStudent COMPUTE STATISTICS");
+        // The bare form normalizes to the COMPUTE STATISTICS spelling.
+        let ast = parse_statement("ANALYZE TABLE TabStudent").unwrap();
+        assert_eq!(print_stmt(&ast), "ANALYZE TABLE TabStudent COMPUTE STATISTICS");
+        check_round_trip(&ast).unwrap();
     }
 
     #[test]

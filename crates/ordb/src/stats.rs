@@ -66,6 +66,17 @@ pub struct ExecStats {
     /// (storage is frozen during batch evaluation, so identical subqueries
     /// are executed once and replayed).
     pub batch_subquery_hits: u64,
+    /// FROM items answered by a secondary-index probe instead of a full
+    /// scan (one count per index-driven scan, not per probe).
+    pub index_scans: u64,
+    /// Secondary-index maintenance row operations: incremental bucket
+    /// updates plus rows visited during stale-index rebuilds.
+    pub index_maintenance_ops: u64,
+    /// SELECT plans chosen by the cost-based planner using ANALYZE
+    /// statistics (as opposed to the static heuristic order).
+    pub planner_plans_costed: u64,
+    /// `ANALYZE TABLE … COMPUTE STATISTICS` statements executed.
+    pub analyze_runs: u64,
 }
 
 impl ExecStats {
@@ -94,6 +105,10 @@ impl ExecStats {
             prepared_execs: self.prepared_execs - earlier.prepared_execs,
             batched_rows: self.batched_rows - earlier.batched_rows,
             batch_subquery_hits: self.batch_subquery_hits - earlier.batch_subquery_hits,
+            index_scans: self.index_scans - earlier.index_scans,
+            index_maintenance_ops: self.index_maintenance_ops - earlier.index_maintenance_ops,
+            planner_plans_costed: self.planner_plans_costed - earlier.planner_plans_costed,
+            analyze_runs: self.analyze_runs - earlier.analyze_runs,
         }
     }
 }

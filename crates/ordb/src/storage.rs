@@ -53,6 +53,57 @@ enum StorageUndo {
     /// Inverse of [`Storage::drop_table`]: restore the heap and re-register
     /// its rows' OIDs.
     Dropped { table: Ident, data: TableData },
+    /// Inverse of [`Storage::create_index`]: retire the structure.
+    CreatedIndex { name: Ident },
+    /// Inverse of [`Storage::drop_index`]: re-register the index and
+    /// rebuild its buckets from the heap (cheaper to rebuild than to carry
+    /// the buckets in the undo record, and provably consistent).
+    DroppedIndex { name: Ident, table: Ident, cols: Vec<usize> },
+}
+
+/// A persistent secondary index: hashed key → ascending row slots. Keys
+/// hash the indexed columns' join-key identity ([`key_hash`]), so the
+/// buckets are a *prefilter* exactly like the executor's hash joins —
+/// callers must re-verify the predicate on every candidate slot (sql_eq is
+/// not injective over hashes: `'04' = 4` but `'04' <> '4'`).
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    table: Ident,
+    /// Column positions (into `Row::values`) forming the key, in order.
+    cols: Vec<usize>,
+    /// Key hash → row slots, each bucket sorted ascending so index-driven
+    /// scans enumerate rows in heap order.
+    buckets: HashMap<u64, Vec<usize>>,
+    /// The table version the buckets correspond to. Probes refuse to answer
+    /// when this trails [`Storage::table_version`] — the safety valve that
+    /// turns any missed maintenance path into a full scan instead of a
+    /// wrong answer.
+    version: u64,
+}
+
+impl SecondaryIndex {
+    pub fn table(&self) -> &Ident {
+        &self.table
+    }
+
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+}
+
+/// Hash the join-key identity of a candidate key; `None` when any component
+/// is NULL or has no join key (objects, collections). Shared by the
+/// secondary indexes and the DML constraint caches so a planner-computed
+/// probe key always lands in the bucket maintenance filed it under.
+pub fn key_hash(key: &[&Value]) -> Option<u64> {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in key {
+        if v.is_null() || !v.hash_join_key(&mut h) {
+            return None;
+        }
+    }
+    Some(h.finish())
 }
 
 /// The storage layer: table heaps plus the OID directory.
@@ -75,6 +126,15 @@ pub struct Storage {
     /// continues its old counter rather than restarting at a value a stale
     /// reader might still hold.
     versions: HashMap<Ident, u64>,
+    /// Secondary indexes by index name, maintained eagerly on every
+    /// mutation path (including undo replay). Excluded from
+    /// [`Storage::state_dump`]: index presence must never change what a
+    /// rollback-equivalence check observes.
+    indexes: BTreeMap<Ident, SecondaryIndex>,
+    /// Key insertions/removals/rebuild-row operations performed — drained
+    /// into [`crate::stats::ExecStats::index_maintenance_ops`] by the
+    /// session after each statement.
+    maintenance_ops: u64,
 }
 
 impl Storage {
@@ -107,6 +167,23 @@ impl Storage {
                 }
             }
             self.touch(name);
+            // Retire this table's indexes, logging them *before* the heap
+            // record: undo replays newest-first, so the heap is restored
+            // before each index rebuild reads it.
+            let doomed: Vec<Ident> = self
+                .indexes
+                .iter()
+                .filter(|(_, idx)| &idx.table == name)
+                .map(|(n, _)| n.clone())
+                .collect();
+            for index_name in doomed {
+                let idx = self.indexes.remove(&index_name).expect("collected above");
+                self.undo.push(StorageUndo::DroppedIndex {
+                    name: index_name,
+                    table: idx.table,
+                    cols: idx.cols,
+                });
+            }
             self.undo.push(StorageUndo::Dropped { table: name.clone(), data });
         }
     }
@@ -150,9 +227,12 @@ impl Storage {
         } else {
             None
         };
+        let base_slot = data.rows.len();
         data.rows.push(Row { oid, values });
+        let prev_version = self.table_version(table);
         self.touch(table);
         self.undo.push(StorageUndo::Inserted { table: table.clone(), prev_next_oid });
+        self.index_appended(table, base_slot, prev_version);
         Ok(oid)
     }
 
@@ -189,12 +269,14 @@ impl Storage {
             };
             data.rows.push(Row { oid, values });
         }
+        let prev_version = self.table_version(table);
         self.touch(table);
         self.undo.push(StorageUndo::BulkInserted {
             table: table.clone(),
             count,
             prev_next_oid,
         });
+        self.index_appended(table, base_slot, prev_version);
         Ok(count)
     }
 
@@ -215,7 +297,9 @@ impl Storage {
             DbError::Execution(format!("row slot {slot} out of range for table {table}"))
         })?;
         let old = std::mem::replace(&mut row.values, values);
+        let prev_version = self.table_version(table);
         self.touch(table);
+        self.index_rewrote(table, slot, &old, prev_version);
         self.undo.push(StorageUndo::Wrote { table: table.clone(), slot, values: old });
         Ok(())
     }
@@ -268,6 +352,9 @@ impl Storage {
             self.touch(table);
             self.undo
                 .push(StorageUndo::Deleted { table: table.clone(), removed: removed_rows });
+            // Compaction shifted slots; incremental repair cannot keep the
+            // buckets' slot numbers right, so rebuild.
+            self.rebuild_stale_indexes(table);
         }
         removed
     }
@@ -287,9 +374,27 @@ impl Storage {
     /// at or beyond the current log length — e.g. one taken before an
     /// intervening [`Storage::commit`] — is a no-op.
     pub fn rollback_to(&mut self, mark: usize) {
+        // Index rebuilds are deferred to one pass per affected table —
+        // rolling back n inserts must not cost n rebuilds.
+        let mut affected: std::collections::BTreeSet<Ident> = std::collections::BTreeSet::new();
         while self.undo.len() > mark {
             let op = self.undo.pop().expect("len > mark ≥ 0");
+            match &op {
+                StorageUndo::Inserted { table, .. }
+                | StorageUndo::BulkInserted { table, .. }
+                | StorageUndo::Deleted { table, .. }
+                | StorageUndo::Wrote { table, .. }
+                | StorageUndo::Created { table }
+                | StorageUndo::Dropped { table, .. }
+                | StorageUndo::DroppedIndex { table, .. } => {
+                    affected.insert(table.clone());
+                }
+                StorageUndo::CreatedIndex { .. } => {}
+            }
             self.apply_undo(op);
+        }
+        for table in affected {
+            self.rebuild_stale_indexes(&table);
         }
     }
 
@@ -304,6 +409,7 @@ impl Storage {
                 let table = table.clone();
                 self.touch(&table);
             }
+            StorageUndo::CreatedIndex { .. } | StorageUndo::DroppedIndex { .. } => {}
         }
         match op {
             StorageUndo::Inserted { table, prev_next_oid } => {
@@ -367,6 +473,18 @@ impl Storage {
                     }
                 }
                 self.tables.insert(table, data);
+            }
+            StorageUndo::CreatedIndex { name } => {
+                self.indexes.remove(&name);
+            }
+            StorageUndo::DroppedIndex { name, table, cols } => {
+                // Re-register with a sentinel-stale version; the caller's
+                // deferred rebuild pass (or the next probe's freshness
+                // check) makes it usable again.
+                self.indexes.insert(
+                    name,
+                    SecondaryIndex { table, cols, buckets: HashMap::new(), version: u64::MAX },
+                );
             }
         }
     }
@@ -436,6 +554,176 @@ impl Storage {
             ));
         }
         Ok(())
+    }
+
+    // -- secondary indexes ----------------------------------------------------
+
+    /// Register and build a secondary index over column positions `cols` of
+    /// `table` (undo-logged: rollback retires it again).
+    pub fn create_index(&mut self, name: Ident, table: Ident, cols: Vec<usize>) {
+        self.undo.push(StorageUndo::CreatedIndex { name: name.clone() });
+        self.indexes.insert(
+            name,
+            SecondaryIndex { table: table.clone(), cols, buckets: HashMap::new(), version: u64::MAX },
+        );
+        self.rebuild_stale_indexes(&table);
+    }
+
+    /// Retire an index (undo-logged: rollback re-registers and rebuilds it).
+    pub fn drop_index(&mut self, name: &Ident) {
+        if let Some(idx) = self.indexes.remove(name) {
+            self.undo.push(StorageUndo::DroppedIndex {
+                name: name.clone(),
+                table: idx.table,
+                cols: idx.cols,
+            });
+        }
+    }
+
+    pub fn get_index(&self, name: &Ident) -> Option<&SecondaryIndex> {
+        self.indexes.get(name)
+    }
+
+    /// Probe an index with a [`key_hash`] value. `Some(slots)` — possibly
+    /// empty — means the index answered: `slots` are ascending heap slots
+    /// of *candidate* rows (hash prefilter; re-verify the predicate).
+    /// `None` means the index is missing or its buckets trail the table
+    /// version (the safety valve) — fall back to a full scan.
+    pub fn index_probe(&self, name: &Ident, key: u64) -> Option<&[usize]> {
+        let idx = self.indexes.get(name)?;
+        if idx.version != self.table_version(&idx.table) {
+            return None;
+        }
+        Some(idx.buckets.get(&key).map(|b| b.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Is the named index present with buckets current for its table?
+    pub fn index_is_fresh(&self, name: &Ident) -> bool {
+        self.indexes
+            .get(name)
+            .is_some_and(|idx| idx.version == self.table_version(&idx.table))
+    }
+
+    /// Drain the maintenance-operation counter (key insertions/removals and
+    /// rebuild row visits since the last drain).
+    pub fn take_maintenance_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.maintenance_ops)
+    }
+
+    /// Key hash of one row for an index's column positions; `None` when any
+    /// key component is NULL or unhashable (such rows are unindexed — an
+    /// equality predicate can never select them).
+    fn values_key(cols: &[usize], values: &[Value]) -> Option<u64> {
+        let key: Vec<&Value> = cols.iter().map(|&c| values.get(c).unwrap_or(&Value::Null)).collect();
+        key_hash(&key)
+    }
+
+    /// Index maintenance after rows were appended at `base_slot..`: fresh
+    /// indexes extend incrementally, stale ones rebuild.
+    fn index_appended(&mut self, table: &Ident, base_slot: usize, prev_version: u64) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let version = self.table_version(table);
+        let mut indexes = std::mem::take(&mut self.indexes);
+        let mut ops = 0u64;
+        if let Some(data) = self.tables.get(table) {
+            for idx in indexes.values_mut().filter(|i| &i.table == table) {
+                if idx.version == prev_version {
+                    for slot in base_slot..data.rows.len() {
+                        if let Some(h) = Self::values_key(&idx.cols, &data.rows[slot].values) {
+                            // Appends arrive in ascending slot order, so a
+                            // plain push keeps buckets sorted.
+                            idx.buckets.entry(h).or_default().push(slot);
+                        }
+                        ops += 1;
+                    }
+                    idx.version = version;
+                } else {
+                    ops += Self::rebuild_one(idx, Some(data), version);
+                }
+            }
+        }
+        self.indexes = indexes;
+        self.maintenance_ops += ops;
+    }
+
+    /// Index maintenance after one row's values were overwritten in place.
+    fn index_rewrote(&mut self, table: &Ident, slot: usize, old_values: &[Value], prev_version: u64) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let version = self.table_version(table);
+        let mut indexes = std::mem::take(&mut self.indexes);
+        let mut ops = 0u64;
+        if let Some(data) = self.tables.get(table) {
+            for idx in indexes.values_mut().filter(|i| &i.table == table) {
+                if idx.version == prev_version {
+                    if let Some(h) = Self::values_key(&idx.cols, old_values) {
+                        if let Some(bucket) = idx.buckets.get_mut(&h) {
+                            if let Ok(pos) = bucket.binary_search(&slot) {
+                                bucket.remove(pos);
+                            }
+                            if bucket.is_empty() {
+                                idx.buckets.remove(&h);
+                            }
+                        }
+                        ops += 1;
+                    }
+                    if let Some(row) = data.rows.get(slot) {
+                        if let Some(h) = Self::values_key(&idx.cols, &row.values) {
+                            let bucket = idx.buckets.entry(h).or_default();
+                            if let Err(pos) = bucket.binary_search(&slot) {
+                                bucket.insert(pos, slot);
+                            }
+                            ops += 1;
+                        }
+                    }
+                    idx.version = version;
+                } else {
+                    ops += Self::rebuild_one(idx, Some(data), version);
+                }
+            }
+        }
+        self.indexes = indexes;
+        self.maintenance_ops += ops;
+    }
+
+    /// Rebuild every index on `table` whose buckets trail the table version
+    /// (after slot-shifting operations: deletes, undo replay, index
+    /// creation).
+    fn rebuild_stale_indexes(&mut self, table: &Ident) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let version = self.table_version(table);
+        let mut indexes = std::mem::take(&mut self.indexes);
+        let mut ops = 0u64;
+        let data = self.tables.get(table);
+        for idx in indexes.values_mut().filter(|i| &i.table == table) {
+            if idx.version != version {
+                ops += Self::rebuild_one(idx, data, version);
+            }
+        }
+        self.indexes = indexes;
+        self.maintenance_ops += ops;
+    }
+
+    /// Rebuild one index's buckets from its table heap; returns the number
+    /// of row visits.
+    fn rebuild_one(idx: &mut SecondaryIndex, data: Option<&TableData>, version: u64) -> u64 {
+        idx.buckets.clear();
+        let mut ops = 0u64;
+        if let Some(data) = data {
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(h) = Self::values_key(&idx.cols, &row.values) {
+                    idx.buckets.entry(h).or_default().push(slot);
+                }
+                ops += 1;
+            }
+        }
+        idx.version = version;
+        ops
     }
 }
 
@@ -610,6 +898,89 @@ mod tests {
         // Empty batches are free: no rows, no undo record.
         assert_eq!(st.insert_rows(&id("T"), Vec::new(), true).unwrap(), 0);
         assert_eq!(st.undo_len(), mark);
+    }
+
+    fn probe_values(st: &Storage, index: &str, key: &[&Value]) -> Option<Vec<usize>> {
+        st.index_probe(&id(index), key_hash(key).unwrap()).map(|s| s.to_vec())
+    }
+
+    #[test]
+    fn secondary_index_tracks_all_mutation_paths() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        for name in ["a", "b", "a", "c"] {
+            st.insert_row(&id("T"), vec![Value::str(name), Value::Num(1.0)], false).unwrap();
+        }
+        st.create_index(id("Ix"), id("T"), vec![0]);
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("a")]), Some(vec![0, 2]));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("zzz")]), Some(vec![]));
+        // Inserts extend incrementally (single and bulk).
+        st.insert_row(&id("T"), vec![Value::str("a"), Value::Num(2.0)], false).unwrap();
+        st.insert_rows(&id("T"), vec![vec![Value::str("b"), Value::Null]], false).unwrap();
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("a")]), Some(vec![0, 2, 4]));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("b")]), Some(vec![1, 5]));
+        // In-place rewrites re-key the row.
+        st.write_row_values(&id("T"), 0, vec![Value::str("c"), Value::Num(9.0)]).unwrap();
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("a")]), Some(vec![2, 4]));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("c")]), Some(vec![0, 3]));
+        // NULL keys are unindexed.
+        st.write_row_values(&id("T"), 5, vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("b")]), Some(vec![1]));
+        // Deletes compact + rebuild.
+        st.delete_rows(&id("T"), |r| r.values[0] == Value::str("c"));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("a")]), Some(vec![1, 2]));
+        assert!(st.index_is_fresh(&id("Ix")));
+        // Dropping the index retires it.
+        st.drop_index(&id("Ix"));
+        assert_eq!(st.index_probe(&id("Ix"), 0), None);
+    }
+
+    #[test]
+    fn secondary_index_survives_rollback_and_stays_out_of_state_dump() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        st.insert_row(&id("T"), vec![Value::str("a")], true).unwrap();
+        st.commit();
+        let plain_dump = st.state_dump();
+        st.create_index(id("Ix"), id("T"), vec![0]);
+        // Index presence must not perturb the rollback-equivalence dump.
+        assert_eq!(st.state_dump(), plain_dump);
+        let mark = st.undo_len();
+        // Mutate through every path, then roll back: buckets must match a
+        // freshly built index over the restored heap.
+        st.insert_row(&id("T"), vec![Value::str("b")], true).unwrap();
+        st.write_row_values(&id("T"), 0, vec![Value::str("z")]).unwrap();
+        st.delete_rows(&id("T"), |r| r.values[0] == Value::str("b"));
+        st.drop_index(&id("Ix"));
+        st.rollback_to(mark);
+        assert_eq!(st.state_dump(), plain_dump);
+        assert!(st.index_is_fresh(&id("Ix")));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("a")]), Some(vec![0]));
+        assert_eq!(probe_values(&st, "Ix", &[&Value::str("z")]), Some(vec![]));
+        // Rolling back past the creation retires the index.
+        st.rollback_to(0);
+        assert_eq!(st.index_probe(&id("Ix"), 0), None);
+        // DROP TABLE retires indexes; rollback restores and rebuilds them.
+        st.create_index(id("Ix2"), id("T"), vec![0]);
+        st.commit();
+        let mark = st.undo_len();
+        st.drop_table(&id("T"));
+        assert_eq!(st.index_probe(&id("Ix2"), 0), None);
+        st.rollback_to(mark);
+        assert_eq!(probe_values(&st, "Ix2", &[&Value::str("a")]), Some(vec![0]));
+    }
+
+    #[test]
+    fn maintenance_ops_accumulate_and_drain() {
+        let mut st = Storage::new();
+        st.create_table(id("T"));
+        st.insert_row(&id("T"), vec![Value::str("a")], false).unwrap();
+        assert_eq!(st.take_maintenance_ops(), 0, "no index yet");
+        st.create_index(id("Ix"), id("T"), vec![0]);
+        assert_eq!(st.take_maintenance_ops(), 1, "initial build visits each row");
+        st.insert_row(&id("T"), vec![Value::str("b")], false).unwrap();
+        assert_eq!(st.take_maintenance_ops(), 1);
+        assert_eq!(st.take_maintenance_ops(), 0, "drained");
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! every strategy's generated DDL + load scripts and exits non-zero if any
 //! script draws an Error-severity diagnostic (CI runs this in both modes).
 //!
+//! `maplint` sweeps the three-level `maplint` analyzer (DTD lints per
+//! strategy, mapping lints, catalog-drift check) over the `dtdgen` corpus
+//! and exits non-zero if any loadable DTD draws an Error-severity finding
+//! — the differential guarantee reserves Errors for real failures.
+//!
 //! `trace` writes JSON to stdout (`experiments trace > BENCH_PR4.json`): the
 //! per-phase wall-time breakdown of a store + retrieve captured through the
 //! structured tracing layer, plus the measured cost of tracing itself.
@@ -55,6 +60,7 @@ const EXPERIMENTS: &[&str] = &[
     "drawbacks",
     "fastpath",
     "analyze",
+    "maplint",
     "faults",
     "trace",
     "bulk",
@@ -117,6 +123,10 @@ fn main() {
             eprintln!("analyze: generated scripts drew Error-severity diagnostics");
             std::process::exit(1);
         }
+    }
+    if (all || which == "maplint") && !maplint_experiment() {
+        eprintln!("maplint: loadable DTDs drew Error-severity findings");
+        std::process::exit(1);
     }
 }
 
@@ -212,7 +222,7 @@ fn fig2() {
             &IdrefTargets::new(),
         )
         .unwrap();
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         println!("\n--- {label}\n    DTD: {dtd_text}");
         for line in script.lines() {
             println!("    {line}");
@@ -408,7 +418,7 @@ fn schemagen_scaling() {
             &IdrefTargets::new(),
         )
         .unwrap();
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         let elapsed = start.elapsed().as_micros() as f64 / 1000.0;
         println!(
             "{:<20} {:>10} {:>12.2} {:>12} {:>12}",
@@ -678,6 +688,88 @@ fn analyze(mode_filter: &str) -> bool {
     ok
 }
 
+/// E20 — maplint: the three-level static analyzer swept over the `dtdgen`
+/// corpus. Level 1 lints each generated DTD once per mapping strategy;
+/// levels 2+3 register the DTD under Oracle 9, store a generated document,
+/// and lint the mapped schema against the live catalog. Every corpus DTD
+/// registers and loads successfully, so the differential guarantee demands
+/// zero Error-severity findings — the process exits non-zero otherwise.
+/// A catalog-drift demo (expected Errors, excluded from the verdict)
+/// closes the run.
+fn maplint_experiment() -> bool {
+    use xmlord_dtd::{lint_dtd, parse_dtd_spanned};
+
+    heading("E20 — maplint: DTD → mapping → catalog static analysis");
+    let mut ok = true;
+    let shapes = [(2usize, 2usize, 42u64), (3, 2, 7), (3, 3, 99), (4, 3, 1234)];
+
+    println!("{:<22} {:>6}  errors/warnings per strategy", "DTD shape", "decls");
+    let mut last_sys: Option<Xml2OrDb> = None;
+    for (depth, fanout, seed) in shapes {
+        let generated = generate_dtd(&DtdConfig { depth, fanout, seed, ..Default::default() });
+        let (dtd, src) = parse_dtd_spanned(&generated.dtd_text)
+            .unwrap_or_else(|e| panic!("generated DTD parses: {e}"));
+        let verdicts = lint_dtd(&dtd, &src, &generated.root);
+        let cells: Vec<String> = verdicts
+            .iter()
+            .map(|v| format!("{}:{}/{}", v.strategy.label(), v.error_count(), v.warning_count()))
+            .collect();
+        println!(
+            "{:<22} {:>6}  {}",
+            format!("depth {depth} fanout {fanout}"),
+            dtd.elements.len(),
+            cells.join("  ")
+        );
+        for v in &verdicts {
+            if v.error_count() > 0 {
+                ok = false;
+                for d in v.diagnostics.iter().filter(|d| d.severity == Severity::Error).take(2) {
+                    let name = format!("{}.{}.dtd", generated.root, v.strategy.label());
+                    println!("{}", d.render(src.text(), &name));
+                }
+            }
+        }
+
+        // Levels 2+3: live registration + load, then schema + drift lints.
+        let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+        sys.register_dtd("gen", &generated.dtd_text, &generated.root).expect("register");
+        sys.store_document("gen", &generated.document(2, seed)).expect("store");
+        let report = sys.maplint("gen").expect("maplint");
+        println!(
+            "    maplint(gen): {} error(s), {} warning(s) over {} bytes of DDL",
+            report.error_count(),
+            report.warning_count(),
+            report.source.len()
+        );
+        if report.has_errors() {
+            ok = false;
+            println!("{}", report.render("gen.sql"));
+        }
+        last_sys = Some(sys);
+    }
+
+    // Drift demo (expected Errors; not counted in the verdict): drop a
+    // backing table out from under the registered mapping and re-check.
+    if let Some(mut sys) = last_sys {
+        println!("\n--- catalog-drift demo (expected errors; not counted in the verdict)");
+        let table = sys.schema("gen").expect("registered").schema.root_table.clone();
+        sys.database().execute(&format!("DROP TABLE {table}")).expect("drop");
+        let drifted = sys.maplint("gen").expect("maplint");
+        let n = drifted
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error && d.code.starts_with("DRIFT"))
+            .count();
+        println!("after DROP TABLE {table}: {n} DRIFT error(s)");
+        if let Some(d) =
+            drifted.diagnostics.iter().find(|d| d.severity == Severity::Error)
+        {
+            println!("{}", d.render(&drifted.source, "gen-drifted.sql"));
+        }
+    }
+    ok
+}
+
 /// The §4.2 mode gate, demonstrated on the real generated schema: the
 /// Oracle 9 DDL (nested collections) linted under Oracle 8 rules.
 fn cross_mode_demo() {
@@ -936,7 +1028,7 @@ fn bulk() {
         &IdrefTargets::new(),
     )
     .unwrap();
-    let ddl = create_script(&schema);
+    let ddl = create_script(&schema).unwrap();
     let per_doc_ops: Vec<Vec<LoadOp>> = corpus
         .iter()
         .enumerate()

@@ -134,7 +134,7 @@ pub fn setup(strategy: Strategy) -> Instance {
             )
             .expect("university schema generates");
             let mut db = Database::new(mode);
-            let ddl = create_script(&schema);
+            let ddl = create_script(&schema).expect("generated DDL renders");
             db.execute_script(&ddl).expect("generated DDL executes");
             Instance {
                 strategy,
@@ -159,7 +159,8 @@ pub fn setup(strategy: Strategy) -> Instance {
             .expect("university schema generates");
             let rel = views::relational_schema(&schema);
             let mut db = Database::new(DbMode::Oracle9);
-            let ddl = format!("{}\n{}", types_script(&schema), views::relational_ddl(&rel, 4000));
+            let ddl = format!("{}
+{}", types_script(&schema).expect("types script renders"), views::relational_ddl(&rel, 4000));
             db.execute_script(&ddl).expect("relational DDL");
             Instance {
                 strategy,

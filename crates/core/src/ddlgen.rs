@@ -6,23 +6,29 @@
 //! The output of [`create_script`] is exactly that script — plain SQL text
 //! the `xmlord-ordb` engine (or, syntactically, Oracle) executes verbatim.
 
+use crate::error::MappingError;
 use crate::model::{CollectionStyle, ElementMapping, MappedSchema};
 
 /// Render the complete CREATE script: forward declarations first (§6.2),
 /// then attribute-list types, object types and collection types bottom-up,
 /// then the object tables with their constraints.
-pub fn create_script(schema: &MappedSchema) -> String {
-    let mut out = types_script(schema);
+///
+/// Fails with [`MappingError::MalformedMapping`] when the schema violates a
+/// generator invariant (a hand-built or post-generation-mutated mapping);
+/// schemas straight out of [`generate_schema`](crate::schemagen::generate_schema)
+/// never do.
+pub fn create_script(schema: &MappedSchema) -> Result<String, MappingError> {
+    let mut out = types_script(schema)?;
     for element in &schema.creation_order {
         let mapping = &schema.elements[element];
-        push_table(&mut out, mapping);
+        push_table(&mut out, mapping)?;
     }
-    out
+    Ok(out)
 }
 
 /// Only the type definitions (no tables) — used by the §6.3 object-view
 /// generator, which superimposes the types on a *relational* schema.
-pub fn types_script(schema: &MappedSchema) -> String {
+pub fn types_script(schema: &MappedSchema) -> Result<String, MappingError> {
     let mut out = String::new();
     let varchar = schema.options.varchar_len;
 
@@ -59,7 +65,7 @@ pub fn types_script(schema: &MappedSchema) -> String {
     }
     // Nested-table-of-REF types only need the forward declarations above.
     for element in &schema.creation_order {
-        push_ref_collection_type(&mut out, &schema.elements[element]);
+        push_ref_collection_type(&mut out, &schema.elements[element])?;
     }
 
     // Types, children before parents.
@@ -69,7 +75,7 @@ pub fn types_script(schema: &MappedSchema) -> String {
         push_object_type(&mut out, mapping, varchar);
         push_collection_type(&mut out, schema, mapping, varchar);
     }
-    out
+    Ok(out)
 }
 
 /// Render the teardown script. Tables first, then types in reverse creation
@@ -168,15 +174,29 @@ fn push_collection_type(
     }
 }
 
-fn push_ref_collection_type(out: &mut String, mapping: &ElementMapping) {
-    let Some(collection) = &mapping.ref_collection_type else { return };
-    let target = mapping.object_type.as_ref().expect("ref target has an object type");
+fn push_ref_collection_type(
+    out: &mut String,
+    mapping: &ElementMapping,
+) -> Result<(), MappingError> {
+    let Some(collection) = &mapping.ref_collection_type else { return Ok(()) };
+    let target = mapping.object_type.as_ref().ok_or_else(|| {
+        MappingError::MalformedMapping(format!(
+            "element <{}> has REF collection type {collection} but no object type to point at",
+            mapping.element
+        ))
+    })?;
     out.push_str(&format!("CREATE TYPE {collection} AS TABLE OF REF {target};\n"));
+    Ok(())
 }
 
-fn push_table(out: &mut String, mapping: &ElementMapping) {
-    let Some(table) = &mapping.table else { return };
-    let type_name = mapping.object_type.as_ref().expect("table-rooted ⇒ typed");
+fn push_table(out: &mut String, mapping: &ElementMapping) -> Result<(), MappingError> {
+    let Some(table) = &mapping.table else { return Ok(()) };
+    let type_name = mapping.object_type.as_ref().ok_or_else(|| {
+        MappingError::MalformedMapping(format!(
+            "element <{}> is table-rooted ({table}) but has no object type",
+            mapping.element
+        ))
+    })?;
     let mut constraints: Vec<String> = Vec::new();
     // §4.3: mandatory, non-set-valued content → NOT NULL — expressible here
     // because this is a table.
@@ -197,6 +217,7 @@ fn push_table(out: &mut String, mapping: &ElementMapping) {
             constraints.join(",\n")
         ));
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -234,7 +255,7 @@ mod tests {
     #[test]
     fn university_script_contains_the_section_4_2_shapes() {
         let schema = schema_for(UNIVERSITY_DTD, "University", DbMode::Oracle9);
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         assert!(script.contains("CREATE TYPE TypeVA_Subject AS VARRAY(100) OF VARCHAR(4000);"));
         assert!(script.contains("CREATE TYPE TypeVA_Professor AS VARRAY(100) OF Type_Professor;"));
         assert!(script.contains("CREATE TYPE Type_Student AS OBJECT ("), "{script}");
@@ -248,7 +269,7 @@ mod tests {
     #[test]
     fn generated_script_executes_on_oracle9_engine_verbatim() {
         let schema = schema_for(UNIVERSITY_DTD, "University", DbMode::Oracle9);
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         let mut db = Database::new(DbMode::Oracle9);
         db.execute_script(&script).unwrap();
         assert_eq!(db.catalog().table_count(), 1);
@@ -263,7 +284,7 @@ mod tests {
     #[test]
     fn generated_oracle8_script_executes_on_oracle8_engine() {
         let schema = schema_for(UNIVERSITY_DTD, "University", DbMode::Oracle8);
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         let mut db = Database::new(DbMode::Oracle8);
         db.execute_script(&script).unwrap();
         // Student/Course/Professor each got their own object table.
@@ -277,7 +298,7 @@ mod tests {
         // The §2.2 restriction, demonstrated end-to-end: the nested-
         // collection DDL generated for Oracle 9 is rejected by Oracle 8.
         let schema = schema_for(UNIVERSITY_DTD, "University", DbMode::Oracle9);
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         let mut db = Database::new(DbMode::Oracle8);
         assert!(db.execute_script(&script).is_err());
     }
@@ -291,7 +312,7 @@ mod tests {
             "Professor",
             DbMode::Oracle9,
         );
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         // §6.2's shape: forward declaration, TABLE OF REF, aggregation.
         assert!(script.starts_with("CREATE TYPE Type_Professor;\n"), "{script}");
         assert!(script.contains("CREATE TYPE TabRefProfessor AS TABLE OF REF Type_Professor;"));
@@ -311,7 +332,7 @@ mod tests {
             "A",
             DbMode::Oracle9,
         );
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         assert!(script.contains("CREATE TYPE TypeAttrL_B AS OBJECT ("));
         assert!(script.contains("attrListB TypeAttrL_B"));
         let mut db = Database::new(DbMode::Oracle9);
@@ -333,7 +354,7 @@ mod tests {
             &IdrefTargets::new(),
         )
         .unwrap();
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         assert!(script.contains("CREATE TYPE Type_TabSubject AS TABLE OF VARCHAR(4000);"));
         let mut db = Database::new(DbMode::Oracle9);
         db.execute_script(&script).unwrap();
@@ -350,7 +371,7 @@ mod tests {
             &IdrefTargets::new(),
         )
         .unwrap();
-        let script = create_script(&schema);
+        let script = create_script(&schema).unwrap();
         assert!(script.contains("IDUniversity PRIMARY KEY"), "{script}");
         let mut db = Database::new(DbMode::Oracle9);
         db.execute_script(&script).unwrap();

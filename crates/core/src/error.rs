@@ -30,6 +30,10 @@ pub enum MappingError {
     /// changed underneath the data (e.g. a row carries an attribute-list
     /// object but the mapping no longer declares one).
     InconsistentMapping(String),
+    /// A [`MappedSchema`](crate::model::MappedSchema) violates a generator
+    /// invariant (e.g. a REF collection whose element has no object type) —
+    /// it was built by hand or mutated after generation.
+    MalformedMapping(String),
 }
 
 impl fmt::Display for MappingError {
@@ -55,6 +59,9 @@ impl fmt::Display for MappingError {
             MappingError::NoSuchDocument(id) => write!(f, "no document with id '{id}'"),
             MappingError::InconsistentMapping(msg) => {
                 write!(f, "stored data is inconsistent with the mapping: {msg}")
+            }
+            MappingError::MalformedMapping(msg) => {
+                write!(f, "mapped schema violates a generator invariant: {msg}")
             }
         }
     }

@@ -45,6 +45,7 @@
 pub mod ddlgen;
 pub mod error;
 pub mod loader;
+pub mod maplint;
 pub mod metadata;
 pub mod model;
 pub mod naming;
@@ -57,6 +58,7 @@ pub mod views;
 
 pub use error::MappingError;
 pub use loader::{load_ops, load_script, plan_batches, LoadOp, LoadUnit};
+pub use maplint::{check_catalog_drift, lint_schema, MapLintReport};
 pub use pipeline::{LoadStrategy, Xml2OrDb};
 pub use model::{MappedSchema, MappingOptions};
 pub use schemagen::generate_schema;

@@ -237,7 +237,11 @@ impl<'a> Loader<'a> {
             .table
             .clone()
             .ok_or_else(|| MappingError::Unsupported(format!("<{element}> is not table-rooted")))?;
-        let type_name = mapping.object_type.clone().expect("table-rooted ⇒ typed");
+        let type_name = mapping.object_type.clone().ok_or_else(|| {
+            MappingError::MalformedMapping(format!(
+                "<{element}> is table-rooted ({table}) but has no object type"
+            ))
+        })?;
         let my_id = if mapping.synthetic_id.is_some() { self.fresh_id(node) } else { String::new() };
         let row_ctx = mapping.synthetic_id.as_ref().map(|id_column| RowCtx {
             table: table.clone(),
@@ -323,7 +327,11 @@ impl<'a> Loader<'a> {
             },
             FieldSource::AttrList => {
                 let mapping = self.mapping_of(element)?.clone();
-                let attr_list = mapping.attr_list.as_ref().expect("AttrList field ⇒ mapping");
+                let attr_list = mapping.attr_list.as_ref().ok_or_else(|| {
+                    MappingError::MalformedMapping(format!(
+                        "<{element}> has an attrList field but no attribute-list mapping"
+                    ))
+                })?;
                 let any_present = attr_list
                     .fields
                     .iter()
@@ -519,12 +527,20 @@ impl<'a> Loader<'a> {
                     .fields
                     .iter()
                     .find(|f| f.source == FieldSource::AttrList)
-                    .expect("attrList mapping ⇒ field");
+                    .ok_or_else(|| {
+                        MappingError::MalformedMapping(format!(
+                            "<{target}> has an attribute-list mapping but no attrList field"
+                        ))
+                    })?;
                 let inner = al
                     .fields
                     .iter()
                     .find(|f| f.xml_attribute == id_attr)
-                    .expect("id attribute mapped");
+                    .ok_or_else(|| {
+                        MappingError::MalformedMapping(format!(
+                            "ID attribute '{id_attr}' of <{target}> is missing from its attribute-list mapping"
+                        ))
+                    })?;
                 vec![list_field.db_name.clone(), inner.db_name.clone()]
             } else {
                 return Err(MappingError::Unsupported(format!(
@@ -622,7 +638,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(mode);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         let statements = load_script(&schema, &dtd, &doc, "doc1").unwrap();
         for stmt in &statements {
             db.execute(stmt).unwrap_or_else(|e| panic!("{e}\nSTMT: {stmt}"));
@@ -725,7 +741,7 @@ mod tests {
         .unwrap();
         let stmts = load_script(&schema, &dtd, &doc, "d").unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&crate::ddlgen::create_script(&schema)).unwrap();
+        db.execute_script(&crate::ddlgen::create_script(&schema).unwrap()).unwrap();
         db.execute(&stmts[0]).unwrap();
         let v = db.query_scalar("SELECT r.attrr FROM Tabr r").unwrap();
         assert_eq!(v, Value::str("O'Hara's"));
@@ -753,7 +769,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         let stmts = load_script(&schema, &dtd, &doc, "d1").unwrap();
         // Inner professor inserted before the outer one that references it.
         assert_eq!(stmts.len(), 2);
@@ -793,7 +809,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         let stmts = load_script(&schema, &dtd, &doc, "d1").unwrap();
         for stmt in &stmts {
             db.execute(stmt).unwrap_or_else(|e| panic!("{e}\nSTMT: {stmt}"));

@@ -116,7 +116,7 @@ impl NameGenerator {
             }
         }
         if name.len() > MAX_IDENTIFIER_LEN {
-            name.truncate(MAX_IDENTIFIER_LEN);
+            name = truncate_bytes(&name, MAX_IDENTIFIER_LEN).to_string();
         }
         // Prefixes make keyword collisions impossible in practice, but stay
         // safe for exotic cases.
@@ -151,11 +151,25 @@ pub fn sanitize(xml_name: &str) -> String {
 }
 
 /// Append `suffix`, truncating the base so the result fits the limit.
+/// The limit is in *bytes* (what the catalog enforces), so multi-byte
+/// sanitized names must be cut on a char boundary, not by char count.
 fn truncate_with_suffix(base: &str, suffix: &str) -> String {
     let max_base = MAX_IDENTIFIER_LEN.saturating_sub(suffix.len());
-    let mut out: String = base.chars().take(max_base).collect();
+    let mut out = truncate_bytes(base, max_base).to_string();
     out.push_str(suffix);
     out
+}
+
+/// Longest prefix of `s` that fits in `max` bytes, on a char boundary.
+fn truncate_bytes(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 #[cfg(test)]

@@ -244,7 +244,12 @@ impl<'a> Builder<'a> {
                     .fields
                     .iter()
                     .find(|f| f.source == FieldSource::AttrList)
-                    .expect("attr list field");
+                    .ok_or_else(|| {
+                        MappingError::MalformedMapping(format!(
+                            "<{}> has an attribute-list mapping but no attrList field",
+                            cursor.element
+                        ))
+                    })?;
                 if let Some(inner) = attr_list.fields.iter().find(|f| f.xml_attribute == attr) {
                     return Ok(format!(
                         "{}.{}.{}",
@@ -319,7 +324,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(mode);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -418,7 +423,7 @@ mod tests {
             )
             .unwrap();
             let mut db = Database::new(mode);
-            db.execute_script(&crate::ddlgen::create_script(&schema)).unwrap();
+            db.execute_script(&crate::ddlgen::create_script(&schema).unwrap()).unwrap();
             for stmt in crate::loader::load_script(&schema, &dtd, &doc, "d").unwrap() {
                 db.execute(&stmt).unwrap();
             }

@@ -18,6 +18,7 @@ use xmlord_xml::{Document, QName};
 use crate::ddlgen::create_script;
 use crate::error::MappingError;
 use crate::loader::{load_ops, plan_batches, LoadOp, LoadUnit};
+use crate::maplint::MapLintReport;
 use crate::metadata::{metadata_ddl, metadata_insert, read_metadata, DocMetadata};
 use crate::model::{MappedSchema, MappingOptions};
 use crate::retriever::retrieve_document;
@@ -135,6 +136,21 @@ impl Xml2OrDb {
         self.schemas.get(name)
     }
 
+    /// Run the mapping-level lints ([`crate::maplint::lint_schema`]) and the
+    /// catalog-drift check ([`crate::maplint::check_catalog_drift`]) over a
+    /// registered schema, against the live catalog. Drift Errors mean a
+    /// later [`Self::store_document`] for this schema would fail at load
+    /// time: someone altered the backing objects underneath the mapping.
+    pub fn maplint(&self, schema_name: &str) -> Result<MapLintReport, MappingError> {
+        let reg = self.schemas.get(schema_name).ok_or_else(|| {
+            MappingError::InconsistentMapping(format!("schema '{schema_name}' is not registered"))
+        })?;
+        let mut report = crate::maplint::lint_schema(&reg.schema)?;
+        let drift = crate::maplint::check_catalog_drift(&reg.schema, self.db.catalog())?;
+        report.diagnostics.extend(drift.diagnostics);
+        Ok(report)
+    }
+
     /// Parse a DTD, run the Fig. 2 mapping for `root`, and execute the
     /// generated DDL. Returns the registered schema.
     pub fn register_dtd(
@@ -217,7 +233,7 @@ impl Xml2OrDb {
         }
         let schema =
             generate_schema(&xsd.dtd, root, self.db.mode(), options, &IdrefTargets::new())?;
-        let script = create_script(&schema);
+        let script = create_script(&schema)?;
         self.ensure_meta_schema()?;
         self.run_atomic(&script)?;
         let registered = RegisteredSchema {
@@ -253,7 +269,7 @@ impl Xml2OrDb {
             options.map_idrefs = true;
         }
         let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
-        let script = create_script(&schema);
+        let script = create_script(&schema)?;
         self.ensure_meta_schema()?;
         self.run_atomic(&script)?;
         let registered = RegisteredSchema {
@@ -503,7 +519,15 @@ impl Xml2OrDb {
             .get(doc_id)
             .cloned()
             .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
-        let registered = self.schemas.get(&schema_name).expect("registered").clone();
+        let registered = self
+            .schemas
+            .get(&schema_name)
+            .ok_or_else(|| {
+                MappingError::InconsistentMapping(format!(
+                    "document '{doc_id}' references schema '{schema_name}' which is no longer registered"
+                ))
+            })?
+            .clone();
         let span = self.db.trace_begin("retrieve", doc_id.to_string());
         let result = (|| {
             let meta = read_metadata(&mut self.db, doc_id)?;
@@ -547,7 +571,15 @@ impl Xml2OrDb {
             .get(doc_id)
             .cloned()
             .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
-        let registered = self.schemas.get(&schema_name).expect("registered").clone();
+        let registered = self
+            .schemas
+            .get(&schema_name)
+            .ok_or_else(|| {
+                MappingError::InconsistentMapping(format!(
+                    "document '{doc_id}' references schema '{schema_name}' which is no longer registered"
+                ))
+            })?
+            .clone();
         let original =
             xmlord_xml::parse_with_catalog(original_xml, registered.dtd.entity_catalog())
                 .map_err(MappingError::Xml)?;

@@ -417,7 +417,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(mode);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "doc1").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -458,7 +458,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d1").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -480,7 +480,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for (i, text) in ["first", "second", "third"].iter().enumerate() {
             let doc = xmlord_xml::parse(&format!("<r>{text}</r>")).unwrap();
             for stmt in load_script(&schema, &dtd, &doc, &format!("doc{i}")).unwrap() {
@@ -508,7 +508,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         let meta = DocMetadata { doc_id: "ghost".into(), ..Default::default() };
         assert!(matches!(
             retrieve_document(&db, &schema, &meta),
@@ -530,7 +530,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -559,7 +559,7 @@ mod tests {
         .unwrap();
         assert!(schema.mapping("r").unwrap().attr_list.is_some());
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -623,7 +623,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle8);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
             db.execute(&stmt).unwrap();
         }
@@ -660,7 +660,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&create_script(&schema)).unwrap();
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
         for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
             db.execute(&stmt).unwrap();
         }

@@ -86,7 +86,11 @@ pub fn relational_schema(schema: &MappedSchema) -> RelationalSchema {
                     columns.push((field.db_name.clone(), RelColumnSource::Attribute(a.clone())))
                 }
                 (FieldSource::AttrList, _) => {
-                    let attr_list = mapping.attr_list.as_ref().expect("mapped");
+                    // Infallible by construction: schemagen only emits an
+                    // AttrList field alongside the attr_list mapping, and
+                    // maplint's MAP020 checks the invariant statically for
+                    // hand-built schemas.
+                    let Some(attr_list) = mapping.attr_list.as_ref() else { continue };
                     for f in &attr_list.fields {
                         columns.push((
                             f.db_name.clone(),
@@ -297,7 +301,12 @@ impl<'a> ViewGen<'a> {
                     args.push(format!("{alias}.{}", field.db_name))
                 }
                 (FieldSource::AttrList, FieldKind::Object(attr_list_type)) => {
-                    let attr_list = mapping.attr_list.as_ref().expect("mapped");
+                    let attr_list = mapping.attr_list.as_ref().ok_or_else(|| {
+                        MappingError::MalformedMapping(format!(
+                            "<{}> has an attrList field but no attribute-list mapping",
+                            mapping.element
+                        ))
+                    })?;
                     let inner: Vec<String> = attr_list
                         .fields
                         .iter()
@@ -408,7 +417,7 @@ mod tests {
         .unwrap();
         let rel = relational_schema(&schema);
         let mut db = Database::new(DbMode::Oracle9);
-        db.execute_script(&types_script(&schema)).unwrap();
+        db.execute_script(&types_script(&schema).unwrap()).unwrap();
         db.execute_script(&relational_ddl(&rel, 4000)).unwrap();
         let inserts = relational_load_script(&schema, &rel, &doc).unwrap();
         for stmt in &inserts {

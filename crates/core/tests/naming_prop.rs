@@ -1,0 +1,142 @@
+//! Property tests for the Table 1 naming layer: for *any* XML name —
+//! hostile ones included — generated identifiers must stay (a) unique
+//! case-insensitively within their namespace and (b) catalog-legal, i.e.
+//! accepted by the engine's `Ident::new` (≤ 30 bytes, charset enforced by
+//! sanitization) and free of reserved words.
+
+use std::collections::BTreeSet;
+
+use xml2ordb::naming::{sanitize, NameGenerator, NameKind};
+use xmlord_ordb::ident::Ident;
+use xmlord_prng::Prng;
+
+/// Hostile XML-name alphabet: ASCII letters in both cases (case-fold
+/// collisions), digits, XML name punctuation (`-`, `.`, `:`) that
+/// sanitizes to `_` (sanitize collisions), multi-byte alphanumerics
+/// (byte-length vs char-length), and combining marks.
+const ALPHABET: &[char] = &[
+    'a', 'A', 'b', 'B', 'z', 'Z', '0', '9', '-', '.', ':', '_', '$', '#', 'é', 'Ж', '名', 'ß',
+    'ⅻ', '\u{0301}',
+];
+
+fn hostile_name(rng: &mut Prng) -> String {
+    let len = rng.gen_range(1usize..40);
+    (0..len).map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())]).collect()
+}
+
+/// Names that differ only by case or only in sanitized-away characters —
+/// maximal pressure on the uniquifier.
+fn colliding_family(rng: &mut Prng) -> Vec<String> {
+    let base = hostile_name(rng);
+    vec![
+        base.clone(),
+        base.to_uppercase(),
+        base.to_lowercase(),
+        base.replace(['-', '.', ':'], "_"),
+        base.replace('_', "-"),
+        format!("{base}2"),
+    ]
+}
+
+const GLOBAL_KINDS: &[NameKind] =
+    &[NameKind::Table, NameKind::ObjectType, NameKind::VarrayType, NameKind::ObjectView];
+
+#[test]
+fn global_names_stay_unique_and_catalog_legal() {
+    for case in 0..20u64 {
+        let mut rng = Prng::seed_from_u64(0x7AB1E + case);
+        let mut names = NameGenerator::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for _ in 0..40 {
+            for xml_name in colliding_family(&mut rng) {
+                let kind = GLOBAL_KINDS[rng.gen_range(0usize..GLOBAL_KINDS.len())];
+                let name = names.global(kind, &xml_name);
+                assert!(
+                    Ident::new(&name).is_ok(),
+                    "case {case}: '{name}' (from '{xml_name}') is not catalog-legal"
+                );
+                assert!(
+                    seen.insert(name.to_uppercase()),
+                    "case {case}: duplicate global name '{name}' (from '{xml_name}')"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scoped_names_stay_unique_within_their_scope() {
+    const KINDS: &[NameKind] =
+        &[NameKind::AttrFromElement, NameKind::AttrFromAttribute, NameKind::AttrList, NameKind::IdAttr];
+    for case in 0..20u64 {
+        let mut rng = Prng::seed_from_u64(0x5C0BE + case);
+        let names = NameGenerator::new();
+        let mut scope: BTreeSet<String> = BTreeSet::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for _ in 0..40 {
+            for xml_name in colliding_family(&mut rng) {
+                let kind = KINDS[rng.gen_range(0usize..KINDS.len())];
+                let name = names.scoped(kind, &xml_name, &mut scope);
+                assert!(
+                    Ident::new(&name).is_ok(),
+                    "case {case}: '{name}' (from '{xml_name}') is not catalog-legal"
+                );
+                assert!(
+                    seen.insert(name.to_uppercase()),
+                    "case {case}: duplicate scoped name '{name}' (from '{xml_name}')"
+                );
+            }
+        }
+    }
+}
+
+/// Schema-id suffixing (§5) must preserve both properties; the suffix eats
+/// into the 30-byte budget, so truncation gets extra pressure here.
+#[test]
+fn schema_id_suffixed_names_stay_unique_and_legal() {
+    for case in 0..10u64 {
+        let mut rng = Prng::seed_from_u64(0x51D + case);
+        let mut names = NameGenerator::with_schema_id("S1");
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for _ in 0..30 {
+            for xml_name in colliding_family(&mut rng) {
+                let name = names.global(NameKind::ObjectType, &xml_name);
+                assert!(Ident::new(&name).is_ok(), "case {case}: '{name}' from '{xml_name}'");
+                assert!(seen.insert(name.to_uppercase()), "case {case}: duplicate '{name}'");
+            }
+        }
+    }
+}
+
+/// `sanitize` only ever substitutes characters — never drops or adds them —
+/// and its output contains only identifier-legal characters.
+#[test]
+fn sanitize_is_length_preserving_and_charset_clean() {
+    let mut rng = Prng::seed_from_u64(0xC1EA7);
+    for _ in 0..500 {
+        let name = hostile_name(&mut rng);
+        let s = sanitize(&name);
+        assert_eq!(s.chars().count(), name.chars().count(), "'{name}' → '{s}'");
+        assert!(
+            s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '$' || c == '#'),
+            "'{name}' → '{s}'"
+        );
+    }
+}
+
+/// Reserved words can never leak out as generated identifiers, whatever
+/// the kind (the `IdAttr` prefix `ID` is the shortest shield).
+#[test]
+fn reserved_words_never_survive() {
+    let mut names = NameGenerator::new();
+    let mut scope = BTreeSet::new();
+    for word in ["SELECT", "table", "Varchar", "order", "CHECK", "null"] {
+        for kind in GLOBAL_KINDS {
+            let name = names.global(*kind, word);
+            assert!(Ident::new(&name).is_ok());
+            assert!(!xmlord_ordb::ident::is_reserved_word(&name), "{name}");
+        }
+        let scoped = names.scoped(NameKind::AttrFromElement, word, &mut scope);
+        assert!(!xmlord_ordb::ident::is_reserved_word(&scoped), "{scoped}");
+    }
+}

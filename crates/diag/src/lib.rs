@@ -1,0 +1,212 @@
+//! Shared diagnostics vocabulary for every analyzer in the workspace.
+//!
+//! The SQL analyzer (`xmlord-ordb`), the DTD linter (`xmlord-dtd`) and the
+//! mapping linter (`xml2ordb`) all report findings as [`Diagnostic`]s over
+//! character [`Span`]s and render them with the same rustc-style caret
+//! output, so a maplint report reads uniformly whether the finding anchors
+//! into a DTD, a mapped schema's DDL, or a SQL script.
+//!
+//! Offsets are **character** indices into the source text (the SQL lexer
+//! iterates `char`s, not bytes), so line/column conversion counts characters
+//! too — a multi-byte character advances the column by one, like an editor
+//! does. Producers whose cursors track byte offsets (the XML/DTD cursor)
+//! must convert before constructing a [`Span`].
+
+use std::fmt;
+
+/// A half-open `[start, end)` character range in some source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end: end.max(start) }
+    }
+
+    /// A zero-length span at `offset`.
+    pub fn at(offset: usize) -> Span {
+        Span { start: offset, end: offset }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        line_col(source, self.start)
+    }
+}
+
+/// 1-based (line, column) of character offset `offset` within `source`.
+/// Offsets past the end report the position just after the last character.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for (i, ch) in source.chars().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// The full text of the line (1-based) containing character offset `start`.
+pub fn source_line(source: &str, line: usize) -> &str {
+    source.split('\n').nth(line.saturating_sub(1)).unwrap_or("").trim_end_matches('\r')
+}
+
+/// How certain the analyzer is that execution will fail.
+///
+/// The severity model *is* the differential guarantee: `Error` is only
+/// emitted when the pipeline is guaranteed to reject the input (the check
+/// mirrors an eager, data-independent failure), while `Warning` marks
+/// suspicious-but-executable constructs (lossy mappings, data-dependent
+/// checks, and lints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding, anchored to a character span of the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable short code, e.g. `unknown-table`, `check-null-object`.
+    pub code: &'static str,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// 1-based (line, column) of the diagnostic within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        self.span.line_col(source)
+    }
+
+    /// Render rustc-style with the offending source line and a caret
+    /// underline:
+    ///
+    /// ```text
+    /// error[unknown-table]: table or view 'TabX' does not exist
+    ///   --> script.sql:3:13
+    ///    |
+    ///  3 | INSERT INTO TabX VALUES (1);
+    ///    |             ^^^^
+    /// ```
+    pub fn render(&self, source: &str, source_name: &str) -> String {
+        let (line, col) = self.line_col(source);
+        let text = source_line(source, line);
+        let gutter = line.to_string().len();
+        let pad = " ".repeat(gutter);
+        let mut out = String::new();
+        out.push_str(&format!("{}[{}]: {}\n", self.severity, self.code, self.message));
+        out.push_str(&format!("{pad}--> {source_name}:{line}:{col}\n"));
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{line} | {text}\n"));
+        // Caret run: clamp multi-line spans to the anchor line's end.
+        let line_len = text.chars().count();
+        let carets = self.span.len().min(line_len.saturating_sub(col - 1)).max(1);
+        out.push_str(&format!("{pad} | {}{}\n", " ".repeat(col - 1), "^".repeat(carets)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // 'ä' is two bytes but one character: column arithmetic is char-based.
+        let src = "SELECT ä FROM t\nWHERE x = 1";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 9), (1, 10)); // after "SELECT ä "
+        assert_eq!(line_col(src, 16), (2, 1)); // first char of line 2
+        assert_eq!(line_col(src, 22), (2, 7));
+    }
+
+    #[test]
+    fn line_col_past_end_saturates() {
+        assert_eq!(line_col("ab", 99), (1, 3));
+    }
+
+    #[test]
+    fn source_line_extracts_the_right_line() {
+        let src = "one\ntwo\r\nthree";
+        assert_eq!(source_line(src, 1), "one");
+        assert_eq!(source_line(src, 2), "two");
+        assert_eq!(source_line(src, 3), "three");
+        assert_eq!(source_line(src, 9), "");
+    }
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(Span::at(5).is_empty());
+        // end < start is clamped rather than panicking.
+        assert_eq!(Span::new(7, 3).len(), 0);
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn render_points_at_the_offending_token() {
+        let src = "CREATE TABLE T OF A;\nINSERT INTO TabX VALUES (1);";
+        let d = Diagnostic {
+            severity: Severity::Error,
+            code: "unknown-table",
+            message: "table or view 'TabX' does not exist".into(),
+            span: Span::new(33, 37),
+        };
+        let rendered = d.render(src, "script.sql");
+        assert!(rendered.starts_with("error[unknown-table]:"), "{rendered}");
+        assert!(rendered.contains("--> script.sql:2:13"), "{rendered}");
+        assert!(rendered.contains("2 | INSERT INTO TabX VALUES (1);"), "{rendered}");
+        assert!(rendered.contains("|             ^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_clamps_statement_spans_to_one_line() {
+        let src = "SELECT x\nFROM t";
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            code: "demo",
+            message: "whole-statement anchor".into(),
+            span: Span::new(0, src.chars().count()),
+        };
+        let rendered = d.render(src, "s.sql");
+        assert!(rendered.contains("1 | SELECT x\n"), "{rendered}");
+        assert!(rendered.contains("  | ^^^^^^^^\n"), "{rendered}");
+    }
+}

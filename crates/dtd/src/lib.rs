@@ -22,6 +22,9 @@
 //!   multiple parents (Fig. 3) and recursive element relationships, which
 //!   the tree representation cannot express and which the mapping layer must
 //!   break with `REF` attributes.
+//! * [`lint`] — per-strategy static analysis of a DTD (maplint level 1):
+//!   span-carrying diagnostics for constructs each mapping strategy
+//!   handles lossily or not at all.
 //! * [`matcher`] — content-model matching engine (Glushkov-style NFA).
 //! * [`validator`] — validates a parsed document against the DTD: content
 //!   models, attribute constraints, ID uniqueness and IDREF resolution —
@@ -31,6 +34,7 @@
 
 pub mod ast;
 pub mod graph;
+pub mod lint;
 pub mod matcher;
 pub mod parser;
 pub mod tree;
@@ -42,6 +46,7 @@ pub use ast::{
     EntityDecl, Occurrence,
 };
 pub use graph::ElementGraph;
+pub use lint::{lint_dtd, parse_dtd_spanned, DtdSource, MappingStrategy, StrategyVerdict};
 pub use parser::parse_dtd;
 pub use tree::{DtdTree, DtdTreeNode, NodeCardinality};
 pub use validator::{validate, ValidationError, ValidationErrorKind};

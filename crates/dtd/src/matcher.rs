@@ -21,7 +21,7 @@ pub struct ContentMatcher {
     nullable: bool,
     first: BTreeSet<usize>,
     last: BTreeSet<usize>,
-    /// follow[p] = positions that may come directly after p.
+    /// `follow[p]` = positions that may come directly after p.
     follow: Vec<BTreeSet<usize>>,
 }
 

@@ -32,7 +32,7 @@ pub fn parse_dtd(input: &str) -> Result<Dtd, XmlError> {
 /// Textually expand `%name;` references using internal parameter entities
 /// declared earlier in the same input. Declarations are processed in order,
 /// so a parameter entity can use previously declared ones.
-fn expand_parameter_entities(input: &str) -> Result<String, XmlError> {
+pub(crate) fn expand_parameter_entities(input: &str) -> Result<String, XmlError> {
     let mut params: BTreeMap<String, String> = BTreeMap::new();
     let mut out = String::with_capacity(input.len());
     let mut cur = Cursor::new(input);

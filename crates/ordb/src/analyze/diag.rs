@@ -1,112 +1,13 @@
 //! Diagnostic values: severity, codes, spans and rustc-style rendering.
+//!
+//! The types live in the shared `xmlord-diag` crate (so DTD- and
+//! mapping-level linters emit uniform diagnostics); this module re-exports
+//! them under the historical `ordb::analyze::diag` paths.
+//!
+//! The severity model *is* the differential guarantee: `Error` is only
+//! emitted when the executor is guaranteed to reject the statement (the
+//! check mirrors an eager, data-independent executor check), while
+//! `Warning` marks suspicious-but-executable constructs (lazy, per-row or
+//! data-dependent checks, and lints).
 
-use crate::sql::span::{source_line, Span};
-use std::fmt;
-
-/// How certain the analyzer is that the executor will reject the statement.
-///
-/// The severity model *is* the differential guarantee: `Error` is only
-/// emitted when the executor is guaranteed to reject the statement (the
-/// check mirrors an eager, data-independent executor check), while
-/// `Warning` marks suspicious-but-executable constructs (lazy, per-row or
-/// data-dependent checks, and lints).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    Warning,
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
-        }
-    }
-}
-
-/// One analyzer finding, anchored to a character span of the source script.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    pub severity: Severity,
-    /// Stable short code, e.g. `unknown-table`, `check-null-object`.
-    pub code: &'static str,
-    pub message: String,
-    pub span: Span,
-}
-
-impl Diagnostic {
-    /// 1-based (line, column) of the diagnostic within `source`.
-    pub fn line_col(&self, source: &str) -> (usize, usize) {
-        self.span.line_col(source)
-    }
-
-    /// Render rustc-style with the offending source line and a caret
-    /// underline:
-    ///
-    /// ```text
-    /// error[unknown-table]: table or view 'TabX' does not exist
-    ///   --> script.sql:3:13
-    ///    |
-    ///  3 | INSERT INTO TabX VALUES (1);
-    ///    |             ^^^^
-    /// ```
-    pub fn render(&self, source: &str, source_name: &str) -> String {
-        let (line, col) = self.line_col(source);
-        let text = source_line(source, line);
-        let gutter = line.to_string().len();
-        let pad = " ".repeat(gutter);
-        let mut out = String::new();
-        out.push_str(&format!("{}[{}]: {}\n", self.severity, self.code, self.message));
-        out.push_str(&format!("{pad}--> {source_name}:{line}:{col}\n"));
-        out.push_str(&format!("{pad} |\n"));
-        out.push_str(&format!("{line} | {text}\n"));
-        // Caret run: clamp multi-line spans to the anchor line's end.
-        let line_len = text.chars().count();
-        let carets = self.span.len().min(line_len.saturating_sub(col - 1)).max(1);
-        out.push_str(&format!("{pad} | {}{}\n", " ".repeat(col - 1), "^".repeat(carets)));
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn severity_orders_error_above_warning() {
-        assert!(Severity::Error > Severity::Warning);
-        assert_eq!(Severity::Error.to_string(), "error");
-        assert_eq!(Severity::Warning.to_string(), "warning");
-    }
-
-    #[test]
-    fn render_points_at_the_offending_token() {
-        let src = "CREATE TABLE T OF A;\nINSERT INTO TabX VALUES (1);";
-        let d = Diagnostic {
-            severity: Severity::Error,
-            code: "unknown-table",
-            message: "table or view 'TabX' does not exist".into(),
-            span: Span::new(33, 37),
-        };
-        let rendered = d.render(src, "script.sql");
-        assert!(rendered.starts_with("error[unknown-table]:"), "{rendered}");
-        assert!(rendered.contains("--> script.sql:2:13"), "{rendered}");
-        assert!(rendered.contains("2 | INSERT INTO TabX VALUES (1);"), "{rendered}");
-        assert!(rendered.contains("|             ^^^^"), "{rendered}");
-    }
-
-    #[test]
-    fn render_clamps_statement_spans_to_one_line() {
-        let src = "SELECT x\nFROM t";
-        let d = Diagnostic {
-            severity: Severity::Warning,
-            code: "demo",
-            message: "whole-statement anchor".into(),
-            span: Span::new(0, src.chars().count()),
-        };
-        let rendered = d.render(src, "s.sql");
-        assert!(rendered.contains("1 | SELECT x\n"), "{rendered}");
-        assert!(rendered.contains("  | ^^^^^^^^\n"), "{rendered}");
-    }
-}
+pub use xmlord_diag::{Diagnostic, Severity};

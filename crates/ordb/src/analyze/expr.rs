@@ -2,7 +2,7 @@
 //!
 //! The central question for every check is *eagerness*: does the executor
 //! run the corresponding check unconditionally when the statement executes
-//! (→ a definite failure may be reported as [`Severity::Error`]), or only
+//! (→ a definite failure may be reported as `Severity::Error`), or only
 //! per-row / behind a short-circuit (→ at most a `Warning`)? The `eager`
 //! flag threaded through [`analyze_expr`] answers it per expression
 //! position, mirroring `exec::eval` exactly:

@@ -39,6 +39,7 @@
 //! walker tracks exactly which positions the executor evaluates
 //! unconditionally.
 
+mod dataflow;
 pub mod diag;
 mod expr;
 mod lints;
@@ -163,6 +164,7 @@ impl Analyzer {
             self.analyze_stmt(source, ss, &mut diags);
         }
         self.lint_dangling_refs(&mut diags);
+        dataflow::dataflow_pass(source, &stmts, &mut diags);
         Ok(diags)
     }
 

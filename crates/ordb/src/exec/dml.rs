@@ -203,7 +203,7 @@ struct ConstraintIndex {
     slow: Vec<Vec<Value>>,
 }
 
-/// Session-lived cache of promoted [`UniqueIndex`]es, keyed by table. An
+/// Session-lived cache of promoted `UniqueIndex`es, keyed by table. An
 /// entry is only reused while the table's version still matches — any
 /// intervening mutation (single-row insert, update, delete, rollback)
 /// invalidates it and the next batch rebuilds from the heap.
@@ -283,7 +283,7 @@ struct BatchProbe<'a> {
 ///   memoized (`batch_subquery_hits`).
 /// * PRIMARY KEY / UNIQUE checks run against stored rows *and* the earlier
 ///   rows of the same batch, so duplicates inside one batch are still
-///   rejected — through a hash index built once per batch ([`UniqueIndex`]),
+///   rejected — through a hash index built once per batch (`UniqueIndex`),
 ///   not a per-row table scan.
 /// * Any row failing evaluation or a constraint fails the whole batch
 ///   before anything is written — the batch is all-or-nothing even without

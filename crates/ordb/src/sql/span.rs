@@ -1,106 +1,19 @@
 //! Source spans and line/column arithmetic for diagnostics.
 //!
+//! The span vocabulary lives in the shared `xmlord-diag` crate so the DTD
+//! and mapping linters report over the same types; this module re-exports
+//! it (preserving the historical `ordb::sql::span` paths) and adds the
+//! SQL-specific [`SpannedStmt`].
+//!
 //! Offsets are **character** indices into the SQL text (the lexer iterates
 //! `char`s, not bytes), so line/column conversion counts characters too —
 //! a multi-byte character advances the column by one, like an editor does.
 
-/// A half-open `[start, end)` character range in some SQL source text.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Span {
-    pub start: usize,
-    pub end: usize,
-}
-
-impl Span {
-    pub fn new(start: usize, end: usize) -> Span {
-        Span { start, end: end.max(start) }
-    }
-
-    /// A zero-length span at `offset`.
-    pub fn at(offset: usize) -> Span {
-        Span { start: offset, end: offset }
-    }
-
-    pub fn len(&self) -> usize {
-        self.end - self.start
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.start == self.end
-    }
-
-    /// 1-based (line, column) of the span start within `source`.
-    pub fn line_col(&self, source: &str) -> (usize, usize) {
-        line_col(source, self.start)
-    }
-}
-
-/// 1-based (line, column) of character offset `offset` within `source`.
-/// Offsets past the end report the position just after the last character.
-pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
-    let mut line = 1usize;
-    let mut col = 1usize;
-    for (i, ch) in source.chars().enumerate() {
-        if i >= offset {
-            break;
-        }
-        if ch == '\n' {
-            line += 1;
-            col = 1;
-        } else {
-            col += 1;
-        }
-    }
-    (line, col)
-}
-
-/// The full text of the line (1-based) containing character offset `start`.
-pub fn source_line(source: &str, line: usize) -> &str {
-    source.split('\n').nth(line.saturating_sub(1)).unwrap_or("").trim_end_matches('\r')
-}
+pub use xmlord_diag::{line_col, source_line, Span};
 
 /// A statement plus the span it occupies in the script it was parsed from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedStmt {
     pub stmt: crate::sql::ast::Stmt,
     pub span: Span,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn line_col_counts_chars_not_bytes() {
-        // 'ä' is two bytes but one character: column arithmetic is char-based.
-        let src = "SELECT ä FROM t\nWHERE x = 1";
-        assert_eq!(line_col(src, 0), (1, 1));
-        assert_eq!(line_col(src, 9), (1, 10)); // after "SELECT ä "
-        assert_eq!(line_col(src, 16), (2, 1)); // first char of line 2
-        assert_eq!(line_col(src, 22), (2, 7));
-    }
-
-    #[test]
-    fn line_col_past_end_saturates() {
-        assert_eq!(line_col("ab", 99), (1, 3));
-    }
-
-    #[test]
-    fn source_line_extracts_the_right_line() {
-        let src = "one\ntwo\r\nthree";
-        assert_eq!(source_line(src, 1), "one");
-        assert_eq!(source_line(src, 2), "two");
-        assert_eq!(source_line(src, 3), "three");
-        assert_eq!(source_line(src, 9), "");
-    }
-
-    #[test]
-    fn span_basics() {
-        let s = Span::new(3, 7);
-        assert_eq!(s.len(), 4);
-        assert!(!s.is_empty());
-        assert!(Span::at(5).is_empty());
-        // end < start is clamped rather than panicking.
-        assert_eq!(Span::new(7, 3).len(), 0);
-    }
 }

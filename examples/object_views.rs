@@ -37,7 +37,7 @@ fn main() {
     let rel = views::relational_schema(&schema);
 
     let mut db = Database::new(DbMode::Oracle9);
-    db.execute_script(&types_script(&schema)).expect("types");
+    db.execute_script(&types_script(&schema).expect("types script")).expect("types");
     db.execute_script(&views::relational_ddl(&rel, 4000)).expect("relational DDL");
 
     let inserts = views::relational_load_script(&schema, &rel, &doc).expect("shredding");

@@ -46,7 +46,7 @@ fn main() {
     )
     .expect("schema generates");
     let mut db = Database::new(DbMode::Oracle9);
-    db.execute_script(&create_script(&schema)).expect("DDL");
+    db.execute_script(&create_script(&schema).expect("DDL renders")).expect("DDL");
     let statements = load_script(&schema, &dtd, &doc, "d").expect("load");
     for stmt in &statements {
         db.execute(stmt).expect("insert");

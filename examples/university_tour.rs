@@ -51,7 +51,7 @@ fn main() {
         &IdrefTargets::new(),
     )
     .expect("schema generates");
-    let ddl = create_script(&schema);
+    let ddl = create_script(&schema).expect("DDL renders");
     println!("{ddl}");
 
     let mut db = Database::new(DbMode::Oracle9);

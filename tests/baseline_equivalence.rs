@@ -64,7 +64,7 @@ fn all_strategies_agree_on_all_queries() {
     )
     .unwrap();
     let mut or_db = Database::new(DbMode::Oracle9);
-    or_db.execute_script(&create_script(&schema)).unwrap();
+    or_db.execute_script(&create_script(&schema).unwrap()).unwrap();
     for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
         or_db.execute(&stmt).unwrap();
     }
@@ -118,7 +118,7 @@ fn all_strategies_agree_on_all_queries() {
     )
     .unwrap();
     let mut db8 = Database::new(DbMode::Oracle8);
-    db8.execute_script(&create_script(&schema8)).unwrap();
+    db8.execute_script(&create_script(&schema8).unwrap()).unwrap();
     for stmt in load_script(&schema8, &dtd, &doc, "d").unwrap() {
         db8.execute(&stmt).unwrap();
     }

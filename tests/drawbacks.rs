@@ -81,7 +81,7 @@ fn drawback_not_null_cannot_be_expressed_for_embedded_content() {
         .unenforced_not_null
         .iter()
         .any(|u| u.type_name == "Type_Professor" && u.field == "attrPName"));
-    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema);
+    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema).unwrap();
     assert!(!ddl.contains("attrPName NOT NULL"), "{ddl}");
     // Consequence: an invalid-by-DTD object slips into the database when
     // inserted via raw SQL.
@@ -175,7 +175,7 @@ fn drawback_element_attribute_distinction_needs_metadata() {
         &IdrefTargets::new(),
     )
     .unwrap();
-    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema);
+    let ddl = xml_ordb::mapping::ddlgen::create_script(&schema).unwrap();
     // Identical column shapes…
     assert!(ddl.contains("attrlabel VARCHAR(4000)"));
     assert!(ddl.contains("attrname VARCHAR(4000)"));

@@ -20,7 +20,7 @@ fn run_case(dtd_text: &str, root: &str, xml: &str) -> (MappedSchema, Database) {
     )
     .unwrap();
     let mut db = Database::new(DbMode::Oracle9);
-    db.execute_script(&create_script(&schema)).unwrap();
+    db.execute_script(&create_script(&schema).unwrap()).unwrap();
     let doc = xml_ordb::xml::parse(xml).unwrap();
     for stmt in load_script(&schema, &dtd, &doc, "d").unwrap() {
         db.execute(&stmt).unwrap_or_else(|e| panic!("{e}\n{stmt}"));
@@ -36,7 +36,7 @@ fn simple_mandatory_element() {
         "<r><a>x</a></r>",
     );
     // §4.1: VARCHAR(4000) attribute — the "no type concept in DTDs" default.
-    let script = create_script(&schema);
+    let script = create_script(&schema).unwrap();
     assert!(script.contains("attra VARCHAR(4000)"), "{script}");
     assert!(script.contains("attra NOT NULL"), "{script}"); // mandatory on a table
     assert_eq!(db.query_scalar("SELECT r.attra FROM Tabr r").unwrap(), Value::str("x"));
@@ -61,7 +61,7 @@ fn simple_star_element_becomes_scalar_collection() {
         "r",
         "<r><a>1</a><a>2</a><a>3</a></r>",
     );
-    assert!(create_script(&schema).contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF VARCHAR(4000);"));
+    assert!(create_script(&schema).unwrap().contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF VARCHAR(4000);"));
     let rows = db
         .query("SELECT x.COLUMN_VALUE FROM Tabr r, TABLE(r.attra) x")
         .unwrap();
@@ -76,7 +76,7 @@ fn simple_plus_element_collection_cannot_be_not_null() {
         "<r><a>1</a></r>",
     );
     // §4.3: "Set-valued attributes cannot be defined as NOT NULL altogether."
-    let script = create_script(&schema);
+    let script = create_script(&schema).unwrap();
     assert!(!script.contains("attra NOT NULL"), "{script}");
     assert!(schema.unenforced_not_null.iter().any(|u| u.field == "attra"));
 }
@@ -88,7 +88,7 @@ fn complex_mandatory_element_embeds_object_type() {
         "r",
         "<r><a><b>deep</b></a></r>",
     );
-    let script = create_script(&schema);
+    let script = create_script(&schema).unwrap();
     assert!(script.contains("attra Type_a"), "{script}");
     assert_eq!(
         db.query_scalar("SELECT r.attra.attrb FROM Tabr r").unwrap(),
@@ -104,7 +104,7 @@ fn complex_star_element_becomes_object_collection() {
         "r",
         "<r><a><b>1</b></a><a><b>2</b></a></r>",
     );
-    assert!(create_script(&schema).contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF Type_a;"));
+    assert!(create_script(&schema).unwrap().contains("CREATE TYPE TypeVA_a AS VARRAY(100) OF Type_a;"));
     let rows = db
         .query("SELECT x.attrb FROM Tabr r, TABLE(r.attra) x ORDER BY x.attrb")
         .unwrap();
@@ -128,7 +128,7 @@ fn required_attribute_is_not_null() {
         "r",
         "<r x=\"v\">t</r>",
     );
-    assert!(create_script(&schema).contains("attrx NOT NULL"));
+    assert!(create_script(&schema).unwrap().contains("attrx NOT NULL"));
     assert_eq!(db.query_scalar("SELECT r.attrx FROM Tabr r").unwrap(), Value::str("v"));
     // Violating insert is rejected by the engine.
     let err = db.execute("INSERT INTO Tabr VALUES (Type_r(NULL, 't'))").unwrap_err();
@@ -144,7 +144,7 @@ fn attribute_list_generates_typeattrl_object() {
         "A",
         r#"<A><B C="c-value" D="d-value">text</B></A>"#,
     );
-    let script = create_script(&schema);
+    let script = create_script(&schema).unwrap();
     assert!(script.contains("CREATE TYPE TypeAttrL_B AS OBJECT ("), "{script}");
     assert!(script.contains("attrListB TypeAttrL_B"), "{script}");
     assert_eq!(
@@ -223,7 +223,7 @@ fn every_scalar_column_is_varchar_4000() {
         "r",
         r#"<r count="7"><num>42</num><date>2002-03-25</date><flag>y</flag></r>"#,
     );
-    let script = create_script(&schema);
+    let script = create_script(&schema).unwrap();
     // Four scalar columns, all VARCHAR(4000); no NUMBER/DATE inferred.
     assert_eq!(script.matches("VARCHAR(4000)").count(), 4, "{script}");
     assert!(!script.contains(" NUMBER"), "{script}");

@@ -68,7 +68,7 @@ fn all_generated_names_respect_the_30_char_limit() {
         &IdrefTargets::new(),
     )
     .unwrap();
-    let script = xml_ordb::mapping::ddlgen::create_script(&schema);
+    let script = xml_ordb::mapping::ddlgen::create_script(&schema).unwrap();
     // The engine enforces the limit at parse time — executing proves it.
     let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
     db.execute_script(&script)
@@ -98,7 +98,7 @@ fn schema_ids_disambiguate_identical_element_names() {
     assert_eq!(schema_b.root_table, "TabItem_S2");
     // Both coexist in one database.
     let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
-    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_a)).unwrap();
-    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_b)).unwrap();
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_a).unwrap()).unwrap();
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema_b).unwrap()).unwrap();
     assert_eq!(db.catalog().table_count(), 2);
 }

@@ -24,7 +24,7 @@ fn view_fixture() -> Database {
     .unwrap();
     let rel = views::relational_schema(&schema);
     let mut db = Database::new(DbMode::Oracle9);
-    db.execute_script(&types_script(&schema)).unwrap();
+    db.execute_script(&types_script(&schema).unwrap()).unwrap();
     db.execute_script(&views::relational_ddl(&rel, 4000)).unwrap();
     for stmt in views::relational_load_script(&schema, &rel, &doc).unwrap() {
         db.execute(&stmt).unwrap();

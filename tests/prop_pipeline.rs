@@ -72,7 +72,7 @@ fn generated_sql_is_always_parseable() {
             &xml_ordb::mapping::schemagen::IdrefTargets::new(),
         )
         .unwrap();
-        let script = xml_ordb::mapping::ddlgen::create_script(&schema);
+        let script = xml_ordb::mapping::ddlgen::create_script(&schema).unwrap();
         assert!(xml_ordb::ordb::sql::parse_script(&script).is_ok(), "seed {seed}");
         let drop = xml_ordb::mapping::ddlgen::drop_script(&schema);
         assert!(xml_ordb::ordb::sql::parse_script(&drop).is_ok(), "seed {seed}");

@@ -137,7 +137,7 @@ fn drop_script_tears_down_recursive_schemas() {
     )
     .unwrap();
     let mut db = xml_ordb::ordb::Database::new(DbMode::Oracle9);
-    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema)).unwrap();
+    db.execute_script(&xml_ordb::mapping::ddlgen::create_script(&schema).unwrap()).unwrap();
     assert!(db.catalog().type_count() > 0);
     db.execute_script(&xml_ordb::mapping::ddlgen::drop_script(&schema)).unwrap();
     assert_eq!(db.catalog().type_count(), 0);

@@ -44,7 +44,7 @@ use xml2ordb::roundtrip::{compare, Loss};
 use xml2ordb::schemagen::{generate_schema, IdrefTargets};
 use xmlord_bench::{measure_load, setup, university_doc, Strategy};
 use xmlord_dtd::parse_dtd;
-use xmlord_ordb::{Analyzer, DbMode, RecoveryPolicy, Severity};
+use xmlord_ordb::{Analyzer, Database, DbMode, RecoveryPolicy, Severity};
 use xmlord_workload::catalog::{catalog_xml, CatalogConfig, CATALOG_DTD};
 use xmlord_workload::dtdgen::{generate_dtd, DtdConfig};
 
@@ -65,6 +65,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "bulk",
     "planner",
+    "durability",
 ];
 
 fn main() {
@@ -116,6 +117,9 @@ fn main() {
     }
     if all || which == "planner" {
         planner();
+    }
+    if all || which == "durability" {
+        durability();
     }
     if all || which == "analyze" {
         let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
@@ -542,7 +546,7 @@ fn faults() {
         for strategy in [Strategy::Or9, Strategy::Or8, Strategy::Edge] {
             // Clean load, then a full ROLLBACK of everything it wrote.
             let mut instance = setup(strategy);
-            instance.db.commit(); // seal the DDL; only the load rolls back
+            instance.db.commit().unwrap(); // seal the DDL; only the load rolls back
             let statements = instance.load_statements(&doc);
             let before = instance.db.stats();
             let start = Instant::now();
@@ -558,7 +562,7 @@ fn faults() {
             // The same load under the Atomic policy with a failure injected
             // after the last statement: the engine unwinds the whole script.
             let mut atomic = setup(strategy);
-            atomic.db.commit();
+            atomic.db.commit().unwrap();
             let mut script = statements.join(";\n");
             script.push_str(";\nINSERT INTO ZZ_Missing VALUES (1)");
             let start = Instant::now();
@@ -1046,7 +1050,7 @@ fn bulk() {
     let fresh = |ddl: &str| -> Database {
         let mut db = Database::new(DbMode::Oracle8);
         db.execute_script(ddl).unwrap();
-        db.commit();
+        db.commit().unwrap();
         db
     };
 
@@ -1403,6 +1407,155 @@ fn planner() {
 
     if largest_speedup < 5.0 {
         eprintln!("planner: largest scale speedup {largest_speedup:.1}x is below the 5x bar");
+        std::process::exit(1);
+    }
+}
+
+/// E21 — durability: WAL ingest overhead against the in-memory engine, and
+/// snapshot+log recovery time against re-ingesting the documents, on the
+/// edge strategy at the E19 scales. Gates: durable ingest ≤ 2× in-memory,
+/// recovery faster than re-ingest at every scale, recovered state
+/// byte-identical to the live one.
+fn durability() {
+    eprintln!("E21 — WAL ingest overhead + snapshot recovery vs re-ingest (JSON on stdout)");
+    let scales: &[usize] = &[100, 1_000, 5_000, 20_000];
+    const COMMIT_EVERY: usize = 10_000;
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("xmlord-e21-{tag}-{}", std::process::id()))
+    }
+    // Shared ingest loop: the transaction discipline (COMMIT every 10k
+    // statements) is identical in both runs, so the comparison prices the
+    // log, not a different commit pattern.
+    fn ingest(db: &mut Database, statements: &[String]) -> u128 {
+        let start = Instant::now();
+        for (i, stmt) in statements.iter().enumerate() {
+            db.execute(stmt).unwrap();
+            if (i + 1) % COMMIT_EVERY == 0 {
+                db.commit().unwrap();
+            }
+        }
+        db.commit().unwrap();
+        start.elapsed().as_micros()
+    }
+
+    let mut sweep = Vec::new();
+    for &students in scales {
+        let instance = setup(Strategy::Edge);
+        let ddl = instance.ddl.clone();
+        let (_, doc) = university_doc(students);
+        let statements = instance.load_statements(&doc);
+
+        // In-memory run — the engine exactly as it stood before this
+        // change. Dropped before the durable run so both ingests see the
+        // same heap (a resident million-row database would tax the second
+        // run's allocator and caches, not its WAL).
+        let (mem_us, mem_dump) = {
+            let mut mem = Database::new(DbMode::Oracle9);
+            mem.execute_script(&ddl).unwrap();
+            mem.commit().unwrap();
+            let us = ingest(&mut mem, &statements);
+            (us, mem.state_dump())
+        };
+
+        // Durable run: same DDL and statement stream, WAL on.
+        let dir = temp_store(&format!("s{students}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut durable = Database::open(&dir, DbMode::Oracle9).unwrap();
+        durable.execute_script(&ddl).unwrap();
+        durable.commit().unwrap();
+        let durable_us = ingest(&mut durable, &statements);
+        assert_eq!(
+            durable.state_dump(),
+            mem_dump,
+            "students={students}: the WAL changed engine state"
+        );
+
+        // Snapshot, then recover from a cold start.
+        let snap_start = Instant::now();
+        durable.snapshot().unwrap();
+        let snapshot_us = snap_start.elapsed().as_micros();
+        let live_dump = durable.state_dump();
+        drop(durable);
+        let rec_start = Instant::now();
+        let recovered = Database::open(&dir, DbMode::Oracle9).unwrap();
+        let recovery_us = rec_start.elapsed().as_micros();
+        assert_eq!(
+            recovered.state_dump(),
+            live_dump,
+            "students={students}: recovery diverged from the live state"
+        );
+        assert!(
+            recovered.recovery_report().unwrap().snapshot_loaded,
+            "students={students}: recovery did not use the snapshot"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        let overhead = durable_us as f64 / mem_us.max(1) as f64;
+        // Re-ingest cost = re-running the in-memory load.
+        let recovery_speedup = mem_us as f64 / recovery_us.max(1) as f64;
+        eprintln!(
+            "  students={students} stmts={} mem={:.1}ms wal={:.1}ms ({overhead:.2}x) \
+             snapshot={:.1}ms recovery={:.1}ms ({recovery_speedup:.1}x faster than re-ingest)",
+            statements.len(),
+            mem_us as f64 / 1000.0,
+            durable_us as f64 / 1000.0,
+            snapshot_us as f64 / 1000.0,
+            recovery_us as f64 / 1000.0,
+        );
+        sweep.push((students, statements.len(), mem_us, durable_us, snapshot_us, recovery_us));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR8 durability: WAL ingest overhead and snapshot recovery vs \
+         re-ingest (edge strategy)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"setup\": {{\"strategy\": \"edge\", \"commit_every\": {COMMIT_EVERY}, \
+         \"recovery\": \"snapshot + WAL tail\"}},\n"
+    ));
+    out.push_str("  \"sweep\": [\n");
+    let mut worst_overhead = 0.0f64;
+    let mut worst_speedup = f64::INFINITY;
+    for (i, &(students, stmts, mem_us, durable_us, snapshot_us, recovery_us)) in
+        sweep.iter().enumerate()
+    {
+        let overhead = durable_us as f64 / mem_us.max(1) as f64;
+        let speedup = mem_us as f64 / recovery_us.max(1) as f64;
+        worst_overhead = worst_overhead.max(overhead);
+        worst_speedup = worst_speedup.min(speedup);
+        out.push_str(&format!(
+            "    {{\"students\": {students}, \"statements\": {stmts}, \
+             \"memory_ms\": {:.2}, \"wal_ms\": {:.2}, \"wal_overhead\": {overhead:.2}, \
+             \"snapshot_ms\": {:.2}, \"recovery_ms\": {:.2}, \
+             \"recovery_vs_reingest\": {speedup:.1}, \"identical\": true}}{}\n",
+            mem_us as f64 / 1000.0,
+            durable_us as f64 / 1000.0,
+            snapshot_us as f64 / 1000.0,
+            recovery_us as f64 / 1000.0,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"gates\": {{\"wal_overhead_max\": {worst_overhead:.2}, \"overhead_below_2x\": {}, \
+         \"recovery_vs_reingest_min\": {worst_speedup:.1}, \"recovery_beats_reingest\": {}}}\n",
+        worst_overhead <= 2.0,
+        worst_speedup > 1.0
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+
+    if worst_overhead > 2.0 {
+        eprintln!("durability: WAL ingest overhead {worst_overhead:.2}x exceeds the 2x bar");
+        std::process::exit(1);
+    }
+    if worst_speedup <= 1.0 {
+        eprintln!(
+            "durability: recovery is not faster than re-ingest ({worst_speedup:.1}x at worst)"
+        );
         std::process::exit(1);
     }
 }

@@ -39,6 +39,14 @@ pub fn metadata_ddl() -> &'static str {
      \u{20}   Substitution VARCHAR(4000)\n\
      );\n\
      CREATE TYPE TypeVA_Entity AS VARRAY(10000) OF Type_Entity;\n\
+     CREATE TABLE TabSchemas (\n\
+     \u{20}   SchemaName VARCHAR(4000) PRIMARY KEY,\n\
+     \u{20}   RootElement VARCHAR(4000),\n\
+     \u{20}   SourceKind VARCHAR(10),\n\
+     \u{20}   SourceText CLOB,\n\
+     \u{20}   SchemaID VARCHAR(4000),\n\
+     \u{20}   IdrefTargets CLOB\n\
+     );\n\
      CREATE TABLE TabMetadata (\n\
      \u{20}   DocID VARCHAR(4000) PRIMARY KEY,\n\
      \u{20}   DocName VARCHAR(4000),\n\
@@ -253,6 +261,84 @@ fn map_meta_err(e: DbError) -> MappingError {
     MappingError::Db(e)
 }
 
+// -- persistent schema registry (`TabSchemas`) ------------------------------
+
+/// One row of the persistent schema registry: everything needed to
+/// re-derive a registered schema deterministically when a durable database
+/// is reopened (the mapping itself is a pure function of these inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaRegistryRow {
+    pub name: String,
+    pub root: String,
+    /// `"dtd"` or `"xsd"`.
+    pub kind: String,
+    /// The DTD or XSD source text, verbatim.
+    pub source: String,
+    /// The §5 SchemaID assigned at registration (empty = none).
+    pub schema_id: String,
+    /// §4.4 IDREF targets: (element, attribute) → target element.
+    pub idref_targets: Vec<(String, String, String)>,
+}
+
+/// Serialize IDREF targets for the registry. XML names cannot contain
+/// spaces or `;`, so `elem attr target` triples joined by `;` are
+/// unambiguous.
+fn encode_idref_targets(targets: &[(String, String, String)]) -> String {
+    targets
+        .iter()
+        .map(|(e, a, t)| format!("{e} {a} {t}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn decode_idref_targets(text: &str) -> Vec<(String, String, String)> {
+    text.split(';')
+        .filter(|s| !s.is_empty())
+        .filter_map(|triple| {
+            let mut it = triple.split(' ');
+            Some((it.next()?.to_string(), it.next()?.to_string(), it.next()?.to_string()))
+        })
+        .collect()
+}
+
+/// The INSERT statement registering one schema in `TabSchemas`.
+pub fn schema_registry_insert(row: &SchemaRegistryRow) -> String {
+    let q = |s: &str| format!("'{}'", s.replace('\'', "''"));
+    format!(
+        "INSERT INTO TabSchemas VALUES ({}, {}, {}, {}, {}, {})",
+        q(&row.name),
+        q(&row.root),
+        q(&row.kind),
+        q(&row.source),
+        q(&row.schema_id),
+        q(&encode_idref_targets(&row.idref_targets)),
+    )
+}
+
+/// Read the full schema registry back, in registration-independent
+/// (name-sorted) order.
+pub fn read_schema_registry(db: &mut Database) -> Result<Vec<SchemaRegistryRow>, MappingError> {
+    let result = db
+        .query(
+            "SELECT s.SchemaName, s.RootElement, s.SourceKind, s.SourceText, \
+             s.SchemaID, s.IdrefTargets FROM TabSchemas s ORDER BY s.SchemaName",
+        )
+        .map_err(map_meta_err)?;
+    let text = |v: &Value| v.as_str().unwrap_or("").to_string();
+    Ok(result
+        .rows
+        .iter()
+        .map(|row| SchemaRegistryRow {
+            name: text(&row[0]),
+            root: text(&row[1]),
+            kind: text(&row[2]),
+            source: text(&row[3]),
+            schema_id: text(&row[4]),
+            idref_targets: decode_idref_targets(&text(&row[5])),
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,7 +380,8 @@ mod tests {
     #[test]
     fn meta_ddl_executes() {
         let (db, _, _, _) = fixture();
-        assert_eq!(db.catalog().table_count(), 1);
+        // TabSchemas (the PR 8 registry) + TabMetadata.
+        assert_eq!(db.catalog().table_count(), 2);
         assert_eq!(db.catalog().type_count(), 4);
     }
 

@@ -8,10 +8,11 @@
 //! re-substitution.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use xmlord_dtd::ast::Dtd;
 use xmlord_dtd::{parse_dtd, validate};
-use xmlord_ordb::{Database, DbMode, ExecStats, RecoveryPolicy, ResultMode};
+use xmlord_ordb::{Database, DbMode, ExecStats, Ident, RecoveryPolicy, ResultMode};
 use xmlord_xml::serializer::{serialize, SerializeOptions};
 use xmlord_xml::{Document, QName};
 
@@ -19,7 +20,10 @@ use crate::ddlgen::create_script;
 use crate::error::MappingError;
 use crate::loader::{load_ops, plan_batches, LoadOp, LoadUnit};
 use crate::maplint::MapLintReport;
-use crate::metadata::{metadata_ddl, metadata_insert, read_metadata, DocMetadata};
+use crate::metadata::{
+    metadata_ddl, metadata_insert, read_metadata, read_schema_registry, schema_registry_insert,
+    DocMetadata, SchemaRegistryRow,
+};
 use crate::model::{MappedSchema, MappingOptions};
 use crate::retriever::retrieve_document;
 use crate::schemagen::{generate_schema, IdrefTargets};
@@ -82,8 +86,39 @@ impl Xml2OrDb {
     }
 
     pub fn with_options(mode: DbMode, options: MappingOptions) -> Xml2OrDb {
+        Xml2OrDb::from_database(Database::new(mode), options)
+    }
+
+    /// Open (or create) a durable document store in directory `dir`.
+    ///
+    /// The engine recovers schema and data from its snapshot + write-ahead
+    /// log ([`Database::open`]); the mapping layer then re-derives every
+    /// registered schema from the persistent registry (`TabSchemas`) — the
+    /// Fig. 2 mapping is deterministic, so the rebuilt mappings agree with
+    /// the recovered tables — and re-counts stored documents from the §5
+    /// meta-table.
+    pub fn open(dir: impl AsRef<Path>, mode: DbMode) -> Result<Xml2OrDb, MappingError> {
+        Xml2OrDb::open_with_options(dir, mode, MappingOptions::default())
+    }
+
+    /// [`Self::open`] with explicit [`MappingOptions`]. The options must
+    /// match the ones the store was created with — the registry records a
+    /// schema's inputs (source text, root, SchemaID, IDREF targets), not
+    /// the global option set.
+    pub fn open_with_options(
+        dir: impl AsRef<Path>,
+        mode: DbMode,
+        options: MappingOptions,
+    ) -> Result<Xml2OrDb, MappingError> {
+        let db = Database::open(dir, mode).map_err(MappingError::Db)?;
+        let mut sys = Xml2OrDb::from_database(db, options);
+        sys.rehydrate()?;
+        Ok(sys)
+    }
+
+    fn from_database(db: Database, options: MappingOptions) -> Xml2OrDb {
         Xml2OrDb {
-            db: Database::new(mode),
+            db,
             options,
             auto_schema_ids: false,
             schemas: BTreeMap::new(),
@@ -94,6 +129,60 @@ impl Xml2OrDb {
             load_strategy: LoadStrategy::default(),
             load_workers: 1,
         }
+    }
+
+    /// Rebuild the in-memory registries from a reopened database.
+    fn rehydrate(&mut self) -> Result<(), MappingError> {
+        if self.db.catalog().get_table(&Ident::internal("TabSchemas")).is_none() {
+            return Ok(()); // fresh store: nothing was ever registered
+        }
+        self.meta_ready = true;
+        for row in read_schema_registry(&mut self.db)? {
+            let schema_id = (!row.schema_id.is_empty()).then(|| row.schema_id.clone());
+            if let Some(n) = row.schema_id.strip_prefix('S').and_then(|s| s.parse::<u64>().ok()) {
+                self.schema_counter = self.schema_counter.max(n);
+            }
+            let targets: IdrefTargets = row
+                .idref_targets
+                .iter()
+                .map(|(e, a, t)| ((e.clone(), a.clone()), t.clone()))
+                .collect();
+            let (dtd, schema, script) = match row.kind.as_str() {
+                "xsd" => self.build_xsd_schema(&row.source, &row.root, schema_id)?,
+                _ => self.build_dtd_schema(&row.source, &row.root, schema_id, &targets)?,
+            };
+            self.schemas.insert(
+                row.name.clone(),
+                RegisteredSchema {
+                    name: row.name.clone(),
+                    dtd,
+                    root: row.root.clone(),
+                    schema,
+                    create_script: script,
+                },
+            );
+        }
+        self.schema_counter = self.schema_counter.max(self.schemas.len() as u64);
+        if self.db.catalog().get_table(&Ident::internal("TabMetadata")).is_none() {
+            return Ok(()); // meta-table dropped out-of-band: no documents to recount
+        }
+        let result = self
+            .db
+            .query("SELECT m.DocID FROM TabMetadata m")
+            .map_err(MappingError::Db)?;
+        for row in &result.rows {
+            let Some(doc_id) = row[0].as_str() else { continue };
+            // DocIDs are `<schema>-<n>` ([`Self::store_document`]).
+            let Some((schema_name, n)) = doc_id.rsplit_once('-') else { continue };
+            let Ok(n) = n.parse::<u64>() else { continue };
+            if !self.schemas.contains_key(schema_name) {
+                continue;
+            }
+            self.documents.insert(doc_id.to_string(), schema_name.to_string());
+            let counter = self.doc_counters.entry(schema_name.to_string()).or_insert(0);
+            *counter = (*counter).max(n);
+        }
+        Ok(())
     }
 
     /// Select how generated load operations reach the engine (default:
@@ -208,15 +297,74 @@ impl Xml2OrDb {
                 "schema '{name}' is already registered"
             )));
         }
+        self.schema_counter += 1;
+        let schema_id = self.auto_schema_id();
+        let (dtd, schema, script) = self.build_xsd_schema(xsd_text, root, schema_id)?;
+        self.install_schema(name, root, "xsd", xsd_text, dtd, schema, script, &IdrefTargets::new())
+    }
+
+    pub fn register_dtd_with_idrefs(
+        &mut self,
+        name: &str,
+        dtd_text: &str,
+        root: &str,
+        idref_targets: &IdrefTargets,
+    ) -> Result<&RegisteredSchema, MappingError> {
+        if self.schemas.contains_key(name) {
+            return Err(MappingError::Unsupported(format!(
+                "schema '{name}' is already registered"
+            )));
+        }
+        self.schema_counter += 1;
+        let schema_id = self.auto_schema_id();
+        let (dtd, schema, script) =
+            self.build_dtd_schema(dtd_text, root, schema_id, idref_targets)?;
+        self.install_schema(name, root, "dtd", dtd_text, dtd, schema, script, idref_targets)
+    }
+
+    fn auto_schema_id(&self) -> Option<String> {
+        (self.auto_schema_ids && self.options.schema_id.is_none())
+            .then(|| format!("S{}", self.schema_counter))
+    }
+
+    /// Derive a DTD schema's mapping — a pure function of the DTD text, the
+    /// root, the SchemaID and the IDREF targets, so registration and
+    /// [`Self::rehydrate`] share it and agree byte-for-byte.
+    fn build_dtd_schema(
+        &self,
+        dtd_text: &str,
+        root: &str,
+        schema_id: Option<String>,
+        idref_targets: &IdrefTargets,
+    ) -> Result<(Dtd, MappedSchema, String), MappingError> {
+        let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
+        let mut options = self.options.clone();
+        if options.schema_id.is_none() {
+            options.schema_id = schema_id;
+        }
+        if !idref_targets.is_empty() {
+            options.map_idrefs = true;
+        }
+        let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
+        let script = create_script(&schema)?;
+        Ok((dtd, schema, script))
+    }
+
+    /// XSD counterpart of [`Self::build_dtd_schema`].
+    fn build_xsd_schema(
+        &self,
+        xsd_text: &str,
+        root: &str,
+        schema_id: Option<String>,
+    ) -> Result<(Dtd, MappedSchema, String), MappingError> {
         let xsd = xmlord_dtd::xsd::parse_xsd(xsd_text)
             .map_err(|e| MappingError::Unsupported(format!("XSD analysis failed: {e}")))?;
         if xsd.dtd.element(root).is_none() {
             return Err(MappingError::RootNotDeclared(root.to_string()));
         }
         let mut options = self.options.clone();
-        self.schema_counter += 1;
-        if self.auto_schema_ids && options.schema_id.is_none() {
-            options.schema_id = Some(format!("S{}", self.schema_counter));
+        if options.schema_id.is_none() {
+            options.schema_id = schema_id;
         }
         // Convert the XSD scalar hints into mapping type hints.
         let to_scalar = |h: &xmlord_dtd::xsd::ScalarHint| match h {
@@ -234,44 +382,52 @@ impl Xml2OrDb {
         let schema =
             generate_schema(&xsd.dtd, root, self.db.mode(), options, &IdrefTargets::new())?;
         let script = create_script(&schema)?;
-        self.ensure_meta_schema()?;
-        self.run_atomic(&script)?;
-        let registered = RegisteredSchema {
-            name: name.to_string(),
-            dtd: xsd.dtd,
-            root: root.to_string(),
-            schema,
-            create_script: script,
-        };
-        self.schemas.insert(name.to_string(), registered);
-        Ok(&self.schemas[name])
+        Ok((xsd.dtd, schema, script))
     }
 
-    pub fn register_dtd_with_idrefs(
+    /// Execute a derived schema's DDL plus its `TabSchemas` registry row as
+    /// one unit, then record it in the in-memory registry. A failure in
+    /// either leaves no trace of the registration.
+    #[allow(clippy::too_many_arguments)]
+    fn install_schema(
         &mut self,
         name: &str,
-        dtd_text: &str,
         root: &str,
+        kind: &str,
+        source: &str,
+        dtd: Dtd,
+        schema: MappedSchema,
+        script: String,
         idref_targets: &IdrefTargets,
     ) -> Result<&RegisteredSchema, MappingError> {
-        if self.schemas.contains_key(name) {
-            return Err(MappingError::Unsupported(format!(
-                "schema '{name}' is already registered"
-            )));
-        }
-        let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
-        self.schema_counter += 1;
-        let mut options = self.options.clone();
-        if self.auto_schema_ids && options.schema_id.is_none() {
-            options.schema_id = Some(format!("S{}", self.schema_counter));
-        }
-        if !idref_targets.is_empty() {
-            options.map_idrefs = true;
-        }
-        let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
-        let script = create_script(&schema)?;
         self.ensure_meta_schema()?;
-        self.run_atomic(&script)?;
+        let mark = self.db.txn_mark();
+        let row = SchemaRegistryRow {
+            name: name.to_string(),
+            root: root.to_string(),
+            kind: kind.to_string(),
+            source: source.to_string(),
+            schema_id: schema.options.schema_id.clone().unwrap_or_default(),
+            idref_targets: idref_targets
+                .iter()
+                .map(|((e, a), t)| (e.clone(), a.clone(), t.clone()))
+                .collect(),
+        };
+        let result = self
+            .run_atomic(&script)
+            .and_then(|()| {
+                self.db
+                    .execute(&schema_registry_insert(&row))
+                    .map(|_| ())
+                    .map_err(MappingError::Db)
+            })
+            // Registration is durable on its own: a crash after this point
+            // must not lose a schema whose documents it later accepts.
+            .and_then(|()| self.db.commit().map_err(MappingError::Db));
+        if let Err(e) = result {
+            self.db.rollback_to_mark(mark);
+            return Err(e);
+        }
         let registered = RegisteredSchema {
             name: name.to_string(),
             dtd,
@@ -372,7 +528,11 @@ impl Xml2OrDb {
         // with content rows but no XML_DOCUMENTS entry, or vice versa).
         let span = self.db.trace_begin("load", doc_id.clone());
         let mark = self.db.txn_mark();
-        if let Err(e) = apply_load(&mut self.db, &load, &meta) {
+        // The commit is part of the load: if the WAL append (fsync) fails,
+        // nothing was acknowledged, so roll back with the rest.
+        let result = apply_load(&mut self.db, &load, &meta)
+            .and_then(|()| self.db.commit().map_err(MappingError::Db));
+        if let Err(e) = result {
             self.db.rollback_to_mark(mark);
             self.db.trace_end(span);
             // The DocID is not consumed by a failed load.
@@ -381,7 +541,6 @@ impl Xml2OrDb {
             }
             return Err(e);
         }
-        self.db.commit();
         self.db.trace_end(span);
         self.documents.insert(doc_id.clone(), schema_name.to_string());
         Ok(doc_id)
@@ -432,9 +591,9 @@ impl Xml2OrDb {
         } else {
             self.store_documents_parallel(&registered, strategy, docs, &doc_ids, workers)
         };
+        let result = result.and_then(|()| self.db.commit().map_err(MappingError::Db));
         match result {
             Ok(()) => {
-                self.db.commit();
                 self.db.trace_end(span);
                 self.doc_counters
                     .insert(schema_name.to_string(), base + docs.len() as u64);
@@ -844,7 +1003,7 @@ mod tests {
             // Sabotage the meta-table so the *last* statement of the load
             // fails, after all the content INSERTs have succeeded.
             sys.database().execute("DROP TABLE TabMetadata").unwrap();
-            sys.database().commit();
+            sys.database().commit().unwrap();
             let before = sys.database().state_dump();
 
             let err = sys.store_document("uni", UNIVERSITY_XML).unwrap_err();
@@ -996,5 +1155,68 @@ mod tests {
         let restored = sys.retrieve_document(&doc_id).unwrap();
         assert!(restored.contains("<LName>Conrad</LName>"));
         assert!(restored.contains("&cs;"));
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "xmlord-pipeline-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = temp_store_dir("reopen");
+        let dumps = {
+            let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap().with_auto_schema_ids();
+            sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+            let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+            assert_eq!(doc_id, "uni-1");
+            (sys.database().state_dump(), sys.retrieve_document(&doc_id).unwrap())
+        };
+
+        // A brand-new process image: everything must come back from disk.
+        let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap().with_auto_schema_ids();
+        assert_eq!(sys.database().state_dump(), dumps.0, "recovered engine state differs");
+        assert_eq!(sys.retrieve_document("uni-1").unwrap(), dumps.1);
+        assert!(sys.schema("uni").is_some(), "schema registry not rehydrated");
+
+        // DocID allocation continues where it left off, and the re-derived
+        // mapping accepts new documents for the recovered schema.
+        let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+        assert_eq!(doc_id, "uni-2");
+
+        // A second schema gets a fresh SchemaID, not a reused one.
+        let mini_dtd = "<!ELEMENT Note (#PCDATA)>";
+        sys.register_dtd("note", mini_dtd, "Note").unwrap();
+        let id = sys.schema("note").unwrap().schema.options.schema_id.clone();
+        assert_eq!(id.as_deref(), Some("S2"));
+
+        // Third generation: both schemas and all documents survive again.
+        drop(sys);
+        let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap();
+        assert!(sys.retrieve_document("uni-2").unwrap().contains("Conrad"));
+        assert!(sys.schema("note").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_failed_store_survives_reopen_clean() {
+        // A failed (rolled-back) store must leave nothing on disk either.
+        let dir = temp_store_dir("rollback");
+        let before = {
+            let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap();
+            sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+            sys.database().execute("DROP TABLE TabMetadata").unwrap();
+            sys.database().commit().unwrap();
+            sys.store_document("uni", UNIVERSITY_XML).unwrap_err();
+            sys.database().state_dump()
+        };
+        let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap();
+        assert_eq!(sys.database().state_dump(), before, "rolled-back load leaked to disk");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -290,6 +290,8 @@ fn code_for(err: &DbError) -> &'static str {
         DbError::DanglingRef => "dangling-ref",
         DbError::UnknownSavepoint(_) => "unknown-savepoint",
         DbError::Execution(_) => "execution",
+        DbError::CorruptDurableState(_) => "corrupt-durable-state",
+        DbError::Io(_) => "io",
     }
 }
 

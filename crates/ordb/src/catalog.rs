@@ -269,7 +269,13 @@ impl Catalog {
     /// beyond the current log length is a no-op.
     pub fn rollback_to(&mut self, mark: usize) {
         while self.undo.len() > mark {
-            match self.undo.pop().expect("len > mark ≥ 0") {
+            // The loop guard proves the log is non-empty; if pop somehow
+            // missed, stopping replay is safer than panicking mid-rollback.
+            let Some(op) = self.undo.pop() else {
+                debug_assert!(false, "undo.len() > mark implies a poppable record");
+                break;
+            };
+            match op {
                 CatalogUndo::CreatedType { name, prev } => match prev {
                     Some(decl) => {
                         self.types.insert(name, decl);
@@ -411,7 +417,13 @@ impl Catalog {
                 });
             }
         }
-        let def = self.types.remove(name).expect("existence checked above");
+        // Existence was checked at the top of the function and nothing in
+        // between mutates `types`, so remove cannot miss — but return the
+        // typed error rather than panicking if that invariant ever breaks.
+        let Some(def) = self.types.remove(name) else {
+            debug_assert!(false, "type {name} vanished between check and remove");
+            return Err(DbError::UnknownType(name.as_str().to_string()));
+        };
         self.undo.push(CatalogUndo::DroppedType { def });
         Ok(())
     }
@@ -518,7 +530,13 @@ impl Catalog {
                     .collect();
                 self.undo.push(CatalogUndo::DroppedTable { def });
                 for index_name in doomed {
-                    let def = self.indexes.remove(&index_name).expect("collected above");
+                    // Collected from `indexes` just above with no intervening
+                    // mutation; an (impossible) miss skips the undo record
+                    // instead of panicking.
+                    let Some(def) = self.indexes.remove(&index_name) else {
+                        debug_assert!(false, "index {index_name} vanished between collect and remove");
+                        continue;
+                    };
                     self.undo.push(CatalogUndo::DroppedIndex { def });
                 }
                 if let Some(prev) = self.stats.remove(name) {
@@ -665,6 +683,39 @@ impl Catalog {
     /// The last ANALYZE snapshot of `table`, if any.
     pub fn table_stats(&self, table: &Ident) -> Option<&TableStats> {
         self.stats.get(table)
+    }
+
+    // -- snapshot support -----------------------------------------------------
+
+    /// Borrow all five catalog namespaces at once, in canonical `BTreeMap`
+    /// order, for snapshot encoding. The undo log is excluded: snapshots
+    /// are taken at commit points, where it is empty by definition.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(
+        &self,
+    ) -> (
+        &BTreeMap<Ident, TypeDef>,
+        &BTreeMap<Ident, TableDef>,
+        &BTreeMap<Ident, ViewDef>,
+        &BTreeMap<Ident, IndexDef>,
+        &BTreeMap<Ident, TableStats>,
+    ) {
+        (&self.types, &self.tables, &self.views, &self.indexes, &self.stats)
+    }
+
+    /// Reconstruct a catalog from decoded snapshot parts. The undo log
+    /// starts empty (the snapshot was taken at a commit point). Referential
+    /// consistency between the parts is *not* re-validated here — the
+    /// snapshot checksum guards against corruption, and recovery treats a
+    /// decode failure upstream as [`DbError::CorruptDurableState`].
+    pub fn from_parts(
+        types: BTreeMap<Ident, TypeDef>,
+        tables: BTreeMap<Ident, TableDef>,
+        views: BTreeMap<Ident, ViewDef>,
+        indexes: BTreeMap<Ident, IndexDef>,
+        stats: BTreeMap<Ident, TableStats>,
+    ) -> Catalog {
+        Catalog { types, tables, views, indexes, stats, undo: Vec::new() }
     }
 }
 

@@ -50,6 +50,15 @@ pub enum DbError {
     UnknownSavepoint(String),
     /// Arbitrary execution failure with context.
     Execution(String),
+    /// On-disk durable state (WAL or snapshot) failed validation: bad
+    /// magic, checksummed-but-undecodable payload, non-monotone sequence
+    /// numbers, or a snapshot that contradicts engine invariants. Torn
+    /// tails are *not* this error — they are silently truncated by
+    /// recovery; this variant marks bytes that fsync discipline says can
+    /// never arise from a crash.
+    CorruptDurableState(String),
+    /// Operating-system I/O failure while reading or writing durable state.
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -108,6 +117,10 @@ impl fmt::Display for DbError {
                 write!(f, "savepoint '{name}' never established (ORA-01086)")
             }
             DbError::Execution(msg) => write!(f, "execution error: {msg}"),
+            DbError::CorruptDurableState(msg) => {
+                write!(f, "corrupt durable state: {msg}")
+            }
+            DbError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }

@@ -146,12 +146,14 @@ pub mod exec;
 pub mod ident;
 pub mod mode;
 pub mod session;
+pub mod snapshot;
 pub mod sql;
 pub mod stats;
 pub mod storage;
 pub mod trace;
 pub mod types;
 pub mod value;
+pub mod wal;
 
 pub use analyze::{Analyzer, Diagnostic, Severity};
 pub use catalog::{Catalog, TableDef, TypeDef, ViewDef};
@@ -160,8 +162,8 @@ pub use exec::dml::InsertBatch;
 pub use ident::Ident;
 pub use mode::DbMode;
 pub use session::{
-    Database, PreparedStmt, QueryResult, RecoveryPolicy, ResultMode, ScriptError, ScriptOutcome,
-    SpanToken, TxnMark,
+    Database, PreparedStmt, QueryResult, RecoveryPolicy, RecoveryReport, ResultMode, ScriptError,
+    ScriptOutcome, SpanToken, TxnMark,
 };
 pub use stats::ExecStats;
 pub use trace::{CallbackSink, RingBufferSink, TraceEvent, TraceHandle, TraceSink};

@@ -13,14 +13,17 @@ pub use crate::exec::select::QueryResult;
 use crate::ident::Ident;
 use crate::mode::DbMode;
 use crate::sql::ast::Stmt;
+use crate::snapshot;
 use crate::sql::param::{bind_values, parameterize, rebind, slots_match};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
 use crate::trace::{TraceHandle, Tracer};
 use crate::value::Value;
+use crate::wal::{self, RedoOp, WalWriter};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -63,10 +66,12 @@ impl PlanCache {
     /// Insert with LRU eviction (O(capacity) scan — irrelevant at 256).
     fn insert(&mut self, key: String, plan: Plan, tick: u64) {
         if self.entries.len() >= PLAN_CACHE_CAPACITY {
+            // Tie-break equal timestamps by key so eviction order never
+            // depends on HashMap iteration order.
             let victim = self
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by(|(ka, ea), (kb, eb)| ea.last_used.cmp(&eb.last_used).then_with(|| ka.cmp(kb)))
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 self.entries.remove(&victim);
@@ -85,6 +90,45 @@ impl PlanCache {
 pub struct TxnMark {
     storage: usize,
     catalog: usize,
+}
+
+/// Log file name inside a durable database directory.
+const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside a durable database directory.
+const SNAPSHOT_FILE: &str = "snapshot.db";
+/// Default auto-snapshot cadence: one snapshot per this many committed log
+/// entries. Override with [`Database::set_snapshot_every`]; `0` disables.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
+
+/// The durable half of an opened database ([`Database::open`]): the log
+/// writer plus the redo operations of the in-flight transaction.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Redo ops of the current (uncommitted) transaction, each tagged with
+    /// the undo position *before* its statement ran, so partial rollbacks
+    /// can drop exactly the ops whose effects they undid.
+    pending: Vec<(TxnMark, RedoOp)>,
+    /// Entries appended since the last snapshot (or open), driving the
+    /// auto-snapshot cadence.
+    entries_since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+/// What [`Database::open`] did to bring a directory back to life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A snapshot file was found and restored.
+    pub snapshot_loaded: bool,
+    /// Log entries replayed on top of the snapshot (or empty) state.
+    pub entries_replayed: u64,
+    /// Sequence number of the newest durable entry (snapshot high-water
+    /// mark if the log held nothing newer).
+    pub last_seq: u64,
+    /// Torn-tail bytes discarded from the end of the log — an append the
+    /// crash interrupted before its fsync, i.e. never acknowledged.
+    pub truncated_bytes: u64,
 }
 
 /// How [`Database::execute_script_with`] reacts to a failing statement.
@@ -174,7 +218,7 @@ pub struct ScriptOutcome {
 }
 
 /// An embedded object-relational database instance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     storage: Storage,
@@ -198,6 +242,35 @@ pub struct Database {
     /// Promoted per-table uniqueness indexes for [`Self::execute_batch`],
     /// validated against [`Storage::table_version`] before reuse.
     unique_cache: UniqueIndexCache,
+    /// `Some` when the database persists to a directory ([`Self::open`]);
+    /// `None` for in-memory databases — every durable hook then costs one
+    /// `Option` check.
+    durability: Option<Durability>,
+    /// What [`Self::open`] recovered, kept for diagnostics and tests.
+    recovery: Option<RecoveryReport>,
+}
+
+impl Clone for Database {
+    /// Cloning copies the full in-memory state but *detaches* durability:
+    /// two writers appending to one log would interleave corruptly. The
+    /// clone is a plain in-memory database.
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            storage: self.storage.clone(),
+            stats: self.stats,
+            mode: self.mode,
+            plan_cache: self.plan_cache.clone(),
+            hash_joins: self.hash_joins,
+            cost_planner: self.cost_planner,
+            analyze: self.analyze,
+            savepoints: self.savepoints.clone(),
+            trace: self.trace.clone(),
+            unique_cache: self.unique_cache.clone(),
+            durability: None,
+            recovery: None,
+        }
+    }
 }
 
 /// In-flight span from [`Database::trace_begin`]; hand it back to
@@ -225,7 +298,193 @@ impl Database {
             savepoints: Vec::new(),
             trace: None,
             unique_cache: UniqueIndexCache::default(),
+            durability: None,
+            recovery: None,
         }
+    }
+
+    /// Alias of [`new`](Self::new), named to contrast with [`open`](Self::open).
+    pub fn open_in_memory(mode: DbMode) -> Database {
+        Database::new(mode)
+    }
+
+    /// Open (or create) a durable database in directory `dir`.
+    ///
+    /// Recovery runs here: the newest snapshot (if any) is decoded and
+    /// restored, then the write-ahead log's durable entries above the
+    /// snapshot's sequence are replayed in order. A torn tail — an append
+    /// interrupted before its fsync, so never acknowledged as committed —
+    /// is truncated, never misread; checksummed-but-undecodable bytes are
+    /// rejected as [`DbError::CorruptDurableState`] instead (see
+    /// [`wal::scan_wal`]). The recovered state is byte-identical (by
+    /// [`state_dump`](Self::state_dump)) to the state at the last
+    /// acknowledged COMMIT, and opening is idempotent: a second open of the
+    /// same directory replays the same prefix to the same state.
+    pub fn open(dir: impl AsRef<Path>, mode: DbMode) -> Result<Database, DbError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            DbError::Io(format!("create database directory {}: {e}", dir.display()))
+        })?;
+        let mut db = Database::new(mode);
+        let mut report = RecoveryReport::default();
+
+        let mut snap_seq = 0u64;
+        if let Some(bytes) = snapshot::read_snapshot_file(&dir.join(SNAPSHOT_FILE))? {
+            let snap = snapshot::decode_snapshot(&bytes)?;
+            if snap.mode != mode {
+                return Err(DbError::CorruptDurableState(format!(
+                    "snapshot was written by a {:?} database, opened as {:?}",
+                    snap.mode, mode
+                )));
+            }
+            db.catalog = snap.catalog;
+            db.storage = snap.storage;
+            db.rebuild_secondary_indexes()?;
+            snap_seq = snap.last_seq;
+            report.snapshot_loaded = true;
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan_wal(&wal::read_wal_file(&wal_path)?)?;
+        if let Some(wal_mode) = scan.mode {
+            if wal_mode != mode {
+                return Err(DbError::CorruptDurableState(format!(
+                    "WAL was written by a {wal_mode:?} database, opened as {mode:?}"
+                )));
+            }
+        }
+        report.truncated_bytes = scan.truncated_bytes;
+        let mut last_seq = snap_seq;
+        for entry in &scan.entries {
+            if entry.seq <= snap_seq {
+                // Entry predating the snapshot, surviving the crash window
+                // between "snapshot renamed into place" and "log reset":
+                // its effects are already in the snapshot.
+                continue;
+            }
+            for op in &entry.ops {
+                db.apply_redo(op)?;
+            }
+            db.commit_inner(false)?;
+            report.entries_replayed += 1;
+            last_seq = entry.seq;
+        }
+        report.last_seq = last_seq;
+
+        // Attach the writer, truncating any torn tail so a re-crash before
+        // the next append scans the same clean prefix. A missing (or
+        // torn-at-creation) log is recreated; reopening it positions the
+        // sequence counter at the durable high-water mark either way.
+        let wal = match scan.mode {
+            Some(_) => WalWriter::reopen(&wal_path, scan.valid_len, last_seq)?,
+            None => {
+                WalWriter::create(&wal_path, mode)?;
+                WalWriter::reopen(&wal_path, wal::HEADER_LEN, last_seq)?
+            }
+        };
+        db.durability = Some(Durability {
+            dir,
+            wal,
+            pending: Vec::new(),
+            // Count the replayed tail toward the cadence, so a log that
+            // grew past the threshold while snapshots were failing (or the
+            // process kept crashing) gets compacted soon after reopening.
+            entries_since_snapshot: report.entries_replayed,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        });
+        db.recovery = Some(report);
+        // Replay ran through the ordinary execution path; its counter
+        // noise is not this session's work.
+        db.stats = ExecStats::default();
+        Ok(db)
+    }
+
+    /// Re-execute one logged operation during recovery. The engine is
+    /// deterministic, so replaying committed ops in order reproduces the
+    /// committed state byte-for-byte. Failure means the log disagrees with
+    /// the state it was logged against — corruption, not a user error.
+    fn apply_redo(&mut self, op: &RedoOp) -> Result<(), DbError> {
+        let result = match op {
+            RedoOp::Stmt(stmt) => self.execute_stmt_inner(stmt).map(|_| ()),
+            RedoOp::Batch(batch) => self.execute_batch_inner(batch).map(|_| ()),
+        };
+        result.map_err(|e| DbError::CorruptDurableState(format!("WAL replay failed: {e}")))
+    }
+
+    /// Rebuild storage's secondary indexes from the catalog's definitions.
+    /// Snapshots deliberately do not serialize index buckets (derived
+    /// state whose HashMap layout would leak into the bytes); restoring a
+    /// snapshot re-derives them here.
+    fn rebuild_secondary_indexes(&mut self) -> Result<(), DbError> {
+        let defs: Vec<(Ident, Ident, Vec<Ident>)> = self
+            .catalog
+            .snapshot_parts()
+            .3
+            .values()
+            .map(|d| (d.name.clone(), d.table.clone(), d.columns.clone()))
+            .collect();
+        for (name, table, columns) in defs {
+            let Some(table_def) = self.catalog.get_table(&table) else {
+                return Err(DbError::CorruptDurableState(format!(
+                    "snapshot index {name} references missing table {table}"
+                )));
+            };
+            let table_cols = self.catalog.table_columns(table_def);
+            let mut positions = Vec::with_capacity(columns.len());
+            for c in &columns {
+                let Some(p) = table_cols.iter().position(|(n, _)| n == c) else {
+                    return Err(DbError::CorruptDurableState(format!(
+                        "snapshot index {name} references missing column {c} of table {table}"
+                    )));
+                };
+                positions.push(p);
+            }
+            self.storage.register_index_unlogged(name, table, positions);
+        }
+        Ok(())
+    }
+
+    /// Write a snapshot of the committed state to the database directory
+    /// and reset the log (the snapshot makes its entries redundant).
+    /// Commits the in-flight transaction first — a snapshot captures
+    /// committed state only. Errors on in-memory databases.
+    pub fn snapshot(&mut self) -> Result<(), DbError> {
+        if self.durability.is_none() {
+            return Err(DbError::Execution(
+                "snapshot requires a database opened with Database::open".into(),
+            ));
+        }
+        self.commit_inner(false)?;
+        let Some(d) = self.durability.as_mut() else {
+            return Err(DbError::Execution(
+                "snapshot requires a database opened with Database::open".into(),
+            ));
+        };
+        let bytes = snapshot::encode_snapshot(self.mode, d.wal.seq(), &self.catalog, &self.storage);
+        snapshot::write_atomic(&d.dir, SNAPSHOT_FILE, &bytes)?;
+        d.wal.reset()?;
+        d.entries_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Auto-snapshot cadence: after every `n` committed log entries,
+    /// [`commit`](Self::commit) also snapshots and resets the log. `0`
+    /// disables auto-snapshots (manual [`snapshot`](Self::snapshot) still
+    /// works). Ignored by in-memory databases.
+    pub fn set_snapshot_every(&mut self, n: u64) {
+        if let Some(d) = self.durability.as_mut() {
+            d.snapshot_every = n;
+        }
+    }
+
+    /// What [`open`](Self::open) recovered — `None` for in-memory databases.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// True when this database persists to a directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// Install (or remove) a trace sink. While one is installed, every
@@ -549,15 +808,44 @@ impl Database {
     pub fn rollback_to_mark(&mut self, mark: TxnMark) {
         self.storage.rollback_to(mark.storage);
         self.catalog.rollback_to(mark.catalog);
+        if let Some(d) = self.durability.as_mut() {
+            // Drop the redo ops of the statements just undone: an op
+            // survives only if its statement began strictly before `mark`.
+            d.pending.retain(|(m, _)| m.storage < mark.storage || m.catalog < mark.catalog);
+        }
         self.stats.txn_rollbacks += 1;
     }
 
-    /// Make everything since the last commit permanent: truncate both undo
-    /// logs and discard all savepoints (`COMMIT`).
-    pub fn commit(&mut self) {
+    /// Make everything since the last commit permanent (`COMMIT`): truncate
+    /// both undo logs and discard all savepoints. For a durable database
+    /// this is the write-ahead barrier: the transaction's redo ops are
+    /// appended to the log and fsynced *before* the undo logs are
+    /// truncated, so an error here leaves the transaction open (nothing was
+    /// acknowledged), and a crash on either side of the barrier recovers
+    /// consistently — before it the transaction never happened, after it
+    /// replay reproduces it.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        self.commit_inner(true)
+    }
+
+    fn commit_inner(&mut self, allow_auto_snapshot: bool) -> Result<(), DbError> {
+        let mut snapshot_due = false;
+        if let Some(d) = self.durability.as_mut() {
+            if !d.pending.is_empty() {
+                let ops: Vec<RedoOp> = d.pending.drain(..).map(|(_, op)| op).collect();
+                d.wal.append(&ops)?;
+                d.entries_since_snapshot += 1;
+                snapshot_due =
+                    d.snapshot_every > 0 && d.entries_since_snapshot >= d.snapshot_every;
+            }
+        }
         self.storage.commit();
         self.catalog.commit();
         self.savepoints.clear();
+        if allow_auto_snapshot && snapshot_due {
+            self.snapshot()?;
+        }
+        Ok(())
     }
 
     /// Undo everything since the last commit (`ROLLBACK`).
@@ -649,7 +937,7 @@ impl Database {
         self.stats.statements += 1;
         match stmt {
             Stmt::Commit => {
-                self.commit();
+                self.commit()?;
                 return Ok(None);
             }
             Stmt::Rollback { to: None } => {
@@ -675,6 +963,14 @@ impl Database {
         self.stats.undo_records += produced as u64;
         if result.is_err() {
             self.rollback_to_mark(mark);
+        } else if produced > 0 {
+            // Effect-producing statement under a durable database: buffer
+            // its redo op; COMMIT writes the buffered ops as one log entry.
+            // SELECT / EXPLAIN and no-op DML produce no undo and are never
+            // logged.
+            if let Some(d) = self.durability.as_mut() {
+                d.pending.push((mark, RedoOp::Stmt(stmt.clone())));
+            }
         }
         self.drain_index_maintenance();
         result
@@ -873,6 +1169,10 @@ impl Database {
         self.stats.undo_records += produced as u64;
         if result.is_err() {
             self.rollback_to_mark(mark);
+        } else if produced > 0 {
+            if let Some(d) = self.durability.as_mut() {
+                d.pending.push((mark, RedoOp::Batch(batch.clone())));
+            }
         }
         self.drain_index_maintenance();
         result
@@ -1616,7 +1916,7 @@ mod tests {
     fn atomic_policy_rolls_back_the_whole_script() {
         let mut d = db();
         d.execute("CREATE TABLE Keep (a NUMBER)").unwrap();
-        d.commit();
+        d.commit().unwrap();
         let initial = d.state_dump();
         let outcome = d
             .execute_script_with(

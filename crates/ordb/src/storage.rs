@@ -177,7 +177,14 @@ impl Storage {
                 .map(|(n, _)| n.clone())
                 .collect();
             for index_name in doomed {
-                let idx = self.indexes.remove(&index_name).expect("collected above");
+                // The names were collected from `indexes` just above with no
+                // intervening mutation, so the entry must still be present —
+                // but a panic here would poison recovery, so a (impossible)
+                // miss degrades to skipping the undo record instead.
+                let Some(idx) = self.indexes.remove(&index_name) else {
+                    debug_assert!(false, "index {index_name} vanished between collect and remove");
+                    continue;
+                };
                 self.undo.push(StorageUndo::DroppedIndex {
                     name: index_name,
                     table: idx.table,
@@ -378,7 +385,13 @@ impl Storage {
         // rolling back n inserts must not cost n rebuilds.
         let mut affected: std::collections::BTreeSet<Ident> = std::collections::BTreeSet::new();
         while self.undo.len() > mark {
-            let op = self.undo.pop().expect("len > mark ≥ 0");
+            // The loop guard proves the log is non-empty, so pop cannot
+            // miss; if it somehow did, stopping the replay loop is strictly
+            // safer than panicking mid-rollback.
+            let Some(op) = self.undo.pop() else {
+                debug_assert!(false, "undo.len() > mark implies a poppable record");
+                break;
+            };
             match &op {
                 StorageUndo::Inserted { table, .. }
                 | StorageUndo::BulkInserted { table, .. }
@@ -554,6 +567,72 @@ impl Storage {
             ));
         }
         Ok(())
+    }
+
+    // -- snapshot support -----------------------------------------------------
+
+    /// Iterate table heaps in canonical (name) order, for snapshot encoding.
+    pub fn heaps(&self) -> impl Iterator<Item = (&Ident, &TableData)> {
+        self.tables.iter()
+    }
+
+    /// Current OID allocator position (the last allocated OID value).
+    pub fn next_oid(&self) -> u64 {
+        self.next_oid
+    }
+
+    /// Reconstruct a storage from decoded snapshot parts: table heaps plus
+    /// the allocator position. The OID directory is *not* carried in the
+    /// snapshot — it is rebuilt here from the heaps, which both shrinks the
+    /// snapshot and guarantees the directory invariant holds by
+    /// construction. Hostile inputs (duplicate OIDs, OIDs beyond the
+    /// allocator) are rejected as [`DbError::CorruptDurableState`], never
+    /// panicked on.
+    pub fn from_parts(
+        tables: BTreeMap<Ident, TableData>,
+        next_oid: u64,
+    ) -> Result<Storage, DbError> {
+        let mut oid_directory = HashMap::new();
+        for (name, data) in &tables {
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(oid) = row.oid {
+                    if oid.0 == 0 || oid.0 > next_oid {
+                        return Err(DbError::CorruptDurableState(format!(
+                            "snapshot row carries {oid} beyond allocator position {next_oid}"
+                        )));
+                    }
+                    let prev = oid_directory
+                        .insert(oid, OidEntry { table: name.clone(), slot });
+                    if let Some(prev) = prev {
+                        return Err(DbError::CorruptDurableState(format!(
+                            "snapshot assigns {oid} to both {} and {name}",
+                            prev.table
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Storage {
+            tables,
+            oid_directory,
+            next_oid,
+            undo: Vec::new(),
+            versions: HashMap::new(),
+            indexes: BTreeMap::new(),
+            maintenance_ops: 0,
+        })
+    }
+
+    /// Register a secondary index without touching the undo log — recovery
+    /// re-creates indexes from catalog definitions after restoring heaps,
+    /// and that re-registration must not be undoable (there is nothing to
+    /// roll back to). Buckets are built immediately.
+    pub fn register_index_unlogged(&mut self, name: Ident, table: Ident, cols: Vec<usize>) {
+        self.indexes.insert(
+            name,
+            SecondaryIndex { table: table.clone(), cols, buckets: HashMap::new(), version: u64::MAX },
+        );
+        self.rebuild_stale_indexes(&table);
     }
 
     // -- secondary indexes ----------------------------------------------------

@@ -30,7 +30,7 @@ CREATE TABLE TabB OF Type_B;";
 fn fresh_db() -> Database {
     let mut db = Database::new(DbMode::Oracle9);
     db.execute_script(SCHEMA).unwrap();
-    db.commit();
+    db.commit().unwrap();
     db
 }
 
@@ -236,7 +236,7 @@ fn interleaved_mutations_invalidate_the_cached_unique_index() {
 fn mid_batch_failure_under_atomic_leaves_initial_state() {
     let mut seed_db = fresh_db();
     seed_db.execute("INSERT INTO TabA VALUES (Type_A('dup', 1))").unwrap();
-    seed_db.commit();
+    seed_db.commit().unwrap();
     let before = seed_db.state_dump();
 
     // Ten rows; row 6 collides with the committed 'dup' key.

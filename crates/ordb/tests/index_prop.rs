@@ -145,7 +145,7 @@ fn index_backed_execution_is_differentially_identical() {
             let mut bare = Database::new(mode);
             for db in [&mut indexed, &mut planner_off, &mut bare] {
                 db.execute_script(SCHEMA).unwrap();
-                db.commit();
+                db.commit().unwrap();
             }
             for db in [&mut indexed, &mut planner_off] {
                 db.execute_script(INDEXES).unwrap();
@@ -169,7 +169,7 @@ fn index_backed_execution_is_differentially_identical() {
                     }
                     Step::Commit => {
                         for db in [&mut indexed, &mut planner_off, &mut bare] {
-                            db.commit();
+                            db.commit().unwrap();
                         }
                     }
                     Step::Rollback => {

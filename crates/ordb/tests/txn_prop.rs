@@ -186,7 +186,7 @@ fn atomic_failure_restores_initial_state_byte_identically() {
             if !base.is_empty() {
                 db.execute_script(&base.join(";\n")).unwrap();
             }
-            db.commit();
+            db.commit().unwrap();
             let initial = db.state_dump();
 
             // A script that fails at a random point.
@@ -238,7 +238,7 @@ fn rollback_revives_dangling_refs() {
             ))
             .unwrap();
         }
-        db.commit();
+        db.commit().unwrap();
 
         // Delete the middle row: its REF dangles, survivors re-slot but
         // stay reachable.

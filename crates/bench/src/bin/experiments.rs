@@ -32,6 +32,15 @@
 //! the cost-based planner against the planner-disabled baseline on the
 //! same database. Results are asserted identical at every scale and the
 //! process exits non-zero unless the largest scale clears a 5× speedup.
+//!
+//! `concurrency` writes JSON to stdout (`experiments concurrency >
+//! BENCH_PR9.json`): aggregate snapshot-read throughput at 1/2/4/8 reader
+//! threads over one writer, the lock-profile split of reader work, and a
+//! differential gate under writer churn — every concurrent read must be
+//! byte-identical to a serial replay at its pinned committed epoch. On a
+//! multi-core host the process exits non-zero unless 4 readers clear 2×
+//! aggregate throughput; on fewer cores the gate falls back to the
+//! measured parallel fraction (the Amdahl bound for that speedup).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -66,6 +75,7 @@ const EXPERIMENTS: &[&str] = &[
     "bulk",
     "planner",
     "durability",
+    "concurrency",
 ];
 
 fn main() {
@@ -120,6 +130,9 @@ fn main() {
     }
     if all || which == "durability" {
         durability();
+    }
+    if all || which == "concurrency" {
+        concurrency();
     }
     if all || which == "analyze" {
         let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
@@ -844,7 +857,7 @@ fn trace_experiment() {
         let stats = format!("{:?}", sys.stats());
         let (events, dropped) = match ring {
             Some(r) => {
-                let mut r = r.borrow_mut();
+                let mut r = r.lock().unwrap();
                 let dropped = r.dropped();
                 (r.drain(), dropped)
             }
@@ -1556,6 +1569,306 @@ fn durability() {
         eprintln!(
             "durability: recovery is not faster than re-ingest ({worst_speedup:.1}x at worst)"
         );
+        std::process::exit(1);
+    }
+}
+
+/// E22 — concurrent snapshot readers over a single writer.
+///
+/// Three measurements on the E19 workload (edge strategy, secondary
+/// indexes, ANALYZE statistics):
+///
+/// 1. *Read scaling*: 1/2/4/8 reader threads, each with its own
+///    [`xmlord_ordb::ReadSession`], hammering the E14/E19 query mix over a
+///    static committed database. Every result is compared byte-for-byte
+///    against the writer's own serial answer before it counts.
+/// 2. *Lock profile*: the per-iteration split between `refresh()` (the
+///    only step that touches the shared engine lock) and query execution
+///    (runs entirely on the session's private snapshot). The parallel
+///    fraction bounds achievable scaling via Amdahl's law — the honest
+///    number to report from a single-CPU host.
+/// 3. *Churn differential*: a writer replays seeded commit units while
+///    reader threads record `(pinned epoch, query, result)`; every
+///    observation must equal a serial replay of exactly that many units.
+///
+/// Gates: the churn differential must hold everywhere; with ≥4 CPUs the
+/// 4-reader aggregate throughput must clear 2× the single-session
+/// baseline, otherwise the parallel fraction must clear 2/3 (the Amdahl
+/// threshold for that same 2×). JSON on stdout.
+fn concurrency() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use xmlord_prng::Prng;
+
+    eprintln!("E22 — concurrent snapshot readers vs single-session baseline (JSON on stdout)");
+    let students = 300;
+    let iters = 40; // per reader thread, round-robin over the query mix
+    let thread_counts = [1usize, 2, 4, 8];
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // The E19 setup: edge strategy with its secondary indexes and
+    // statistics, one committed document corpus.
+    let mut instance = setup(Strategy::Edge);
+    instance
+        .db
+        .execute_script(
+            "CREATE INDEX IxEdgeSrcName ON TabEdge (Source, Name);
+             CREATE INDEX IxValueVID ON TabValue (VID);",
+        )
+        .unwrap();
+    let (_, doc) = university_doc(students);
+    let load = instance.load(&doc);
+    instance
+        .db
+        .execute_script(
+            "ANALYZE TABLE TabEdge COMPUTE STATISTICS;
+             ANALYZE TABLE TabValue COMPUTE STATISTICS;",
+        )
+        .unwrap();
+    instance.db.commit().unwrap();
+
+    // The query mix: the §4.1 paper query, two path probes, an EXPLAIN.
+    let queries: Arc<Vec<String>> = Arc::new(vec![
+        instance.paper_query(),
+        instance.path_query(&["Student", "LName"], None),
+        instance.path_query(&["StudyCourse"], None),
+        format!("EXPLAIN {}", instance.paper_query()),
+    ]);
+    // The writer's serial answers are the truth every concurrent read is
+    // held to (the database is static during the sweep, so "serial at the
+    // pinned version" is simply this).
+    let expected: Arc<Vec<xmlord_ordb::QueryResult>> =
+        Arc::new(queries.iter().map(|q| instance.db.query(q).unwrap()).collect());
+
+    let sweep: Vec<(usize, f64, usize)> = thread_counts
+        .iter()
+        .map(|&threads| {
+            // Warm-up pass, then one timed pass (the workload is long
+            // enough — thousands of queries — to swamp spawn cost).
+            for pass in 0..2 {
+                let start = Instant::now();
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let mut session = instance.db.read_session();
+                        let queries = Arc::clone(&queries);
+                        let expected = Arc::clone(&expected);
+                        std::thread::spawn(move || {
+                            for i in 0..iters {
+                                let q = (t + i) % queries.len();
+                                let result = session.query(&queries[q]).unwrap();
+                                assert_eq!(
+                                    result, expected[q],
+                                    "reader diverged from the serial answer on {:?}",
+                                    queries[q]
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                if pass == 1 {
+                    let wall = start.elapsed().as_micros() as f64 / 1000.0;
+                    let total = threads * iters;
+                    eprintln!(
+                        "  readers={threads} queries={total} wall={wall:.1}ms \
+                         agg={:.0} q/s",
+                        total as f64 / (wall / 1000.0)
+                    );
+                    return (threads, wall, total);
+                }
+            }
+            unreachable!()
+        })
+        .collect();
+    let qps = |&(_, wall, total): &(usize, f64, usize)| total as f64 / (wall / 1000.0);
+    let base_qps = qps(&sweep[0]);
+    let speedup_at_4 = qps(&sweep[2]) / base_qps;
+
+    // Lock profile: how much of one reader iteration holds the shared
+    // lock (refresh) versus runs on the private snapshot (execution).
+    let mut session = instance.db.read_session();
+    session.refresh();
+    let mut refresh_ns = 0u128;
+    let mut exec_ns = 0u128;
+    let profile_iters = 200usize;
+    for i in 0..profile_iters {
+        let t = Instant::now();
+        session.refresh();
+        refresh_ns += t.elapsed().as_nanos();
+        let t = Instant::now();
+        session.query(&queries[i % queries.len()]).unwrap();
+        exec_ns += t.elapsed().as_nanos();
+    }
+    let parallel_fraction = exec_ns as f64 / (exec_ns + refresh_ns) as f64;
+    let amdahl_at_4 = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 4.0);
+
+    // Churn differential: seeded commit units against a compact Emp/Dept
+    // schema; every unit leads with an INSERT, so the storage committed
+    // epoch counts units and "serial at the pinned version" is a replay of
+    // exactly `epoch - base` units (same protocol as tests/mvcc_prop.rs).
+    const CHURN_SETUP: &str =
+        "CREATE TYPE Type_Dept AS OBJECT(dname VARCHAR(30), budget NUMBER);
+         CREATE TABLE TabDept OF Type_Dept;
+         CREATE TYPE Type_Emp AS OBJECT(ename VARCHAR(30), dname VARCHAR(30), sal NUMBER);
+         CREATE TABLE TabEmp OF Type_Emp;
+         INSERT INTO TabDept VALUES (Type_Dept('d0', 100));
+         INSERT INTO TabDept VALUES (Type_Dept('d1', 350));
+         INSERT INTO TabEmp VALUES (Type_Emp('seed', 'd0', 400));
+         COMMIT;";
+    const CHURN_QUERIES: &[&str] = &[
+        "SELECT COUNT(*) FROM TabEmp",
+        "SELECT e.ename, e.sal FROM TabEmp e WHERE e.sal > 500",
+        "SELECT e.ename, d.budget FROM TabEmp e, TabDept d WHERE e.dname = d.dname",
+    ];
+    let churn_units = 60usize;
+    let churn_readers = 4usize;
+    let mut rng = Prng::seed_from_u64(0xE22);
+    let units: Vec<Vec<String>> = (0..churn_units)
+        .map(|n| {
+            let mut unit = vec![format!(
+                "INSERT INTO TabEmp VALUES (Type_Emp('e{n}', 'd{}', {}))",
+                rng.gen_range(0u32..2),
+                rng.gen_range(100u32..1000)
+            )];
+            if rng.gen_bool(0.4) {
+                unit.push(format!(
+                    "UPDATE TabEmp SET sal = {} WHERE ename = 'e{}'",
+                    rng.gen_range(100u32..1000),
+                    rng.gen_range(0..(n as u32 + 1))
+                ));
+            }
+            unit
+        })
+        .collect();
+    let setup_churn = || -> Database {
+        let mut db = Database::new(DbMode::Oracle9);
+        db.execute_script(CHURN_SETUP).unwrap();
+        db
+    };
+    // Serial oracle: answers after each prefix of units.
+    let oracle: Vec<Vec<xmlord_ordb::QueryResult>> = {
+        let mut db = setup_churn();
+        let mut table = Vec::with_capacity(churn_units + 1);
+        let answers = |db: &mut Database| -> Vec<xmlord_ordb::QueryResult> {
+            CHURN_QUERIES.iter().map(|q| db.query(q).unwrap()).collect()
+        };
+        table.push(answers(&mut db));
+        for unit in &units {
+            for stmt in unit {
+                db.execute(stmt).unwrap();
+            }
+            db.commit().unwrap();
+            table.push(answers(&mut db));
+        }
+        table
+    };
+    let mut writer = setup_churn();
+    let base_epoch = writer.read_session().refresh().0;
+    let done = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..churn_readers)
+        .map(|r| {
+            let mut session = writer.read_session();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut observations = Vec::new();
+                let mut spin = true;
+                while spin {
+                    spin = !done.load(Ordering::Acquire);
+                    let q = (observations.len() + r) % CHURN_QUERIES.len();
+                    let result = session.query(CHURN_QUERIES[q]).unwrap();
+                    observations.push((session.pinned_epochs().0, q, result));
+                }
+                observations
+            })
+        })
+        .collect();
+    for unit in &units {
+        for stmt in unit {
+            writer.execute(stmt).unwrap();
+        }
+        writer.commit().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let mut churn_observations = 0usize;
+    let mut distinct_epochs = BTreeSet::new();
+    for h in handles {
+        for (epoch, q, result) in h.join().unwrap() {
+            let k = (epoch - base_epoch) as usize;
+            assert!(k < oracle.len(), "pinned epoch {epoch} beyond the committed units");
+            assert_eq!(
+                result, oracle[k][q],
+                "concurrent read at epoch {epoch} diverged from the serial replay"
+            );
+            distinct_epochs.insert(epoch);
+            churn_observations += 1;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR9 concurrency: MVCC snapshot readers over a single \
+         writer\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"strategy\": \"edge\", \"students\": {students}, \
+         \"rows\": {}, \"queries_per_thread\": {iters}, \"mix\": {}}},\n",
+        load.rows,
+        queries.len()
+    ));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"sweep\": [\n");
+    for (i, entry) in sweep.iter().enumerate() {
+        let (threads, wall, total) = *entry;
+        out.push_str(&format!(
+            "    {{\"readers\": {threads}, \"queries\": {total}, \"wall_ms\": {wall:.1}, \
+             \"aggregate_qps\": {:.0}, \"speedup_vs_1\": {:.2}, \"identical\": true}}{}\n",
+            qps(entry),
+            qps(entry) / base_qps,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"lock_profile\": {{\"iterations\": {profile_iters}, \
+         \"refresh_ms_total\": {:.3}, \"exec_ms_total\": {:.2}, \
+         \"parallel_fraction\": {parallel_fraction:.4}, \
+         \"amdahl_bound_at_4\": {amdahl_at_4:.2}}},\n",
+        refresh_ns as f64 / 1e6,
+        exec_ns as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "  \"churn\": {{\"units\": {churn_units}, \"readers\": {churn_readers}, \
+         \"observations\": {churn_observations}, \"distinct_epochs\": {}, \
+         \"identical\": true}},\n",
+        distinct_epochs.len()
+    ));
+    let multi_core = host_cpus >= 4;
+    let gate_ok =
+        if multi_core { speedup_at_4 >= 2.0 } else { parallel_fraction >= 2.0 / 3.0 };
+    out.push_str(&format!(
+        "  \"gates\": {{\"multi_core\": {multi_core}, \"speedup_at_4\": {speedup_at_4:.2}, \
+         \"parallel_fraction\": {parallel_fraction:.4}, \"amdahl_threshold\": 0.667, \
+         \"throughput_gate\": \"{}\", \"pass\": {gate_ok}}}\n",
+        if multi_core { "speedup_at_4 >= 2.0" } else { "parallel_fraction >= 2/3 (1-CPU host)" }
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+
+    if !gate_ok {
+        if multi_core {
+            eprintln!(
+                "concurrency: 4-reader aggregate throughput {speedup_at_4:.2}x is below the \
+                 2x bar on a {host_cpus}-CPU host"
+            );
+        } else {
+            eprintln!(
+                "concurrency: parallel fraction {parallel_fraction:.4} is below the 2/3 \
+                 Amdahl threshold for 2x at 4 readers"
+            );
+        }
         std::process::exit(1);
     }
 }

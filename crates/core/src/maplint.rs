@@ -465,11 +465,11 @@ mod tests {
         let s = schema();
         let mut db = Database::new(DbMode::Oracle9);
         db.execute_script(&create_script(&s).unwrap()).unwrap();
-        let clean = check_catalog_drift(&s, db.catalog()).unwrap();
+        let clean = check_catalog_drift(&s, &db.catalog()).unwrap();
         assert_eq!(clean.error_count(), 0, "{}", clean.render("drift.sql"));
 
         db.execute("DROP TABLE TabUniversity").unwrap();
-        let drifted = check_catalog_drift(&s, db.catalog()).unwrap();
+        let drifted = check_catalog_drift(&s, &db.catalog()).unwrap();
         assert!(drifted.diagnostics.iter().any(|d| d.code == "DRIFT001"));
         // Differential: the load path indeed fails against the drifted DB.
         assert!(db.execute("INSERT INTO TabUniversity VALUES (Type_University('x', NULL))").is_err());
@@ -486,7 +486,7 @@ mod tests {
             "CREATE TYPE Type_Student AS OBJECT (\n    attrStudNr VARCHAR(4000)\n);",
         );
         db.execute_script(&script).unwrap();
-        let drifted = check_catalog_drift(&s, db.catalog()).unwrap();
+        let drifted = check_catalog_drift(&s, &db.catalog()).unwrap();
         assert!(
             drifted.diagnostics.iter().any(|d| d.code == "DRIFT004"),
             "{}",

@@ -235,7 +235,7 @@ impl Xml2OrDb {
             MappingError::InconsistentMapping(format!("schema '{schema_name}' is not registered"))
         })?;
         let mut report = crate::maplint::lint_schema(&reg.schema)?;
-        let drift = crate::maplint::check_catalog_drift(&reg.schema, self.db.catalog())?;
+        let drift = crate::maplint::check_catalog_drift(&reg.schema, &self.db.catalog())?;
         report.diagnostics.extend(drift.diagnostics);
         Ok(report)
     }
@@ -1051,7 +1051,7 @@ mod tests {
         sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
         let doc_id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
         sys.retrieve_document(&doc_id).unwrap();
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         let phases: Vec<&str> = ring.events().map(|e| e.phase).collect();
         for phase in ["shred", "generate", "load", "retrieve"] {
             assert!(phases.contains(&phase), "missing {phase} in {phases:?}");

@@ -27,8 +27,11 @@ pub fn retrieve_document(
         .mapping(&schema.root_element)
         .ok_or_else(|| MappingError::UndeclaredElement(schema.root_element.clone()))?;
     let table = Ident::internal(&schema.root_table);
-    let data = db
-        .storage()
+    // One storage guard for the whole walk: the guard holds the shared
+    // engine lock, and taking it once up front keeps the recursive
+    // builders from re-locking per REF chase.
+    let storage = db.storage();
+    let data = storage
         .table(&table)
         .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))?;
 
@@ -60,7 +63,7 @@ pub fn retrieve_document(
             standalone: meta.standalone,
         });
     }
-    let ctx = Retriever { db, schema };
+    let ctx = Retriever { storage: &storage, schema };
     let root_node =
         ctx.build_element(&mut doc, &schema.root_element, &row_values, row_oid)?;
     // Restore the root's default namespace from the meta-table (§5).
@@ -72,7 +75,7 @@ pub fn retrieve_document(
 }
 
 struct Retriever<'a> {
-    db: &'a Database,
+    storage: &'a xmlord_ordb::storage::Storage,
     schema: &'a MappedSchema,
 }
 
@@ -244,8 +247,7 @@ impl<'a> Retriever<'a> {
         oid: Oid,
     ) -> Result<NodeId, MappingError> {
         let (_, row) = self
-            .db
-            .storage()
+            .storage
             .resolve_oid(oid)
             .ok_or(MappingError::Db(xmlord_ordb::DbError::DanglingRef))?;
         let values = row.values.clone();
@@ -274,7 +276,7 @@ impl<'a> Retriever<'a> {
                 continue;
             }
             let Some(child_table) = &child_mapping.table else { continue };
-            let Some(data) = self.db.storage().table(&Ident::internal(child_table)) else {
+            let Some(data) = self.storage.table(&Ident::internal(child_table)) else {
                 continue;
             };
             let rows: Vec<(Vec<Value>, Option<Oid>)> = data
@@ -295,7 +297,7 @@ impl<'a> Retriever<'a> {
     /// The document-level ID attribute value of a row object (for restoring
     /// IDREF attributes).
     fn id_value_of(&self, oid: Oid) -> Result<Option<String>, MappingError> {
-        let Some((table, row)) = self.db.storage().resolve_oid(oid) else {
+        let Some((table, row)) = self.storage.resolve_oid(oid) else {
             return Ok(None);
         };
         // Which element does this table store?

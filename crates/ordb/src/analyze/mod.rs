@@ -290,6 +290,7 @@ fn code_for(err: &DbError) -> &'static str {
         DbError::DanglingRef => "dangling-ref",
         DbError::UnknownSavepoint(_) => "unknown-savepoint",
         DbError::Execution(_) => "execution",
+        DbError::ReadOnly(_) => "read-only",
         DbError::CorruptDurableState(_) => "corrupt-durable-state",
         DbError::Io(_) => "io",
     }

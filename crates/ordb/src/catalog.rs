@@ -203,6 +203,10 @@ pub struct Catalog {
     /// Undo log since the last commit; every successful mutation pushes
     /// its inverse.
     undo: Vec<CatalogUndo>,
+    /// Bumped once per [`Catalog::commit`] that sealed schema changes.
+    /// Snapshot readers key their catalog caches on this; uncommitted DDL
+    /// and rollbacks never move it.
+    committed_epoch: u64,
 }
 
 impl Catalog {
@@ -262,7 +266,15 @@ impl Catalog {
 
     /// Make all schema changes since the last commit permanent.
     pub fn commit(&mut self) {
-        self.undo.clear();
+        if !self.undo.is_empty() {
+            self.committed_epoch += 1;
+            self.undo.clear();
+        }
+    }
+
+    /// Commit counter — see the `committed_epoch` field.
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed_epoch
     }
 
     /// Undo every mutation logged after `mark`, newest first. A mark at or
@@ -715,7 +727,7 @@ impl Catalog {
         indexes: BTreeMap<Ident, IndexDef>,
         stats: BTreeMap<Ident, TableStats>,
     ) -> Catalog {
-        Catalog { types, tables, views, indexes, stats, undo: Vec::new() }
+        Catalog { types, tables, views, indexes, stats, undo: Vec::new(), committed_epoch: 0 }
     }
 }
 

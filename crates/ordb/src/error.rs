@@ -50,6 +50,11 @@ pub enum DbError {
     UnknownSavepoint(String),
     /// Arbitrary execution failure with context.
     Execution(String),
+    /// A [`crate::mvcc::ReadSession`] was handed a statement that is not
+    /// SELECT / EXPLAIN; carries the rejected statement's kind tag.
+    /// Snapshot-read sessions never mutate — writes go through the single
+    /// writing [`crate::Database`] (ORA-01456 flavor).
+    ReadOnly(&'static str),
     /// On-disk durable state (WAL or snapshot) failed validation: bad
     /// magic, checksummed-but-undecodable payload, non-monotone sequence
     /// numbers, or a snapshot that contradicts engine invariants. Torn
@@ -117,6 +122,9 @@ impl fmt::Display for DbError {
                 write!(f, "savepoint '{name}' never established (ORA-01086)")
             }
             DbError::Execution(msg) => write!(f, "execution error: {msg}"),
+            DbError::ReadOnly(kind) => {
+                write!(f, "read-only session: {kind} is not allowed (only SELECT/EXPLAIN)")
+            }
             DbError::CorruptDurableState(msg) => {
                 write!(f, "corrupt durable state: {msg}")
             }

@@ -459,7 +459,7 @@ mod tests {
             Stmt::Explain(inner) => *inner,
             other => other,
         };
-        explain_stmt(db.catalog(), db.mode(), true, true, &inner)
+        explain_stmt(&db.catalog(), db.mode(), true, true, &inner)
             .unwrap()
             .rows
             .into_iter()
@@ -502,7 +502,7 @@ mod tests {
 
         // Same statement with the hash path disabled.
         let stmt = parse_statement("SELECT p.PName FROM TabP p, TabC c WHERE c.CName = p.PName").unwrap();
-        let plan = explain_stmt(db.catalog(), db.mode(), false, true, &stmt).unwrap();
+        let plan = explain_stmt(&db.catalog(), db.mode(), false, true, &stmt).unwrap();
         let lines: Vec<String> = plan
             .rows
             .iter()
@@ -516,7 +516,7 @@ mod tests {
     fn unknown_table_is_rejected_like_execution_would() {
         let db = ref_schema();
         let stmt = parse_statement("SELECT x.a FROM Nowhere x").unwrap();
-        let err = explain_stmt(db.catalog(), db.mode(), true, true, &stmt).unwrap_err();
+        let err = explain_stmt(&db.catalog(), db.mode(), true, true, &stmt).unwrap_err();
         assert!(matches!(err, DbError::UnknownTable(_)));
     }
 

@@ -5,71 +5,84 @@
 //! ORDER)"). The naming-convention module of the mapping layer builds on the
 //! [`is_reserved_word`] list and [`MAX_IDENTIFIER_LEN`] exported here.
 
-use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, LazyLock, PoisonError, RwLock};
 
 use crate::error::DbError;
 
 /// Oracle's identifier length limit (both 8i and 9i).
 pub const MAX_IDENTIFIER_LEN: usize = 30;
 
-/// Entries kept per thread in the identifier intern pool. A shredded
+/// Entries kept in the process-wide identifier intern pool. A shredded
 /// document reuses a handful of table/type/column names across thousands of
 /// rows, so a small pool captures them; once full, new names simply skip
 /// the pool (they still work, they just allocate).
 const INTERN_CAPACITY: usize = 4096;
 
-thread_local! {
-    static INTERN: RefCell<InternPool> = RefCell::new(InternPool::default());
-}
+/// The intern pool is process-wide, not per-thread: every thread that
+/// interns the same spelling gets the *same* `Arc` handles, so identifier
+/// identity (and the pointer-equality fast path in `PartialEq`) holds
+/// across worker threads and server connections. Reads take the shared
+/// lock; only a genuinely new spelling takes the exclusive lock.
+static INTERN: LazyLock<RwLock<InternPool>> = LazyLock::new(|| RwLock::new(InternPool::default()));
+static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
+static INTERN_MISSES: AtomicU64 = AtomicU64::new(0);
 
 #[derive(Default)]
 struct InternPool {
     /// display spelling → shared (display, normalized) handles.
     entries: HashMap<Box<str>, (Arc<str>, Arc<str>)>,
-    hits: u64,
-    misses: u64,
 }
 
-/// Resolve `name` through this thread's intern pool: a hit returns shared
-/// handles (two `Arc` bumps instead of two string allocations plus a case
-/// fold).
+/// Resolve `name` through the process-wide intern pool: a hit returns
+/// shared handles (two `Arc` bumps instead of two string allocations plus
+/// a case fold).
 fn intern(name: &str) -> (Arc<str>, Arc<str>) {
-    INTERN.with(|pool| {
-        let mut pool = pool.borrow_mut();
+    {
+        let pool = INTERN.read().unwrap_or_else(PoisonError::into_inner);
         if let Some(found) = pool.entries.get(name).cloned() {
-            pool.hits += 1;
+            INTERN_HITS.fetch_add(1, AtomicOrdering::Relaxed);
             return found;
         }
-        pool.misses += 1;
-        let display: Arc<str> = Arc::from(name);
-        let normalized: Arc<str> = Arc::from(name.to_uppercase().as_str());
-        if pool.entries.len() < INTERN_CAPACITY {
-            pool.entries.insert(name.into(), (display.clone(), normalized.clone()));
-        }
-        (display, normalized)
-    })
+    }
+    let display: Arc<str> = Arc::from(name);
+    let normalized: Arc<str> = Arc::from(name.to_uppercase().as_str());
+    let mut pool = INTERN.write().unwrap_or_else(PoisonError::into_inner);
+    // Double-check under the exclusive lock: another thread may have
+    // interned the same spelling between our read and write. Returning the
+    // pool's copy (not ours) is what keeps handles pointer-identical
+    // across threads.
+    if let Some(found) = pool.entries.get(name).cloned() {
+        INTERN_HITS.fetch_add(1, AtomicOrdering::Relaxed);
+        return found;
+    }
+    INTERN_MISSES.fetch_add(1, AtomicOrdering::Relaxed);
+    if pool.entries.len() < INTERN_CAPACITY {
+        pool.entries.insert(name.into(), (display.clone(), normalized.clone()));
+    }
+    (display, normalized)
 }
 
-/// This thread's intern-pool counters as `(hits, misses)`. A hit is an
+/// The process-wide intern-pool counters as `(hits, misses)`. A hit is an
 /// identifier construction that reused shared handles instead of
 /// allocating; the bulk experiment reports the ratio.
 pub fn intern_counters() -> (u64, u64) {
-    INTERN.with(|pool| {
-        let pool = pool.borrow();
-        (pool.hits, pool.misses)
-    })
+    (
+        INTERN_HITS.load(AtomicOrdering::Relaxed),
+        INTERN_MISSES.load(AtomicOrdering::Relaxed),
+    )
 }
 
 /// A database identifier. Comparison and hashing are case-insensitive
 /// (Oracle folds unquoted identifiers to upper case); the original spelling
 /// is preserved for display, matching how generated DDL scripts look.
-/// Spellings are interned per thread, so the identifiers of a generated
-/// load script share their backing strings and cloning is two `Arc` bumps.
+/// Spellings are interned process-wide, so the identifiers of a generated
+/// load script share their backing strings — across threads too — and
+/// cloning is two `Arc` bumps.
 #[derive(Debug, Clone)]
 pub struct Ident {
     display: Arc<str>,
@@ -205,6 +218,37 @@ mod tests {
             format!("{a:?}"),
             "Ident { display: \"InternProbeXyz\", normalized: \"INTERNPROBEXYZ\" }"
         );
+    }
+
+    /// Regression (PR 9): the pool used to be `thread_local!`, so two
+    /// worker threads interning the same hostile spellings got divergent
+    /// pools — unbounded aggregate growth and no cross-thread pointer
+    /// identity. The process-wide pool must hand every thread the same
+    /// bytes AND the same backing allocations.
+    #[test]
+    fn interning_agrees_byte_for_byte_across_threads() {
+        let hostile = [
+            "ORDER",                        // reserved word
+            "order",                        // same word, hostile casing
+            "Tab\u{00df}Professor",         // ß upper-folds to SS (len change)
+            "a b;DROP TABLE x--",           // delimiter soup
+            "TabUniversity",                // ordinary mapped name
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabc", // at the 30-char limit, mixed case
+        ];
+        let spawn = || {
+            std::thread::spawn(move || {
+                hostile.iter().map(|n| Ident::internal(n)).collect::<Vec<_>>()
+            })
+        };
+        let (t1, t2) = (spawn(), spawn());
+        let (a, b) = (t1.join().unwrap(), t2.join().unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_str().as_bytes(), y.as_str().as_bytes());
+            assert_eq!(x.key().as_bytes(), y.key().as_bytes());
+            // Same allocation, not merely equal bytes: the pool is shared.
+            assert!(Arc::ptr_eq(&x.display, &y.display));
+            assert!(Arc::ptr_eq(&x.normalized, &y.normalized));
+        }
     }
 
     #[test]

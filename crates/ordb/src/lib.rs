@@ -145,6 +145,7 @@ pub mod error;
 pub mod exec;
 pub mod ident;
 pub mod mode;
+pub mod mvcc;
 pub mod session;
 pub mod snapshot;
 pub mod sql;
@@ -161,9 +162,10 @@ pub use error::DbError;
 pub use exec::dml::InsertBatch;
 pub use ident::Ident;
 pub use mode::DbMode;
+pub use mvcc::ReadSession;
 pub use session::{
-    Database, PreparedStmt, QueryResult, RecoveryPolicy, RecoveryReport, ResultMode, ScriptError,
-    ScriptOutcome, SpanToken, TxnMark,
+    CatalogRef, Database, PreparedStmt, QueryResult, RecoveryPolicy, RecoveryReport, ResultMode,
+    ScriptError, ScriptOutcome, SpanToken, StorageRef, TxnMark,
 };
 pub use stats::ExecStats;
 pub use trace::{CallbackSink, RingBufferSink, TraceEvent, TraceHandle, TraceSink};

@@ -1,0 +1,376 @@
+//! Snapshot-isolated concurrent read sessions (single writer, many
+//! readers).
+//!
+//! A [`ReadSession`] serves SELECT / EXPLAIN from a **private snapshot
+//! cache** — its own [`Catalog`] + [`Storage`] clone holding exactly the
+//! writer's last-committed state. The shared engine lock is taken *shared*
+//! and only long enough to refresh that cache; query execution itself runs
+//! entirely on the private clone with no lock held, so readers never block
+//! the writer's ingest and the writer never blocks a reader mid-query.
+//!
+//! # Freshness protocol
+//!
+//! The writer's [`Storage`] and [`Catalog`] each maintain a
+//! *committed epoch* — a counter bumped once per effective COMMIT — and
+//! the storage layer additionally pins a per-table *committed version*
+//! at each commit. A refresh compares those against what the session
+//! pinned last time:
+//!
+//! 1. **Both epochs unchanged** — the cache is exactly the committed
+//!    state; serve from it without copying anything.
+//! 2. **Catalog epoch changed** (a committed DDL) — re-derive the whole
+//!    cache: clone the live engine and roll its uncommitted undo tail
+//!    back to zero. The undo log is precisely the delta between live and
+//!    committed state, so the rolled-back clone *is* the committed state.
+//! 3. **Only the storage epoch changed** (committed DML) — incremental:
+//!    for each table whose committed version differs from the pinned one,
+//!    reconstruct just that table's committed heap from the writer's undo
+//!    records ([`Storage::committed_heap`]) and splice it into the cache.
+//!
+//! Because committed state only moves at COMMIT, uncommitted churn and
+//! rollbacks on the writer never invalidate a reader cache — the session
+//! observes neither uncommitted nor torn state, by construction.
+//!
+//! The session keeps its pinned versions in a map of its own rather than
+//! trusting the cache storage's internal mutation counters: rolling the
+//! clone back bumps those counters arbitrarily, and a counter that
+//! happened to collide with the writer's committed version would falsely
+//! read as fresh.
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::exec::eval::ExecCtx;
+use crate::exec::select::{execute_select, QueryResult};
+use crate::ident::Ident;
+use crate::mode::DbMode;
+use crate::session::{cached_parse_with, PlanCache, SharedState};
+use crate::sql::ast::Stmt;
+use crate::stats::ExecStats;
+use crate::storage::Storage;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrent snapshot-read session over a [`crate::Database`]'s shared
+/// engine, from [`crate::Database::read_session`]. `Send`, so it can serve
+/// a connection thread; read-only — any statement other than SELECT /
+/// EXPLAIN is rejected. Holds its own plan cache and [`ExecStats`] (those
+/// are per-connection state, like the writer's).
+#[derive(Debug)]
+pub struct ReadSession {
+    shared: Arc<SharedState>,
+    mode: DbMode,
+    hash_joins: bool,
+    cost_planner: bool,
+    /// The private committed-state clone queries execute against.
+    cache: Option<CacheState>,
+    plan_cache: PlanCache,
+    stats: ExecStats,
+    /// Cache refreshes that re-derived the whole engine (committed DDL).
+    full_refreshes: u64,
+    /// Cache refreshes that spliced individual committed heaps (DML).
+    incremental_refreshes: u64,
+    /// Refreshes that found both epochs unchanged and copied nothing.
+    fresh_hits: u64,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    catalog: Catalog,
+    storage: Storage,
+    /// Per-table committed versions as of the pinned epoch — kept apart
+    /// from `storage`'s internal counters (see the module docs).
+    pinned: HashMap<Ident, u64>,
+    storage_epoch: u64,
+    catalog_epoch: u64,
+}
+
+impl ReadSession {
+    pub(crate) fn new(
+        shared: Arc<SharedState>,
+        mode: DbMode,
+        hash_joins: bool,
+        cost_planner: bool,
+    ) -> ReadSession {
+        ReadSession {
+            shared,
+            mode,
+            hash_joins,
+            cost_planner,
+            cache: None,
+            plan_cache: PlanCache::default(),
+            stats: ExecStats::default(),
+            full_refreshes: 0,
+            incremental_refreshes: 0,
+            fresh_hits: 0,
+        }
+    }
+
+    /// Pin the session to the writer's current committed state. Takes the
+    /// shared engine lock for the duration of the copy work only; called
+    /// implicitly at the start of every [`query`](Self::query) /
+    /// [`execute`](Self::execute). Returns the `(storage, catalog)`
+    /// committed epochs now pinned.
+    pub fn refresh(&mut self) -> (u64, u64) {
+        let shared = Arc::clone(&self.shared);
+        let engine = shared.read();
+        let storage_epoch = engine.storage.committed_epoch();
+        let catalog_epoch = engine.catalog.committed_epoch();
+
+        match self.cache.as_mut() {
+            Some(cache) if cache.storage_epoch == storage_epoch
+                && cache.catalog_epoch == catalog_epoch =>
+            {
+                self.fresh_hits += 1;
+            }
+            Some(cache) if cache.catalog_epoch == catalog_epoch => {
+                // Committed DML only: splice the changed tables' committed
+                // heaps into the cache, drop committed-dropped tables.
+                self.incremental_refreshes += 1;
+                let committed = engine.storage.committed_tables();
+                for (table, version) in &committed {
+                    if cache.pinned.get(table) != Some(version) {
+                        let heap = engine.storage.committed_heap(table);
+                        cache.storage.install_table_snapshot(table, heap);
+                        cache.pinned.insert(table.clone(), *version);
+                    }
+                }
+                let live: std::collections::HashSet<&Ident> =
+                    committed.iter().map(|(t, _)| t).collect();
+                let dropped: Vec<Ident> =
+                    cache.pinned.keys().filter(|t| !live.contains(t)).cloned().collect();
+                for table in dropped {
+                    cache.storage.install_table_snapshot(&table, None);
+                    cache.pinned.remove(&table);
+                }
+                cache.storage.set_next_oid(engine.storage.committed_next_oid());
+                cache.storage_epoch = storage_epoch;
+            }
+            _ => {
+                // First use, or committed DDL: re-derive the whole cache.
+                // Rolling the clone's uncommitted undo tail back to zero
+                // yields exactly the committed state.
+                self.full_refreshes += 1;
+                let mut catalog = engine.catalog.clone();
+                catalog.rollback_to(0);
+                let mut storage = engine.storage.clone();
+                storage.rollback_to(0);
+                let pinned = engine.storage.committed_tables().into_iter().collect();
+                self.cache = Some(CacheState {
+                    catalog,
+                    storage,
+                    pinned,
+                    storage_epoch,
+                    catalog_epoch,
+                });
+            }
+        }
+        (storage_epoch, catalog_epoch)
+    }
+
+    /// Execute one read-only statement against the snapshot cache.
+    /// `Ok(None)` never actually escapes — SELECT and EXPLAIN both
+    /// produce results, and anything else errors — but the signature
+    /// mirrors [`crate::Database::execute`] so callers can treat the two
+    /// uniformly.
+    pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>, DbError> {
+        self.refresh();
+        let stmts = cached_parse_with(&mut self.plan_cache, &mut self.stats, sql)?;
+        if stmts.len() != 1 {
+            return Err(DbError::Execution(format!(
+                "read session expects exactly one statement, got {}",
+                stmts.len()
+            )));
+        }
+        self.execute_stmt(&stmts[0]).map(Some)
+    }
+
+    /// Execute one SELECT (or EXPLAIN) and return its result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        match self.execute(sql)? {
+            Some(result) => Ok(result),
+            None => Err(DbError::Execution("statement is not a query".into())),
+        }
+    }
+
+    /// Convenience: the single value of a single-row, single-column query.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<crate::value::Value, DbError> {
+        let result = self.query(sql)?;
+        result
+            .scalar()
+            .cloned()
+            .ok_or_else(|| DbError::Execution("query did not return a single scalar".into()))
+    }
+
+    fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult, DbError> {
+        // `execute` always refreshes first, so the cache exists here.
+        let Some(cache) = self.cache.as_ref() else {
+            return Err(DbError::Execution("read session has no snapshot cache".into()));
+        };
+        self.stats.statements += 1;
+        match stmt {
+            Stmt::Select(select) => {
+                let mut ctx = ExecCtx {
+                    catalog: &cache.catalog,
+                    storage: &cache.storage,
+                    stats: &mut self.stats,
+                    mode: self.mode,
+                    hash_joins: self.hash_joins,
+                    cost_planner: self.cost_planner,
+                };
+                execute_select(&mut ctx, select, None)
+            }
+            Stmt::Explain(inner) => crate::exec::explain::explain_stmt(
+                &cache.catalog,
+                self.mode,
+                self.hash_joins,
+                self.cost_planner,
+                inner,
+            ),
+            other => Err(DbError::ReadOnly(other.kind())),
+        }
+    }
+
+    /// The `(storage, catalog)` committed epochs the cache is pinned to —
+    /// what the most recent query executed against. `(0, 0)` before the
+    /// first refresh.
+    pub fn pinned_epochs(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(c) => (c.storage_epoch, c.catalog_epoch),
+            None => (0, 0),
+        }
+    }
+
+    /// The pinned committed version of one table (0 if absent/unpinned).
+    pub fn pinned_version(&self, table: &str) -> u64 {
+        let ident = Ident::internal(table);
+        self.cache
+            .as_ref()
+            .and_then(|c| c.pinned.get(&ident).copied())
+            .unwrap_or(0)
+    }
+
+    /// This session's private execution counters.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// `(fresh, incremental, full)` refresh outcome counts — how often the
+    /// cache was already exact, spliced table-by-table, or re-derived.
+    pub fn refresh_counts(&self) -> (u64, u64, u64) {
+        (self.fresh_hits, self.incremental_refreshes, self.full_refreshes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Database, DbError, DbMode, Value};
+
+    fn db() -> Database {
+        let mut d = Database::new(DbMode::Oracle9);
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20), dept VARCHAR(20));
+             CREATE TABLE TabP OF Type_P;
+             INSERT INTO TabP VALUES (Type_P('Kudrass', 'DB'));
+             INSERT INTO TabP VALUES (Type_P('Conrad', 'DB'));",
+        )
+        .unwrap();
+        d.commit().unwrap();
+        d
+    }
+
+    #[test]
+    fn snapshot_reads_see_committed_state_only() {
+        let mut writer = db();
+        let mut reader = writer.read_session();
+        assert_eq!(
+            reader.query_scalar("SELECT COUNT(*) FROM TabP").unwrap(),
+            Value::Num(2.0)
+        );
+
+        // Uncommitted writer churn is invisible, even after a refresh.
+        writer.execute("INSERT INTO TabP VALUES (Type_P('Jaeger', 'CAD'))").unwrap();
+        assert_eq!(
+            reader.query_scalar("SELECT COUNT(*) FROM TabP").unwrap(),
+            Value::Num(2.0)
+        );
+        // …and a writer rollback changes nothing for the reader.
+        writer.rollback();
+        assert_eq!(
+            reader.query_scalar("SELECT COUNT(*) FROM TabP").unwrap(),
+            Value::Num(2.0)
+        );
+
+        // A commit becomes visible at the next query.
+        writer.execute("INSERT INTO TabP VALUES (Type_P('Jaeger', 'CAD'))").unwrap();
+        writer.commit().unwrap();
+        assert_eq!(
+            reader.query_scalar("SELECT COUNT(*) FROM TabP").unwrap(),
+            Value::Num(3.0)
+        );
+    }
+
+    #[test]
+    fn committed_dml_refreshes_incrementally_ddl_rederives() {
+        let mut writer = db();
+        let mut reader = writer.read_session();
+        reader.query("SELECT name FROM TabP").unwrap(); // prime: 1 full
+        reader.query("SELECT name FROM TabP").unwrap(); // fresh hit
+        assert_eq!(reader.refresh_counts(), (1, 0, 1));
+
+        writer.execute("DELETE FROM TabP WHERE name = 'Conrad'").unwrap();
+        writer.commit().unwrap();
+        let rows = reader.query("SELECT name FROM TabP").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("Kudrass")]]);
+        assert_eq!(reader.refresh_counts(), (1, 1, 1));
+
+        // Committed DDL moves the catalog epoch: full re-derive.
+        writer.execute("CREATE TABLE TabQ OF Type_P").unwrap();
+        writer.commit().unwrap();
+        assert_eq!(
+            reader.query_scalar("SELECT COUNT(*) FROM TabQ").unwrap(),
+            Value::Num(0.0)
+        );
+        assert_eq!(reader.refresh_counts(), (1, 1, 2));
+    }
+
+    #[test]
+    fn read_sessions_are_read_only() {
+        let writer = db();
+        let mut reader = writer.read_session();
+        let err = reader.execute("INSERT INTO TabP VALUES (Type_P('X', 'Y'))").unwrap_err();
+        assert!(matches!(err, DbError::ReadOnly("INSERT")), "{err}");
+        let err = reader.execute("DROP TABLE TabP").unwrap_err();
+        assert!(matches!(err, DbError::ReadOnly(_)), "{err}");
+        // EXPLAIN is fine — it reads the catalog only.
+        let plan = reader.query("EXPLAIN SELECT name FROM TabP").unwrap();
+        assert!(!plan.rows.is_empty());
+        // The writer's handle is untouched by the rejections.
+        assert_eq!(writer.row_count("TabP"), 2);
+    }
+
+    #[test]
+    fn reader_queries_match_writer_queries_exactly() {
+        let mut writer = db();
+        let mut reader = writer.read_session();
+        for sql in [
+            "SELECT name, dept FROM TabP",
+            "SELECT COUNT(*) FROM TabP",
+            "SELECT p.name FROM TabP p WHERE p.dept = 'DB'",
+        ] {
+            let from_writer = writer.query(sql).unwrap();
+            let from_reader = reader.query(sql).unwrap();
+            assert_eq!(from_writer, from_reader, "{sql}");
+        }
+    }
+
+    #[test]
+    fn committed_drop_of_a_table_reaches_the_reader() {
+        let mut writer = db();
+        let mut reader = writer.read_session();
+        reader.query("SELECT name FROM TabP").unwrap();
+        writer.execute("DROP TABLE TabP").unwrap();
+        writer.commit().unwrap();
+        let err = reader.query("SELECT name FROM TabP").unwrap_err();
+        assert!(matches!(err, DbError::UnknownTable(_)), "{err}");
+    }
+}

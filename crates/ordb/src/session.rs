@@ -23,8 +23,9 @@ use crate::value::Value;
 use crate::wal::{self, RedoOp, WalWriter};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::ops::Deref;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Statements kept in the plan cache before the least-recently-used entry
@@ -39,7 +40,7 @@ const PLAN_CACHE_CAPACITY: usize = 256;
 /// cached by literal-normalized *shape* (see [`crate::sql::param`]), so a
 /// loader's thousands of near-identical INSERTs share one parsed template.
 #[derive(Debug, Clone, Default)]
-struct PlanCache {
+pub(crate) struct PlanCache {
     entries: HashMap<String, CacheEntry>,
     tick: u64,
 }
@@ -52,11 +53,12 @@ struct CacheEntry {
 
 #[derive(Debug, Clone)]
 enum Plan {
-    /// Verbatim text → parsed form, shared by reference.
-    Exact(Rc<Vec<Stmt>>),
+    /// Verbatim text → parsed form, shared by reference (`Arc` so a cached
+    /// plan — and the session holding it — can cross threads).
+    Exact(Arc<Vec<Stmt>>),
     /// Literal-parameterized INSERT shape → template whose literal slots
     /// are rebound with each text's own literals.
-    Template(Rc<Vec<Stmt>>),
+    Template(Arc<Vec<Stmt>>),
     /// Shape that failed slot verification (e.g. folded negative literals)
     /// — recorded so it is never re-verified, and cached verbatim instead.
     Opaque,
@@ -217,11 +219,72 @@ pub struct ScriptOutcome {
     pub rolled_back: bool,
 }
 
+/// The engine proper: schema plus rows. Everything a query touches lives
+/// here, behind [`SharedState`]'s lock.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    pub(crate) catalog: Catalog,
+    pub(crate) storage: Storage,
+}
+
+/// The state every session over one database shares: the engine behind a
+/// single `RwLock`. The writing [`Database`] takes the exclusive lock per
+/// statement; [`crate::mvcc::ReadSession`]s take the shared lock only long
+/// enough to refresh their snapshot caches — never while executing a
+/// query.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) engine: RwLock<Engine>,
+}
+
+impl SharedState {
+    /// Shared (reader) access. Lock poisoning is survivable here: a
+    /// panicking statement already rolled itself back via statement-level
+    /// atomicity, so the state behind a poisoned lock is consistent.
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Engine> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Engine> {
+        self.engine.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Read guard over the catalog, from [`Database::catalog`]. Derefs to
+/// [`Catalog`], so `db.catalog().get_table(…)` reads as before — but the
+/// guard holds the shared engine lock, so don't store it across a call
+/// that takes the write lock (e.g. [`Database::execute`]).
+pub struct CatalogRef<'a>(RwLockReadGuard<'a, Engine>);
+
+impl Deref for CatalogRef<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0.catalog
+    }
+}
+
+/// Read guard over the storage layer, from [`Database::storage`]. Same
+/// locking caveat as [`CatalogRef`].
+pub struct StorageRef<'a>(RwLockReadGuard<'a, Engine>);
+
+impl Deref for StorageRef<'_> {
+    type Target = Storage;
+    fn deref(&self) -> &Storage {
+        &self.0.storage
+    }
+}
+
 /// An embedded object-relational database instance.
+///
+/// Since PR 9 a `Database` is split in two: the *shared* engine state
+/// (catalog + storage, behind `Arc<RwLock>`) and *per-connection* state
+/// (statistics, plan cache, savepoints, tracing, the unique-index cache,
+/// durability). The handle is `Send`, so the single writer can live on a
+/// server's writer thread while [`crate::mvcc::ReadSession`]s opened via
+/// [`Database::read_session`] serve queries from other threads.
 #[derive(Debug)]
 pub struct Database {
-    catalog: Catalog,
-    storage: Storage,
+    shared: Arc<SharedState>,
     stats: ExecStats,
     mode: DbMode,
     plan_cache: PlanCache,
@@ -251,13 +314,23 @@ pub struct Database {
 }
 
 impl Clone for Database {
-    /// Cloning copies the full in-memory state but *detaches* durability:
-    /// two writers appending to one log would interleave corruptly. The
-    /// clone is a plain in-memory database.
+    /// Cloning deep-copies the engine into a **fresh, independent**
+    /// shared state and *detaches* durability: two writers appending to
+    /// one log would interleave corruptly, and — now that handles are
+    /// `Send` — two writer handles racing one shared engine would corrupt
+    /// in-memory state the same way. A clone therefore shares *nothing*
+    /// with its original (the differential tests rely on this isolation);
+    /// to share an engine across threads, use
+    /// [`Database::read_session`] instead.
     fn clone(&self) -> Database {
+        let engine = self.shared.read();
         Database {
-            catalog: self.catalog.clone(),
-            storage: self.storage.clone(),
+            shared: Arc::new(SharedState {
+                engine: RwLock::new(Engine {
+                    catalog: engine.catalog.clone(),
+                    storage: engine.storage.clone(),
+                }),
+            }),
             stats: self.stats,
             mode: self.mode,
             plan_cache: self.plan_cache.clone(),
@@ -287,8 +360,9 @@ pub struct SpanToken {
 impl Database {
     pub fn new(mode: DbMode) -> Database {
         Database {
-            catalog: Catalog::new(),
-            storage: Storage::new(),
+            shared: Arc::new(SharedState {
+                engine: RwLock::new(Engine { catalog: Catalog::new(), storage: Storage::new() }),
+            }),
             stats: ExecStats::default(),
             mode,
             plan_cache: PlanCache::default(),
@@ -328,6 +402,9 @@ impl Database {
         let mut db = Database::new(mode);
         let mut report = RecoveryReport::default();
 
+        let shared = Arc::clone(&db.shared);
+        let mut engine = shared.write();
+
         let mut snap_seq = 0u64;
         if let Some(bytes) = snapshot::read_snapshot_file(&dir.join(SNAPSHOT_FILE))? {
             let snap = snapshot::decode_snapshot(&bytes)?;
@@ -337,9 +414,9 @@ impl Database {
                     snap.mode, mode
                 )));
             }
-            db.catalog = snap.catalog;
-            db.storage = snap.storage;
-            db.rebuild_secondary_indexes()?;
+            engine.catalog = snap.catalog;
+            engine.storage = snap.storage;
+            rebuild_secondary_indexes(&mut engine)?;
             snap_seq = snap.last_seq;
             report.snapshot_loaded = true;
         }
@@ -363,12 +440,13 @@ impl Database {
                 continue;
             }
             for op in &entry.ops {
-                db.apply_redo(op)?;
+                db.apply_redo(&mut engine, op)?;
             }
-            db.commit_inner(false)?;
+            db.commit_locked(&mut engine, false)?;
             report.entries_replayed += 1;
             last_seq = entry.seq;
         }
+        drop(engine);
         report.last_seq = last_seq;
 
         // Attach the writer, truncating any torn tail so a re-crash before
@@ -403,45 +481,12 @@ impl Database {
     /// deterministic, so replaying committed ops in order reproduces the
     /// committed state byte-for-byte. Failure means the log disagrees with
     /// the state it was logged against — corruption, not a user error.
-    fn apply_redo(&mut self, op: &RedoOp) -> Result<(), DbError> {
+    fn apply_redo(&mut self, engine: &mut Engine, op: &RedoOp) -> Result<(), DbError> {
         let result = match op {
-            RedoOp::Stmt(stmt) => self.execute_stmt_inner(stmt).map(|_| ()),
-            RedoOp::Batch(batch) => self.execute_batch_inner(batch).map(|_| ()),
+            RedoOp::Stmt(stmt) => self.execute_stmt_locked(engine, stmt).map(|_| ()),
+            RedoOp::Batch(batch) => self.execute_batch_locked(engine, batch).map(|_| ()),
         };
         result.map_err(|e| DbError::CorruptDurableState(format!("WAL replay failed: {e}")))
-    }
-
-    /// Rebuild storage's secondary indexes from the catalog's definitions.
-    /// Snapshots deliberately do not serialize index buckets (derived
-    /// state whose HashMap layout would leak into the bytes); restoring a
-    /// snapshot re-derives them here.
-    fn rebuild_secondary_indexes(&mut self) -> Result<(), DbError> {
-        let defs: Vec<(Ident, Ident, Vec<Ident>)> = self
-            .catalog
-            .snapshot_parts()
-            .3
-            .values()
-            .map(|d| (d.name.clone(), d.table.clone(), d.columns.clone()))
-            .collect();
-        for (name, table, columns) in defs {
-            let Some(table_def) = self.catalog.get_table(&table) else {
-                return Err(DbError::CorruptDurableState(format!(
-                    "snapshot index {name} references missing table {table}"
-                )));
-            };
-            let table_cols = self.catalog.table_columns(table_def);
-            let mut positions = Vec::with_capacity(columns.len());
-            for c in &columns {
-                let Some(p) = table_cols.iter().position(|(n, _)| n == c) else {
-                    return Err(DbError::CorruptDurableState(format!(
-                        "snapshot index {name} references missing column {c} of table {table}"
-                    )));
-                };
-                positions.push(p);
-            }
-            self.storage.register_index_unlogged(name, table, positions);
-        }
-        Ok(())
     }
 
     /// Write a snapshot of the committed state to the database directory
@@ -454,16 +499,40 @@ impl Database {
                 "snapshot requires a database opened with Database::open".into(),
             ));
         }
-        self.commit_inner(false)?;
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.commit_locked(&mut engine, false)?;
+        self.snapshot_locked(&mut engine)
+    }
+
+    fn snapshot_locked(&mut self, engine: &mut Engine) -> Result<(), DbError> {
         let Some(d) = self.durability.as_mut() else {
             return Err(DbError::Execution(
                 "snapshot requires a database opened with Database::open".into(),
             ));
         };
-        let bytes = snapshot::encode_snapshot(self.mode, d.wal.seq(), &self.catalog, &self.storage);
+        let bytes =
+            snapshot::encode_snapshot(self.mode, d.wal.seq(), &engine.catalog, &engine.storage);
         snapshot::write_atomic(&d.dir, SNAPSHOT_FILE, &bytes)?;
         d.wal.reset()?;
         d.entries_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Cleanly shut down a durable database: commit the in-flight
+    /// transaction, write a final snapshot and reset the log. This is what
+    /// bounds recovery time for long-running servers that disabled the
+    /// auto-snapshot cadence ([`Self::set_snapshot_every`] of 0) —
+    /// without it the WAL, and therefore
+    /// reopen time, grows with the whole history. Deliberately *not* run
+    /// on `Drop`: the crash-recovery property tests drop databases to
+    /// simulate crashes, and a drop-time snapshot would erase exactly the
+    /// log those tests (and real crash recovery) depend on. A no-op for
+    /// in-memory databases.
+    pub fn close(mut self) -> Result<(), DbError> {
+        if self.durability.is_some() {
+            self.snapshot()?;
+        }
         Ok(())
     }
 
@@ -540,7 +609,8 @@ impl Database {
     /// Statically check a script against the current catalog without
     /// executing anything (the analyzer works on a clone).
     pub fn check(&self, sql: &str) -> Result<Vec<Diagnostic>, DbError> {
-        Analyzer::with_catalog(self.catalog.clone(), self.mode).analyze_script(sql)
+        let catalog = self.shared.read().catalog.clone();
+        Analyzer::with_catalog(catalog, self.mode).analyze_script(sql)
     }
 
     /// Inline analysis for [`set_analyze`](Self::set_analyze). Parse errors
@@ -581,7 +651,7 @@ impl Database {
     /// verbatim string; INSERT texts hit on their literal-normalized shape,
     /// with the template's literal slots rebound per text. Parse errors are
     /// not cached.
-    fn cached_parse(&mut self, sql: &str) -> Result<Rc<Vec<Stmt>>, DbError> {
+    fn cached_parse(&mut self, sql: &str) -> Result<Arc<Vec<Stmt>>, DbError> {
         if self.trace.is_none() {
             return self.cached_parse_inner(sql);
         }
@@ -604,63 +674,37 @@ impl Database {
         result
     }
 
-    fn cached_parse_inner(&mut self, sql: &str) -> Result<Rc<Vec<Stmt>>, DbError> {
-        self.plan_cache.tick += 1;
-        let tick = self.plan_cache.tick;
-        let param = parameterize(sql);
-        if let Some((key, lits)) = &param {
-            if let Some(entry) = self.plan_cache.entries.get_mut(key) {
-                entry.last_used = tick;
-                if let Plan::Template(template) = &entry.plan {
-                    let mut stmts: Vec<Stmt> = (**template).clone();
-                    if rebind(&mut stmts, lits) {
-                        self.stats.plan_cache_hits += 1;
-                        return Ok(Rc::new(stmts));
-                    }
-                }
-                // Opaque shape: fall through to the verbatim path.
-            }
-        }
-        if let Some(entry) = self.plan_cache.entries.get_mut(sql) {
-            if let Plan::Exact(stmts) = &entry.plan {
-                let stmts = stmts.clone();
-                entry.last_used = tick;
-                self.stats.plan_cache_hits += 1;
-                return Ok(stmts);
-            }
-        }
-        self.stats.plan_cache_misses += 1;
-        let mut parsed = parse_script(sql)?;
-        match param {
-            Some((key, lits)) if slots_match(&mut parsed, &lits) => {
-                let stmts = Rc::new(parsed);
-                self.plan_cache.insert(key, Plan::Template(stmts.clone()), tick);
-                Ok(stmts)
-            }
-            Some((key, _)) => {
-                self.plan_cache.insert(key, Plan::Opaque, tick);
-                let stmts = Rc::new(parsed);
-                self.plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
-                Ok(stmts)
-            }
-            None => {
-                let stmts = Rc::new(parsed);
-                self.plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
-                Ok(stmts)
-            }
-        }
+    fn cached_parse_inner(&mut self, sql: &str) -> Result<Arc<Vec<Stmt>>, DbError> {
+        cached_parse_with(&mut self.plan_cache, &mut self.stats, sql)
     }
 
     pub fn mode(&self) -> DbMode {
         self.mode
     }
 
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Shared-lock read access to the catalog. The guard derefs to
+    /// [`Catalog`]; drop it before calling a mutating method.
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef(self.shared.read())
     }
 
-    pub fn storage(&self) -> &Storage {
-        &self.storage
+    /// Shared-lock read access to the storage layer. The guard derefs to
+    /// [`Storage`]; drop it before calling a mutating method.
+    pub fn storage(&self) -> StorageRef<'_> {
+        StorageRef(self.shared.read())
+    }
+
+    /// Open a concurrent snapshot-read session over this database's
+    /// engine. The session is `Send`, holds its own plan cache and
+    /// statistics, and serves SELECT / EXPLAIN from a committed-state
+    /// snapshot cache — see [`crate::mvcc`] for the protocol.
+    pub fn read_session(&self) -> crate::mvcc::ReadSession {
+        crate::mvcc::ReadSession::new(
+            Arc::clone(&self.shared),
+            self.mode,
+            self.hash_joins,
+            self.cost_planner,
+        )
     }
 
     pub fn stats(&self) -> ExecStats {
@@ -703,6 +747,12 @@ impl Database {
             ("analyze_runs", s.analyze_runs),
         ] {
             let _ = writeln!(out, "{name:<20} {v}");
+        }
+        if let Some(d) = &self.durability {
+            out.push_str("== durability ==\n");
+            let _ = writeln!(out, "{:<20} {}", "wal_entries", d.entries_since_snapshot);
+            let _ = writeln!(out, "{:<20} {}", "wal_bytes", d.wal.len_bytes());
+            let _ = writeln!(out, "{:<20} {}", "snapshot_every", d.snapshot_every);
         }
         if let Some(tracer) = &self.trace {
             out.push_str("== wall-time histograms (per statement kind / phase) ==\n");
@@ -798,16 +848,29 @@ impl Database {
 
     // -- transactions ---------------------------------------------------------
 
+    /// Undo position of an engine — the locked-path version of
+    /// [`txn_mark`](Self::txn_mark).
+    fn mark_of(&self, engine: &Engine) -> TxnMark {
+        TxnMark { storage: engine.storage.undo_len(), catalog: engine.catalog.undo_len() }
+    }
+
     /// Current undo-log position, for [`rollback_to_mark`](Self::rollback_to_mark).
     pub fn txn_mark(&self) -> TxnMark {
-        TxnMark { storage: self.storage.undo_len(), catalog: self.catalog.undo_len() }
+        let engine = self.shared.read();
+        self.mark_of(&engine)
     }
 
     /// Undo every data and schema mutation logged after `mark` (newest
     /// first). Counts one [`ExecStats::txn_rollbacks`].
     pub fn rollback_to_mark(&mut self, mark: TxnMark) {
-        self.storage.rollback_to(mark.storage);
-        self.catalog.rollback_to(mark.catalog);
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.rollback_to_mark_locked(&mut engine, mark);
+    }
+
+    fn rollback_to_mark_locked(&mut self, engine: &mut Engine, mark: TxnMark) {
+        engine.storage.rollback_to(mark.storage);
+        engine.catalog.rollback_to(mark.catalog);
         if let Some(d) = self.durability.as_mut() {
             // Drop the redo ops of the statements just undone: an op
             // survives only if its statement began strictly before `mark`.
@@ -825,10 +888,16 @@ impl Database {
     /// consistently — before it the transaction never happened, after it
     /// replay reproduces it.
     pub fn commit(&mut self) -> Result<(), DbError> {
-        self.commit_inner(true)
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.commit_locked(&mut engine, true)
     }
 
-    fn commit_inner(&mut self, allow_auto_snapshot: bool) -> Result<(), DbError> {
+    fn commit_locked(
+        &mut self,
+        engine: &mut Engine,
+        allow_auto_snapshot: bool,
+    ) -> Result<(), DbError> {
         let mut snapshot_due = false;
         if let Some(d) = self.durability.as_mut() {
             if !d.pending.is_empty() {
@@ -839,25 +908,37 @@ impl Database {
                     d.snapshot_every > 0 && d.entries_since_snapshot >= d.snapshot_every;
             }
         }
-        self.storage.commit();
-        self.catalog.commit();
+        engine.storage.commit();
+        engine.catalog.commit();
         self.savepoints.clear();
         if allow_auto_snapshot && snapshot_due {
-            self.snapshot()?;
+            self.snapshot_locked(engine)?;
         }
         Ok(())
     }
 
     /// Undo everything since the last commit (`ROLLBACK`).
     pub fn rollback(&mut self) {
-        self.rollback_to_mark(TxnMark { storage: 0, catalog: 0 });
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.rollback_locked(&mut engine);
+    }
+
+    fn rollback_locked(&mut self, engine: &mut Engine) {
+        self.rollback_to_mark_locked(engine, TxnMark { storage: 0, catalog: 0 });
         self.savepoints.clear();
     }
 
     /// Establish (or move) the named savepoint at the current undo
     /// position (`SAVEPOINT name`).
     pub fn savepoint(&mut self, name: Ident) {
-        let mark = self.txn_mark();
+        let shared = Arc::clone(&self.shared);
+        let engine = shared.read();
+        self.savepoint_locked(&engine, name);
+    }
+
+    fn savepoint_locked(&mut self, engine: &Engine, name: Ident) {
+        let mark = self.mark_of(engine);
         self.savepoints.retain(|(n, _)| *n != name);
         self.savepoints.push((name, mark));
         self.stats.savepoints += 1;
@@ -867,13 +948,23 @@ impl Database {
     /// savepoint survives and can be rolled back to again; savepoints
     /// established after it are discarded.
     pub fn rollback_to_savepoint(&mut self, name: &Ident) -> Result<(), DbError> {
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.rollback_to_savepoint_locked(&mut engine, name)
+    }
+
+    fn rollback_to_savepoint_locked(
+        &mut self,
+        engine: &mut Engine,
+        name: &Ident,
+    ) -> Result<(), DbError> {
         let index = self
             .savepoints
             .iter()
             .position(|(n, _)| n == name)
             .ok_or_else(|| DbError::UnknownSavepoint(name.as_str().to_string()))?;
         let mark = self.savepoints[index].1;
-        self.rollback_to_mark(mark);
+        self.rollback_to_mark_locked(engine, mark);
         self.savepoints.truncate(index + 1);
         Ok(())
     }
@@ -884,7 +975,8 @@ impl Database {
     /// directories and OID allocator positions; the fault-injection tests
     /// compare rollback outcomes this way.
     pub fn state_dump(&self) -> String {
-        format!("{}\n{}", self.catalog.state_dump(), self.storage.state_dump())
+        let engine = self.shared.read();
+        format!("{}\n{}", engine.catalog.state_dump(), engine.storage.state_dump())
     }
 
     /// Execute a single statement.
@@ -934,35 +1026,45 @@ impl Database {
     }
 
     fn execute_stmt_inner(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.execute_stmt_locked(&mut engine, stmt)
+    }
+
+    fn execute_stmt_locked(
+        &mut self,
+        engine: &mut Engine,
+        stmt: &Stmt,
+    ) -> Result<Option<QueryResult>, DbError> {
         self.stats.statements += 1;
         match stmt {
             Stmt::Commit => {
-                self.commit()?;
+                self.commit_locked(engine, true)?;
                 return Ok(None);
             }
             Stmt::Rollback { to: None } => {
-                self.rollback();
-                self.drain_index_maintenance();
+                self.rollback_locked(engine);
+                self.drain_index_maintenance(engine);
                 return Ok(None);
             }
             Stmt::Rollback { to: Some(name) } => {
-                self.rollback_to_savepoint(name)?;
-                self.drain_index_maintenance();
+                self.rollback_to_savepoint_locked(engine, name)?;
+                self.drain_index_maintenance(engine);
                 return Ok(None);
             }
             Stmt::Savepoint { name } => {
-                self.savepoint(name.clone());
+                self.savepoint_locked(engine, name.clone());
                 return Ok(None);
             }
             _ => {}
         }
-        let mark = self.txn_mark();
-        let result = self.dispatch_stmt(stmt);
-        let produced = (self.storage.undo_len() - mark.storage)
-            + (self.catalog.undo_len() - mark.catalog);
+        let mark = self.mark_of(engine);
+        let result = self.dispatch_stmt(engine, stmt);
+        let produced = (engine.storage.undo_len() - mark.storage)
+            + (engine.catalog.undo_len() - mark.catalog);
         self.stats.undo_records += produced as u64;
         if result.is_err() {
-            self.rollback_to_mark(mark);
+            self.rollback_to_mark_locked(engine, mark);
         } else if produced > 0 {
             // Effect-producing statement under a durable database: buffer
             // its redo op; COMMIT writes the buffered ops as one log entry.
@@ -972,26 +1074,31 @@ impl Database {
                 d.pending.push((mark, RedoOp::Stmt(stmt.clone())));
             }
         }
-        self.drain_index_maintenance();
+        self.drain_index_maintenance(engine);
         result
     }
 
     /// Fold the row operations storage spent maintaining secondary indexes
     /// (incremental updates + rebuild visits) into the session counters.
-    fn drain_index_maintenance(&mut self) {
-        self.stats.index_maintenance_ops += self.storage.take_maintenance_ops();
+    fn drain_index_maintenance(&mut self, engine: &mut Engine) {
+        self.stats.index_maintenance_ops += engine.storage.take_maintenance_ops();
     }
 
-    fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<Option<QueryResult>, DbError> {
-        if execute_ddl(&mut self.catalog, &mut self.storage, &mut self.stats, self.mode, stmt)? {
+    fn dispatch_stmt(
+        &mut self,
+        engine: &mut Engine,
+        stmt: &Stmt,
+    ) -> Result<Option<QueryResult>, DbError> {
+        if execute_ddl(&mut engine.catalog, &mut engine.storage, &mut self.stats, self.mode, stmt)?
+        {
             return Ok(None);
         }
         match stmt {
             Stmt::Insert { table, columns, values } => {
                 self.stats.inserts += 1;
                 execute_insert(
-                    &self.catalog,
-                    &mut self.storage,
+                    &engine.catalog,
+                    &mut engine.storage,
                     &mut self.stats,
                     self.mode,
                     table,
@@ -1002,8 +1109,8 @@ impl Database {
             }
             Stmt::Update { table, sets, where_clause } => {
                 crate::exec::dml::execute_update(
-                    &self.catalog,
-                    &mut self.storage,
+                    &engine.catalog,
+                    &mut engine.storage,
                     &mut self.stats,
                     self.mode,
                     table,
@@ -1014,8 +1121,8 @@ impl Database {
             }
             Stmt::Delete { table, where_clause } => {
                 execute_delete(
-                    &self.catalog,
-                    &mut self.storage,
+                    &engine.catalog,
+                    &mut engine.storage,
                     &mut self.stats,
                     self.mode,
                     table,
@@ -1025,8 +1132,8 @@ impl Database {
             }
             Stmt::Select(select) => {
                 let mut ctx = ExecCtx {
-                    catalog: &self.catalog,
-                    storage: &self.storage,
+                    catalog: &engine.catalog,
+                    storage: &engine.storage,
                     stats: &mut self.stats,
                     mode: self.mode,
                     hash_joins: self.hash_joins,
@@ -1037,7 +1144,7 @@ impl Database {
             }
             Stmt::Explain(inner) => {
                 let result = crate::exec::explain::explain_stmt(
-                    &self.catalog,
+                    &engine.catalog,
                     self.mode,
                     self.hash_joins,
                     self.cost_planner,
@@ -1058,7 +1165,7 @@ impl Database {
     /// Number of rows in a table (0 if absent) — used heavily by tests and
     /// the fragmentation experiments.
     pub fn row_count(&self, table: &str) -> usize {
-        self.storage.row_count(&Ident::internal(table))
+        self.shared.read().storage.row_count(&Ident::internal(table))
     }
 
     /// Convenience: the single value of a single-row, single-column query.
@@ -1153,29 +1260,127 @@ impl Database {
     }
 
     fn execute_batch_inner(&mut self, batch: &InsertBatch) -> Result<usize, DbError> {
+        let shared = Arc::clone(&self.shared);
+        let mut engine = shared.write();
+        self.execute_batch_locked(&mut engine, batch)
+    }
+
+    fn execute_batch_locked(
+        &mut self,
+        engine: &mut Engine,
+        batch: &InsertBatch,
+    ) -> Result<usize, DbError> {
         self.stats.statements += 1;
         self.stats.inserts += batch.rows.len() as u64;
-        let mark = self.txn_mark();
+        let mark = self.mark_of(engine);
         let result = execute_insert_batch(
-            &self.catalog,
-            &mut self.storage,
+            &engine.catalog,
+            &mut engine.storage,
             &mut self.stats,
             self.mode,
             batch,
             &mut self.unique_cache,
         );
-        let produced = (self.storage.undo_len() - mark.storage)
-            + (self.catalog.undo_len() - mark.catalog);
+        let produced = (engine.storage.undo_len() - mark.storage)
+            + (engine.catalog.undo_len() - mark.catalog);
         self.stats.undo_records += produced as u64;
         if result.is_err() {
-            self.rollback_to_mark(mark);
+            self.rollback_to_mark_locked(engine, mark);
         } else if produced > 0 {
             if let Some(d) = self.durability.as_mut() {
                 d.pending.push((mark, RedoOp::Batch(batch.clone())));
             }
         }
-        self.drain_index_maintenance();
+        self.drain_index_maintenance(engine);
         result
+    }
+}
+
+/// Re-register every secondary index recorded in a snapshot's catalog with
+/// the freshly restored storage (index payloads are not serialized — they
+/// are derived state, rebuilt lazily from the heaps on first probe).
+fn rebuild_secondary_indexes(engine: &mut Engine) -> Result<(), DbError> {
+    let defs: Vec<(Ident, Ident, Vec<Ident>)> = engine
+        .catalog
+        .snapshot_parts()
+        .3
+        .values()
+        .map(|d| (d.name.clone(), d.table.clone(), d.columns.clone()))
+        .collect();
+    for (name, table, columns) in defs {
+        let Some(table_def) = engine.catalog.get_table(&table) else {
+            return Err(DbError::CorruptDurableState(format!(
+                "snapshot index {name} references missing table {table}"
+            )));
+        };
+        let table_cols = engine.catalog.table_columns(table_def);
+        let mut positions = Vec::with_capacity(columns.len());
+        for c in &columns {
+            let Some(p) = table_cols.iter().position(|(n, _)| n == c) else {
+                return Err(DbError::CorruptDurableState(format!(
+                    "snapshot index {name} references missing column {c} of table {table}"
+                )));
+            };
+            positions.push(p);
+        }
+        engine.storage.register_index_unlogged(name, table, positions);
+    }
+    Ok(())
+}
+
+/// The plan-cache lookup shared by the writing [`Database`] and
+/// [`crate::mvcc::ReadSession`]s (each owns a private cache — the cache is
+/// per-connection state). Non-INSERT texts hit on the verbatim string;
+/// INSERT texts hit on their literal-normalized shape, with the template's
+/// literal slots rebound per text. Parse errors are not cached.
+pub(crate) fn cached_parse_with(
+    plan_cache: &mut PlanCache,
+    stats: &mut ExecStats,
+    sql: &str,
+) -> Result<Arc<Vec<Stmt>>, DbError> {
+    plan_cache.tick += 1;
+    let tick = plan_cache.tick;
+    let param = parameterize(sql);
+    if let Some((key, lits)) = &param {
+        if let Some(entry) = plan_cache.entries.get_mut(key) {
+            entry.last_used = tick;
+            if let Plan::Template(template) = &entry.plan {
+                let mut stmts: Vec<Stmt> = (**template).clone();
+                if rebind(&mut stmts, lits) {
+                    stats.plan_cache_hits += 1;
+                    return Ok(Arc::new(stmts));
+                }
+            }
+            // Opaque shape: fall through to the verbatim path.
+        }
+    }
+    if let Some(entry) = plan_cache.entries.get_mut(sql) {
+        if let Plan::Exact(stmts) = &entry.plan {
+            let stmts = stmts.clone();
+            entry.last_used = tick;
+            stats.plan_cache_hits += 1;
+            return Ok(stmts);
+        }
+    }
+    stats.plan_cache_misses += 1;
+    let mut parsed = parse_script(sql)?;
+    match param {
+        Some((key, lits)) if slots_match(&mut parsed, &lits) => {
+            let stmts = Arc::new(parsed);
+            plan_cache.insert(key, Plan::Template(stmts.clone()), tick);
+            Ok(stmts)
+        }
+        Some((key, _)) => {
+            plan_cache.insert(key, Plan::Opaque, tick);
+            let stmts = Arc::new(parsed);
+            plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
+            Ok(stmts)
+        }
+        None => {
+            let stmts = Arc::new(parsed);
+            plan_cache.insert(sql.to_string(), Plan::Exact(stmts.clone()), tick);
+            Ok(stmts)
+        }
     }
 }
 
@@ -2037,7 +2242,7 @@ mod tests {
         d.execute("CREATE TABLE T (a NUMBER)").unwrap();
         d.execute("INSERT INTO T VALUES (1)").unwrap();
         d.execute("INSERT INTO T VALUES (2)").unwrap();
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         let events: Vec<_> = ring.events().collect();
         // Each statement contributes one parse and one execute event.
         assert_eq!(events.len(), 6);
@@ -2065,7 +2270,7 @@ mod tests {
         d.execute("INSERT INTO T VALUES (1)").unwrap();
         d.execute("INSERT INTO T VALUES (2)").unwrap();
         d.trace_end(span);
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         let load = ring.events().find(|e| e.phase == "load").unwrap();
         assert_eq!(load.detail, "doc.xml");
         assert_eq!(load.delta.inserts, 2);
@@ -2116,5 +2321,109 @@ mod tests {
         touched.execute_script(script).unwrap();
         assert_eq!(plain.state_dump(), touched.state_dump());
         assert_eq!(plain.stats(), touched.stats());
+    }
+
+    /// The PR 9 split's whole point: a `Database` (and its read sessions)
+    /// can cross threads. Compile-time assertion — if a non-`Send` type
+    /// (`Rc`, `RefCell`, raw pointer) sneaks back into the session state,
+    /// this line stops building.
+    #[test]
+    fn database_and_read_session_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Database>();
+        assert_send::<crate::mvcc::ReadSession>();
+        assert_send::<PreparedStmt>();
+    }
+
+    /// Clone semantics under the shared-state split: a clone deep-copies
+    /// the engine into a fresh `SharedState`, so two handles never race
+    /// one engine — mutations on either side are invisible to the other.
+    #[test]
+    fn cloned_database_shares_nothing_with_its_original() {
+        let mut original = db();
+        original
+            .execute_script(
+                "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20));
+                 CREATE TABLE TabP OF Type_P;
+                 INSERT INTO TabP VALUES (Type_P('Kudrass'));",
+            )
+            .unwrap();
+        let mut cloned = original.clone();
+        assert_eq!(original.state_dump(), cloned.state_dump());
+
+        // Diverge both sides; each must see only its own writes.
+        original.execute("INSERT INTO TabP VALUES (Type_P('Conrad'))").unwrap();
+        cloned.execute("DELETE FROM TabP WHERE name = 'Kudrass'").unwrap();
+        assert_eq!(original.row_count("TabP"), 2);
+        assert_eq!(cloned.row_count("TabP"), 0);
+
+        // And the engines really are distinct allocations: mutating the
+        // clone from another thread while the original reads is fine.
+        let handle = std::thread::spawn(move || {
+            cloned.execute("INSERT INTO TabP VALUES (Type_P('Thread'))").unwrap();
+            cloned.row_count("TabP")
+        });
+        assert_eq!(original.row_count("TabP"), 2);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "xmlord-session-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Regression (PR 9): `set_snapshot_every(0)` used to leave the WAL
+    /// unbounded with no way to compact it or even see its size. Now
+    /// `stats_report` exposes the log's entry count and byte length, a
+    /// reopen after N commits recovers correctly (replaying all N), and
+    /// [`Database::close`] compacts the log on clean shutdown.
+    #[test]
+    fn unbounded_wal_is_observable_and_close_compacts_it() {
+        let dir = temp_dir("walbound");
+        let mut d = Database::open(&dir, DbMode::Oracle9).unwrap();
+        d.set_snapshot_every(0);
+        d.execute_script(
+            "CREATE TYPE Type_P AS OBJECT(name VARCHAR(20));
+             CREATE TABLE TabP OF Type_P;",
+        )
+        .unwrap();
+        d.commit().unwrap();
+        for i in 0..5 {
+            d.execute(&format!("INSERT INTO TabP VALUES (Type_P('p{i}'))")).unwrap();
+            d.commit().unwrap();
+        }
+        let report = d.stats_report();
+        assert!(report.contains("wal_entries          6"), "{report}");
+        assert!(report.contains("wal_bytes"), "{report}");
+        assert!(report.contains("snapshot_every       0"), "{report}");
+        let dump = d.state_dump();
+        drop(d); // crash: no snapshot was ever written
+
+        // Recovery replays the whole history from the unbounded log.
+        let reopened = Database::open(&dir, DbMode::Oracle9).unwrap();
+        let report = *reopened.recovery_report().unwrap();
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.entries_replayed, 6);
+        assert_eq!(reopened.state_dump(), dump);
+        assert_eq!(reopened.row_count("TabP"), 5);
+
+        // Clean shutdown compacts: the next open loads the snapshot and
+        // replays nothing.
+        reopened.close().unwrap();
+        let d = Database::open(&dir, DbMode::Oracle9).unwrap();
+        let report = *d.recovery_report().unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.entries_replayed, 0);
+        assert_eq!(d.state_dump(), dump);
+        let rendered = d.stats_report();
+        assert!(rendered.contains("wal_entries          0"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

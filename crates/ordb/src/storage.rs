@@ -135,6 +135,16 @@ pub struct Storage {
     /// into [`crate::stats::ExecStats::index_maintenance_ops`] by the
     /// session after each statement.
     maintenance_ops: u64,
+    /// Bumped once per [`Storage::commit`] that made changes durable-
+    /// visible (non-empty undo log). Snapshot readers key their caches on
+    /// this: uncommitted churn and rollbacks never move it, so a reader
+    /// cache built at epoch E stays valid until the writer actually
+    /// commits something.
+    committed_epoch: u64,
+    /// Per-table [`Storage::table_version`] values as of each table's most
+    /// recent committed change. A reader whose pinned version matches
+    /// holds that table's committed rows bit-identically.
+    committed_versions: HashMap<Ident, u64>,
 }
 
 impl Storage {
@@ -372,9 +382,162 @@ impl Storage {
     }
 
     /// Make everything since the last commit permanent by discarding the
-    /// undo log.
+    /// undo log. Also publishes the commit to snapshot readers: the
+    /// committed epoch advances and every affected table's committed
+    /// version is pinned at its current mutation counter.
     pub fn commit(&mut self) {
+        if self.undo.is_empty() {
+            return;
+        }
+        let mut affected: std::collections::BTreeSet<&Ident> = std::collections::BTreeSet::new();
+        for op in &self.undo {
+            match op {
+                StorageUndo::Inserted { table, .. }
+                | StorageUndo::BulkInserted { table, .. }
+                | StorageUndo::Deleted { table, .. }
+                | StorageUndo::Wrote { table, .. }
+                | StorageUndo::Created { table }
+                | StorageUndo::Dropped { table, .. } => {
+                    affected.insert(table);
+                }
+                // Index structure is derived state rebuilt by readers from
+                // catalog definitions; it does not move committed row data.
+                StorageUndo::CreatedIndex { .. } | StorageUndo::DroppedIndex { .. } => {}
+            }
+        }
+        let pinned: Vec<(Ident, u64)> = affected
+            .into_iter()
+            .map(|t| (t.clone(), self.versions.get(t).copied().unwrap_or(0)))
+            .collect();
+        for (t, v) in pinned {
+            self.committed_versions.insert(t, v);
+        }
+        self.committed_epoch += 1;
         self.undo.clear();
+    }
+
+    // -- committed-state reconstruction (MVCC snapshot reads) -----------------
+
+    /// Commit counter — see the `committed_epoch` field.
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed_epoch
+    }
+
+    /// The table version as of `table`'s most recent committed change
+    /// (0 for tables never touched by a commit since this storage was
+    /// built).
+    pub fn committed_version(&self, table: &Ident) -> u64 {
+        self.committed_versions.get(table).copied().unwrap_or(0)
+    }
+
+    /// Tables that exist in the *committed* state, with their committed
+    /// versions — the live table set corrected by the uncommitted undo
+    /// tail (an uncommitted CREATE is not yet visible; an uncommitted DROP
+    /// still is).
+    pub fn committed_tables(&self) -> Vec<(Ident, u64)> {
+        let mut names: std::collections::BTreeSet<Ident> = self.tables.keys().cloned().collect();
+        for op in self.undo.iter().rev() {
+            match op {
+                StorageUndo::Created { table } => {
+                    names.remove(table);
+                }
+                StorageUndo::Dropped { table, .. } => {
+                    names.insert(table.clone());
+                }
+                _ => {}
+            }
+        }
+        names.into_iter().map(|t| { let v = self.committed_version(&t); (t, v) }).collect()
+    }
+
+    /// Reconstruct one table's heap as of the last commit by applying the
+    /// uncommitted undo tail (newest first) to a clone of the live heap —
+    /// the undo log *is* the delta between live and committed state.
+    /// `None` means the table does not exist in the committed state. The
+    /// writer is never blocked beyond the shared read lock the caller
+    /// already holds, and the live storage is untouched.
+    pub fn committed_heap(&self, table: &Ident) -> Option<TableData> {
+        let mut heap = self.tables.get(table).cloned();
+        for op in self.undo.iter().rev() {
+            match op {
+                StorageUndo::Inserted { table: t, .. } if t == table => {
+                    if let Some(data) = heap.as_mut() {
+                        data.rows.pop();
+                    }
+                }
+                StorageUndo::BulkInserted { table: t, count, .. } if t == table => {
+                    if let Some(data) = heap.as_mut() {
+                        data.rows.truncate(data.rows.len().saturating_sub(*count));
+                    }
+                }
+                StorageUndo::Deleted { table: t, removed } if t == table => {
+                    if let Some(data) = heap.as_mut() {
+                        for (slot, row) in removed {
+                            let at = (*slot).min(data.rows.len());
+                            data.rows.insert(at, row.clone());
+                        }
+                    }
+                }
+                StorageUndo::Wrote { table: t, slot, values } if t == table => {
+                    if let Some(row) = heap.as_mut().and_then(|d| d.rows.get_mut(*slot)) {
+                        row.values = values.clone();
+                    }
+                }
+                StorageUndo::Created { table: t } if t == table => {
+                    heap = None;
+                }
+                StorageUndo::Dropped { table: t, data } if t == table => {
+                    heap = Some(data.clone());
+                }
+                _ => {}
+            }
+        }
+        heap
+    }
+
+    /// The OID allocator position as of the last commit: the oldest
+    /// uncommitted insert's pre-image, or the live position when nothing
+    /// uncommitted allocated.
+    pub fn committed_next_oid(&self) -> u64 {
+        for op in &self.undo {
+            match op {
+                StorageUndo::Inserted { prev_next_oid, .. }
+                | StorageUndo::BulkInserted { prev_next_oid, .. } => return *prev_next_oid,
+                _ => {}
+            }
+        }
+        self.next_oid
+    }
+
+    /// Replace one table of a *reader cache* storage with a reconstructed
+    /// committed heap (`None` removes the table). The OID directory is
+    /// repaired from the old and new heaps, the table's mutation counter
+    /// advances, and its secondary indexes rebuild. Not undo-logged —
+    /// snapshot caches have no transactions to roll back.
+    pub fn install_table_snapshot(&mut self, table: &Ident, heap: Option<TableData>) {
+        if let Some(old) = self.tables.remove(table) {
+            for row in &old.rows {
+                if let Some(oid) = row.oid {
+                    self.oid_directory.remove(&oid);
+                }
+            }
+        }
+        if let Some(data) = heap {
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(oid) = row.oid {
+                    self.oid_directory.insert(oid, OidEntry { table: table.clone(), slot });
+                }
+            }
+            self.tables.insert(table.clone(), data);
+        }
+        self.touch(table);
+        self.rebuild_stale_indexes(table);
+    }
+
+    /// Set the OID allocator position on a reader cache (paired with
+    /// [`Storage::install_table_snapshot`]).
+    pub fn set_next_oid(&mut self, next_oid: u64) {
+        self.next_oid = next_oid;
     }
 
     /// Undo every mutation logged after `mark` (in reverse order). A mark
@@ -620,6 +783,8 @@ impl Storage {
             versions: HashMap::new(),
             indexes: BTreeMap::new(),
             maintenance_ops: 0,
+            committed_epoch: 0,
+            committed_versions: HashMap::new(),
         })
     }
 

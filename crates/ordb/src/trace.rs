@@ -16,11 +16,10 @@
 //! [`Database::stats_report`](crate::Database::stats_report) renders them.
 
 use crate::stats::ExecStats;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One traced phase of statement or pipeline processing.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,26 +120,28 @@ impl<F: FnMut(&TraceEvent)> TraceSink for CallbackSink<F> {
 /// Shared, clonable handle to a sink. The database keeps one; the caller
 /// keeps another to inspect what was collected. Cloning a traced
 /// [`Database`](crate::Database) shares the sink rather than copying it —
-/// tracing is an observation channel, not database state.
+/// tracing is an observation channel, not database state. The sink lives
+/// behind `Arc<Mutex<…>>` so a traced `Database` stays `Send` and can
+/// serve a connection thread.
 #[derive(Clone)]
 pub struct TraceHandle {
-    sink: Rc<RefCell<dyn TraceSink>>,
+    sink: Arc<Mutex<dyn TraceSink + Send>>,
 }
 
 impl TraceHandle {
-    pub fn new(sink: impl TraceSink + 'static) -> TraceHandle {
-        TraceHandle { sink: Rc::new(RefCell::new(sink)) }
+    pub fn new(sink: impl TraceSink + Send + 'static) -> TraceHandle {
+        TraceHandle { sink: Arc::new(Mutex::new(sink)) }
     }
 
     /// A ring-buffer sink plus a *typed* reference to it, so the caller can
     /// read the collected events back after the run without downcasting.
-    pub fn ring(capacity: usize) -> (TraceHandle, Rc<RefCell<RingBufferSink>>) {
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(capacity)));
+    pub fn ring(capacity: usize) -> (TraceHandle, Arc<Mutex<RingBufferSink>>) {
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(capacity)));
         (TraceHandle { sink: ring.clone() }, ring)
     }
 
     pub fn record(&self, event: &TraceEvent) {
-        self.sink.borrow_mut().record(event);
+        self.sink.lock().unwrap_or_else(PoisonError::into_inner).record(event);
     }
 }
 
@@ -242,6 +243,8 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn event(seq: u64) -> TraceEvent {
         TraceEvent {
@@ -309,7 +312,7 @@ mod tests {
         tracer.time("INSERT", 40);
         assert_eq!(tracer.timings()["INSERT"].samples(), 2);
         // The shared ring saw both events in order.
-        let seqs: Vec<u64> = ring.borrow().events().map(|e| e.seq).collect();
+        let seqs: Vec<u64> = ring.lock().unwrap().events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1]);
     }
 }

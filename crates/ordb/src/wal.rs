@@ -1129,6 +1129,7 @@ fn io_err(context: &str, e: std::io::Error) -> DbError {
 pub struct WalWriter {
     file: File,
     seq: u64,
+    len_bytes: u64,
 }
 
 impl WalWriter {
@@ -1149,7 +1150,7 @@ impl WalWriter {
         };
         file.write_all(&header).map_err(|e| io_err("write WAL header", e))?;
         file.sync_data().map_err(|e| io_err("sync WAL header", e))?;
-        Ok(WalWriter { file, seq: 0 })
+        Ok(WalWriter { file, seq: 0, len_bytes: HEADER_LEN })
     }
 
     /// Attach to an existing log whose scan reported `valid_len` good bytes
@@ -1164,12 +1165,19 @@ impl WalWriter {
         file.set_len(valid_len).map_err(|e| io_err("truncate torn WAL tail", e))?;
         file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek WAL", e))?;
         file.sync_data().map_err(|e| io_err("sync truncated WAL", e))?;
-        Ok(WalWriter { file, seq })
+        Ok(WalWriter { file, seq, len_bytes: valid_len })
     }
 
     /// Sequence number of the last appended entry (0 if none yet).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Current on-disk length of the log in bytes (header included) —
+    /// what [`crate::Database::stats_report`] exposes so a long-running
+    /// server can watch its recovery debt grow.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
     }
 
     /// Append one committed transaction and fsync. Returns the entry's
@@ -1191,6 +1199,7 @@ impl WalWriter {
         self.file.write_all(&frame).map_err(|e| io_err("append WAL entry", e))?;
         self.file.sync_data().map_err(|e| io_err("fsync WAL entry", e))?;
         self.seq = seq;
+        self.len_bytes += frame.len() as u64;
         Ok(seq)
     }
 
@@ -1201,6 +1210,7 @@ impl WalWriter {
         self.file.set_len(HEADER_LEN).map_err(|e| io_err("reset WAL", e))?;
         self.file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek WAL", e))?;
         self.file.sync_data().map_err(|e| io_err("sync reset WAL", e))?;
+        self.len_bytes = HEADER_LEN;
         Ok(())
     }
 }

@@ -1,0 +1,89 @@
+//! `xmlord-server` — serve an engine instance over TCP.
+//!
+//! ```text
+//! xmlord-server [--addr HOST:PORT] [--dir PATH] [--mode oracle8|oracle9]
+//! ```
+//!
+//! `--dir` opens (or creates) a durable database in that directory;
+//! without it the server is in-memory. The process serves until killed;
+//! with `--dir`, Ctrl-C loses nothing that was committed (the WAL replays
+//! on the next start).
+
+use std::process::ExitCode;
+
+use xmlord_ordb::{Database, DbMode};
+use xmlord_server::Server;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut dir: Option<String> = None;
+    let mut mode = DbMode::Oracle9;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--dir" => match args.next() {
+                Some(v) => dir = Some(v),
+                None => return usage("--dir needs a path"),
+            },
+            "--mode" => match args.next().as_deref() {
+                Some("oracle8") => mode = DbMode::Oracle8,
+                Some("oracle9") => mode = DbMode::Oracle9,
+                _ => return usage("--mode is oracle8 or oracle9"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let db = match &dir {
+        Some(dir) => match Database::open(dir, mode) {
+            Ok(db) => {
+                if let Some(r) = db.recovery_report() {
+                    eprintln!(
+                        "recovered {dir}: snapshot={} entries_replayed={} last_seq={}",
+                        r.snapshot_loaded, r.entries_replayed, r.last_seq
+                    );
+                }
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Database::new(mode),
+    };
+
+    let server = match Server::bind(&addr, db) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!("listening on {bound} ({mode:?}, {})",
+            if dir.is_some() { "durable" } else { "in-memory" }),
+        Err(_) => eprintln!("listening ({mode:?})"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("server stopped: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: xmlord-server [--addr HOST:PORT] [--dir PATH] [--mode oracle8|oracle9]"
+    );
+    if error.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

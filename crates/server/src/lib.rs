@@ -1,0 +1,236 @@
+//! A minimal text-protocol front end over the engine.
+//!
+//! One process owns the single writing [`Database`]; every TCP connection
+//! gets its own session. SELECT / EXPLAIN statements run on the
+//! connection's private [`ReadSession`] — a committed-state snapshot
+//! cache, so queries never block ingest and never observe uncommitted
+//! state ([`xmlord_ordb::mvcc`]). Everything else (DDL, DML, COMMIT,
+//! ROLLBACK) is serialized through the writer behind a mutex, exactly one
+//! statement at a time.
+//!
+//! # Protocol
+//!
+//! Line-oriented, UTF-8. The client sends SQL terminated by `;` (possibly
+//! spanning multiple lines) or a one-line dot-command. The server answers:
+//!
+//! ```text
+//! | v1 <TAB> v2 ...     one line per result row (SELECT / EXPLAIN)
+//! OK <n>                success; n = rows returned (queries) or 0
+//! ERR <message>         failure (single line, newlines flattened)
+//! # ...                 informational lines (greeting, .stats output)
+//! ```
+//!
+//! Dot-commands: `.help`, `.stats` (the connection's reader statistics and
+//! the writer's report), `.epoch` (the reader's pinned committed epochs),
+//! `.quit`.
+//!
+//! Transaction semantics are the engine's: writes become visible to the
+//! read sessions of *all* connections at `COMMIT;`, not before.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+use xmlord_ordb::mvcc::ReadSession;
+use xmlord_ordb::{Database, QueryResult};
+
+/// The shared writer handle: every connection's write path funnels
+/// through this mutex; read paths never take it (they refresh against the
+/// engine's internal lock instead).
+pub type SharedWriter = Arc<Mutex<Database>>;
+
+/// A bound, not-yet-serving server. [`Server::bind`] to create,
+/// [`Server::run`] to serve forever, or [`Server::spawn`] to serve from a
+/// background thread (tests bind port 0 and spawn).
+pub struct Server {
+    listener: TcpListener,
+    writer: SharedWriter,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for an ephemeral
+    /// port) around an already-constructed database.
+    pub fn bind(addr: &str, db: Database) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, writer: Arc::new(Mutex::new(db)) })
+    }
+
+    /// The bound address — the way to learn the real port after binding 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared writer handle (for embedding scenarios that pre-load
+    /// data or inspect state while the server runs).
+    pub fn writer(&self) -> SharedWriter {
+        Arc::clone(&self.writer)
+    }
+
+    /// Accept loop: one thread per connection, forever. Accept errors on
+    /// an individual connection are logged to stderr and skipped.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let writer = Arc::clone(&self.writer);
+                    thread::spawn(move || {
+                        let peer = stream.peer_addr().map(|a| a.to_string());
+                        if let Err(e) = serve_connection(stream, writer) {
+                            eprintln!(
+                                "connection {} ended: {e}",
+                                peer.as_deref().unwrap_or("?")
+                            );
+                        }
+                    });
+                }
+                Err(e) => eprintln!("accept failed: {e}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread; returns the handle the
+    /// caller can use to reach the shared writer. The thread serves until
+    /// the process exits.
+    pub fn spawn(self) -> SharedWriter {
+        let writer = Arc::clone(&self.writer);
+        thread::spawn(move || {
+            let _ = self.run();
+        });
+        writer
+    }
+}
+
+/// Serve one connection to completion: greeting, then a
+/// statement/dot-command loop until `.quit` or EOF.
+fn serve_connection(stream: TcpStream, writer: SharedWriter) -> io::Result<()> {
+    let mut out = stream.try_clone()?;
+    let mut reader =
+        writer.lock().unwrap_or_else(PoisonError::into_inner).read_session();
+    writeln!(out, "# xmlord server ready (statements end with ';', .help for commands)")?;
+
+    let lines = BufReader::new(stream).lines();
+    let mut pending = String::new();
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if pending.is_empty() && trimmed.starts_with('.') {
+            match run_dot_command(trimmed, &mut out, &mut reader, &writer)? {
+                ControlFlow::Continue => continue,
+                ControlFlow::Quit => break,
+            }
+        }
+        if !pending.is_empty() {
+            pending.push('\n');
+        }
+        pending.push_str(&line);
+        let statement = pending.trim();
+        if !statement.ends_with(';') {
+            continue;
+        }
+        let statement = statement.trim_end_matches(';').trim().to_string();
+        pending.clear();
+        if statement.is_empty() {
+            writeln!(out, "OK 0")?;
+            continue;
+        }
+        respond(&mut out, &statement, &mut reader, &writer)?;
+    }
+    Ok(())
+}
+
+enum ControlFlow {
+    Continue,
+    Quit,
+}
+
+fn run_dot_command(
+    cmd: &str,
+    out: &mut TcpStream,
+    reader: &mut ReadSession,
+    writer: &SharedWriter,
+) -> io::Result<ControlFlow> {
+    match cmd {
+        ".quit" | ".exit" => {
+            writeln!(out, "OK 0")?;
+            return Ok(ControlFlow::Quit);
+        }
+        ".help" => {
+            writeln!(out, "# statements: any engine SQL terminated by ';'")?;
+            writeln!(out, "# SELECT/EXPLAIN run on this connection's snapshot reader;")?;
+            writeln!(out, "# other statements go to the shared writer (COMMIT publishes)")?;
+            writeln!(out, "# dot-commands: .help .stats .epoch .quit")?;
+            writeln!(out, "OK 0")?;
+        }
+        ".stats" => {
+            let stats = reader.stats();
+            let (fresh, incremental, full) = reader.refresh_counts();
+            writeln!(
+                out,
+                "# reader: statements={} rows_scanned={} refreshes fresh={fresh} \
+                 incremental={incremental} full={full}",
+                stats.statements, stats.rows_scanned
+            )?;
+            let report = writer.lock().unwrap_or_else(PoisonError::into_inner).stats_report();
+            for line in report.lines() {
+                writeln!(out, "# {line}")?;
+            }
+            writeln!(out, "OK 0")?;
+        }
+        ".epoch" => {
+            let (storage, catalog) = reader.refresh();
+            writeln!(out, "# pinned storage epoch {storage}, catalog epoch {catalog}")?;
+            writeln!(out, "OK 0")?;
+        }
+        other => {
+            writeln!(out, "ERR unknown command {other} (try .help)")?;
+        }
+    }
+    Ok(ControlFlow::Continue)
+}
+
+/// Execute one statement and write its response. Queries go to the
+/// snapshot reader; everything else locks the writer for the duration of
+/// the single statement.
+fn respond(
+    out: &mut TcpStream,
+    statement: &str,
+    reader: &mut ReadSession,
+    writer: &SharedWriter,
+) -> io::Result<()> {
+    if is_read_only(statement) {
+        match reader.query(statement) {
+            Ok(result) => write_result(out, &result),
+            Err(e) => write_err(out, &e.to_string()),
+        }
+    } else {
+        let outcome =
+            writer.lock().unwrap_or_else(PoisonError::into_inner).execute(statement);
+        match outcome {
+            Ok(Some(result)) => write_result(out, &result),
+            Ok(None) => writeln!(out, "OK 0"),
+            Err(e) => write_err(out, &e.to_string()),
+        }
+    }
+}
+
+/// Route on the leading keyword: SELECT and EXPLAIN are served by the
+/// snapshot reader. The engine re-validates either way — a mis-routed
+/// write would be rejected by the read session, never silently applied.
+fn is_read_only(statement: &str) -> bool {
+    let first = statement.split_whitespace().next().unwrap_or("");
+    first.eq_ignore_ascii_case("SELECT") || first.eq_ignore_ascii_case("EXPLAIN")
+}
+
+fn write_result(out: &mut TcpStream, result: &QueryResult) -> io::Result<()> {
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "| {}", cells.join("\t"))?;
+    }
+    writeln!(out, "OK {}", result.rows.len())
+}
+
+fn write_err(out: &mut TcpStream, message: &str) -> io::Result<()> {
+    writeln!(out, "ERR {}", message.replace('\n', " "))
+}

@@ -1,0 +1,105 @@
+//! In-process smoke test: bind an ephemeral port, speak the wire protocol
+//! end to end, and check the MVCC visibility rule — a second connection's
+//! snapshot reader sees committed state only.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use xmlord_ordb::{Database, DbMode};
+use xmlord_server::Server;
+
+/// One wire client: send a statement (or dot-command), collect response
+/// lines through the terminating `OK`/`ERR`.
+struct Client {
+    out: TcpStream,
+    lines: std::io::Lines<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn connect(addr: &std::net::SocketAddr) -> Client {
+        let out = TcpStream::connect(addr).unwrap();
+        let lines = BufReader::new(out.try_clone().unwrap()).lines();
+        let mut client = Client { out, lines };
+        // Swallow the greeting.
+        let greeting = client.next_line();
+        assert!(greeting.starts_with("# xmlord server ready"), "{greeting}");
+        client
+    }
+
+    fn next_line(&mut self) -> String {
+        self.lines.next().unwrap().unwrap()
+    }
+
+    /// Send one request, return every response line up to and including
+    /// the `OK`/`ERR` terminator.
+    fn send(&mut self, request: &str) -> Vec<String> {
+        writeln!(self.out, "{request}").unwrap();
+        let mut response = Vec::new();
+        loop {
+            let line = self.next_line();
+            let done = line.starts_with("OK ") || line.starts_with("ERR ");
+            response.push(line);
+            if done {
+                return response;
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_protocol_end_to_end() {
+    let server = Server::bind("127.0.0.1:0", Database::new(DbMode::Oracle9)).unwrap();
+    let addr = server.local_addr().unwrap();
+    server.spawn();
+
+    let mut a = Client::connect(&addr);
+    assert_eq!(
+        a.send("CREATE TYPE Type_P AS OBJECT(name VARCHAR(20), dept VARCHAR(20));"),
+        ["OK 0"]
+    );
+    assert_eq!(a.send("CREATE TABLE TabP OF Type_P;"), ["OK 0"]);
+    assert_eq!(a.send("COMMIT;"), ["OK 0"]);
+    assert_eq!(a.send("INSERT INTO TabP VALUES (Type_P('Kudrass', 'DB'));"), ["OK 0"]);
+
+    // Connection B's snapshot reader sees the committed (empty) table but
+    // must not see A's uncommitted insert.
+    let mut b = Client::connect(&addr);
+    assert_eq!(b.send("SELECT name FROM TabP;"), ["OK 0"]);
+
+    // COMMIT publishes; now B sees the row.
+    assert_eq!(a.send("COMMIT;"), ["OK 0"]);
+    assert_eq!(b.send("SELECT name FROM TabP;"), ["| Kudrass", "OK 1"]);
+
+    // Multi-line statement, multi-row ordered result.
+    assert_eq!(a.send("INSERT INTO TabP VALUES (Type_P('Conrad', 'DB'));"), ["OK 0"]);
+    assert_eq!(a.send("COMMIT;"), ["OK 0"]);
+    let rows = b.send("SELECT name, dept FROM TabP\nORDER BY name;");
+    assert_eq!(rows, ["| Conrad\tDB", "| Kudrass\tDB", "OK 2"]);
+
+    // EXPLAIN is served read-only too.
+    let plan = b.send("EXPLAIN SELECT name FROM TabP;");
+    assert!(plan.len() > 1, "{plan:?}");
+    assert!(plan.last().unwrap().starts_with("OK "), "{plan:?}");
+
+    // Errors come back as one ERR line; the connection stays usable.
+    let err = b.send("SELECT nope FROM TabMissing;");
+    assert_eq!(err.len(), 1, "{err:?}");
+    assert!(err[0].starts_with("ERR "), "{err:?}");
+    assert_eq!(b.send("SELECT COUNT(*) FROM TabP;"), ["| 2", "OK 1"]);
+
+    // A write on a *reader-looking* connection still routes to the writer
+    // (routing is by statement kind, not by connection).
+    assert_eq!(b.send("DELETE FROM TabP WHERE name = 'Conrad';"), ["OK 0"]);
+    assert_eq!(b.send("COMMIT;"), ["OK 0"]);
+    assert_eq!(a.send("SELECT COUNT(*) FROM TabP;"), ["| 1", "OK 1"]);
+
+    // Dot-commands.
+    let epoch = b.send(".epoch");
+    assert!(epoch[0].starts_with("# pinned storage epoch"), "{epoch:?}");
+    let stats = b.send(".stats");
+    assert!(stats.iter().any(|l| l.starts_with("# reader:")), "{stats:?}");
+    assert!(stats.iter().any(|l| l.contains("plan_cache_hits")), "{stats:?}");
+    let unknown = b.send(".nonsense");
+    assert!(unknown[0].starts_with("ERR unknown command"), "{unknown:?}");
+    assert_eq!(b.send(".quit"), ["OK 0"]);
+}

@@ -291,6 +291,6 @@ fn drift_errors_reproduce_as_load_failures() {
     assert!(err.is_err(), "store succeeded against a dropped root table");
 
     // Standalone checker agrees with the pipeline wrapper.
-    let standalone = check_catalog_drift(&schema, sys.database().catalog()).unwrap();
+    let standalone = check_catalog_drift(&schema, &sys.database().catalog()).unwrap();
     assert!(standalone.diagnostics.iter().any(|d| d.code == "DRIFT001"));
 }

@@ -41,6 +41,14 @@
 //! multi-core host the process exits non-zero unless 4 readers clear 2×
 //! aggregate throughput; on fewer cores the gate falls back to the
 //! measured parallel fraction (the Amdahl bound for that speedup).
+//!
+//! `retrieve` writes JSON to stdout (`experiments retrieve >
+//! BENCH_PR10.json`): set-oriented bulk document reconstruction against
+//! the naive per-node walker on the same loaded database — the or8
+//! inverted mapping swept 100→20 000 students and the edge mapping on a
+//! capped sweep (its naive walker is O(nodes × rows)). Byte-identity is
+//! asserted at every scale; the process exits non-zero unless at least
+//! one mapping's top scale clears a 5× speedup.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -76,6 +84,7 @@ const EXPERIMENTS: &[&str] = &[
     "planner",
     "durability",
     "concurrency",
+    "retrieve",
 ];
 
 fn main() {
@@ -133,6 +142,9 @@ fn main() {
     }
     if all || which == "concurrency" {
         concurrency();
+    }
+    if all || which == "retrieve" {
+        retrieve_experiment();
     }
     if all || which == "analyze" {
         let mode_filter = std::env::args().nth(2).unwrap_or_else(|| "both".to_string());
@@ -1869,6 +1881,158 @@ fn concurrency() {
                  Amdahl threshold for 2x at 4 readers"
             );
         }
+        std::process::exit(1);
+    }
+}
+
+/// E23 — set-oriented bulk document reconstruction vs the naive per-node
+/// walker, on the same loaded database (JSON on stdout → BENCH_PR10.json).
+///
+/// Two mappings exercise the two bulk access paths: or8 (inverted
+/// ParentRef children — the hash-build multimap) swept to 20 000 students,
+/// and edge (one KeyedRows map over TabEdge/TabValue) on a capped sweep,
+/// because the *naive* edge walker re-scans both tables per node —
+/// O(nodes × rows) — and becomes minutes-slow past a few thousand
+/// students. Byte-identity is asserted at every scale; at least one
+/// mapping's top scale must clear a 5× speedup or the process exits
+/// non-zero.
+fn retrieve_experiment() {
+    use xmlord_shred::retrieve::reconstruct_edge;
+    use xmlord_workload::university::university_dtd;
+    use xmlord_xml::serializer::{serialize, SerializeOptions};
+
+    eprintln!("E23 — bulk vs naive document reconstruction (JSON on stdout)");
+
+    fn median(mut xs: Vec<u128>) -> f64 {
+        xs.sort_unstable();
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2] as f64
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) as f64 / 2.0
+        }
+    }
+
+    let or8_scales: &[usize] = &[100, 1_000, 5_000, 20_000];
+    let edge_scales: &[usize] = &[100, 500, 2_500];
+    let repeats = 3;
+    let opts = SerializeOptions::compact();
+
+    let mut or8_sweep = Vec::new();
+    for &students in or8_scales {
+        // Load through the pipeline's batched path (PR 5) with load
+        // indexes on the synthetic-id columns — without them the inverted
+        // mapping's parent-wiring subqueries make ingest quadratic and
+        // the 20 000-student setup alone would dwarf the measurement.
+        let mut sys = Xml2OrDb::with_options(
+            DbMode::Oracle8,
+            MappingOptions { varray_max: 100_000, ..Default::default() },
+        );
+        sys.register_dtd("uni", university_dtd(), "University").unwrap();
+        sys.create_load_indexes("uni").unwrap();
+        let (xml, _) = university_doc(students);
+        let id = sys.store_document("uni", &xml).unwrap();
+        let rows = sys.database().storage().total_rows();
+
+        sys.database().set_bulk_retrieval(true);
+        let mut bulk_times = Vec::new();
+        let mut bulk_text = String::new();
+        for _ in 0..repeats {
+            let start = Instant::now();
+            bulk_text = sys.retrieve_document(&id).unwrap();
+            bulk_times.push(start.elapsed().as_micros());
+        }
+        // Baseline: same database, same rows, valve off — the recursive
+        // per-node walker exactly as it stood before this change. One
+        // measurement; the comparison is algorithmic, not noise-bound.
+        sys.database().set_bulk_retrieval(false);
+        let start = Instant::now();
+        let naive_text = sys.retrieve_document(&id).unwrap();
+        let naive_us = start.elapsed().as_micros() as f64;
+
+        assert_eq!(bulk_text, naive_text, "or8 walkers diverged at {students}");
+        let bulk_us = median(bulk_times);
+        let speedup = naive_us / bulk_us.max(1.0);
+        eprintln!(
+            "  or8  students={students} rows={rows} bulk={:.1}ms naive={:.1}ms speedup={speedup:.1}x",
+            bulk_us / 1000.0,
+            naive_us / 1000.0
+        );
+        or8_sweep.push((students, rows, bulk_us, naive_us, speedup));
+    }
+
+    let mut edge_sweep = Vec::new();
+    for &students in edge_scales {
+        let mut instance = setup(Strategy::Edge);
+        let (_, doc) = university_doc(students);
+        let load = instance.load(&doc);
+        let storage = instance.db.storage();
+
+        let mut bulk_times = Vec::new();
+        let mut bulk_doc = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let d = reconstruct_edge(&storage, true).unwrap();
+            bulk_times.push(start.elapsed().as_micros());
+            bulk_doc = Some(d);
+        }
+        let start = Instant::now();
+        let naive_doc = reconstruct_edge(&storage, false).unwrap();
+        let naive_us = start.elapsed().as_micros() as f64;
+
+        let bulk_text = serialize(&bulk_doc.unwrap(), &opts);
+        assert_eq!(bulk_text, serialize(&naive_doc, &opts), "edge walkers diverged at {students}");
+        let bulk_us = median(bulk_times);
+        let speedup = naive_us / bulk_us.max(1.0);
+        eprintln!(
+            "  edge students={students} rows={} bulk={:.1}ms naive={:.1}ms speedup={speedup:.1}x",
+            load.rows,
+            bulk_us / 1000.0,
+            naive_us / 1000.0
+        );
+        edge_sweep.push((students, load.rows, bulk_us, naive_us, speedup));
+    }
+
+    let or8_top = or8_sweep.last().unwrap().4;
+    let edge_top = edge_sweep.last().unwrap().4;
+    let gate_ok = or8_top >= 5.0 || edge_top >= 5.0;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"experiment\": \"PR10 set-oriented bulk document reconstruction vs the naive \
+         per-node walker\",\n",
+    );
+    out.push_str(&format!(
+        "  \"setup\": {{\"workload\": \"university\", \"repeats\": {repeats}, \
+         \"baseline\": \"set_bulk_retrieval(false) on the same loaded database\", \
+         \"edge_cap\": \"edge sweep capped at 2500 students: the naive edge walker is \
+         O(nodes x rows)\"}},\n"
+    ));
+    for (key, sweep) in [("or8_sweep", &or8_sweep), ("edge_sweep", &edge_sweep)] {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, (students, rows, bulk_us, naive_us, speedup)) in sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"students\": {students}, \"rows\": {rows}, \"bulk_ms\": {:.2}, \
+                 \"naive_ms\": {:.2}, \"speedup\": {speedup:.1}, \"identical\": true}}{}\n",
+                bulk_us / 1000.0,
+                naive_us / 1000.0,
+                if i + 1 == sweep.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str(&format!(
+        "  \"gates\": {{\"or8_top_speedup\": {or8_top:.1}, \"edge_top_speedup\": {edge_top:.1}, \
+         \"threshold\": 5.0, \"rule\": \"top scale of edge OR or8 >= 5x\", \"pass\": {gate_ok}}}\n"
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+
+    if !gate_ok {
+        eprintln!(
+            "retrieve: no mapping cleared the 5x gate (or8 {or8_top:.1}x, edge {edge_top:.1}x)"
+        );
         std::process::exit(1);
     }
 }

@@ -211,6 +211,11 @@ pub struct LoadMeasurement {
 }
 
 impl Instance {
+    /// The generated object-relational schema (or9/or8/rel instances).
+    pub fn or_schema(&self) -> Option<&MappedSchema> {
+        self.or_schema.as_ref()
+    }
+
     /// Generate the INSERT statements for `doc` (not executed).
     pub fn load_statements(&self, doc: &Document) -> Vec<String> {
         match self.strategy {

@@ -34,6 +34,10 @@ pub enum MappingError {
     /// invariant (e.g. a REF collection whose element has no object type) —
     /// it was built by hand or mutated after generation.
     MalformedMapping(String),
+    /// Streaming export failed on the output writer ([`std::io::Error`]
+    /// rendered to text: the error itself is neither `Clone` nor
+    /// `PartialEq`, which this enum is).
+    Io(String),
 }
 
 impl fmt::Display for MappingError {
@@ -63,6 +67,7 @@ impl fmt::Display for MappingError {
             MappingError::MalformedMapping(msg) => {
                 write!(f, "mapped schema violates a generator invariant: {msg}")
             }
+            MappingError::Io(msg) => write!(f, "output error: {msg}"),
         }
     }
 }
@@ -72,6 +77,12 @@ impl std::error::Error for MappingError {}
 impl From<DbError> for MappingError {
     fn from(e: DbError) -> Self {
         MappingError::Db(e)
+    }
+}
+
+impl From<std::io::Error> for MappingError {
+    fn from(e: std::io::Error) -> Self {
+        MappingError::Io(e.to_string())
     }
 }
 

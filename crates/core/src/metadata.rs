@@ -14,11 +14,29 @@
 //! entity references.
 
 use xmlord_dtd::ast::{Dtd, EntityDecl};
-use xmlord_ordb::{Database, DbError, Value};
+use xmlord_ordb::{Database, DbError, QueryResult, ReadSession, Value};
 use xmlord_xml::{Document, EntityCatalog};
 
 use crate::error::MappingError;
 use crate::model::{FieldSource, MappedSchema};
+
+/// A source the metadata readers can query: the writer handle, or an MVCC
+/// [`ReadSession`] (which answers from its pinned committed snapshot).
+pub trait MetaSource {
+    fn meta_query(&mut self, sql: &str) -> Result<QueryResult, DbError>;
+}
+
+impl MetaSource for Database {
+    fn meta_query(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.query(sql)
+    }
+}
+
+impl MetaSource for ReadSession {
+    fn meta_query(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.query(sql)
+    }
+}
 
 /// The fixed meta-schema DDL. Executed once per database.
 ///
@@ -197,10 +215,13 @@ pub fn metadata_insert(
 }
 
 /// Read a document's metadata back from the database.
-pub fn read_metadata(db: &mut Database, doc_id: &str) -> Result<DocMetadata, MappingError> {
+pub fn read_metadata<S: MetaSource + ?Sized>(
+    db: &mut S,
+    doc_id: &str,
+) -> Result<DocMetadata, MappingError> {
     let q = doc_id.replace('\'', "''");
     let result = db
-        .query(&format!("SELECT * FROM TabMetadata m WHERE m.DocID = '{q}'"))
+        .meta_query(&format!("SELECT * FROM TabMetadata m WHERE m.DocID = '{q}'"))
         .map_err(map_meta_err)?;
     let row = result
         .rows
@@ -317,9 +338,11 @@ pub fn schema_registry_insert(row: &SchemaRegistryRow) -> String {
 
 /// Read the full schema registry back, in registration-independent
 /// (name-sorted) order.
-pub fn read_schema_registry(db: &mut Database) -> Result<Vec<SchemaRegistryRow>, MappingError> {
+pub fn read_schema_registry<S: MetaSource + ?Sized>(
+    db: &mut S,
+) -> Result<Vec<SchemaRegistryRow>, MappingError> {
     let result = db
-        .query(
+        .meta_query(
             "SELECT s.SchemaName, s.RootElement, s.SourceKind, s.SourceText, \
              s.SchemaID, s.IdrefTargets FROM TabSchemas s ORDER BY s.SchemaName",
         )

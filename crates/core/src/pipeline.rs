@@ -25,7 +25,7 @@ use crate::metadata::{
     DocMetadata, SchemaRegistryRow,
 };
 use crate::model::{MappedSchema, MappingOptions};
-use crate::retriever::retrieve_document;
+use crate::retriever::{retrieve_snapshot, retrieve_with_stats, RetrievalStats};
 use crate::schemagen::{generate_schema, IdrefTargets};
 
 /// How generated load operations reach the engine.
@@ -337,17 +337,7 @@ impl Xml2OrDb {
         schema_id: Option<String>,
         idref_targets: &IdrefTargets,
     ) -> Result<(Dtd, MappedSchema, String), MappingError> {
-        let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
-        let mut options = self.options.clone();
-        if options.schema_id.is_none() {
-            options.schema_id = schema_id;
-        }
-        if !idref_targets.is_empty() {
-            options.map_idrefs = true;
-        }
-        let schema = generate_schema(&dtd, root, self.db.mode(), options, idref_targets)?;
-        let script = create_script(&schema)?;
-        Ok((dtd, schema, script))
+        derive_dtd_schema(dtd_text, root, schema_id, idref_targets, self.db.mode(), &self.options)
     }
 
     /// XSD counterpart of [`Self::build_dtd_schema`].
@@ -357,32 +347,7 @@ impl Xml2OrDb {
         root: &str,
         schema_id: Option<String>,
     ) -> Result<(Dtd, MappedSchema, String), MappingError> {
-        let xsd = xmlord_dtd::xsd::parse_xsd(xsd_text)
-            .map_err(|e| MappingError::Unsupported(format!("XSD analysis failed: {e}")))?;
-        if xsd.dtd.element(root).is_none() {
-            return Err(MappingError::RootNotDeclared(root.to_string()));
-        }
-        let mut options = self.options.clone();
-        if options.schema_id.is_none() {
-            options.schema_id = schema_id;
-        }
-        // Convert the XSD scalar hints into mapping type hints.
-        let to_scalar = |h: &xmlord_dtd::xsd::ScalarHint| match h {
-            xmlord_dtd::xsd::ScalarHint::Varchar(n) => crate::model::ScalarType::Varchar(*n),
-            xmlord_dtd::xsd::ScalarHint::Clob => crate::model::ScalarType::Clob,
-            xmlord_dtd::xsd::ScalarHint::Number => crate::model::ScalarType::Number,
-            xmlord_dtd::xsd::ScalarHint::Date => crate::model::ScalarType::Date,
-        };
-        for (element, hint) in &xsd.element_hints {
-            options.type_hints.elements.insert(element.clone(), to_scalar(hint));
-        }
-        for (key, hint) in &xsd.attribute_hints {
-            options.type_hints.attributes.insert(key.clone(), to_scalar(hint));
-        }
-        let schema =
-            generate_schema(&xsd.dtd, root, self.db.mode(), options, &IdrefTargets::new())?;
-        let script = create_script(&schema)?;
-        Ok((xsd.dtd, schema, script))
+        derive_xsd_schema(xsd_text, root, schema_id, self.db.mode(), &self.options)
     }
 
     /// Execute a derived schema's DDL plus its `TabSchemas` registry row as
@@ -690,7 +655,9 @@ impl Xml2OrDb {
         let span = self.db.trace_begin("retrieve", doc_id.to_string());
         let result = (|| {
             let meta = read_metadata(&mut self.db, doc_id)?;
-            let doc = retrieve_document(&self.db, &registered.schema, &meta)?;
+            let (doc, stats) = retrieve_with_stats(&self.db, &registered.schema, &meta)?;
+            let bulk = self.db.bulk_retrieval();
+            self.db.record_retrieval(stats.table_scans, stats.index_probes, bulk);
             Ok((doc, meta))
         })();
         self.db.trace_end(span);
@@ -701,13 +668,225 @@ impl Xml2OrDb {
     /// original entity references from the meta-data (§6.1).
     pub fn retrieve_document(&mut self, doc_id: &str) -> Result<String, MappingError> {
         let (doc, meta) = self.retrieve_dom(doc_id)?;
-        let opts = SerializeOptions {
-            include_declaration: true,
-            include_doctype: false,
-            indent: None,
-            entity_catalog: Some(meta.entity_catalog()),
-        };
-        Ok(serialize(&doc, &opts))
+        Ok(serialize(&doc, &retrieval_serialize_options(&meta)))
+    }
+
+    /// Reconstruct a stored document as XML text, streaming the bytes into
+    /// `out` instead of materializing a `String` ([`MappingError::Io`]
+    /// surfaces writer failures).
+    pub fn export_to_writer<W: std::io::Write>(
+        &mut self,
+        doc_id: &str,
+        out: &mut W,
+    ) -> Result<(), MappingError> {
+        let (doc, meta) = self.retrieve_dom(doc_id)?;
+        let opts = retrieval_serialize_options(&meta);
+        xmlord_xml::serializer::serialize_to(&doc, &opts, out)?;
+        Ok(())
+    }
+
+    /// Reconstruct many stored documents, fanning the work across
+    /// [`xmlord_ordb::ReadSession`] snapshot readers — one per worker (see
+    /// [`Self::set_load_workers`]). Results come back in request order and
+    /// are byte-identical to serial [`Self::retrieve_document`] calls; the
+    /// retrieval counters fold into this handle's [`ExecStats`] afterwards.
+    pub fn retrieve_documents(&mut self, doc_ids: &[&str]) -> Result<Vec<String>, MappingError> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        if doc_ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.load_workers.min(doc_ids.len());
+        if workers <= 1 {
+            return doc_ids.iter().map(|id| self.retrieve_document(id)).collect();
+        }
+        // Resolve every document's schema up front: unknown ids fail before
+        // any worker starts, exactly as the serial loop's first failure.
+        let jobs: Vec<(&str, &RegisteredSchema)> = doc_ids
+            .iter()
+            .map(|&doc_id| {
+                let schema_name = self
+                    .documents
+                    .get(doc_id)
+                    .ok_or_else(|| MappingError::NoSuchDocument(doc_id.to_string()))?;
+                let registered = self.schemas.get(schema_name).ok_or_else(|| {
+                    MappingError::InconsistentMapping(format!(
+                        "document '{doc_id}' references schema '{schema_name}' \
+                         which is no longer registered"
+                    ))
+                })?;
+                Ok((doc_id, registered))
+            })
+            .collect::<Result<_, MappingError>>()?;
+
+        let span = self.db.trace_begin(
+            "bulk-retrieve",
+            format!("{} documents, {workers} workers", doc_ids.len()),
+        );
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel();
+        let db = &self.db;
+        let result: Result<(Vec<String>, Vec<RetrievalStats>), MappingError> =
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, cancelled, jobs) = (&next, &cancelled, &jobs);
+                    s.spawn(move || {
+                        // Each worker reads through its own MVCC snapshot
+                        // reader; the sessions all pin the same committed
+                        // state, so worker count cannot change the bytes.
+                        let mut session = db.read_session();
+                        loop {
+                            if cancelled.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let (doc_id, registered) = jobs[i];
+                            let out = retrieve_snapshot(&mut session, &registered.schema, doc_id)
+                                .map(|(doc, meta, stats)| {
+                                    let opts = retrieval_serialize_options(&meta);
+                                    (serialize(&doc, &opts), stats)
+                                });
+                            if tx.send((i, out)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                let mut pending = BTreeMap::new();
+                let mut texts = Vec::with_capacity(jobs.len());
+                let mut stats = Vec::with_capacity(jobs.len());
+                let result = (|| {
+                    while texts.len() < jobs.len() {
+                        let (i, out) = rx.recv().expect("every document sends one result");
+                        pending.insert(i, out);
+                        while let Some(out) = pending.remove(&texts.len()) {
+                            let (text, s) = out?;
+                            texts.push(text);
+                            stats.push(s);
+                        }
+                    }
+                    Ok((texts, stats))
+                })();
+                if result.is_err() {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
+                result
+            });
+        self.db.trace_end(span);
+        let (texts, all_stats) = result?;
+        let bulk = self.db.bulk_retrieval();
+        for s in all_stats {
+            self.db.record_retrieval(s.table_scans, s.index_probes, bulk);
+        }
+        Ok(texts)
+    }
+
+    /// Reconstruct every stored document — `(doc_id, xml)` pairs in DocID
+    /// order — through the parallel fan of [`Self::retrieve_documents`].
+    pub fn retrieve_all(&mut self) -> Result<Vec<(String, String)>, MappingError> {
+        let ids: Vec<String> = self.documents.keys().cloned().collect();
+        let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let texts = self.retrieve_documents(&id_refs)?;
+        Ok(ids.into_iter().zip(texts).collect())
+    }
+
+    /// Create the secondary indexes the bulk retriever probes for one
+    /// registered schema: a doc-id index on the root table plus one index
+    /// per ParentRef column (reusing [`crate::pathquery::index_script`]'s
+    /// column choices). Columns that already carry an index are skipped;
+    /// returns how many indexes were created.
+    pub fn create_retrieval_indexes(&mut self, schema_name: &str) -> Result<usize, MappingError> {
+        let registered = self.schemas.get(schema_name).cloned().ok_or_else(|| {
+            MappingError::Unsupported(format!("schema '{schema_name}' is not registered"))
+        })?;
+        let schema = &registered.schema;
+        let mut created = 0usize;
+        let mut want: Vec<(String, String)> = Vec::new();
+        if let Some(col) = &schema.doc_id_column {
+            want.push((schema.root_table.clone(), col.clone()));
+        }
+        for mapping in schema.elements.values() {
+            let Some(table) = &mapping.table else { continue };
+            for field in &mapping.fields {
+                if matches!(field.source, crate::model::FieldSource::ParentRef(_)) {
+                    want.push((table.clone(), field.db_name.clone()));
+                }
+            }
+        }
+        for (n, (table, col)) in want.into_iter().enumerate() {
+            let table_id = Ident::internal(&table);
+            let col_id = Ident::internal(&col);
+            let covered = self
+                .db
+                .catalog()
+                .indexes_on(&table_id)
+                .any(|ix| ix.columns.len() == 1 && ix.columns[0] == col_id);
+            if covered {
+                continue;
+            }
+            // Oracle's 30-character identifier limit; the counter keeps
+            // truncated names unique per schema.
+            let mut name = format!("IxRtr{n:02}{table}");
+            name.truncate(30);
+            self.db
+                .execute(&format!("CREATE INDEX {name} ON {table} ({col})"))
+                .map_err(MappingError::Db)?;
+            created += 1;
+        }
+        Ok(created)
+    }
+
+    /// Create the secondary indexes the *load* path probes: one per
+    /// synthetic-id column. The Oracle 8 inverted mapping wires each child
+    /// row to its parent with a `(SELECT REF(p) … WHERE p.<id> = …)`
+    /// subquery — without an index every such subquery scans the parent
+    /// table, making bulk ingest quadratic in document size. IDREF
+    /// attributes resolve through the same id columns in both modes.
+    /// Columns that already carry an index are skipped; returns how many
+    /// indexes were created.
+    pub fn create_load_indexes(&mut self, schema_name: &str) -> Result<usize, MappingError> {
+        let registered = self.schemas.get(schema_name).cloned().ok_or_else(|| {
+            MappingError::Unsupported(format!("schema '{schema_name}' is not registered"))
+        })?;
+        let mut created = 0usize;
+        let want: Vec<(String, String)> = registered
+            .schema
+            .elements
+            .values()
+            .filter_map(|m| Some((m.table.clone()?, m.synthetic_id.clone()?)))
+            .collect();
+        for (n, (table, col)) in want.into_iter().enumerate() {
+            let table_id = Ident::internal(&table);
+            let col_id = Ident::internal(&col);
+            let covered = self
+                .db
+                .catalog()
+                .indexes_on(&table_id)
+                .any(|ix| ix.columns.len() == 1 && ix.columns[0] == col_id);
+            if covered {
+                continue;
+            }
+            let mut name = format!("IxLd{n:02}{table}");
+            name.truncate(30);
+            self.db
+                .execute(&format!("CREATE INDEX {name} ON {table} ({col})"))
+                .map_err(MappingError::Db)?;
+            created += 1;
+        }
+        Ok(created)
+    }
+
+    /// Tear down the façade and hand back the engine — e.g. to move a
+    /// bulk-loaded database into a wire server.
+    pub fn into_database(self) -> Database {
+        self.db
     }
 
     /// Run a path query (§4.1 dot notation) against a registered schema.
@@ -745,6 +924,108 @@ impl Xml2OrDb {
         let (restored, _) = self.retrieve_dom(doc_id)?;
         Ok(crate::roundtrip::compare(&original, &restored))
     }
+}
+
+/// How retrieved documents serialize: declaration restored from the
+/// meta-table, entities re-substituted (§6.1), no added whitespace.
+pub fn retrieval_serialize_options(meta: &DocMetadata) -> SerializeOptions {
+    SerializeOptions {
+        include_declaration: true,
+        include_doctype: false,
+        indent: None,
+        entity_catalog: Some(meta.entity_catalog()),
+    }
+}
+
+/// Derive a mapped schema from DTD source — the schema-building core of
+/// [`Xml2OrDb::register_dtd`], callable without a pipeline instance (the
+/// wire server rebuilds schemas from registry rows this way).
+fn derive_dtd_schema(
+    dtd_text: &str,
+    root: &str,
+    schema_id: Option<String>,
+    idref_targets: &IdrefTargets,
+    mode: DbMode,
+    base_options: &MappingOptions,
+) -> Result<(Dtd, MappedSchema, String), MappingError> {
+    let dtd = parse_dtd(dtd_text).map_err(MappingError::Dtd)?;
+    let mut options = base_options.clone();
+    if options.schema_id.is_none() {
+        options.schema_id = schema_id;
+    }
+    if !idref_targets.is_empty() {
+        options.map_idrefs = true;
+    }
+    let schema = generate_schema(&dtd, root, mode, options, idref_targets)?;
+    let script = create_script(&schema)?;
+    Ok((dtd, schema, script))
+}
+
+/// XSD counterpart of [`derive_dtd_schema`].
+fn derive_xsd_schema(
+    xsd_text: &str,
+    root: &str,
+    schema_id: Option<String>,
+    mode: DbMode,
+    base_options: &MappingOptions,
+) -> Result<(Dtd, MappedSchema, String), MappingError> {
+    let xsd = xmlord_dtd::xsd::parse_xsd(xsd_text)
+        .map_err(|e| MappingError::Unsupported(format!("XSD analysis failed: {e}")))?;
+    if xsd.dtd.element(root).is_none() {
+        return Err(MappingError::RootNotDeclared(root.to_string()));
+    }
+    let mut options = base_options.clone();
+    if options.schema_id.is_none() {
+        options.schema_id = schema_id;
+    }
+    // Convert the XSD scalar hints into mapping type hints.
+    let to_scalar = |h: &xmlord_dtd::xsd::ScalarHint| match h {
+        xmlord_dtd::xsd::ScalarHint::Varchar(n) => crate::model::ScalarType::Varchar(*n),
+        xmlord_dtd::xsd::ScalarHint::Clob => crate::model::ScalarType::Clob,
+        xmlord_dtd::xsd::ScalarHint::Number => crate::model::ScalarType::Number,
+        xmlord_dtd::xsd::ScalarHint::Date => crate::model::ScalarType::Date,
+    };
+    for (element, hint) in &xsd.element_hints {
+        options.type_hints.elements.insert(element.clone(), to_scalar(hint));
+    }
+    for (key, hint) in &xsd.attribute_hints {
+        options.type_hints.attributes.insert(key.clone(), to_scalar(hint));
+    }
+    let schema = generate_schema(&xsd.dtd, root, mode, options, &IdrefTargets::new())?;
+    let script = create_script(&schema)?;
+    Ok((xsd.dtd, schema, script))
+}
+
+/// Rebuild the [`MappedSchema`] registered under `name` by reading its
+/// `TabSchemas` row through an MVCC read session — how a wire-server
+/// connection resolves a document's schema from its own pinned snapshot,
+/// without touching the writer or holding a pipeline instance. `options`
+/// must match the store's creation options (the registry records a
+/// schema's inputs, not the global option set — the same caveat as
+/// [`Xml2OrDb::open_with_options`]).
+pub fn schema_via_session(
+    session: &mut xmlord_ordb::ReadSession,
+    name: &str,
+    options: &MappingOptions,
+) -> Result<MappedSchema, MappingError> {
+    let mode = session.mode();
+    let row = read_schema_registry(session)?
+        .into_iter()
+        .find(|r| r.name == name)
+        .ok_or_else(|| {
+            MappingError::InconsistentMapping(format!("schema '{name}' is not registered"))
+        })?;
+    let schema_id = (!row.schema_id.is_empty()).then(|| row.schema_id.clone());
+    let targets: IdrefTargets = row
+        .idref_targets
+        .iter()
+        .map(|(e, a, t)| ((e.clone(), a.clone()), t.clone()))
+        .collect();
+    let (_, schema, _) = match row.kind.as_str() {
+        "xsd" => derive_xsd_schema(&row.source, &row.root, schema_id, mode, options)?,
+        _ => derive_dtd_schema(&row.source, &row.root, schema_id, &targets, mode, options)?,
+    };
+    Ok(schema)
 }
 
 /// Bind generated load operations to the chosen delivery form.
@@ -1218,5 +1499,122 @@ mod tests {
         let mut sys = Xml2OrDb::open(&dir, DbMode::Oracle9).unwrap();
         assert_eq!(sys.database().state_dump(), before, "rolled-back load leaked to disk");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn loaded_corpus(mode: DbMode) -> (Xml2OrDb, Vec<String>) {
+        let mut sys = Xml2OrDb::new(mode);
+        sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+        let corpus: Vec<(String, String)> = (0..6)
+            .map(|i| {
+                (
+                    format!("doc{i}"),
+                    format!(
+                        "<University><StudyCourse>C{i}</StudyCourse>\
+                         <Student StudNr=\"{i:05}\"><LName>L{i}</LName><FName>F{i}</FName>\
+                         <Course><Name>N{i}</Name></Course></Student></University>"
+                    ),
+                )
+            })
+            .collect();
+        let docs: Vec<(&str, &str)> =
+            corpus.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+        let ids = sys.store_documents("uni", &docs).unwrap();
+        (sys, ids)
+    }
+
+    #[test]
+    fn parallel_retrieval_matches_serial_byte_for_byte() {
+        for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+            let (mut sys, ids) = loaded_corpus(mode);
+            let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+            let serial: Vec<String> =
+                id_refs.iter().map(|id| sys.retrieve_document(id).unwrap()).collect();
+            for workers in [1, 2, 4] {
+                sys.set_load_workers(workers);
+                let parallel = sys.retrieve_documents(&id_refs).unwrap();
+                assert_eq!(parallel, serial, "{mode:?} workers={workers}");
+            }
+            let all = sys.retrieve_all().unwrap();
+            assert_eq!(all.len(), ids.len());
+            for ((doc_id, text), id) in all.iter().zip(&ids) {
+                assert_eq!(doc_id, id);
+                let serial_text = sys.retrieve_document(id).unwrap();
+                assert_eq!(*text, serial_text);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_retrieval_reports_unknown_documents() {
+        let (mut sys, ids) = loaded_corpus(DbMode::Oracle9);
+        sys.set_load_workers(4);
+        let err = sys.retrieve_documents(&[ids[0].as_str(), "ghost"]).unwrap_err();
+        assert!(matches!(err, MappingError::NoSuchDocument(_)), "{err:?}");
+    }
+
+    #[test]
+    fn streaming_export_matches_string_retrieval() {
+        let (mut sys, ids) = loaded_corpus(DbMode::Oracle9);
+        let text = sys.retrieve_document(&ids[2]).unwrap();
+        let mut bytes = Vec::new();
+        sys.export_to_writer(&ids[2], &mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), text);
+    }
+
+    /// Regression for the satellite: once the retrieval indexes exist, the
+    /// root-row lookup (and Oracle 8's inverted-child lookups) go through
+    /// index probes, visible in the engine's `index_scans` counter.
+    #[test]
+    fn retrieval_indexes_route_lookups_through_index_probes() {
+        for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+            let (mut sys, ids) = loaded_corpus(mode);
+            let created = sys.create_retrieval_indexes("uni").unwrap();
+            assert!(created > 0, "{mode:?}: no retrieval indexes created");
+            // Idempotent: a second call finds every column covered.
+            assert_eq!(sys.create_retrieval_indexes("uni").unwrap(), 0);
+            let before = sys.stats();
+            let with_index = sys.retrieve_document(&ids[0]).unwrap();
+            let delta = sys.stats().since(&before);
+            assert!(delta.index_scans > 0, "{mode:?}: {delta:?}");
+            assert!(delta.retrieve_index_probes > 0, "{mode:?}: {delta:?}");
+            assert_eq!(delta.bulk_retrieves, 1, "{mode:?}: {delta:?}");
+
+            // The naive valve reconstructs the same bytes without probing.
+            sys.database().set_bulk_retrieval(false);
+            let before = sys.stats();
+            let naive = sys.retrieve_document(&ids[0]).unwrap();
+            let delta = sys.stats().since(&before);
+            assert_eq!(delta.retrieve_index_probes, 0, "{mode:?}: {delta:?}");
+            assert_eq!(delta.bulk_retrieves, 0, "{mode:?}: {delta:?}");
+            assert!(delta.retrieve_table_scans > 0, "{mode:?}: {delta:?}");
+            assert_eq!(naive, with_index, "{mode:?}: valve changed the bytes");
+        }
+    }
+
+    /// The load-index helper turns the Oracle 8 parent-wiring subqueries
+    /// into index probes (the un-indexed path re-scans the parent table per
+    /// child row) without changing what gets stored.
+    #[test]
+    fn load_indexes_route_parent_wiring_through_index_probes() {
+        let build = |with_indexes: bool| {
+            let mut sys = Xml2OrDb::new(DbMode::Oracle8);
+            sys.register_dtd("uni", UNIVERSITY_DTD, "University").unwrap();
+            if with_indexes {
+                let created = sys.create_load_indexes("uni").unwrap();
+                assert!(created > 0, "no load indexes created");
+                // Idempotent: a second call finds every column covered.
+                assert_eq!(sys.create_load_indexes("uni").unwrap(), 0);
+            }
+            let before = sys.stats();
+            let id = sys.store_document("uni", UNIVERSITY_XML).unwrap();
+            let delta = sys.stats().since(&before);
+            let text = sys.retrieve_document(&id).unwrap();
+            (delta.index_scans, text)
+        };
+        let (probes, indexed_text) = build(true);
+        assert!(probes > 0, "load ran without index probes: {probes}");
+        let (no_probes, plain_text) = build(false);
+        assert_eq!(no_probes, 0);
+        assert_eq!(indexed_text, plain_text, "load indexes changed the stored bytes");
     }
 }

@@ -8,7 +8,31 @@
 //! information"), and where REFs are involved the original sibling order is
 //! only preserved per relationship (§7 "usage of references does not
 //! preserve the order of elements").
+//!
+//! # Set-oriented reconstruction
+//!
+//! Two access strategies share one DOM assembly, switched by the
+//! `bulk` flag ([`xmlord_ordb::Database::set_bulk_retrieval`]):
+//!
+//! - **Naive walker** (the differential baseline): the root row is found
+//!   by a linear scan of the root table, and every Oracle 8 inverted
+//!   relationship re-scans the whole child table per parent row —
+//!   O(parents × child_rows).
+//! - **Bulk path** (the default): the root row comes from a doc-id
+//!   secondary-index probe when a fresh index exists; each inverted
+//!   relationship either probes a fresh `SecondaryIndex` on its ParentRef
+//!   column per parent, or makes *one* hash-build pass over the child
+//!   table to assemble a parent-OID → child-slots multimap; and IDREF
+//!   targets resolve through the OID directory with a per-table field
+//!   plan and a per-OID memo instead of a mapping scan per attribute.
+//!
+//! Both strategies enumerate children in heap-slot order (index buckets
+//! keep slots ascending by construction), so the reconstructed documents
+//! are byte-identical — the property `retrieve_prop` pins.
 
+use std::collections::HashMap;
+
+use xmlord_ordb::storage::{key_hash, Storage, TableData};
 use xmlord_ordb::{Database, Oid, Value};
 use xmlord_xml::{Document, NodeId, QName};
 
@@ -17,43 +41,52 @@ use crate::metadata::DocMetadata;
 use crate::model::{ElementMapping, FieldKind, FieldSource, MappedSchema};
 use xmlord_ordb::ident::Ident;
 
-/// Reconstruct the document stored under `meta.doc_id`.
+/// Storage accesses one reconstruction performed — folded into
+/// [`xmlord_ordb::ExecStats`] by the callers that hold a `&mut` handle
+/// ([`xmlord_ordb::Database::record_retrieval`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// Full passes over a table heap (root-row scans, naive per-parent
+    /// child scans, bulk hash-build passes).
+    pub table_scans: u64,
+    /// Secondary-index probes that replaced a scan.
+    pub index_probes: u64,
+}
+
+/// Reconstruct the document stored under `meta.doc_id`, using the
+/// database handle's bulk-retrieval setting.
 pub fn retrieve_document(
     db: &Database,
     schema: &MappedSchema,
     meta: &DocMetadata,
 ) -> Result<Document, MappingError> {
-    let root_mapping = schema
-        .mapping(&schema.root_element)
-        .ok_or_else(|| MappingError::UndeclaredElement(schema.root_element.clone()))?;
-    let table = Ident::internal(&schema.root_table);
+    retrieve_with_stats(db, schema, meta).map(|(doc, _)| doc)
+}
+
+/// [`retrieve_document`] plus the access counts the reconstruction made.
+pub fn retrieve_with_stats(
+    db: &Database,
+    schema: &MappedSchema,
+    meta: &DocMetadata,
+) -> Result<(Document, RetrievalStats), MappingError> {
     // One storage guard for the whole walk: the guard holds the shared
     // engine lock, and taking it once up front keeps the recursive
     // builders from re-locking per REF chase.
     let storage = db.storage();
-    let data = storage
-        .table(&table)
-        .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))?;
+    reconstruct(&storage, schema, meta, db.bulk_retrieval())
+}
 
-    // Locate the root row: by document id column when present, else the
-    // single row of the table.
-    let (row_values, row_oid) = match &schema.doc_id_column {
-        Some(col) => {
-            let idx = field_index(root_mapping, col).ok_or_else(|| {
-                MappingError::Unsupported(format!("root mapping lacks id column {col}"))
-            })?;
-            data.rows
-                .iter()
-                .find(|r| r.values.get(idx).and_then(|v| v.as_str()) == Some(&meta.doc_id))
-                .map(|r| (r.values.clone(), r.oid))
-                .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))?
-        }
-        None => data
-            .rows
-            .first()
-            .map(|r| (r.values.clone(), r.oid))
-            .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))?,
-    };
+/// Reconstruct a document from a storage snapshot — the entry point shared
+/// by the writer handle ([`retrieve_document`]) and MVCC read sessions
+/// (which pass `ReadSession::snapshot()`'s storage).
+pub fn reconstruct(
+    storage: &Storage,
+    schema: &MappedSchema,
+    meta: &DocMetadata,
+    bulk: bool,
+) -> Result<(Document, RetrievalStats), MappingError> {
+    let mut ctx = Retriever::new(storage, schema, bulk);
+    let (row_values, row_oid) = ctx.find_root_row(meta)?;
 
     let mut doc = Document::new();
     if meta.xml_version.is_some() || meta.character_set.is_some() || meta.standalone.is_some() {
@@ -63,40 +96,200 @@ pub fn retrieve_document(
             standalone: meta.standalone,
         });
     }
-    let ctx = Retriever { storage: &storage, schema };
-    let root_node =
-        ctx.build_element(&mut doc, &schema.root_element, &row_values, row_oid)?;
+    let root_element = schema.root_element.clone();
+    let root_node = ctx.build_element(&mut doc, &root_element, row_values, row_oid)?;
     // Restore the root's default namespace from the meta-table (§5).
     if let Some(ns) = &meta.namespace {
         doc.set_attribute(root_node, QName::local("xmlns"), ns);
     }
     doc.set_root(root_node);
-    Ok(doc)
+    let stats = ctx.stats;
+    Ok((doc, stats))
+}
+
+/// Reconstruct a document through an MVCC read session: metadata via the
+/// session's SQL surface, rows via its pinned committed snapshot. Returns
+/// the access stats without recording them anywhere — callers that own a
+/// stats sink fold them in.
+pub fn retrieve_snapshot(
+    session: &mut xmlord_ordb::ReadSession,
+    schema: &MappedSchema,
+    doc_id: &str,
+) -> Result<(Document, DocMetadata, RetrievalStats), MappingError> {
+    let meta = crate::metadata::read_metadata(session, doc_id)?;
+    let bulk = session.bulk_retrieval();
+    let (doc, stats) = {
+        let (_, storage) = session.snapshot();
+        reconstruct(storage, schema, &meta, bulk)?
+    };
+    Ok((doc, meta, stats))
+}
+
+/// [`retrieve_snapshot`] folding the access stats into the session's own
+/// counters — what the wire server's per-connection reader uses.
+pub fn retrieve_via_session(
+    session: &mut xmlord_ordb::ReadSession,
+    schema: &MappedSchema,
+    doc_id: &str,
+) -> Result<(Document, DocMetadata), MappingError> {
+    let bulk = session.bulk_retrieval();
+    let (doc, meta, stats) = retrieve_snapshot(session, schema, doc_id)?;
+    session.record_retrieval(stats.table_scans, stats.index_probes, bulk);
+    Ok((doc, meta))
 }
 
 struct Retriever<'a> {
-    storage: &'a xmlord_ordb::storage::Storage,
+    storage: &'a Storage,
     schema: &'a MappedSchema,
+    bulk: bool,
+    stats: RetrievalStats,
+    /// Per parent element: the child mappings stored inverted under it
+    /// (child table holds a ParentRef and the parent has no field for the
+    /// child), with the ParentRef field position. Precomputed once per
+    /// reconstruction instead of re-scanning `schema.elements` per node;
+    /// kept in the schema's BTreeMap order so attachment order matches the
+    /// old walker exactly.
+    inverted: HashMap<&'a str, Vec<(&'a ElementMapping, usize)>>,
+    /// Table → the element mapping it stores (for IDREF target resolution).
+    table_elements: HashMap<Ident, &'a ElementMapping>,
+    /// Raw element/child name → sanitized element QName, built on first
+    /// use — one `sanitize` + parse per distinct name instead of per node.
+    qnames: HashMap<&'a str, QName>,
+    /// Bulk: per inverted child table, parent OID → child row slots in
+    /// heap order (the single hash-build pass). Built lazily on the first
+    /// parent that needs the relationship, when no fresh index serves it.
+    child_maps: HashMap<Ident, HashMap<Oid, Vec<usize>>>,
+    /// Bulk: memoized document-ID values per target row (IDREF batches
+    /// resolve each target once, however many attributes point at it).
+    id_memo: HashMap<Oid, Option<String>>,
 }
 
 impl<'a> Retriever<'a> {
+    fn new(storage: &'a Storage, schema: &'a MappedSchema, bulk: bool) -> Retriever<'a> {
+        let mut inverted: HashMap<&'a str, Vec<(&'a ElementMapping, usize)>> = HashMap::new();
+        let mut table_elements = HashMap::new();
+        for mapping in schema.elements.values() {
+            if let Some(table) = &mapping.table {
+                table_elements.insert(Ident::internal(table), mapping);
+            }
+            let Some(ref_idx) = mapping
+                .fields
+                .iter()
+                .position(|f| matches!(&f.source, FieldSource::ParentRef(_)))
+            else {
+                continue;
+            };
+            let FieldSource::ParentRef(parent) = &mapping.fields[ref_idx].source else {
+                unreachable!("position() matched a ParentRef");
+            };
+            // Skip relationships the parent holds a field for (those
+            // children come back through the parent's own row).
+            let parent_holds_field = schema
+                .mapping(parent)
+                .is_some_and(|m| m.field_for_child(&mapping.element).is_some());
+            if !parent_holds_field {
+                inverted.entry(parent.as_str()).or_default().push((mapping, ref_idx));
+            }
+        }
+        Retriever {
+            storage,
+            schema,
+            bulk,
+            stats: RetrievalStats::default(),
+            inverted,
+            table_elements,
+            qnames: HashMap::new(),
+            child_maps: HashMap::new(),
+            id_memo: HashMap::new(),
+        }
+    }
+
+    /// Sanitized element QName for a raw XML name, cached per name.
+    fn element_qname(&mut self, raw: &'a str) -> QName {
+        self.qnames
+            .entry(raw)
+            .or_insert_with(|| QName::local(&crate::naming::sanitize(raw)))
+            .clone()
+    }
+
     fn mapping_of(&self, element: &str) -> Result<&'a ElementMapping, MappingError> {
         self.schema
             .mapping(element)
             .ok_or_else(|| MappingError::UndeclaredElement(element.to_string()))
     }
 
+    /// Locate the root row: by document id column when present (index
+    /// probe on the bulk path, linear scan otherwise), else the single row
+    /// of the table.
+    fn find_root_row(
+        &mut self,
+        meta: &DocMetadata,
+    ) -> Result<(&'a [Value], Option<Oid>), MappingError> {
+        let root_mapping = self
+            .schema
+            .mapping(&self.schema.root_element)
+            .ok_or_else(|| MappingError::UndeclaredElement(self.schema.root_element.clone()))?;
+        let table = Ident::internal(&self.schema.root_table);
+        let data = self
+            .storage
+            .table(&table)
+            .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))?;
+        let row = match &self.schema.doc_id_column {
+            Some(col) => {
+                let idx = field_index(root_mapping, col).ok_or_else(|| {
+                    MappingError::Unsupported(format!("root mapping lacks id column {col}"))
+                })?;
+                let indexed = self
+                    .bulk
+                    .then(|| self.storage.find_fresh_index(&table, &[idx]))
+                    .flatten();
+                match indexed {
+                    Some(index) => {
+                        // Hash prefilter: candidates still verify the
+                        // predicate (the buckets keep slots ascending, so
+                        // the first verified candidate is the scan's).
+                        self.stats.index_probes += 1;
+                        let key = Value::str(&meta.doc_id);
+                        let slots = key_hash(&[&key])
+                            .and_then(|h| self.storage.index_probe(index, h))
+                            .unwrap_or(&[]);
+                        slots
+                            .iter()
+                            .map(|&slot| &data.rows[slot])
+                            .find(|r| {
+                                r.values.get(idx).and_then(|v| v.as_str())
+                                    == Some(meta.doc_id.as_str())
+                            })
+                    }
+                    None => {
+                        self.stats.table_scans += 1;
+                        data.rows.iter().find(|r| {
+                            r.values.get(idx).and_then(|v| v.as_str())
+                                == Some(meta.doc_id.as_str())
+                        })
+                    }
+                }
+            }
+            None => {
+                self.stats.table_scans += 1;
+                data.rows.first()
+            }
+        };
+        row.map(|r| (r.values.as_slice(), r.oid))
+            .ok_or_else(|| MappingError::NoSuchDocument(meta.doc_id.clone()))
+    }
+
     /// Build the DOM subtree for one element instance from its attribute
     /// values (`values` parallels `mapping.fields`).
     fn build_element(
-        &self,
+        &mut self,
         doc: &mut Document,
-        element: &str,
+        element: &'a str,
         values: &[Value],
         oid: Option<Oid>,
     ) -> Result<NodeId, MappingError> {
         let mapping = self.mapping_of(element)?;
-        let node = doc.create_element(QName::local(&crate::naming::sanitize(element)));
+        let node = doc.create_element(self.element_qname(element));
         for (field, value) in mapping.fields.iter().zip(values) {
             match &field.source {
                 FieldSource::SyntheticId | FieldSource::ParentRef(_) => {}
@@ -164,6 +357,7 @@ impl<'a> Retriever<'a> {
         // ParentRef points at this row, then restore content-model order.
         if let Some(my_oid) = oid {
             if self.attach_inverted_children(doc, node, element, my_oid)? {
+                let mapping = self.mapping_of(element)?;
                 reorder_children(doc, node, &mapping.child_order);
             }
         }
@@ -171,17 +365,17 @@ impl<'a> Retriever<'a> {
     }
 
     fn build_child_field(
-        &self,
+        &mut self,
         doc: &mut Document,
         parent: NodeId,
-        child_name: &str,
+        child_name: &'a str,
         field: &crate::model::FieldMapping,
         value: &Value,
     ) -> Result<(), MappingError> {
         match (&field.kind, value) {
             (_, Value::Null) => Ok(()),
             (FieldKind::Scalar(_), v) => {
-                let child = doc.create_element(QName::local(&crate::naming::sanitize(child_name)));
+                let child = doc.create_element(self.element_qname(child_name));
                 if let Some(text) = scalar_text(v) {
                     if !text.is_empty() {
                         let t = doc.create_text(&text);
@@ -198,8 +392,7 @@ impl<'a> Retriever<'a> {
             }
             (FieldKind::ScalarCollection(_), Value::Coll { elements, .. }) => {
                 for element in elements {
-                    let child =
-                        doc.create_element(QName::local(&crate::naming::sanitize(child_name)));
+                    let child = doc.create_element(self.element_qname(child_name));
                     if let Some(text) = scalar_text(element) {
                         if !text.is_empty() {
                             let t = doc.create_text(&text);
@@ -241,52 +434,93 @@ impl<'a> Retriever<'a> {
     }
 
     fn build_ref_child(
-        &self,
+        &mut self,
         doc: &mut Document,
-        child_name: &str,
+        child_name: &'a str,
         oid: Oid,
     ) -> Result<NodeId, MappingError> {
         let (_, row) = self
             .storage
             .resolve_oid(oid)
             .ok_or(MappingError::Db(xmlord_ordb::DbError::DanglingRef))?;
-        let values = row.values.clone();
-        self.build_element(doc, child_name, &values, Some(oid))
+        // The row borrow comes from the storage snapshot (`'a`), not from
+        // `self`, so the values pass straight down without a clone.
+        let values: &'a [Value] = &row.values;
+        self.build_element(doc, child_name, values, Some(oid))
+    }
+
+    /// Child row slots of `my_oid` in one inverted relationship, in heap
+    /// order. Bulk: a fresh ParentRef index answers with a probe; otherwise
+    /// one hash-build pass over the child table serves every parent.
+    /// Naive: a fresh scan per parent — the quadratic baseline.
+    fn inverted_child_slots(
+        &mut self,
+        table: Ident,
+        data: &'a TableData,
+        ref_idx: usize,
+        my_oid: Oid,
+    ) -> Vec<usize> {
+        if !self.bulk {
+            self.stats.table_scans += 1;
+            return data
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.values.get(ref_idx) == Some(&Value::Ref(my_oid)))
+                .map(|(slot, _)| slot)
+                .collect();
+        }
+        if let Some(index) = self.storage.find_fresh_index(&table, &[ref_idx]) {
+            self.stats.index_probes += 1;
+            let key = Value::Ref(my_oid);
+            let slots = key_hash(&[&key])
+                .and_then(|h| self.storage.index_probe(index, h))
+                .unwrap_or(&[]);
+            // Hash prefilter: re-verify each candidate slot.
+            return slots
+                .iter()
+                .copied()
+                .filter(|&slot| data.rows[slot].values.get(ref_idx) == Some(&key))
+                .collect();
+        }
+        if !self.child_maps.contains_key(&table) {
+            self.stats.table_scans += 1;
+            let mut map: HashMap<Oid, Vec<usize>> = HashMap::new();
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(Value::Ref(parent)) = row.values.get(ref_idx) {
+                    // Slots arrive ascending, so plain pushes keep each
+                    // bucket in heap order — same enumeration as a scan.
+                    map.entry(*parent).or_default().push(slot);
+                }
+            }
+            self.child_maps.insert(table.clone(), map);
+        }
+        self.child_maps[&table].get(&my_oid).cloned().unwrap_or_default()
     }
 
     /// Returns `true` if any inverted child was attached.
     fn attach_inverted_children(
-        &self,
+        &mut self,
         doc: &mut Document,
         node: NodeId,
         element: &str,
         my_oid: Oid,
     ) -> Result<bool, MappingError> {
+        let relationships: Vec<(&'a ElementMapping, usize)> =
+            match self.inverted.get(element) {
+                Some(v) => v.clone(),
+                None => return Ok(false),
+            };
         let mut attached = false;
-        // Find child element types whose mapping has a ParentRef to us and
-        // that we hold no field for.
-        let my_mapping = self.mapping_of(element)?;
-        for child_mapping in self.schema.elements.values() {
-            let Some(ref_idx) = child_mapping.fields.iter().position(
-                |f| matches!(&f.source, FieldSource::ParentRef(p) if p == element),
-            ) else {
-                continue;
-            };
-            if my_mapping.field_for_child(&child_mapping.element).is_some() {
-                continue;
-            }
+        for (child_mapping, ref_idx) in relationships {
             let Some(child_table) = &child_mapping.table else { continue };
-            let Some(data) = self.storage.table(&Ident::internal(child_table)) else {
-                continue;
-            };
-            let rows: Vec<(Vec<Value>, Option<Oid>)> = data
-                .rows
-                .iter()
-                .filter(|r| r.values.get(ref_idx) == Some(&Value::Ref(my_oid)))
-                .map(|r| (r.values.clone(), r.oid))
-                .collect();
-            for (values, oid) in rows {
-                let child = self.build_element(doc, &child_mapping.element, &values, oid)?;
+            let table = Ident::internal(child_table);
+            let Some(data) = self.storage.table(&table) else { continue };
+            for slot in self.inverted_child_slots(table, data, ref_idx, my_oid) {
+                let row = &data.rows[slot];
+                let values: &'a [Value] = &row.values;
+                let child =
+                    self.build_element(doc, &child_mapping.element, values, row.oid)?;
                 doc.append_child(node, child);
                 attached = true;
             }
@@ -295,18 +529,26 @@ impl<'a> Retriever<'a> {
     }
 
     /// The document-level ID attribute value of a row object (for restoring
-    /// IDREF attributes).
-    fn id_value_of(&self, oid: Oid) -> Result<Option<String>, MappingError> {
-        let Some((table, row)) = self.storage.resolve_oid(oid) else {
-            return Ok(None);
-        };
+    /// IDREF attributes). Resolves through the OID directory and the
+    /// precomputed table → mapping plan; the bulk path memoizes per target
+    /// so shared IDREF targets resolve once.
+    fn id_value_of(&mut self, oid: Oid) -> Result<Option<String>, MappingError> {
+        if self.bulk {
+            if let Some(cached) = self.id_memo.get(&oid) {
+                return Ok(cached.clone());
+            }
+        }
+        let resolved = self.resolve_id_value(oid);
+        if self.bulk {
+            self.id_memo.insert(oid, resolved.clone());
+        }
+        Ok(resolved)
+    }
+
+    fn resolve_id_value(&self, oid: Oid) -> Option<String> {
+        let (table, row) = self.storage.resolve_oid(oid)?;
         // Which element does this table store?
-        let mapping = self
-            .schema
-            .elements
-            .values()
-            .find(|m| m.table.as_deref().map(|t| Ident::internal(t) == *table).unwrap_or(false));
-        let Some(mapping) = mapping else { return Ok(None) };
+        let mapping = *self.table_elements.get(table)?;
         // Prefer an inlined attribute field that is plain VARCHAR (the ID
         // itself); otherwise look inside the attrList object.
         if let Some(attr_list) = &mapping.attr_list {
@@ -317,7 +559,7 @@ impl<'a> Retriever<'a> {
                     for (f, v) in attr_list.fields.iter().zip(attrs) {
                         if f.idref_target.is_none() {
                             if let Some(s) = v.as_str() {
-                                return Ok(Some(s.to_string()));
+                                return Some(s.to_string());
                             }
                         }
                     }
@@ -329,11 +571,11 @@ impl<'a> Retriever<'a> {
                 && matches!(field.kind, FieldKind::Scalar(_))
             {
                 if let Some(s) = row.values.get(idx).and_then(|v| v.as_str()) {
-                    return Ok(Some(s.to_string()));
+                    return Some(s.to_string());
                 }
             }
         }
-        Ok(None)
+        None
     }
 }
 
@@ -343,7 +585,7 @@ impl<'a> Retriever<'a> {
 /// slots those same children occupied — text nodes and elements with
 /// unknown names keep their exact document positions instead of being
 /// clustered together.
-fn reorder_children(doc: &mut Document, node: NodeId, child_order: &[String]) {
+pub(crate) fn reorder_children(doc: &mut Document, node: NodeId, child_order: &[String]) {
     let mut children: Vec<NodeId> = doc.children(node).to_vec();
     let order_of = |doc: &Document, c: NodeId| match doc.kind(c) {
         xmlord_xml::NodeKind::Element(el) => {
@@ -407,7 +649,7 @@ mod tests {
 <CreditPts>4</CreditPts></Course></Student>\
 <Student StudNr=\"00011\"><LName>Meier</LName><FName>Ralf</FName></Student></University>";
 
-    fn round_trip(mode: DbMode) -> String {
+    fn loaded_university(mode: DbMode) -> (Database, MappedSchema) {
         let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
         let doc = xmlord_xml::parse(UNIVERSITY_XML).unwrap();
         let schema = generate_schema(
@@ -423,6 +665,11 @@ mod tests {
         for stmt in load_script(&schema, &dtd, &doc, "doc1").unwrap() {
             db.execute(&stmt).unwrap();
         }
+        (db, schema)
+    }
+
+    fn round_trip(mode: DbMode) -> String {
+        let (db, schema) = loaded_university(mode);
         let meta = DocMetadata { doc_id: "doc1".into(), ..Default::default() };
         let restored = retrieve_document(&db, &schema, &meta).unwrap();
         serialize(&restored, &SerializeOptions::compact())
@@ -438,6 +685,96 @@ mod tests {
         // The REF-based storage layout differs, but the reconstructed
         // document is identical for this document.
         assert_eq!(round_trip(DbMode::Oracle8), UNIVERSITY_XML);
+    }
+
+    #[test]
+    fn bulk_and_naive_walkers_reconstruct_identical_documents() {
+        for mode in [DbMode::Oracle8, DbMode::Oracle9] {
+            let (mut db, schema) = loaded_university(mode);
+            let meta = DocMetadata { doc_id: "doc1".into(), ..Default::default() };
+            let bulk = retrieve_document(&db, &schema, &meta).unwrap();
+            db.set_bulk_retrieval(false);
+            let naive = retrieve_document(&db, &schema, &meta).unwrap();
+            assert_eq!(
+                serialize(&bulk, &SerializeOptions::compact()),
+                serialize(&naive, &SerializeOptions::compact()),
+                "{mode:?}: bulk and naive reconstruction diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_walker_scans_each_inverted_table_once() {
+        // Oracle 8 stores Student/Course/Professor inverted. The naive
+        // walker re-scans per parent; the bulk walker hash-builds once per
+        // (relationship, table) and the root scan is the only other pass.
+        let (mut db, schema) = loaded_university(DbMode::Oracle8);
+        let meta = DocMetadata { doc_id: "doc1".into(), ..Default::default() };
+        let (_, bulk) = retrieve_with_stats(&db, &schema, &meta).unwrap();
+        db.set_bulk_retrieval(false);
+        let (_, naive) = retrieve_with_stats(&db, &schema, &meta).unwrap();
+        assert!(
+            bulk.table_scans < naive.table_scans,
+            "bulk {bulk:?} vs naive {naive:?}"
+        );
+    }
+
+    #[test]
+    fn root_lookup_uses_a_doc_id_index_when_present() {
+        let (mut db, schema) = loaded_university(DbMode::Oracle9);
+        let col = schema.doc_id_column.clone().unwrap();
+        db.execute(&format!("CREATE INDEX IdxDocId ON {} ({col})", schema.root_table))
+            .unwrap();
+        let meta = DocMetadata { doc_id: "doc1".into(), ..Default::default() };
+        let (doc, stats) = retrieve_with_stats(&db, &schema, &meta).unwrap();
+        assert!(stats.index_probes > 0, "{stats:?}");
+        assert_eq!(serialize(&doc, &SerializeOptions::compact()), UNIVERSITY_XML);
+
+        // The naive valve still scans — and reconstructs the same bytes.
+        db.set_bulk_retrieval(false);
+        let (naive, stats) = retrieve_with_stats(&db, &schema, &meta).unwrap();
+        assert_eq!(stats.index_probes, 0, "{stats:?}");
+        assert_eq!(serialize(&naive, &SerializeOptions::compact()), UNIVERSITY_XML);
+    }
+
+    #[test]
+    fn inverted_children_use_a_parent_ref_index_when_present() {
+        let dtd = parse_dtd(UNIVERSITY_DTD).unwrap();
+        let doc = xmlord_xml::parse(UNIVERSITY_XML).unwrap();
+        let schema = generate_schema(
+            &dtd,
+            "University",
+            DbMode::Oracle8,
+            MappingOptions::default(),
+            &IdrefTargets::new(),
+        )
+        .unwrap();
+        let mut db = Database::new(DbMode::Oracle8);
+        db.execute_script(&create_script(&schema).unwrap()).unwrap();
+        for stmt in load_script(&schema, &dtd, &doc, "doc1").unwrap() {
+            db.execute(&stmt).unwrap();
+        }
+        // Index every ParentRef column that exists in the mapping.
+        let mut n = 0;
+        for mapping in schema.elements.values() {
+            let (Some(table), Some(idx)) = (
+                &mapping.table,
+                mapping
+                    .fields
+                    .iter()
+                    .position(|f| matches!(f.source, FieldSource::ParentRef(_))),
+            ) else {
+                continue;
+            };
+            let col = &mapping.fields[idx].db_name;
+            n += 1;
+            db.execute(&format!("CREATE INDEX IdxPR{n} ON {table} ({col})")).unwrap();
+        }
+        assert!(n > 0, "Oracle 8 mapping should have inverted relationships");
+        let meta = DocMetadata { doc_id: "doc1".into(), ..Default::default() };
+        let (restored, stats) = retrieve_with_stats(&db, &schema, &meta).unwrap();
+        assert!(stats.index_probes > 0, "{stats:?}");
+        assert_eq!(serialize(&restored, &SerializeOptions::compact()), UNIVERSITY_XML);
     }
 
     #[test]

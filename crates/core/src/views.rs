@@ -19,7 +19,12 @@
 //! 3. [`object_view_script`] — the `CREATE VIEW OView_… AS SELECT Type_…(…)`
 //!    statement with nested constructors and `CAST(MULTISET(…))`.
 
-use xmlord_xml::{Document, NodeId};
+use std::collections::{BTreeMap, HashMap};
+
+use xmlord_ordb::ident::Ident;
+use xmlord_ordb::storage::{key_hash, Storage, TableData};
+use xmlord_ordb::Value;
+use xmlord_xml::{Document, NodeId, QName};
 
 use crate::error::MappingError;
 use crate::model::{FieldKind, FieldSource, MappedSchema};
@@ -376,6 +381,225 @@ impl<'a> ViewGen<'a> {
     }
 }
 
+// ------------------------------------------------------- reconstruction --
+
+/// Rebuild the document stored by [`relational_load_script`]. Like the
+/// object-relational retriever and the `xmlord-shred` reconstructors, one
+/// shared assembly sits on two access paths: naive (`bulk = false`) rescans
+/// each child table per parent row, bulk probes a fresh `IDParent` index or
+/// builds one hash multimap per table. The loader assigns row IDs in a
+/// pre-order walk, so ascending ID within one parent is document order;
+/// content-model order across different child names is restored with the
+/// retriever's reorder pass.
+pub fn reconstruct_relational(
+    schema: &MappedSchema,
+    rel: &RelationalSchema,
+    storage: &Storage,
+    bulk: bool,
+) -> Result<Document, MappingError> {
+    let root_table = rel.table_for(&schema.root_element).ok_or_else(|| {
+        MappingError::Unsupported("no relational table for the root".into())
+    })?;
+    let mut ctx = RelRetriever { schema, rel, storage, bulk, readers: BTreeMap::new() };
+    let root_row: &[Value] = {
+        let reader = ctx.reader(root_table)?;
+        let row = reader
+            .data
+            .rows
+            .first()
+            .ok_or_else(|| MappingError::NoSuchDocument(schema.root_element.clone()))?;
+        &row.values
+    };
+    let mut doc = Document::new();
+    let node = ctx.build(&mut doc, &schema.root_element, root_row)?;
+    doc.set_root(node);
+    Ok(doc)
+}
+
+/// Rows of one `Rel*` table addressed by their `IDParent` column.
+struct RelReader<'a> {
+    storage: &'a Storage,
+    table: Ident,
+    data: &'a TableData,
+    bulk: bool,
+    map: Option<HashMap<u64, Vec<usize>>>,
+}
+
+const REL_ID: usize = 0;
+const REL_PARENT: usize = 1;
+
+fn rel_id(v: &Value) -> Option<u64> {
+    v.as_num().map(|n| n as u64)
+}
+
+impl<'a> RelReader<'a> {
+    fn open(storage: &'a Storage, name: &str, bulk: bool) -> Result<RelReader<'a>, MappingError> {
+        let table = Ident::internal(name);
+        let data = storage.table(&table).ok_or_else(|| {
+            MappingError::InconsistentMapping(format!("relational table {name} is missing"))
+        })?;
+        Ok(RelReader { storage, table, data, bulk, map: None })
+    }
+
+    /// Row slots with `IDParent = parent`, in heap order (= ascending ID,
+    /// the loader's pre-order).
+    fn child_slots(&mut self, parent: u64) -> Vec<usize> {
+        if !self.bulk {
+            return self
+                .data
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.values.get(REL_PARENT).and_then(rel_id) == Some(parent))
+                .map(|(slot, _)| slot)
+                .collect();
+        }
+        if let Some(index) = self.storage.find_fresh_index(&self.table, &[REL_PARENT]) {
+            let key = Value::Num(parent as f64);
+            let slots = key_hash(&[&key])
+                .and_then(|h| self.storage.index_probe(index, h))
+                .unwrap_or(&[]);
+            // Hash prefilter: re-verify each candidate slot.
+            return slots
+                .iter()
+                .copied()
+                .filter(|&slot| {
+                    self.data.rows[slot].values.get(REL_PARENT).and_then(rel_id) == Some(parent)
+                })
+                .collect();
+        }
+        let data = self.data;
+        let map = self.map.get_or_insert_with(|| {
+            let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (slot, row) in data.rows.iter().enumerate() {
+                if let Some(p) = row.values.get(REL_PARENT).and_then(rel_id) {
+                    map.entry(p).or_default().push(slot);
+                }
+            }
+            map
+        });
+        map.get(&parent).cloned().unwrap_or_default()
+    }
+}
+
+struct RelRetriever<'a> {
+    schema: &'a MappedSchema,
+    rel: &'a RelationalSchema,
+    storage: &'a Storage,
+    bulk: bool,
+    readers: BTreeMap<String, RelReader<'a>>,
+}
+
+impl<'a> RelRetriever<'a> {
+    fn reader(&mut self, table: &RelTable) -> Result<&mut RelReader<'a>, MappingError> {
+        if !self.readers.contains_key(&table.name) {
+            let reader = RelReader::open(self.storage, &table.name, self.bulk)?;
+            self.readers.insert(table.name.clone(), reader);
+        }
+        Ok(self.readers.get_mut(&table.name).expect("just inserted"))
+    }
+
+    /// Rebuild one table row as an element subtree: inlined columns first
+    /// (text, attributes, scalar children in field order), then complex and
+    /// list children from their own tables, then the reorder pass.
+    fn build(
+        &mut self,
+        doc: &mut Document,
+        element: &str,
+        row: &'a [Value],
+    ) -> Result<NodeId, MappingError> {
+        let mapping = self
+            .schema
+            .mapping(element)
+            .ok_or_else(|| MappingError::UndeclaredElement(element.to_string()))?;
+        let table = self.rel.table_for(element).ok_or_else(|| {
+            MappingError::Unsupported(format!("no relational table for <{element}>"))
+        })?;
+        let my_id = row.get(REL_ID).and_then(rel_id).ok_or_else(|| {
+            MappingError::InconsistentMapping(format!("{} row without an ID", table.name))
+        })?;
+        let node = doc.create_element(QName::local(&crate::naming::sanitize(element)));
+        let base = 1 + usize::from(table.parent_column.is_some());
+        for (i, (_, source)) in table.columns.iter().enumerate() {
+            let value = row.get(base + i).and_then(|v| v.as_str());
+            match (source, value) {
+                (_, None) => {}
+                (RelColumnSource::Text, Some(text)) => {
+                    if !text.is_empty() {
+                        let t = doc.create_text(text);
+                        doc.append_child(node, t);
+                    }
+                }
+                (RelColumnSource::Attribute(a), Some(v)) => {
+                    doc.set_attribute(node, QName::local(a), v);
+                }
+                (RelColumnSource::SimpleChild(c), Some(text)) => {
+                    let child =
+                        doc.create_element(QName::local(&crate::naming::sanitize(c)));
+                    if !text.is_empty() {
+                        let t = doc.create_text(text);
+                        doc.append_child(child, t);
+                    }
+                    doc.append_child(node, child);
+                }
+            }
+        }
+        // Complex and set-valued children live in their own tables.
+        for field in &mapping.fields {
+            let FieldSource::ChildElement(child_name) = &field.source else { continue };
+            match &field.kind {
+                FieldKind::Scalar(_) => {} // inlined column, handled above
+                FieldKind::ScalarCollection(_) => {
+                    let list = self.rel.leaf_list_for(child_name).ok_or_else(|| {
+                        MappingError::Unsupported(format!("no list table for <{child_name}>"))
+                    })?;
+                    let list = list.clone();
+                    let (slots, data) = {
+                        let reader = self.reader(&list)?;
+                        (reader.child_slots(my_id), reader.data)
+                    };
+                    for slot in slots {
+                        let text =
+                            data.rows[slot].values.get(REL_PARENT + 1).and_then(|v| v.as_str());
+                        let child = doc.create_element(QName::local(
+                            &crate::naming::sanitize(child_name),
+                        ));
+                        if let Some(text) = text {
+                            if !text.is_empty() {
+                                let t = doc.create_text(text);
+                                doc.append_child(child, t);
+                            }
+                        }
+                        doc.append_child(node, child);
+                    }
+                }
+                _ => {
+                    // Object, ObjectCollection, Ref, RefCollection: the
+                    // loader shreds them all as rows keyed by IDParent.
+                    let child_table = self.rel.table_for(child_name).ok_or_else(|| {
+                        MappingError::Unsupported(format!(
+                            "no relational table for <{child_name}>"
+                        ))
+                    })?;
+                    let child_table = child_table.clone();
+                    let (slots, data) = {
+                        let reader = self.reader(&child_table)?;
+                        (reader.child_slots(my_id), reader.data)
+                    };
+                    let child_name = child_name.clone();
+                    for slot in slots {
+                        let values: &'a [Value] = &data.rows[slot].values;
+                        let child = self.build(doc, &child_name, values)?;
+                        doc.append_child(node, child);
+                    }
+                }
+            }
+        }
+        crate::retriever::reorder_children(doc, node, &mapping.child_order);
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +711,43 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows.rows.len(), 2);
+    }
+
+    #[test]
+    fn relational_reconstruction_round_trips_both_paths() {
+        use xmlord_xml::serializer::{serialize, SerializeOptions};
+        let (db, schema, rel, _) = fixture();
+        let canonical =
+            serialize(&xmlord_xml::parse(XML).unwrap(), &SerializeOptions::compact());
+        let storage = db.storage();
+        for bulk in [false, true] {
+            let restored = reconstruct_relational(&schema, &rel, &storage, bulk).unwrap();
+            assert_eq!(
+                serialize(&restored, &SerializeOptions::compact()),
+                canonical,
+                "bulk={bulk}"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_reconstruction_uses_parent_indexes_when_present() {
+        use xmlord_xml::serializer::{serialize, SerializeOptions};
+        let (mut db, schema, rel, _) = fixture();
+        for (n, table) in rel.tables.iter().enumerate() {
+            if table.parent_column.is_some() {
+                db.execute(&format!(
+                    "CREATE INDEX IxRel{n:02} ON {} (IDParent)",
+                    table.name
+                ))
+                .unwrap();
+            }
+        }
+        let canonical =
+            serialize(&xmlord_xml::parse(XML).unwrap(), &SerializeOptions::compact());
+        let storage = db.storage();
+        let restored = reconstruct_relational(&schema, &rel, &storage, true).unwrap();
+        assert_eq!(serialize(&restored, &SerializeOptions::compact()), canonical);
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub struct ReadSession {
     mode: DbMode,
     hash_joins: bool,
     cost_planner: bool,
+    /// Set-oriented bulk document reconstruction, inherited from the
+    /// writer handle at session creation (the retrieval layer consults it
+    /// via [`Self::bulk_retrieval`]).
+    bulk_retrieval: bool,
     /// The private committed-state clone queries execute against.
     cache: Option<CacheState>,
     plan_cache: PlanCache,
@@ -90,12 +94,14 @@ impl ReadSession {
         mode: DbMode,
         hash_joins: bool,
         cost_planner: bool,
+        bulk_retrieval: bool,
     ) -> ReadSession {
         ReadSession {
             shared,
             mode,
             hash_joins,
             cost_planner,
+            bulk_retrieval,
             cache: None,
             plan_cache: PlanCache::default(),
             stats: ExecStats::default(),
@@ -247,6 +253,46 @@ impl ReadSession {
             .as_ref()
             .and_then(|c| c.pinned.get(&ident).copied())
             .unwrap_or(0)
+    }
+
+    /// The dialect mode the owning database was created with.
+    pub fn mode(&self) -> crate::DbMode {
+        self.mode
+    }
+
+    /// Whether bulk document reconstruction is enabled for this session
+    /// (inherited from the writer handle at creation, overridable per
+    /// session for differential tests).
+    pub fn bulk_retrieval(&self) -> bool {
+        self.bulk_retrieval
+    }
+
+    pub fn set_bulk_retrieval(&mut self, enabled: bool) {
+        self.bulk_retrieval = enabled;
+    }
+
+    /// Refresh, then expose the pinned committed snapshot: the private
+    /// `(catalog, storage)` clone queries execute against. The borrows are
+    /// lock-free — the snapshot is this session's own copy — and stay
+    /// valid until the next `&mut self` call. This is the read surface the
+    /// document retriever walks directly (OID directory, table heaps,
+    /// secondary indexes) without going through SQL.
+    pub fn snapshot(&mut self) -> (&Catalog, &Storage) {
+        self.refresh();
+        let cache = self.cache.as_ref().expect("refresh always installs a cache");
+        (&cache.catalog, &cache.storage)
+    }
+
+    /// Fold one document reconstruction's access counts into this
+    /// session's statistics — the reader-side counterpart of
+    /// [`crate::Database::record_retrieval`].
+    pub fn record_retrieval(&mut self, table_scans: u64, index_probes: u64, bulk: bool) {
+        self.stats.retrieve_table_scans += table_scans;
+        self.stats.retrieve_index_probes += index_probes;
+        self.stats.index_scans += index_probes;
+        if bulk {
+            self.stats.bulk_retrieves += 1;
+        }
     }
 
     /// This session's private execution counters.

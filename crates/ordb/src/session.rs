@@ -294,6 +294,12 @@ pub struct Database {
     /// plan — full scans, FROM-clause order — for differential tests and
     /// ablation benchmarks ([`Self::set_cost_planner`]).
     cost_planner: bool,
+    /// Set-oriented bulk document reconstruction (on by default); the
+    /// retrieval layer consults it through [`Self::bulk_retrieval`].
+    /// Turning it off pins the naive per-node recursive walker — the
+    /// differential baseline for the retrieval benchmarks
+    /// ([`Self::set_bulk_retrieval`]).
+    bulk_retrieval: bool,
     analyze: bool,
     /// Explicit `SAVEPOINT name` marks, oldest first. COMMIT and full
     /// ROLLBACK discard them; `ROLLBACK TO name` discards only the ones
@@ -336,6 +342,7 @@ impl Clone for Database {
             plan_cache: self.plan_cache.clone(),
             hash_joins: self.hash_joins,
             cost_planner: self.cost_planner,
+            bulk_retrieval: self.bulk_retrieval,
             analyze: self.analyze,
             savepoints: self.savepoints.clone(),
             trace: self.trace.clone(),
@@ -368,6 +375,7 @@ impl Database {
             plan_cache: PlanCache::default(),
             hash_joins: true,
             cost_planner: true,
+            bulk_retrieval: true,
             analyze: false,
             savepoints: Vec::new(),
             trace: None,
@@ -647,6 +655,36 @@ impl Database {
         self.cost_planner = enabled;
     }
 
+    /// Enable or disable set-oriented bulk document reconstruction (on by
+    /// default). Turning it off pins the naive per-node recursive walker —
+    /// the ablation baseline for the retrieval benchmarks, and the oracle
+    /// side of the differential tests that check the bulk path reconstructs
+    /// byte-identical documents. The engine does not consult this flag
+    /// itself; the retrieval layer reads it via
+    /// [`bulk_retrieval`](Self::bulk_retrieval), exactly like the
+    /// hash-join and planner valves.
+    pub fn set_bulk_retrieval(&mut self, enabled: bool) {
+        self.bulk_retrieval = enabled;
+    }
+
+    pub fn bulk_retrieval(&self) -> bool {
+        self.bulk_retrieval
+    }
+
+    /// Fold one document reconstruction's access counts into this handle's
+    /// statistics ([`ExecStats::retrieve_table_scans`] /
+    /// [`ExecStats::retrieve_index_probes`] / [`ExecStats::bulk_retrieves`]).
+    /// Retrieval probes also count as [`ExecStats::index_scans`]: they are
+    /// index-driven accesses exactly like the planner's.
+    pub fn record_retrieval(&mut self, table_scans: u64, index_probes: u64, bulk: bool) {
+        self.stats.retrieve_table_scans += table_scans;
+        self.stats.retrieve_index_probes += index_probes;
+        self.stats.index_scans += index_probes;
+        if bulk {
+            self.stats.bulk_retrieves += 1;
+        }
+    }
+
     /// Parse `sql` through the statement cache. Non-INSERT texts hit on the
     /// verbatim string; INSERT texts hit on their literal-normalized shape,
     /// with the template's literal slots rebound per text. Parse errors are
@@ -704,6 +742,7 @@ impl Database {
             self.mode,
             self.hash_joins,
             self.cost_planner,
+            self.bulk_retrieval,
         )
     }
 
@@ -745,6 +784,9 @@ impl Database {
             ("index_maintenance_ops", s.index_maintenance_ops),
             ("planner_plans_costed", s.planner_plans_costed),
             ("analyze_runs", s.analyze_runs),
+            ("retrieve_table_scans", s.retrieve_table_scans),
+            ("retrieve_index_probes", s.retrieve_index_probes),
+            ("bulk_retrieves", s.bulk_retrieves),
         ] {
             let _ = writeln!(out, "{name:<20} {v}");
         }

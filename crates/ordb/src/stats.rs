@@ -77,6 +77,17 @@ pub struct ExecStats {
     pub planner_plans_costed: u64,
     /// `ANALYZE TABLE … COMPUTE STATISTICS` statements executed.
     pub analyze_runs: u64,
+    /// Full table passes performed by document reconstruction (root-row
+    /// scans, per-parent child scans on the naive walker, and the bulk
+    /// path's single hash-build passes).
+    pub retrieve_table_scans: u64,
+    /// Secondary-index probes performed by document reconstruction
+    /// instead of table scans (root-row lookup, inverted-children
+    /// buckets).
+    pub retrieve_index_probes: u64,
+    /// Documents reconstructed through the set-oriented bulk path
+    /// ([`crate::Database::set_bulk_retrieval`]).
+    pub bulk_retrieves: u64,
 }
 
 impl ExecStats {
@@ -109,6 +120,9 @@ impl ExecStats {
             index_maintenance_ops: self.index_maintenance_ops - earlier.index_maintenance_ops,
             planner_plans_costed: self.planner_plans_costed - earlier.planner_plans_costed,
             analyze_runs: self.analyze_runs - earlier.analyze_runs,
+            retrieve_table_scans: self.retrieve_table_scans - earlier.retrieve_table_scans,
+            retrieve_index_probes: self.retrieve_index_probes - earlier.retrieve_index_probes,
+            bulk_retrieves: self.bulk_retrieves - earlier.bulk_retrieves,
         }
     }
 }

@@ -848,6 +848,17 @@ impl Storage {
             .is_some_and(|idx| idx.version == self.table_version(&idx.table))
     }
 
+    /// Find a *fresh* secondary index keyed on exactly the column positions
+    /// `cols` of `table` — the lookup the retriever uses to decide between
+    /// an index probe and a hash-build scan. Returns the index name for
+    /// [`Storage::index_probe`] calls.
+    pub fn find_fresh_index(&self, table: &Ident, cols: &[usize]) -> Option<&Ident> {
+        let version = self.table_version(table);
+        self.indexes.iter().find_map(|(name, idx)| {
+            (idx.table == *table && idx.cols == cols && idx.version == version).then_some(name)
+        })
+    }
+
     /// Drain the maintenance-operation counter (key insertions/removals and
     /// rebuild row visits since the last drain).
     pub fn take_maintenance_ops(&mut self) -> u64 {

@@ -22,18 +22,24 @@
 //!
 //! Dot-commands: `.help`, `.stats` (the connection's reader statistics and
 //! the writer's report), `.epoch` (the reader's pinned committed epochs),
-//! `.quit`.
+//! `.get <doc-id>` (reconstruct a stored XML document on this connection's
+//! snapshot reader and stream it down the wire), `.quit`.
 //!
 //! Transaction semantics are the engine's: writes become visible to the
 //! read sessions of *all* connections at `COMMIT;`, not before.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 
+use xml2ordb::pipeline::{retrieval_serialize_options, schema_via_session};
+use xml2ordb::retriever::retrieve_via_session;
+use xml2ordb::{MappedSchema, MappingOptions};
 use xmlord_ordb::mvcc::ReadSession;
 use xmlord_ordb::{Database, QueryResult};
+use xmlord_xml::serializer::serialize_to;
 
 /// The shared writer handle: every connection's write path funnels
 /// through this mutex; read paths never take it (they refresh against the
@@ -108,6 +114,10 @@ fn serve_connection(stream: TcpStream, writer: SharedWriter) -> io::Result<()> {
     let mut out = stream.try_clone()?;
     let mut reader =
         writer.lock().unwrap_or_else(PoisonError::into_inner).read_session();
+    // Per-connection schema cache for `.get`: document-type schemas are
+    // rebuilt from the registry rows in this reader's snapshot on first
+    // use, then reused for the connection's lifetime.
+    let mut schemas: HashMap<String, MappedSchema> = HashMap::new();
     writeln!(out, "# xmlord server ready (statements end with ';', .help for commands)")?;
 
     let lines = BufReader::new(stream).lines();
@@ -116,7 +126,7 @@ fn serve_connection(stream: TcpStream, writer: SharedWriter) -> io::Result<()> {
         let line = line?;
         let trimmed = line.trim();
         if pending.is_empty() && trimmed.starts_with('.') {
-            match run_dot_command(trimmed, &mut out, &mut reader, &writer)? {
+            match run_dot_command(trimmed, &mut out, &mut reader, &writer, &mut schemas)? {
                 ControlFlow::Continue => continue,
                 ControlFlow::Quit => break,
             }
@@ -150,7 +160,17 @@ fn run_dot_command(
     out: &mut TcpStream,
     reader: &mut ReadSession,
     writer: &SharedWriter,
+    schemas: &mut HashMap<String, MappedSchema>,
 ) -> io::Result<ControlFlow> {
+    if let Some(arg) = cmd.strip_prefix(".get") {
+        let doc_id = arg.trim();
+        if doc_id.is_empty() {
+            writeln!(out, "ERR usage: .get <doc-id>")?;
+        } else {
+            get_document(doc_id, out, reader, schemas)?;
+        }
+        return Ok(ControlFlow::Continue);
+    }
     match cmd {
         ".quit" | ".exit" => {
             writeln!(out, "OK 0")?;
@@ -160,7 +180,7 @@ fn run_dot_command(
             writeln!(out, "# statements: any engine SQL terminated by ';'")?;
             writeln!(out, "# SELECT/EXPLAIN run on this connection's snapshot reader;")?;
             writeln!(out, "# other statements go to the shared writer (COMMIT publishes)")?;
-            writeln!(out, "# dot-commands: .help .stats .epoch .quit")?;
+            writeln!(out, "# dot-commands: .help .stats .epoch .get <doc-id> .quit")?;
             writeln!(out, "OK 0")?;
         }
         ".stats" => {
@@ -188,6 +208,40 @@ fn run_dot_command(
         }
     }
     Ok(ControlFlow::Continue)
+}
+
+/// `.get <doc-id>`: reconstruct a stored XML document on this
+/// connection's snapshot reader and stream it straight into the socket —
+/// the set-oriented bulk walker feeding [`serialize_to`], no intermediate
+/// `String` and no writer lock. The reader refreshes first, so the
+/// response reflects the latest *committed* state, like any SELECT.
+fn get_document(
+    doc_id: &str,
+    out: &mut TcpStream,
+    reader: &mut ReadSession,
+    schemas: &mut HashMap<String, MappedSchema>,
+) -> io::Result<()> {
+    // DocIDs are `<schema>-<n>` (`Xml2OrDb::store_document`).
+    let Some((schema_name, _)) = doc_id.rsplit_once('-') else {
+        return write_err(out, &format!("malformed document id '{doc_id}' (want <schema>-<n>)"));
+    };
+    if !schemas.contains_key(schema_name) {
+        match schema_via_session(reader, schema_name, &MappingOptions::default()) {
+            Ok(schema) => {
+                schemas.insert(schema_name.to_string(), schema);
+            }
+            Err(e) => return write_err(out, &e.to_string()),
+        }
+    }
+    let schema = &schemas[schema_name];
+    match retrieve_via_session(reader, schema, doc_id) {
+        Ok((doc, meta)) => {
+            serialize_to(&doc, &retrieval_serialize_options(&meta), out)?;
+            writeln!(out)?;
+            writeln!(out, "OK 1")
+        }
+        Err(e) => write_err(out, &e.to_string()),
+    }
 }
 
 /// Execute one statement and write its response. Queries go to the

@@ -103,3 +103,47 @@ fn wire_protocol_end_to_end() {
     assert!(unknown[0].starts_with("ERR unknown command"), "{unknown:?}");
     assert_eq!(b.send(".quit"), ["OK 0"]);
 }
+
+/// `.get <doc-id>` streams a stored document back over the wire,
+/// byte-identical to what the pipeline's own retrieval produces.
+#[test]
+fn get_streams_stored_documents() {
+    use xml2ordb::pipeline::Xml2OrDb;
+
+    const DTD: &str = "<!ELEMENT University (Student*)>\n\
+                       <!ELEMENT Student (Name)>\n\
+                       <!ATTLIST Student StudNr CDATA #REQUIRED>\n\
+                       <!ELEMENT Name (#PCDATA)>";
+    const XML: &str = "<?xml version=\"1.0\"?>\
+                       <University><Student StudNr=\"4711\"><Name>Ada</Name></Student>\
+                       <Student StudNr=\"4712\"><Name>Grace</Name></Student></University>";
+
+    // Load through the pipeline, remember the expected retrieval bytes,
+    // then hand the database to the server.
+    let mut sys = Xml2OrDb::new(DbMode::Oracle9);
+    sys.register_dtd("uni", DTD, "University").unwrap();
+    let doc_id = sys.store_document("uni", XML).unwrap();
+    let expected = sys.retrieve_document(&doc_id).unwrap();
+    let server = Server::bind("127.0.0.1:0", sys.into_database()).unwrap();
+    let addr = server.local_addr().unwrap();
+    server.spawn();
+
+    let mut c = Client::connect(&addr);
+    let response = c.send(&format!(".get {doc_id}"));
+    assert_eq!(response.last().unwrap(), "OK 1", "{response:?}");
+    let body = response[..response.len() - 1].join("\n");
+    assert_eq!(body, expected);
+
+    // Second fetch reuses the connection's cached schema.
+    assert_eq!(c.send(&format!(".get {doc_id}")).last().unwrap(), "OK 1");
+
+    // Errors stay on-protocol: malformed ids and unknown documents are
+    // single ERR lines and the connection remains usable.
+    let err = c.send(".get nonsense");
+    assert!(err[0].starts_with("ERR "), "{err:?}");
+    let err = c.send(&format!(".get {doc_id}00"));
+    assert!(err[0].starts_with("ERR "), "{err:?}");
+    assert_eq!(c.send(".get"), ["ERR usage: .get <doc-id>"]);
+    let again = c.send(&format!(".get {doc_id}"));
+    assert_eq!(again.last().unwrap(), "OK 1", "{again:?}");
+}

@@ -36,9 +36,9 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// DDL: one table per element reachable from `root` plus one per declared
-/// attribute name.
-pub fn ddl(dtd: &Dtd, root: &str) -> String {
+/// Elements reachable from `root` in the DTD's element graph — the set the
+/// DDL creates tables for and [`crate::retrieve`] reads back.
+pub fn reachable_elements(dtd: &Dtd, root: &str) -> BTreeSet<String> {
     let graph = ElementGraph::build(dtd);
     let mut reachable: BTreeSet<String> = BTreeSet::new();
     let mut stack = vec![root.to_string()];
@@ -49,6 +49,13 @@ pub fn ddl(dtd: &Dtd, root: &str) -> String {
             }
         }
     }
+    reachable
+}
+
+/// DDL: one table per element reachable from `root` plus one per declared
+/// attribute name.
+pub fn ddl(dtd: &Dtd, root: &str) -> String {
+    let reachable = reachable_elements(dtd, root);
     let mut out = String::new();
     for element in &reachable {
         out.push_str(&format!(

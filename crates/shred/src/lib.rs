@@ -26,6 +26,7 @@ pub mod attrtab;
 pub mod edge;
 pub mod inline;
 pub mod intern;
+pub mod retrieve;
 
 use xmlord_dtd::ast::Dtd;
 use xmlord_xml::Document;

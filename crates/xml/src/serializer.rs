@@ -5,9 +5,48 @@
 //! [`SerializeOptions::entity_catalog`] hook implements §6.1's proposal of
 //! re-substituting the original entity references recorded in the meta-table.
 
+use std::io;
+
 use crate::dom::{Document, NodeId, NodeKind};
 use crate::entities::EntityCatalog;
 use crate::escape::{escape_attr, escape_text};
+
+/// Output target shared by [`serialize`] (a `String`, infallible) and
+/// [`serialize_to`] (any [`io::Write`]). One generic writer drives both,
+/// so the streaming path is byte-identical to the in-memory path by
+/// construction rather than by parallel maintenance.
+trait Sink {
+    fn put_str(&mut self, s: &str) -> io::Result<()>;
+    fn put_char(&mut self, c: char) -> io::Result<()>;
+}
+
+impl Sink for String {
+    fn put_str(&mut self, s: &str) -> io::Result<()> {
+        self.push_str(s);
+        Ok(())
+    }
+
+    fn put_char(&mut self, c: char) -> io::Result<()> {
+        self.push(c);
+        Ok(())
+    }
+}
+
+/// Adapter turning an [`io::Write`] into a [`Sink`]. Callers wanting
+/// buffering wrap their writer in a [`io::BufWriter`]; the serializer
+/// itself emits naturally chunky `put_str` calls.
+struct IoSink<'a, W: io::Write>(&'a mut W);
+
+impl<W: io::Write> Sink for IoSink<'_, W> {
+    fn put_str(&mut self, s: &str) -> io::Result<()> {
+        self.0.write_all(s.as_bytes())
+    }
+
+    fn put_char(&mut self, c: char) -> io::Result<()> {
+        let mut buf = [0u8; 4];
+        self.0.write_all(c.encode_utf8(&mut buf).as_bytes())
+    }
+}
 
 /// Controls for [`serialize`].
 #[derive(Debug, Clone, Default)]
@@ -47,66 +86,84 @@ impl SerializeOptions {
 /// Serialize a whole document.
 pub fn serialize(doc: &Document, opts: &SerializeOptions) -> String {
     let mut out = String::new();
+    serialize_sink(doc, opts, &mut out).expect("String sink is infallible");
+    out
+}
+
+/// Serialize a whole document to any [`io::Write`] — the streaming path.
+/// Emits exactly the bytes [`serialize`] would collect into a `String`,
+/// without materializing the document text in memory. Wrap slow writers
+/// (files, sockets) in a [`io::BufWriter`]; the call does not flush.
+pub fn serialize_to<W: io::Write>(
+    doc: &Document,
+    opts: &SerializeOptions,
+    out: &mut W,
+) -> io::Result<()> {
+    serialize_sink(doc, opts, &mut IoSink(out))
+}
+
+fn serialize_sink<S: Sink>(doc: &Document, opts: &SerializeOptions, out: &mut S) -> io::Result<()> {
     if opts.include_declaration {
         if let Some(decl) = &doc.declaration {
-            out.push_str(&decl.to_xml());
-            out.push('\n');
+            out.put_str(&decl.to_xml())?;
+            out.put_char('\n')?;
         }
     }
     if opts.include_doctype {
         if let Some(dt) = &doc.doctype {
-            out.push_str(&dt.to_xml());
-            out.push('\n');
+            out.put_str(&dt.to_xml())?;
+            out.put_char('\n')?;
         }
     }
     for misc in &doc.prolog_misc {
-        write_node(doc, *misc, opts, 0, &mut out);
+        write_node(doc, *misc, opts, 0, out)?;
         if opts.indent.is_some() {
-            out.push('\n');
+            out.put_char('\n')?;
         }
     }
     if let Some(root) = doc.root_element() {
-        write_node(doc, root, opts, 0, &mut out);
+        write_node(doc, root, opts, 0, out)?;
     }
     for misc in &doc.epilog_misc {
         if opts.indent.is_some() {
-            out.push('\n');
+            out.put_char('\n')?;
         }
-        write_node(doc, *misc, opts, 0, &mut out);
+        write_node(doc, *misc, opts, 0, out)?;
     }
-    out
+    Ok(())
 }
 
 /// Serialize a single subtree compactly (no prolog).
 pub fn serialize_node(doc: &Document, id: NodeId) -> String {
     let mut out = String::new();
-    write_node(doc, id, &SerializeOptions::compact(), 0, &mut out);
+    write_node(doc, id, &SerializeOptions::compact(), 0, &mut out)
+        .expect("String sink is infallible");
     out
 }
 
-fn write_node(
+fn write_node<S: Sink>(
     doc: &Document,
     id: NodeId,
     opts: &SerializeOptions,
     depth: usize,
-    out: &mut String,
-) {
+    out: &mut S,
+) -> io::Result<()> {
     match doc.kind(id) {
         NodeKind::Element(el) => {
-            out.push('<');
-            out.push_str(&el.name.as_raw());
+            out.put_char('<')?;
+            out.put_str(&el.name.as_raw())?;
             for attr in &el.attributes {
-                out.push(' ');
-                out.push_str(&attr.name.as_raw());
-                out.push_str("=\"");
-                out.push_str(&escape_attr(&attr.value));
-                out.push('"');
+                out.put_char(' ')?;
+                out.put_str(&attr.name.as_raw())?;
+                out.put_str("=\"")?;
+                out.put_str(&escape_attr(&attr.value))?;
+                out.put_char('"')?;
             }
             if el.children.is_empty() {
-                out.push_str("/>");
-                return;
+                out.put_str("/>")?;
+                return Ok(());
             }
-            out.push('>');
+            out.put_char('>')?;
             // Indent only around element children; any text child forces
             // mixed-content mode, which must not introduce whitespace.
             let element_only = opts.indent.is_some()
@@ -120,24 +177,24 @@ fn write_node(
                 });
             for child in &el.children {
                 if element_only {
-                    out.push('\n');
-                    push_indent(opts, depth + 1, out);
+                    out.put_char('\n')?;
+                    push_indent(opts, depth + 1, out)?;
                 }
-                write_node(doc, *child, opts, depth + 1, out);
+                write_node(doc, *child, opts, depth + 1, out)?;
             }
             if element_only {
-                out.push('\n');
-                push_indent(opts, depth, out);
+                out.put_char('\n')?;
+                push_indent(opts, depth, out)?;
             }
-            out.push_str("</");
-            out.push_str(&el.name.as_raw());
-            out.push('>');
+            out.put_str("</")?;
+            out.put_str(&el.name.as_raw())?;
+            out.put_char('>')?;
         }
         NodeKind::Text(text) => {
             let escaped = escape_text(text);
             match &opts.entity_catalog {
-                Some(cat) => out.push_str(&cat.resubstitute(&escaped)),
-                None => out.push_str(&escaped),
+                Some(cat) => out.put_str(&cat.resubstitute(&escaped))?,
+                None => out.put_str(&escaped)?,
             }
         }
         NodeKind::CData(text) => {
@@ -145,27 +202,28 @@ fn write_node(
             // content into adjacent sections at every `]]>`: the first
             // section ends after `]]` and the next one reopens before `>`,
             // so the character data reparses unchanged.
-            out.push_str("<![CDATA[");
-            out.push_str(&text.replace("]]>", "]]]]><![CDATA[>"));
-            out.push_str("]]>");
+            out.put_str("<![CDATA[")?;
+            out.put_str(&text.replace("]]>", "]]]]><![CDATA[>"))?;
+            out.put_str("]]>")?;
         }
         NodeKind::Comment(text) => {
-            out.push_str("<!--");
-            out.push_str(&escape_comment(text));
-            out.push_str("-->");
+            out.put_str("<!--")?;
+            out.put_str(&escape_comment(text))?;
+            out.put_str("-->")?;
         }
         NodeKind::ProcessingInstruction { target, data } => {
-            out.push_str("<?");
-            out.push_str(target);
+            out.put_str("<?")?;
+            out.put_str(target)?;
             if !data.is_empty() {
-                out.push(' ');
+                out.put_char(' ')?;
                 // PI data cannot contain the `?>` terminator; break the
                 // pair with a space so the PI still parses.
-                out.push_str(&data.replace("?>", "? >"));
+                out.put_str(&data.replace("?>", "? >"))?;
             }
-            out.push_str("?>");
+            out.put_str("?>")?;
         }
     }
+    Ok(())
 }
 
 /// Make comment text well-formed: XML 1.0 §2.5 forbids `--` inside a
@@ -187,12 +245,13 @@ fn escape_comment(text: &str) -> String {
     out
 }
 
-fn push_indent(opts: &SerializeOptions, depth: usize, out: &mut String) {
+fn push_indent<S: Sink>(opts: &SerializeOptions, depth: usize, out: &mut S) -> io::Result<()> {
     if let Some(width) = opts.indent {
         for _ in 0..depth * width {
-            out.push(' ');
+            out.put_char(' ')?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -310,6 +369,48 @@ mod tests {
         let root = doc.root_element().unwrap();
         let b = doc.first_child_named(root, "b").unwrap();
         assert_eq!(serialize_node(&doc, b), "<b k=\"v\">x</b>");
+    }
+
+    #[test]
+    fn streaming_serialization_is_byte_identical() {
+        let mut cat = EntityCatalog::new();
+        cat.declare("cs", "Computer Science");
+        let sources = [
+            "<?xml version=\"1.0\"?><!DOCTYPE a><?p x?><a k=\"q&quot;v\">1 &lt; 2<b/>\
+             <![CDATA[raw]]><!--note--></a><!--tail-->",
+            "<a><b><c/></b></a>",
+            "<a>BSc Computer Science<x/>more</a>",
+        ];
+        let option_sets = [
+            SerializeOptions::compact(),
+            SerializeOptions::document(),
+            SerializeOptions::compact().with_entities(cat),
+        ];
+        for src in sources {
+            let doc = parse(src).unwrap();
+            for opts in &option_sets {
+                let in_memory = serialize(&doc, opts);
+                let mut streamed = Vec::new();
+                serialize_to(&doc, opts, &mut streamed).unwrap();
+                assert_eq!(streamed, in_memory.as_bytes(), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_serialization_surfaces_io_errors() {
+        struct Refuse;
+        impl io::Write for Refuse {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let doc = parse("<a>text</a>").unwrap();
+        let err = serialize_to(&doc, &SerializeOptions::compact(), &mut Refuse).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 
     #[test]
